@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's figures/claims.  Because
+pytest captures stdout, each bench also writes its table to
+``benchmarks/results/<name>.txt`` so the regenerated figures survive the
+run as artifacts (referenced from EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a named text artifact (and echo it for -s runs)."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _save

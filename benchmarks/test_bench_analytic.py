@@ -1,0 +1,95 @@
+"""Ablation: the closed-form PLT model vs the discrete-event simulator.
+
+If the analytic expectation (built from nothing but RTT counts, byte
+sums and churn probabilities) ranks conditions and modes the same way the
+simulator does, the simulator's Figure 3 numbers follow from the modelled
+mechanisms — not from implementation accidents.
+"""
+
+import pytest
+
+from repro.core.analysis import AnalyticModel
+from repro.core.catalyst import run_visit_sequence
+from repro.core.modes import CachingMode, build_mode
+from repro.experiments.report import format_table
+from repro.netsim.clock import DAY
+from repro.netsim.link import NetworkConditions
+from repro.workload.corpus import make_corpus
+
+CONDITIONS = [NetworkConditions.of(mbps, rtt)
+              for mbps in (8.0, 60.0) for rtt in (10.0, 40.0, 100.0)]
+
+
+def _spearman(a, b):
+    def ranks(values):
+        order = sorted(range(len(values)), key=values.__getitem__)
+        rank = [0.0] * len(values)
+        for position, index in enumerate(order):
+            rank[index] = float(position)
+        return rank
+    ra, rb = ranks(a), ranks(b)
+    n = len(a)
+    mean = (n - 1) / 2.0
+    cov = sum((x - mean) * (y - mean) for x, y in zip(ra, rb))
+    var = sum((x - mean) ** 2 for x in ra)
+    return cov / var if var else 1.0
+
+
+@pytest.fixture(scope="module")
+def paired_estimates():
+    sites = list(make_corpus().sample(4, seed=41))
+    rows = []
+    for site in sites:
+        for conditions in CONDITIONS:
+            for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+                analytic = AnalyticModel(conditions).estimate_plt(
+                    site, mode, DAY)
+                setup = build_mode(mode, site)
+                outcomes = run_visit_sequence(setup, conditions,
+                                              [0.0, DAY])
+                simulated = outcomes[1].result.plt_s
+                rows.append((site.origin, conditions.describe(),
+                             mode.value, analytic, simulated))
+    return rows
+
+
+def test_analytic_tracks_simulator(benchmark, paired_estimates,
+                                   save_result):
+    rows = benchmark.pedantic(lambda: paired_estimates, rounds=1,
+                              iterations=1)
+    analytic = [row[3] for row in rows]
+    simulated = [row[4] for row in rows]
+    rho = _spearman(analytic, simulated)
+    save_result("analytic_vs_des", format_table(
+        ["condition", "mode", "analytic ms", "simulated ms"],
+        [[cond, mode, f"{a * 1000:.0f}", f"{s * 1000:.0f}"]
+         for _, cond, mode, a, s in rows[:24]])
+        + f"\n\nSpearman rank correlation (n={len(rows)}): {rho:.3f}")
+    benchmark.extra_info["spearman_rho"] = round(rho, 3)
+    assert rho > 0.85
+
+
+def test_analytic_reduction_direction_agrees(paired_estimates, benchmark):
+    """Per (site, condition): both models agree on who wins."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_key = {}
+    for origin, cond, mode, analytic, simulated in paired_estimates:
+        by_key.setdefault((origin, cond), {})[mode] = (analytic, simulated)
+    agreements = 0
+    total = 0
+    for pair in by_key.values():
+        if len(pair) != 2:
+            continue
+        total += 1
+        analytic_says = pair["catalyst"][0] <= pair["standard"][0]
+        simulator_says = pair["catalyst"][1] <= pair["standard"][1]
+        agreements += analytic_says == simulator_says
+    assert total > 0
+    assert agreements / total >= 0.9
+
+
+def test_analytic_is_fast(benchmark):
+    """The whole point of a closed form: thousands of estimates/second."""
+    site = make_corpus().sample(1, seed=1)[0]
+    model = AnalyticModel(NetworkConditions.of(60, 40))
+    benchmark(lambda: model.estimate_plt(site, CachingMode.CATALYST, DAY))

@@ -1,0 +1,197 @@
+"""§5 comparisons: CacheCatalyst vs Server Push, RDR, and Extreme Cache.
+
+The paper argues each alternative qualitatively; these benches put the
+arguments in numbers on the same workload:
+
+- Server Push avoids request RTTs on *cold* loads but wastes bandwidth on
+  warm ones (it cannot see the client's cache).
+- RDR collapses dependency resolution to ~1 client RTT, but revisits gain
+  nothing from the client cache and every visit re-ships the bundle.
+- Extreme Cache fixes TTLs by estimation, at a measurable stale-serve
+  risk the original paper never reported.
+"""
+
+import pytest
+
+from repro.baselines.extreme_cache import ExtremeCacheProxy
+from repro.baselines.rdr import RdrProxy
+from repro.browser.engine import BrowserConfig, BrowserSession
+from repro.core.catalyst import run_visit_sequence
+from repro.core.modes import CachingMode, build_mode
+from repro.experiments.harness import _stale_hits
+from repro.experiments.report import format_table
+from repro.netsim.clock import DAY
+from repro.netsim.link import Link, NetworkConditions
+from repro.netsim.sim import Simulator
+from repro.server.site import OriginSite
+from repro.workload.corpus import make_corpus
+
+COND = NetworkConditions.of(60, 40)
+DELAY = DAY
+
+
+@pytest.fixture(scope="module")
+def sites():
+    return list(make_corpus().sample(5, seed=23).frozen())
+
+
+def rdr_pair(site_spec, conditions=COND):
+    results = []
+    for at_time in (0.0, DELAY):
+        sim = Simulator()
+        sim.run(until=at_time)
+        proxy = RdrProxy(OriginSite(site_spec))
+        link = Link(sim, conditions)
+        results.append(sim.run_process(
+            proxy.load(sim, link, "/index.html")))
+    return results
+
+
+def test_mode_comparison_table(benchmark, sites, save_result):
+    """Cold and warm PLT plus warm bytes for every compared system."""
+    modes = (CachingMode.NO_CACHE, CachingMode.STANDARD,
+             CachingMode.PUSH_ALL, CachingMode.PUSH_BLOCKING,
+             CachingMode.HINTS,
+             CachingMode.CATALYST, CachingMode.CATALYST_SESSIONS,
+             CachingMode.CATALYST_HINTS)
+
+    def run():
+        rows = {}
+        for mode in modes:
+            cold = warm = bytes_warm = 0.0
+            for site in sites:
+                setup = build_mode(mode, site)
+                outcomes = run_visit_sequence(setup, COND, [0.0, DELAY])
+                cold += outcomes[0].result.plt_ms
+                warm += outcomes[1].result.plt_ms
+                bytes_warm += outcomes[1].result.bytes_down
+            n = len(sites)
+            rows[mode.value] = (cold / n, warm / n, bytes_warm / n)
+        # RDR is not a ModeSetup; measured with its own loader
+        cold = warm = bytes_warm = 0.0
+        for site in sites:
+            first, revisit = rdr_pair(site)
+            cold += first.plt_ms
+            warm += revisit.plt_ms
+            bytes_warm += revisit.bytes_down
+        n = len(sites)
+        rows["rdr"] = (cold / n, warm / n, bytes_warm / n)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("baseline_comparison", format_table(
+        ["system", "cold PLT ms", "warm PLT ms", "warm bytes"],
+        [[name, f"{cold:.0f}", f"{warm:.0f}", f"{int(nbytes):,}"]
+         for name, (cold, warm, nbytes) in rows.items()]))
+
+    # Shape assertions from §5:
+    # 1. catalyst has the best warm PLT of the cache-respecting systems
+    assert rows["catalyst"][1] <= rows["standard"][1]
+    assert rows["catalyst"][1] <= rows["push-all"][1]
+    # 1b. hints alone do not remove revalidation RTTs (§5): catalyst wins
+    assert rows["catalyst"][1] <= rows["hints"][1]
+    # 2. push wastes warm bytes relative to both standard and catalyst
+    assert rows["push-all"][2] > rows["standard"][2]
+    assert rows["push-all"][2] > rows["catalyst"][2]
+    # 3. RDR's warm visit barely improves on its cold one and re-ships
+    #    the bundle every time; catalyst ships almost nothing
+    assert rows["rdr"][1] > rows["catalyst"][1]
+    assert rows["rdr"][2] > 5 * rows["catalyst"][2]
+
+
+def test_rdr_shines_only_at_high_latency(benchmark, sites, save_result):
+    """RDR's value is collapsing dependency-resolution RTTs, so it beats a
+    plain cold load on high-latency paths and loses that edge when the
+    link is bandwidth-bound (§5's nuance, measured)."""
+
+    def run():
+        rows = []
+        for rtt in (40.0, 150.0, 400.0):
+            conditions = NetworkConditions.of(60, rtt)
+            rdr_plt = cold_plt = 0.0
+            for site in sites:
+                first, _ = rdr_pair(site, conditions)
+                rdr_plt += first.plt_ms
+                setup = build_mode(CachingMode.NO_CACHE, site)
+                outcomes = run_visit_sequence(setup, conditions, [0.0])
+                cold_plt += outcomes[0].result.plt_ms
+            n = len(sites)
+            rows.append((rtt, cold_plt / n, rdr_plt / n))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("rdr_latency_profile", format_table(
+        ["RTT ms", "cold direct PLT ms", "cold RDR PLT ms"],
+        [[f"{rtt:g}", f"{direct:.0f}", f"{rdr:.0f}"]
+         for rtt, direct, rdr in rows]))
+    # at 400 ms RTT the proxy wins big; the gap narrows as latency drops
+    assert rows[-1][2] < rows[-1][1]
+    gap = [direct - rdr for _, direct, rdr in rows]
+    assert gap[-1] > gap[0]
+
+
+def test_extreme_cache_stale_risk(benchmark, sites, save_result):
+    """Estimation quality vs stale serves — the unreported trade-off."""
+    # use churned (non-frozen) sites: staleness needs real change
+    churned = list(make_corpus().sample(5, seed=23))
+
+    def run():
+        rows = []
+        for sigma in (0.0, 1.0, 2.0):
+            stale_total = 0
+            reval_rtts = 0
+            for site_spec in churned:
+                site = OriginSite(site_spec)
+                proxy = ExtremeCacheProxy(site, estimation_sigma=sigma,
+                                          safety_factor=1.0)
+                session = BrowserSession(BrowserConfig())
+                sim = Simulator()
+                link = Link(sim, COND)
+                sim.run_process(session.load(
+                    sim, link, proxy.handle, "/index.html",
+                    mode_label="xc"))
+                sim.run(until=7 * DAY)
+                link = Link(sim, COND)
+                warm = sim.run_process(session.load(
+                    sim, link, proxy.handle, "/index.html",
+                    mode_label="xc"))
+                stale_total += _stale_hits(warm, site_spec, 7 * DAY)
+                reval_rtts += sum(
+                    1 for e in warm.events
+                    if e.source.value == "revalidated")
+            rows.append((sigma, stale_total, reval_rtts))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("extreme_cache_staleness", format_table(
+        ["estimator sigma", "stale serves (5 sites)", "revalidations"],
+        [[f"{sigma:g}", stale, reval] for sigma, stale, reval in rows]))
+    # even a perfect-period estimator serves stale content: change times
+    # are random, the TTL is a guess about the *future*
+    assert rows[0][1] > 0
+
+
+def test_catalyst_vs_standard_staleness(benchmark, save_result):
+    """Catalyst needs no TTL estimator and serves strictly less stale
+    content than the status quo on the same churned workload.  (Residual
+    catalyst staleness comes only from JS-discovered resources invisible
+    to static stapling; the stapled set is provably fresh.)"""
+    churned = list(make_corpus().sample(5, seed=23))
+
+    def run():
+        stale = {"standard": 0, "catalyst": 0}
+        for site_spec in churned:
+            for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+                setup = build_mode(mode, site_spec)
+                outcomes = run_visit_sequence(setup, COND, [0.0, 7 * DAY])
+                stale[mode.value] += _stale_hits(
+                    outcomes[1].result, site_spec, 7 * DAY)
+        return stale
+    stale = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("catalyst_staleness", "\n".join([
+        "stale serves over 5 churned sites, 1-week revisit:",
+        f"  standard caching: {stale['standard']}",
+        f"  catalyst:         {stale['catalyst']}",
+    ]))
+    assert stale["catalyst"] <= stale["standard"]
+    assert stale["standard"] > 0  # TTL guessing really does serve stale

@@ -1,0 +1,33 @@
+"""Cross-page navigation bench (§1's "other pages on the same website").
+
+Not a numbered figure in the paper, but the second half of its central
+motivation sentence: cached resources help "future requests to the same
+page or other pages within the same website".  The bench measures first
+visits to never-seen inner pages after one homepage load.
+"""
+
+from repro.experiments.cross_page import (format_cross_page,
+                                          make_multipage_site,
+                                          run_cross_page)
+
+
+def test_cross_page_navigation(benchmark, save_result):
+    site = make_multipage_site(seed=1234, pages=3)
+
+    results = benchmark.pedantic(lambda: run_cross_page(site),
+                                 rounds=1, iterations=1)
+    save_result("cross_page_navigation", format_cross_page(results))
+
+    by_mode = {r.mode: r for r in results}
+    benchmark.extra_info["catalyst_inner_plt_ms"] = round(
+        by_mode["catalyst"].mean_inner_plt_ms, 1)
+
+    # homepage (cold, empty caches) costs the same in every mode
+    homepage = [r.homepage_plt_ms for r in results]
+    assert max(homepage) - min(homepage) < 0.05 * max(homepage)
+    # caching helps pages the user has never visited...
+    assert by_mode["standard"].mean_inner_plt_ms < \
+        by_mode["no-cache"].mean_inner_plt_ms
+    # ...and stapled tokens beat TTL guessing there too
+    assert by_mode["catalyst"].mean_inner_plt_ms <= \
+        by_mode["standard"].mean_inner_plt_ms

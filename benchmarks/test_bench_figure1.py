@@ -1,0 +1,62 @@
+"""Figure 1 — the worked example's three timelines.
+
+Regenerates the paper's mechanism figure: (a) cold first visit,
+(b) status-quo revisit two hours later, (c) CacheCatalyst revisit.
+The *shape* assertions encode exactly what the figure shows: which
+resources touch the network in each panel and the resulting PLT order.
+"""
+
+import pytest
+
+from repro.browser.metrics import FetchSource
+from repro.experiments.figure1 import run_figure1
+from repro.netsim.link import NetworkConditions
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return run_figure1(NetworkConditions.of(60, 40))
+
+
+def test_figure1_panels(benchmark, save_result):
+    panels = benchmark.pedantic(
+        lambda: run_figure1(NetworkConditions.of(60, 40)),
+        rounds=3, iterations=1)
+    save_result("figure1_timelines", panels.format())
+
+    benchmark.extra_info["cold_plt_ms"] = round(panels.cold.plt_ms, 1)
+    benchmark.extra_info["standard_revisit_plt_ms"] = round(
+        panels.standard_revisit.plt_ms, 1)
+    benchmark.extra_info["catalyst_revisit_plt_ms"] = round(
+        panels.catalyst_revisit.plt_ms, 1)
+
+    # (a): everything over the network
+    assert all(e.source is FetchSource.NETWORK for e in panels.cold.events)
+    # (b): a.css/c.js cached, b.js revalidated (wasted RTT), d.jpg refetched
+    b_sources = {e.url: e.source for e in panels.standard_revisit.events}
+    assert b_sources["/a.css"] is FetchSource.HTTP_CACHE
+    assert b_sources["/b.js"] is FetchSource.REVALIDATED
+    assert b_sources["/d.jpg"] is FetchSource.NETWORK
+    # (c): only index + d.jpg touch the network
+    network_c = {e.url for e in panels.catalyst_revisit.events
+                 if e.source in (FetchSource.NETWORK,
+                                 FetchSource.REVALIDATED)}
+    assert network_c == {"/index.html", "/d.jpg"}
+    # PLT order: (a) > (b) > (c)
+    assert panels.cold.plt_ms > panels.standard_revisit.plt_ms \
+        > panels.catalyst_revisit.plt_ms
+
+
+def test_figure1_rtt_accounting(benchmark, save_result):
+    """The saved round trips themselves, counted explicitly."""
+    panels = benchmark.pedantic(
+        lambda: run_figure1(NetworkConditions.of(60, 40)),
+        rounds=1, iterations=1)
+    rtts_b = panels.standard_revisit.rtts_paid
+    rtts_c = panels.catalyst_revisit.rtts_paid
+    save_result("figure1_rtts", "\n".join([
+        f"standard revisit RTTs paid: {rtts_b:g}",
+        f"catalyst revisit RTTs paid: {rtts_c:g}",
+        f"round trips eliminated:     {rtts_b - rtts_c:g}",
+    ]))
+    assert rtts_c < rtts_b

@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+Not paper figures — these keep the simulator fast enough that the real
+benches stay cheap, and catch accidental quadratic behaviour.
+"""
+
+import pytest
+
+from repro.core.etag_config import EtagConfig
+from repro.core.modes import CachingMode, build_mode
+from repro.html.css import extract_css_urls
+from repro.html.parser import extract_resources, parse_html
+from repro.http.cache_control import parse_cache_control
+from repro.http.etag import ETag
+from repro.http.headers import Headers
+from repro.netsim.link import Link, NetworkConditions, ProcessorSharingPipe
+from repro.netsim.sim import Simulator
+from repro.workload.corpus import make_corpus
+from repro.workload.sitegen import generate_site, render_html
+
+
+@pytest.fixture(scope="module")
+def site_spec():
+    return generate_site("https://micro.example", seed=3,
+                         median_resources=80)
+
+
+def test_des_page_load(benchmark, site_spec):
+    """One full cold page load through the simulator."""
+    def load():
+        setup = build_mode(CachingMode.CATALYST, site_spec)
+        sim = Simulator()
+        link = Link(sim, NetworkConditions.of(60, 40))
+        return sim.run_process(setup.session.load(
+            sim, link, setup.handler, "/index.html", mode_label="bench"))
+    result = benchmark(load)
+    assert result.plt_s > 0
+
+
+def test_html_parse_and_extract(benchmark, site_spec):
+    markup = render_html(site_spec.index, version=0)
+    refs = benchmark(lambda: extract_resources(parse_html(markup)))
+    assert refs
+
+
+def test_cache_control_parse(benchmark):
+    value = "public, max-age=3600, stale-while-revalidate=60, x-cdn=hit"
+    cc = benchmark(lambda: parse_cache_control(value))
+    assert cc.max_age == 3600
+
+
+def test_headers_roundtrip(benchmark):
+    pairs = [(f"X-Header-{i}", f"value-{i}") for i in range(30)]
+
+    def roundtrip():
+        headers = Headers(pairs)
+        return headers.get("X-Header-29"), headers.wire_size()
+    value, _ = benchmark(roundtrip)
+    assert value == "value-29"
+
+
+def test_etag_config_codec(benchmark):
+    config = EtagConfig(entries={
+        f"/assets/resource_{i:03d}.js": ETag(opaque=f"{i:016x}")
+        for i in range(150)})
+
+    def codec():
+        return EtagConfig.from_header_value(config.to_header_value())
+    parsed = benchmark(codec)
+    assert len(parsed) == 150
+
+
+def test_css_extraction(benchmark):
+    css = "\n".join(f".c{i} {{ background: url(/img/{i}.png); }}"
+                    for i in range(200))
+    urls = benchmark(lambda: extract_css_urls(css))
+    assert len(urls) == 200
+
+
+def test_processor_sharing_pipe(benchmark):
+    def run():
+        sim = Simulator()
+        pipe = ProcessorSharingPipe(sim, capacity_bps=60e6)
+        for i in range(100):
+            pipe.transfer(20_000 + i * 31)
+        sim.run()
+        return sim.now
+    elapsed = benchmark(run)
+    assert elapsed > 0
+
+
+def test_corpus_generation(benchmark):
+    corpus = benchmark.pedantic(lambda: make_corpus(size=20, seed=99),
+                                rounds=3, iterations=1)
+    assert len(corpus) == 20

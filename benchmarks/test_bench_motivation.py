@@ -1,0 +1,72 @@
+"""§2.2 motivation statistics — the numbers that justify the redesign.
+
+The corpus must independently reproduce the measurement studies the paper
+cites; if these drift, Figure 3 rests on an uncalibrated workload.
+"""
+
+from repro.experiments.motivation import measure_motivation
+from repro.workload.corpus import make_corpus
+
+
+def test_motivation_statistics(benchmark, save_result):
+    stats = benchmark.pedantic(
+        lambda: measure_motivation(make_corpus()), rounds=1, iterations=1)
+    save_result("motivation_stats", stats.format())
+
+    benchmark.extra_info["actually_cached_pct"] = round(
+        stats.effectively_cached_share * 100, 1)
+    benchmark.extra_info["short_ttl_pct"] = round(
+        stats.short_ttl_share * 100, 1)
+
+    # paper-cited bands (see experiments/motivation.py for sources)
+    assert 0.42 <= stats.effectively_cached_share <= 0.62   # ≈50 %
+    assert 0.30 <= stats.short_ttl_share <= 0.50            # 40 %
+    assert 0.75 <= stats.short_ttl_unchanged_share <= 0.95  # 86 %
+    assert 0.32 <= stats.expire_unchanged_share <= 0.55     # 47 %
+
+
+def test_corpus_shape(benchmark, save_result):
+    """Corpus composition vs the httparchive targets it was built from."""
+    from repro.workload.validation import measure_corpus_shape
+    shape = benchmark.pedantic(
+        lambda: measure_corpus_shape(make_corpus()), rounds=1,
+        iterations=1)
+    save_result("corpus_shape", shape.format())
+    assert 1.2e6 < shape.median_page_bytes < 6e6
+    assert 50 < shape.median_resource_count < 200
+    assert max(shape.request_share, key=shape.request_share.get) == "image"
+
+
+def test_redundant_transfer_traffic(benchmark, save_result):
+    """The §2.2 'significant redundant transfers' claim, measured as
+    wasted warm-visit bytes: content re-downloaded although identical."""
+    from repro.core.modes import CachingMode, build_mode
+    from repro.core.catalyst import run_visit_sequence
+    from repro.netsim.clock import DAY
+    from repro.netsim.link import NetworkConditions
+
+    corpus = make_corpus().sample(6, seed=11).frozen()
+
+    def run():
+        waste = {"standard": 0, "catalyst": 0}
+        cold_total = 0
+        for site in corpus:
+            for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+                setup = build_mode(mode, site)
+                outcomes = run_visit_sequence(
+                    setup, NetworkConditions.of(60, 40), [0.0, DAY])
+                if mode is CachingMode.STANDARD:
+                    cold_total += outcomes[0].result.bytes_down
+                # frozen content: every warm byte is by definition
+                # redundant (nothing changed except dynamic endpoints)
+                waste[mode.value] += outcomes[1].result.bytes_down
+        return cold_total, waste
+    cold_total, waste = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("redundant_transfers", "\n".join([
+        f"cold-load bytes (6 sites):          {cold_total:,}",
+        f"warm redundant bytes, standard:     {waste['standard']:,}"
+        f" ({waste['standard'] / cold_total:.1%} of cold)",
+        f"warm redundant bytes, catalyst:     {waste['catalyst']:,}"
+        f" ({waste['catalyst'] / cold_total:.1%} of cold)",
+    ]))
+    assert waste["catalyst"] < waste["standard"]

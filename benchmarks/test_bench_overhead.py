@@ -1,0 +1,146 @@
+"""CacheCatalyst's own costs: header bytes and server-side work.
+
+The paper (§6) worries about "the effect of this approach on the
+performance of web servers" and about map size.  These benches measure
+both on the corpus:
+
+- ``X-Etag-Config`` size per page, absolute and relative to the HTML,
+- the per-request CPU cost of serving with stapling vs without
+  (pytest-benchmark's actual timing, not simulation).
+"""
+
+import pytest
+
+from repro.core.etag_config import EtagConfig
+from repro.experiments.report import format_table
+from repro.http.messages import Request
+from repro.server.catalyst import CatalystServer
+from repro.server.site import OriginSite
+from repro.server.static import StaticServer
+from repro.workload.corpus import make_corpus
+
+
+@pytest.fixture(scope="module")
+def sites():
+    return [OriginSite(spec)
+            for spec in make_corpus().sample(10, seed=31)]
+
+
+def test_etag_config_size(benchmark, sites, save_result):
+    def run():
+        rows = []
+        for site in sites:
+            server = CatalystServer(site)
+            response = server.handle(Request(url="/index.html"), 0.0)
+            config = EtagConfig.from_headers(response.headers)
+            html_bytes = len(response.body)
+            rows.append((site.origin, len(config), config.header_size(),
+                         html_bytes))
+        return rows
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("etag_config_overhead", format_table(
+        ["site", "entries", "config bytes", "html bytes", "overhead"],
+        [[origin.split("//")[1], entries, f"{size:,}", f"{html:,}",
+          f"{size / html:.1%}"]
+         for origin, entries, size, html in rows]))
+    sizes = [size for _, _, size, _ in rows]
+    ratios = [size / html for _, _, size, html in rows]
+    benchmark.extra_info["mean_config_bytes"] = int(sum(sizes) / len(sizes))
+    # the map must stay a small fraction of the document it rides on
+    assert max(sizes) < 64 * 1024
+    assert sum(ratios) / len(ratios) < 0.5
+
+
+def test_server_cpu_cost_static(benchmark, sites):
+    """Baseline: plain static serving of the base HTML."""
+    server = StaticServer(sites[0])
+    request = Request(url="/index.html")
+    benchmark(lambda: server.handle(request, 0.0))
+
+
+def test_server_cpu_cost_catalyst(benchmark, sites, save_result):
+    """Stapling adds DOM traversal + ETag-map construction per HTML
+    response; the paper requires this overhead to be tolerable."""
+    server = CatalystServer(sites[0])
+    request = Request(url="/index.html")
+    result = benchmark(lambda: server.handle(request, 0.0))
+    assert result.status == 200
+    # sanity: a single stapled response is still comfortably sub-second
+    assert benchmark.stats.stats.mean < 1.0
+
+
+def test_sw_script_size(benchmark, save_result):
+    """The injected artifacts are tiny; quantify them."""
+    from repro.html.rewrite import sw_registration_script
+    from repro.server.catalyst import SERVICE_WORKER_JS
+
+    snippet = benchmark.pedantic(sw_registration_script, rounds=5,
+                                 iterations=1)
+    save_result("injection_overhead", "\n".join([
+        f"registration snippet: {len(snippet)} bytes",
+        f"service worker script: {len(SERVICE_WORKER_JS)} bytes",
+    ]))
+    assert len(snippet) < 1024
+    assert len(SERVICE_WORKER_JS) < 8 * 1024
+
+
+def test_map_digest_savings(benchmark, save_result):
+    """The digest extension: revisits whose map is unchanged cost a
+    ~20-byte header instead of kilobytes of JSON."""
+    from repro.browser.engine import BrowserConfig, BrowserSession
+    from repro.core.catalyst import run_visit_sequence
+    from repro.core.modes import CachingMode, ModeSetup
+    from repro.netsim.clock import DAY, HOUR
+    from repro.netsim.link import NetworkConditions
+    from repro.server.catalyst import CatalystConfig, CatalystServer
+    from repro.workload.sitegen import freeze_site
+
+    site_spec = freeze_site(make_corpus().sample(3, seed=61)[0])
+    conditions = NetworkConditions.of(60, 40)
+
+    def measure(use_digest: bool) -> int:
+        server = CatalystServer(
+            OriginSite(site_spec),
+            config=CatalystConfig(use_map_digest=use_digest))
+        setup = ModeSetup(
+            mode=CachingMode.CATALYST, server=server,
+            session=BrowserSession(BrowserConfig(
+                use_service_worker=True)))
+        run_visit_sequence(setup, conditions,
+                           [0.0, HOUR, 6 * HOUR, DAY])
+        return server.config_bytes_emitted
+
+    def run():
+        return measure(False), measure(True)
+    plain, digested = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("map_digest_savings", "\n".join([
+        f"config bytes over 4 visits, full maps:   {plain:,}",
+        f"config bytes over 4 visits, with digest: {digested:,}",
+        f"saved: {1 - digested / plain:.0%}",
+    ]))
+    assert digested < plain / 2
+
+
+def test_session_recorder_footprint(benchmark, save_result):
+    """§6: session recording 'potentially incurs a significant memory
+    footprint'.  Measure it for 10k sessions with capped URL lists."""
+    from repro.server.sessions import SessionRecorder
+
+    def run():
+        recorder = SessionRecorder(max_sessions=10_000,
+                                   max_urls_per_session=256)
+        for session in range(12_000):  # 2k more than the cap
+            sid = f"client-{session}"
+            recorder.begin_visit(sid)
+            for i in range(40):
+                recorder.record(sid, f"/assets/resource_{i:03d}.js")
+        return recorder
+    recorder = benchmark.pedantic(run, rounds=1, iterations=1)
+    footprint = recorder.memory_footprint_bytes()
+    save_result("session_footprint", "\n".join([
+        f"sessions retained: {recorder.session_count}",
+        f"sessions evicted:  {recorder.evicted_sessions}",
+        f"string footprint:  {footprint / 1e6:.1f} MB",
+    ]))
+    assert recorder.session_count == 10_000
+    assert footprint < 100e6

@@ -1,0 +1,33 @@
+"""Server-load bench — §6's deferred "effect on web servers", measured.
+
+Counts origin-side requests over a week-long visit schedule per mode.
+Eliminated revalidations are requests the origin never has to serve;
+the cost side is the stapling work (maps built, header bytes emitted).
+"""
+
+from repro.experiments.server_load import (format_server_load,
+                                           run_server_load)
+
+
+def test_server_load(benchmark, save_result):
+    results = benchmark.pedantic(lambda: run_server_load(sites=5),
+                                 rounds=1, iterations=1)
+    save_result("server_load", format_server_load(results))
+
+    by_mode = {r.mode: r for r in results}
+    standard = by_mode["standard"]
+    catalyst = by_mode["catalyst"]
+    benchmark.extra_info["request_reduction_pct"] = round(
+        (standard.origin_requests - catalyst.origin_requests)
+        / standard.origin_requests * 100, 1)
+
+    # catalyst serves strictly fewer origin requests than the status quo
+    assert catalyst.origin_requests < standard.origin_requests
+    # most of the saving comes from killed revalidations
+    assert catalyst.not_modified < standard.not_modified / 2
+    # the stapling work exists and is accounted
+    assert catalyst.maps_stapled > 0
+    assert catalyst.config_bytes > 0
+    # session stapling (covering JS-discovered URLs) saves even more
+    assert by_mode["catalyst-sessions"].origin_requests \
+        <= catalyst.origin_requests

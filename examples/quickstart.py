@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: measure CacheCatalyst against status-quo caching.
+
+Generates one synthetic website, loads it cold, then revisits after
+several delays under median-5G network conditions (60 Mbit/s, 40 ms RTT
+— the paper's anchor condition), comparing the proposed approach with
+standard HTTP caching.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Catalyst, NetworkConditions
+from repro.core.catalyst import run_visit_sequence
+from repro.core.modes import CachingMode, build_mode
+from repro.netsim.clock import parse_duration
+from repro.workload import generate_site
+
+CONDITIONS = NetworkConditions.of(60, 40, label="median 5G")
+DELAYS = ["1 min", "1 h", "6 h", "1 d", "1 week"]
+
+
+def main() -> None:
+    site = generate_site("https://quickstart.example", seed=7)
+    page = site.index
+    print(f"site: {site.origin}")
+    print(f"  {page.resource_count} resources, "
+          f"{page.total_bytes / 1e6:.1f} MB total\n")
+
+    print(f"network: {CONDITIONS.describe()} "
+          f"({CONDITIONS.downlink_mbps:g} Mbit/s, "
+          f"{CONDITIONS.rtt_ms:g} ms RTT)\n")
+
+    header = f"{'revisit':>8} | {'standard':>10} | {'catalyst':>10} | saving"
+    print(header)
+    print("-" * len(header))
+    for delay in DELAYS:
+        delay_s = parse_duration(delay)
+        plts = {}
+        for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+            setup = build_mode(mode, site)
+            outcomes = run_visit_sequence(setup, CONDITIONS,
+                                          [0.0, delay_s])
+            plts[mode] = outcomes[1].result.plt_ms
+        std = plts[CachingMode.STANDARD]
+        cat = plts[CachingMode.CATALYST]
+        print(f"{delay:>8} | {std:8.0f}ms | {cat:8.0f}ms | "
+              f"{(std - cat) / std:6.1%}")
+
+    # The one-object facade, for when you just want numbers:
+    catalyst = Catalyst.for_site(site)
+    comparison = catalyst.compare_with_standard(CONDITIONS, "1 d")
+    print(f"\nfacade check (1 d): {comparison}")
+
+
+if __name__ == "__main__":
+    main()

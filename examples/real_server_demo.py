@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CacheCatalyst over real sockets.
+
+Starts the Catalyst origin server on localhost (plain asyncio TCP — the
+very same server object the simulator measures), then plays the client
+side by hand so every moving part is visible:
+
+1. GET /index.html           -> 200 with X-Etag-Config + injected SW
+2. GET a stapled resource    -> 200 whose ETag matches the stapled token
+3. GET the service worker    -> the interception script itself
+4. conditional revisit       -> 304 Not-Modified *still carrying the map*
+
+The wall clock is scaled so each real second ages the site by an hour —
+the same trick as the paper's advance-the-system-clock methodology.
+
+Run:  python examples/real_server_demo.py
+"""
+
+import asyncio
+import json
+import textwrap
+
+from repro.http.aclient import AsyncHttpClient
+from repro.http.aserver import AsyncHttpServer
+from repro.http.headers import Headers
+from repro.http.messages import Request
+from repro.server.adapter import as_async_handler
+from repro.server.catalyst import CatalystServer
+from repro.server.site import OriginSite
+from repro.workload import generate_site
+
+
+async def demo() -> None:
+    site = OriginSite(generate_site("https://demo.example", seed=42,
+                                    median_resources=20),
+                      materialize_fully=True)
+    catalyst = CatalystServer(site)
+    handler = as_async_handler(catalyst, time_scale=3600.0)
+
+    async with AsyncHttpServer(handler) as server:
+        print(f"origin listening on {server.base_url} "
+              "(1 wall second = 1 simulated hour)\n")
+        async with AsyncHttpClient() as client:
+            base = server.base_url
+
+            # 1. first visit: base HTML
+            html = (await client.get(f"{base}/index.html")).response
+            config = json.loads(html.headers["X-Etag-Config"])
+            print(f"GET /index.html -> {html.status}, "
+                  f"{len(html.body):,} bytes")
+            print(f"  X-Etag-Config: {len(config)} stapled tokens, e.g.")
+            for url, tag in list(config.items())[:3]:
+                print(f"    {url} -> {tag}")
+            assert "cache-catalyst-register" in html.body.decode()
+            print("  SW registration snippet: injected ✔\n")
+
+            # 2. a stapled subresource
+            url, stapled_tag = next(iter(config.items()))
+            asset = (await client.get(base + url)).response
+            print(f"GET {url} -> {asset.status}")
+            print(f"  live ETag {asset.etag.opaque} == stapled "
+                  f"{stapled_tag}: {asset.etag.opaque == stapled_tag}\n")
+
+            # 3. the service worker script
+            sw = (await client.get(
+                f"{base}/cache-catalyst-sw.js")).response
+            first_line = sw.body.decode().strip().splitlines()[0]
+            print(f"GET /cache-catalyst-sw.js -> {sw.status}, "
+                  f"{len(sw.body)} bytes")
+            print(f"  {first_line}\n")
+
+            # 4. revisit "two hours later" (2 wall seconds)
+            await asyncio.sleep(2.1)
+            revisit = (await client.request(Request(
+                url=f"{base}/index.html",
+                headers=Headers({"If-None-Match": html.headers["ETag"]}))
+            )).response
+            print(f"revisit GET /index.html (If-None-Match) -> "
+                  f"{revisit.status}")
+            if revisit.status == 304:
+                fresh_map = json.loads(revisit.headers["X-Etag-Config"])
+                print(textwrap.fill(
+                    "  304 Not Modified, zero body bytes — and the "
+                    f"response still staples {len(fresh_map)} fresh "
+                    "tokens, so the Service Worker can answer every "
+                    "unchanged subresource without a single further "
+                    "round trip.", width=72))
+            else:
+                print("  the homepage itself changed in the simulated "
+                      "2 hours; a fresh copy (with a fresh map) arrived")
+
+
+if __name__ == "__main__":
+    asyncio.run(demo())

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Rethinking Web Caching: An Optimization for
+the Latency-Constrained Internet" (HotNets '24).
+
+The package implements CacheCatalyst — proactive delivery of resource
+validation tokens (ETags) with the base HTML so browsers reuse unchanged
+cached content with **zero revalidation round trips** — together with
+every substrate the paper's evaluation needs: an HTTP stack, RFC 9111
+caching, an HTML/CSS content model, a discrete-event network simulator, a
+headless-browser page-load model, a synthetic top-100-site corpus, and
+the baselines it is compared against (status-quo caching, no-cache,
+HTTP/2 server push, remote dependency resolution).
+
+Quick start::
+
+    from repro import Catalyst, NetworkConditions
+    from repro.workload import generate_site
+
+    site = generate_site("https://example.test", seed=1)
+    catalyst = Catalyst.for_site(site)
+    outcomes = catalyst.visit_sequence(
+        NetworkConditions.of(60, 40), delays=["1h"])
+    print(outcomes[-1].plt_ms)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .browser import BrowserConfig, BrowserSession, PageLoadResult
+from .core import (Catalyst, CachingMode, EtagConfig, build_mode,
+                   estimate_plt, estimate_reduction, run_visit_sequence)
+from .netsim import NetworkConditions, Simulator
+from .server import CatalystConfig, CatalystServer, OriginSite, StaticServer
+from .workload import Corpus, generate_site, make_corpus
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Catalyst", "CachingMode", "EtagConfig", "build_mode",
+    "run_visit_sequence", "estimate_plt", "estimate_reduction",
+    "BrowserSession", "BrowserConfig", "PageLoadResult",
+    "NetworkConditions", "Simulator",
+    "OriginSite", "StaticServer", "CatalystServer", "CatalystConfig",
+    "Corpus", "make_corpus", "generate_site",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Comparison systems from the paper's related-work section.
+
+The simple modes (no-cache, status-quo caching, server push) are built by
+:func:`repro.core.modes.build_mode`; this package holds the baselines
+that need machinery of their own:
+
+- :class:`RdrProxy` — remote dependency resolution (Parcel/WatchTower style)
+- :class:`ExtremeCacheProxy` — TTL-estimating header rewriter (Raza et al.)
+"""
+
+from .extreme_cache import ExtremeCacheProxy
+from .rdr import DEFAULT_PROXY_CONDITIONS, RdrProxy
+
+__all__ = ["RdrProxy", "DEFAULT_PROXY_CONDITIONS", "ExtremeCacheProxy"]

@@ -1,0 +1,104 @@
+"""Remote Dependency Resolution (RDR) baseline (paper §5).
+
+An RDR proxy (Parcel, Nutshell, WatchTower...) runs a headless browser on
+a cloud node with a low-latency path to origins.  It resolves the page's
+dependency graph there — paying only datacenter RTTs — and ships the
+whole bundle to the client in one transfer.
+
+We model it faithfully by *reusing the real page loader* at the proxy:
+the proxy-side load runs over a proxy->origin link (milliseconds of RTT),
+then the collected bytes cross the client's access link in bulk, then the
+client pays its local parse+execute costs.
+
+What the model deliberately exposes (the paper's criticisms):
+
+- the client's cache is useless — the proxy bundles everything, every
+  visit, so revisit PLT barely improves (``rdr_load`` takes no client
+  state), and
+- the bulk transfer moves *all* bytes even when 95 % of them are already
+  on the device.
+
+(The TLS man-in-the-middle objection is architectural and does not show
+up in PLT; see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..browser.engine import BrowserConfig, BrowserSession
+from ..browser.metrics import FetchEvent, FetchSource, PageLoadResult
+from ..html.parser import ResourceKind
+from ..netsim.link import Link, NetworkConditions
+from ..netsim.sim import Simulator
+from ..server.site import OriginSite
+from ..server.static import StaticServer
+
+__all__ = ["RdrProxy", "DEFAULT_PROXY_CONDITIONS"]
+
+#: Cloud-to-origin path: generous bandwidth, ~4 ms RTT.
+DEFAULT_PROXY_CONDITIONS = NetworkConditions.of(1000, 4, label="dc-path")
+
+
+@dataclass
+class RdrProxy:
+    """A remote-dependency-resolution proxy for one origin."""
+
+    site: OriginSite
+    proxy_conditions: NetworkConditions = DEFAULT_PROXY_CONDITIONS
+    #: the proxy's own browser cost model (beefy cloud hardware)
+    proxy_config: BrowserConfig = field(default_factory=lambda:
+                                        BrowserConfig(
+                                            use_http_cache=False,
+                                            html_server_think_s=0.020))
+
+    def load(self, sim: Simulator, client_link: Link, page_url: str,
+             client_config: BrowserConfig = BrowserConfig()):
+        """DES process: one RDR-proxied page load; returns PageLoadResult.
+
+        Timeline: client request travels to the proxy (one client RTT +
+        connection setup), the proxy resolves and fetches the entire page
+        against the origin, the bundle streams down the client link, and
+        the client parses/executes locally.
+        """
+        start = sim.now
+        server = StaticServer(self.site)
+
+        # 1. Client -> proxy: connection setup + the request's half RTT.
+        setup_rtts = client_config.connection_policy.setup_rtts
+        if setup_rtts:
+            yield sim.timeout(client_link.conditions.rtt_s * setup_rtts)
+        yield from client_link.send_upstream(
+            client_config.connection_policy.request_bytes)
+
+        # 2. Proxy-side dependency resolution with the real loader.
+        proxy_link = Link(sim, self.proxy_conditions)
+        proxy_session = BrowserSession(self.proxy_config)
+        proxy_result = yield from proxy_session.load(
+            sim, proxy_link, server.handle, page_url, mode_label="rdr-proxy")
+
+        # 3. Bulk transfer of the bundle to the client.
+        bundle_bytes = sum(event.bytes_down for event in proxy_result.events)
+        yield from client_link.send_downstream(bundle_bytes)
+
+        # 4. Client-side parse and script execution still happen locally.
+        html_events = [event for event in proxy_result.events
+                       if event.kind is ResourceKind.DOCUMENT]
+        html_bytes = html_events[0].bytes_down if html_events else 30_000
+        yield sim.timeout(client_config.parse_time(html_bytes))
+        exec_s = sum(
+            client_config.script_model.execution_time(event.bytes_down)
+            for event in proxy_result.events
+            if event.kind is ResourceKind.SCRIPT)
+        if exec_s:
+            yield sim.timeout(exec_s)
+
+        end = sim.now
+        events = [FetchEvent(
+            url=page_url, kind=ResourceKind.DOCUMENT,
+            source=FetchSource.NETWORK, start_s=start, end_s=end,
+            bytes_down=bundle_bytes,
+            rtts_paid=1.0 + setup_rtts, blocking=True)]
+        return PageLoadResult(url=page_url, mode="rdr", start_s=start,
+                              onload_s=end, events=events,
+                              first_render_s=end)

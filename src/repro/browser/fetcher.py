@@ -1,0 +1,207 @@
+"""The browser's network stack over the simulated link.
+
+A :class:`NetworkClient` owns the per-origin connection pool (browsers cap
+parallel connections per origin — 6 in every major engine) and turns a
+request into a DES process: acquire a slot, reuse or set up a connection,
+pay the RTT and transfer time, hand the request to the origin's handler,
+and return its response.
+
+The origin handler is a plain callable ``handler(request, at_time) ->
+Response`` — the same objects :mod:`repro.server` exposes — so the whole
+HTTP exchange happens in-process with zero serialization while the *time*
+it would take on the modelled network elapses on the simulator clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..http.messages import Request, Response
+from ..netsim.link import Link
+from ..netsim.sim import Resource, Simulator
+from ..netsim.tcp import Connection, ConnectionPolicy, slow_start_extra_rtts
+
+__all__ = ["NetworkClient", "OriginHandler", "ExchangeRecord",
+           "CONNECTIONS_PER_ORIGIN", "OriginUnreachable"]
+
+CONNECTIONS_PER_ORIGIN = 6
+
+
+class OriginUnreachable(Exception):
+    """The origin cannot be reached (offline mode, outage).
+
+    Raised by origin handlers to model unreachability; the page loader
+    lets the Service Worker answer from cache where it can (paper §3's
+    offline capability).
+    """
+
+OriginHandler = Callable[[Request, float], Response]
+
+
+@dataclass
+class ExchangeRecord:
+    """Timing and accounting for one network exchange."""
+
+    url: str
+    start_s: float
+    end_s: float
+    status: int
+    response_bytes: int
+    new_connection: bool
+    queued_s: float = 0.0
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+#: HTTP/2 default SETTINGS_MAX_CONCURRENT_STREAMS in common servers
+H2_MAX_STREAMS = 100
+
+
+@dataclass
+class NetworkClient:
+    """Connection-pooled access to one origin over one access link.
+
+    Two transport flavours:
+
+    - HTTP/1.1 (default): up to ``connections_per_origin`` parallel
+      connections, each carrying one request at a time, each paying its
+      own TCP/TLS setup.
+    - HTTP/2 (``multiplexed=True``): one connection, one handshake, up to
+      ``max_streams`` concurrent request streams.  Bytes still share the
+      access link either way — multiplexing removes per-connection
+      queueing and repeated handshakes, not bandwidth.
+    """
+
+    sim: Simulator
+    link: Link
+    handler: OriginHandler
+    policy: ConnectionPolicy = field(default_factory=ConnectionPolicy)
+    connections_per_origin: int = CONNECTIONS_PER_ORIGIN
+    #: server processing delay before the response leaves the origin
+    server_think_s: float = 0.005
+    #: HTTP/2-style multiplexing over a single connection
+    multiplexed: bool = False
+    max_streams: int = H2_MAX_STREAMS
+
+    def __post_init__(self) -> None:
+        capacity = self.max_streams if self.multiplexed \
+            else self.connections_per_origin
+        self._slots = Resource(self.sim, capacity)
+        self._idle: list[Connection] = []
+        self._h2_connection: Connection | None = None
+        self._h2_ready: "Event | None" = None
+        self.exchanges: list[ExchangeRecord] = []
+        self.connections_opened = 0
+
+    # -- the fetch process -----------------------------------------------------
+    def exchange(self, request: Request,
+                 think_s: Optional[float] = None):
+        """DES process: perform one HTTP exchange, return the Response.
+
+        Usage inside another process::
+
+            response = yield from client.exchange(request)
+        """
+        queue_start = self.sim.now
+        grant = self._slots.request()
+        yield grant
+        try:
+            start = self.sim.now
+            queued = start - queue_start
+            connection, is_new = self._checkout()
+            # The response size is unknown until the handler runs, so the
+            # exchange is phased: handshake, upstream + server think, run
+            # the handler at arrival time, then downstream sized by the
+            # actual response.
+            if not connection.established:
+                yield from self._establish(connection)
+            req_extra = max(0, request.wire_size()
+                            - self.policy.request_bytes)
+            yield from self.link.send_upstream(
+                self.policy.request_bytes + req_extra)
+            think = self.server_think_s if think_s is None else think_s
+            if think > 0:
+                yield self.sim.timeout(think)
+            response = self.handler(request, self.sim.now)
+            body_bytes = response.transfer_size
+            header_bytes = self.policy.response_header_bytes + max(
+                0, response.headers.wire_size()
+                - self.policy.response_header_bytes)
+            if self.policy.slow_start and body_bytes > 0:
+                extra = slow_start_extra_rtts(body_bytes, self.policy)
+                if extra > 0:
+                    yield self.sim.timeout(
+                        self.link.conditions.rtt_s * extra)
+            yield from self.link.send_downstream(header_bytes + body_bytes)
+            connection.requests_served += 1
+            self._checkin(connection)
+            self.exchanges.append(ExchangeRecord(
+                url=request.url, start_s=start, end_s=self.sim.now,
+                status=response.status,
+                response_bytes=header_bytes + body_bytes,
+                new_connection=is_new, queued_s=queued))
+            return response
+        finally:
+            self._slots.release()
+
+    def warm_up(self, count: int):
+        """Process: pre-establish ``count`` idle connections (preconnect).
+
+        Browsers speculatively open connections they expect to need;
+        modelling it lets late JS-triggered fetches skip handshakes.
+        No-op under HTTP/2 (one connection covers everything).
+        """
+        if self.multiplexed:
+            return
+        fresh = []
+        for _ in range(count):
+            self.connections_opened += 1
+            fresh.append(Connection(sim=self.sim, link=self.link,
+                                    policy=self.policy))
+        for connection in fresh:
+            yield from connection.setup()
+            self._idle.append(connection)
+
+    # -- connection pool -----------------------------------------------------
+    def _checkout(self) -> tuple[Connection, bool]:
+        if self.multiplexed:
+            if self._h2_connection is None:
+                self.connections_opened += 1
+                self._h2_connection = Connection(
+                    sim=self.sim, link=self.link, policy=self.policy)
+                return self._h2_connection, True
+            return self._h2_connection, False
+        if self._idle:
+            return self._idle.pop(), False
+        self.connections_opened += 1
+        return Connection(sim=self.sim, link=self.link,
+                          policy=self.policy), True
+
+    def _establish(self, connection: Connection):
+        """Process: handshake once; concurrent h2 streams wait, not race."""
+        if not self.multiplexed:
+            yield from connection.setup()
+            return
+        if self._h2_ready is None:
+            self._h2_ready = self.sim.event()
+            yield from connection.setup()
+            self._h2_ready.succeed()
+        elif not self._h2_ready.triggered:
+            yield self._h2_ready
+        # else: handshake already done
+
+    def _checkin(self, connection: Connection) -> None:
+        if not self.multiplexed:
+            self._idle.append(connection)
+
+    # -- accounting -------------------------------------------------------------
+    @property
+    def bytes_downloaded(self) -> int:
+        return sum(record.response_bytes for record in self.exchanges)
+
+    @property
+    def request_count(self) -> int:
+        return len(self.exchanges)

@@ -1,0 +1,195 @@
+"""A real (wall-clock) headless page loader over asyncio sockets.
+
+The discrete-event engine predicts PLT; this loader *measures* it: same
+parse/discovery/caching logic, but every fetch is a real HTTP/1.1
+exchange through :class:`~repro.http.aclient.AsyncHttpClient` against a
+live origin, and the clock is the operating system's.
+
+It exists for validation — the integration tests drive the identical
+CatalystServer through both paths and check that the real measurements
+reproduce the simulator's *orderings* (catalyst beats standard on warm
+visits, etc.) — and as the measurement tool for anyone pointing this
+package at their own localhost origin.
+
+Scope notes: same-origin only (like the paper's clones), Service-Worker
+behaviour host-emulated exactly as in the DES engine, JS execution
+modeled by directive scanning (no JS engine in the loop).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..html.css import extract_css_refs
+from ..html.parser import (ResourceKind, ResourceRef, extract_resources,
+                           parse_html)
+from ..html.rewrite import has_sw_registration
+from ..http.aclient import AsyncHttpClient
+from ..http.messages import Request, Response
+from .cache_layer import BrowserCache
+from .js import extract_js_fetches, kind_from_url
+from .metrics import FetchEvent, FetchSource, PageLoadResult
+from .sw_host import ServiceWorkerHost
+
+__all__ = ["RealBrowserSession", "RealLoaderConfig"]
+
+
+@dataclass(frozen=True)
+class RealLoaderConfig:
+    """Feature switches for the wall-clock loader."""
+
+    use_http_cache: bool = True
+    use_service_worker: bool = False
+    connections_per_origin: int = 6
+    request_timeout_s: float = 30.0
+
+
+@dataclass
+class RealBrowserSession:
+    """Client state persisting across real visits to one origin."""
+
+    config: RealLoaderConfig = field(default_factory=RealLoaderConfig)
+
+    def __post_init__(self) -> None:
+        self.http_cache = BrowserCache()
+        self.sw = ServiceWorkerHost()
+
+    async def load(self, base_url: str, page_path: str = "/index.html",
+                   mode_label: str = "real") -> PageLoadResult:
+        """Fetch and 'render' one page; returns a wall-clock timeline."""
+        loader = _RealPageLoad(session=self, base_url=base_url,
+                               mode_label=mode_label)
+        async with AsyncHttpClient(
+                connections_per_origin=self.config.connections_per_origin,
+                timeout_s=self.config.request_timeout_s) as client:
+            return await loader.run(client, page_path)
+
+
+class _RealPageLoad:
+    def __init__(self, session: RealBrowserSession, base_url: str,
+                 mode_label: str):
+        self.session = session
+        self.config = session.config
+        self.base_url = base_url.rstrip("/")
+        self.mode_label = mode_label
+        self.events: list[FetchEvent] = []
+        self._t0 = 0.0
+        self._in_flight: dict[str, asyncio.Task] = {}
+        self._blocking_done = 0.0
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
+
+    async def run(self, client: AsyncHttpClient,
+                  page_path: str) -> PageLoadResult:
+        self._t0 = time.monotonic()
+        html = await self._acquire(client, ResourceRef(
+            url=page_path, kind=ResourceKind.DOCUMENT, blocking=True,
+            discovered_by=""), is_document=True)
+        markup = html.body.decode(errors="replace")
+        if self.config.use_service_worker:
+            self.session.sw.observe_registration(
+                has_sw_registration(markup))
+        refs = extract_resources(parse_html(markup), base_url="")
+        await asyncio.gather(*[self._fetch_tree(client, ref)
+                               for ref in refs])
+        onload = self._now()
+        return PageLoadResult(
+            url=page_path, mode=self.mode_label, start_s=0.0,
+            onload_s=onload, events=self.events,
+            first_render_s=self._blocking_done or onload)
+
+    async def _fetch_tree(self, client: AsyncHttpClient,
+                          ref: ResourceRef) -> None:
+        response = await self._acquire_dedup(client, ref)
+        if response is None or response.status != 200:
+            return
+        if ref.blocking:
+            self._blocking_done = max(self._blocking_done, self._now())
+        children: list[ResourceRef] = []
+        if ref.kind is ResourceKind.STYLESHEET:
+            body = response.body.decode(errors="replace")
+            for css_ref in extract_css_refs(body):
+                kind = (ResourceKind.STYLESHEET
+                        if css_ref.kind == "import"
+                        else ResourceKind.FONT if css_ref.kind == "font"
+                        else ResourceKind.IMAGE)
+                children.append(ResourceRef(url=css_ref.url, kind=kind,
+                                            blocking=False,
+                                            discovered_by=ref.url))
+        elif ref.kind is ResourceKind.SCRIPT:
+            body = response.body.decode(errors="replace")
+            children = [ResourceRef(url=url, kind=kind_from_url(url),
+                                    blocking=False, discovered_by=ref.url)
+                        for url in extract_js_fetches(body)]
+        if children:
+            await asyncio.gather(*[self._fetch_tree(client, child)
+                                   for child in children])
+
+    async def _acquire_dedup(self, client: AsyncHttpClient,
+                             ref: ResourceRef) -> Optional[Response]:
+        existing = self._in_flight.get(ref.url)
+        if existing is not None:
+            return await asyncio.shield(existing)
+        task = asyncio.ensure_future(self._acquire(client, ref))
+        self._in_flight[ref.url] = task
+        return await task
+
+    async def _acquire(self, client: AsyncHttpClient, ref: ResourceRef,
+                       is_document: bool = False) -> Response:
+        start = self._now()
+        path_request = Request(method="GET", url=ref.url)
+
+        if self.config.use_service_worker and not is_document:
+            hit = self.session.sw.intercept(path_request, self._now())
+            if hit is not None:
+                self._record(ref, start, hit, FetchSource.SW_CACHE, 0)
+                return hit
+
+        plan = None
+        outgoing = path_request
+        if self.config.use_http_cache:
+            plan = self.session.http_cache.plan(path_request, self._now())
+            if plan.is_local_hit:
+                response = plan.local_response
+                self._record(ref, start, response,
+                             FetchSource.HTTP_CACHE, 0)
+                if self.config.use_service_worker:
+                    self.session.sw.on_response(path_request, response,
+                                                self._now())
+                return response
+            outgoing = plan.outgoing
+
+        wire_request = outgoing.copy()
+        wire_request.url = self.base_url + ref.url
+        request_time = self._now()
+        result = await client.request(wire_request)
+        response = result.response
+        response_time = self._now()
+
+        usable = response
+        if plan is not None:
+            usable = self.session.http_cache.absorb(
+                plan, path_request, response, request_time, response_time)
+        if self.config.use_service_worker:
+            self.session.sw.on_response(path_request, usable, self._now())
+        source = (FetchSource.REVALIDATED if response.is_not_modified
+                  else FetchSource.NETWORK)
+        self._record(ref, start, usable, source,
+                     len(response.body) + response.headers.wire_size(),
+                     status=response.status)
+        return usable
+
+    def _record(self, ref: ResourceRef, start: float, response: Response,
+                source: FetchSource, bytes_down: int,
+                status: int = 200) -> None:
+        etag = response.etag
+        self.events.append(FetchEvent(
+            url=ref.url, kind=ref.kind, source=source, start_s=start,
+            end_s=self._now(), status=status, bytes_down=bytes_down,
+            blocking=ref.blocking,
+            discovered_via=ref.discovered_by or "html",
+            served_etag=etag.opaque if etag else ""))

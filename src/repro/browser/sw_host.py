@@ -1,0 +1,127 @@
+"""Client-side Service Worker host — CacheCatalyst's browser half.
+
+Models what :data:`repro.server.catalyst.SERVICE_WORKER_JS` does inside a
+real browser (Figure 2 of the paper): a per-origin proxy between the page
+and the network that
+
+- learns the current ``X-Etag-Config`` map from each base-HTML response,
+- intercepts subresource requests and serves them from its cache when the
+  stored ETag weak-matches the stapled one (zero network), and
+- stores every non-``no-store`` response it forwards.
+
+Registration life cycle is modelled too: the SW only intercepts from the
+moment its registration (injected on the first visit) has activated, just
+like the real API.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..cache.service_worker import ServiceWorkerCache
+from ..core.etag_config import ETAG_CONFIG_SAME_HEADER, EtagConfig
+from ..http.messages import Request, Response
+
+__all__ = ["ServiceWorkerHost"]
+
+
+class ServiceWorkerHost:
+    """One origin's cache Service Worker state inside the browser."""
+
+    def __init__(self, max_bytes: float = math.inf):
+        self.cache = ServiceWorkerCache(max_bytes=max_bytes)
+        #: the most recent stapled map; None before any catalyst response
+        self.etag_config: Optional[EtagConfig] = None
+        #: True once the injected registration has installed+activated
+        self.registered = False
+        self.intercepted_hits = 0
+        self.forwarded = 0
+        #: times the server confirmed the held map is still current
+        self.map_reuse_confirmations = 0
+
+    # -- registration ------------------------------------------------------------
+    def observe_registration(self, markup_has_snippet: bool) -> None:
+        """Called after an HTML response; activates the SW if injected.
+
+        Our SW calls ``clients.claim()``, so it starts controlling the
+        page that registered it as soon as it activates — during the first
+        visit, exactly as the paper's deployment intends.
+        """
+        if markup_has_snippet:
+            self.registered = True
+
+    # -- the fetch interception path ----------------------------------------------
+    def intercept(self, request: Request, now: float) -> Optional[Response]:
+        """Cache-or-None for a subresource request (zero-RTT path)."""
+        if not self.registered or self.etag_config is None:
+            return None
+        if request.method != "GET":
+            return None
+        expected = self.etag_config.etag_for(request.path)
+        if expected is None:
+            return None
+        response = self.cache.match(request, expected, now)
+        if response is not None:
+            self.intercepted_hits += 1
+        return response
+
+    def config_digest(self) -> Optional[str]:
+        """Digest of the currently-held map (for the request header)."""
+        if self.etag_config is None:
+            return None
+        return self.etag_config.digest()
+
+    def on_response(self, request: Request, response: Response,
+                    now: float) -> None:
+        """Learn from a response that went over the network."""
+        self.forwarded += 1
+        same = response.headers.get(ETAG_CONFIG_SAME_HEADER)
+        if same is not None and self.etag_config is not None \
+                and same == self.etag_config.digest():
+            self.map_reuse_confirmations += 1
+        else:
+            config = EtagConfig.from_headers(response.headers)
+            if config is not None:
+                if self.etag_config is None:
+                    self.etag_config = config
+                else:
+                    # Base-HTML maps replace; per-CSS maps extend.  Either
+                    # way newer entries win.
+                    self.etag_config = self.etag_config.merged_with(config)
+        if self.registered and response.status == 200:
+            self.cache.put(request, response, now)
+
+    def offline_fallback(self, request: Request,
+                         now: float) -> Optional[Response]:
+        """Best-effort cached response when the origin is unreachable.
+
+        The paper (§3) notes a Service Worker "can ... respond to
+        requests on its own ... when the origin server is not accessible
+        (for example, in offline mode)".  Freshness is unknowable without
+        the origin, so any cached body is served as-is, marked with
+        ``Warning: 111`` (revalidation failed) per RFC 9111 §5.5.
+        """
+        if not self.registered or request.method != "GET":
+            return None
+        entry = self.cache.peek(request.path)
+        if entry is None:
+            return None
+        response = entry.response.copy()
+        response.headers.set("Warning", '111 - "Revalidation Failed"')
+        return response
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def knows(self) -> int:
+        """Number of URLs with stapled tokens currently held."""
+        return 0 if self.etag_config is None else len(self.etag_config)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "intercepted_hits": self.intercepted_hits,
+            "forwarded": self.forwarded,
+            "etag_hits": self.cache.etag_hits,
+            "etag_misses": self.cache.etag_misses,
+            "entries": self.cache.entry_count,
+        }

@@ -1,0 +1,132 @@
+"""Exporting page-load results as HAR-style traces.
+
+A :class:`~repro.browser.metrics.PageLoadResult` is this package's
+native timeline; downstream tooling (waterfall viewers, notebooks,
+diffing scripts) usually wants the HTTP Archive (HAR 1.2) shape instead.
+This module converts losslessly enough for analysis: entries carry start
+time, duration, status, transfer size, and — in ``_cacheSource`` — which
+layer satisfied the fetch (network / revalidated / http-cache /
+sw-cache / pushed), which is the dimension this whole reproduction is
+about.
+
+Also includes a plain-text waterfall renderer for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..server.site import WALL_EPOCH
+from .metrics import FetchEvent, PageLoadResult
+
+__all__ = ["to_har", "to_har_json", "render_waterfall"]
+
+_HAR_VERSION = "1.2"
+_CREATOR = {"name": "repro-cachecatalyst", "version": "0.1.0"}
+
+
+def _iso8601(sim_seconds: float) -> str:
+    """Simulated seconds -> ISO-8601 wall time (anchored at WALL_EPOCH).
+
+    Always emits microseconds so the strings sort chronologically
+    (variable-precision ISO strings do not).
+    """
+    import datetime
+    moment = datetime.datetime.fromtimestamp(
+        WALL_EPOCH + sim_seconds, tz=datetime.timezone.utc)
+    return moment.strftime("%Y-%m-%dT%H:%M:%S.%f") + "Z"
+
+
+def _entry(event: FetchEvent, page_ref: str) -> dict:
+    elapsed_ms = event.elapsed_s * 1000.0
+    return {
+        "pageref": page_ref,
+        "startedDateTime": _iso8601(event.start_s),
+        "time": elapsed_ms,
+        "request": {
+            "method": "GET",
+            "url": event.url,
+            "httpVersion": "HTTP/1.1",
+            "headers": [], "queryString": [], "cookies": [],
+            "headersSize": -1, "bodySize": 0,
+        },
+        "response": {
+            "status": event.status,
+            "statusText": "",
+            "httpVersion": "HTTP/1.1",
+            "headers": [], "cookies": [],
+            "content": {"size": event.bytes_down,
+                        "mimeType": ""},
+            "redirectURL": "",
+            "headersSize": -1,
+            "bodySize": event.bytes_down,
+        },
+        "cache": {},
+        "timings": {"send": 0, "wait": elapsed_ms, "receive": 0},
+        "_cacheSource": event.source.value,
+        "_resourceKind": event.kind.value,
+        "_blocking": event.blocking,
+        "_rttsPaid": event.rtts_paid,
+        "_discoveredVia": event.discovered_via,
+    }
+
+
+def to_har(result: PageLoadResult) -> dict:
+    """Convert one page load to a HAR 1.2 dict.
+
+    >>> from repro.browser.metrics import PageLoadResult
+    >>> har = to_har(PageLoadResult(url="/", mode="m", start_s=0,
+    ...                             onload_s=1.0))
+    >>> har["log"]["version"]
+    '1.2'
+    """
+    page_ref = f"{result.mode}:{result.url}"
+    page = {
+        "startedDateTime": _iso8601(result.start_s),
+        "id": page_ref,
+        "title": result.url,
+        "pageTimings": {
+            "onContentLoad": (None if result.first_render_s is None
+                              else (result.first_render_s
+                                    - result.start_s) * 1000.0),
+            "onLoad": result.plt_ms,
+        },
+    }
+    return {
+        "log": {
+            "version": _HAR_VERSION,
+            "creator": dict(_CREATOR),
+            "pages": [page],
+            "entries": [_entry(event, page_ref)
+                        for event in result.timeline()],
+        }
+    }
+
+
+def to_har_json(result: PageLoadResult, indent: Optional[int] = 2) -> str:
+    """The HAR as a JSON string (ready to drop into a HAR viewer)."""
+    return json.dumps(to_har(result), indent=indent)
+
+
+def render_waterfall(result: PageLoadResult, width: int = 64) -> str:
+    """An ASCII waterfall of the load (for terminals and test output).
+
+    Each row: offset bar spanning [start, end) on a shared time axis,
+    then source and URL.
+    """
+    events = result.timeline()
+    if not events:
+        return f"{result.mode}: (no events)"
+    t0 = result.start_s
+    span = max(result.onload_s - t0, 1e-9)
+    lines = [f"{result.mode}: {result.url}  "
+             f"PLT={result.plt_ms:.1f}ms  "
+             f"({len(events)} fetches, {result.bytes_down:,} bytes)"]
+    for event in events:
+        begin = int((event.start_s - t0) / span * width)
+        end = max(begin + 1, int((event.end_s - t0) / span * width))
+        bar = " " * begin + "#" * (end - begin)
+        bar = bar.ljust(width)
+        lines.append(f"|{bar}| {event.source.value:<11} {event.url}")
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Client-side caching substrate.
+
+- :mod:`policy` — RFC 9111 decision logic (freshness, age, revalidation)
+- :class:`CacheStore` — LRU store with Vary support
+- :class:`CacheEntry` — stored response + metadata
+- :class:`ServiceWorkerCache` — the ETag-indexed CacheCatalyst cache
+"""
+
+from .entry import CacheEntry
+from .policy import (Decision, Disposition, current_age, evaluate,
+                     freshness_lifetime, may_store)
+from .service_worker import ServiceWorkerCache
+from .store import CacheStore
+
+__all__ = [
+    "CacheEntry", "CacheStore", "ServiceWorkerCache",
+    "Decision", "Disposition",
+    "may_store", "freshness_lifetime", "current_age", "evaluate",
+]

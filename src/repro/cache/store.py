@@ -1,0 +1,141 @@
+"""LRU cache store with Vary support and byte budgeting.
+
+The store is deliberately transport-agnostic: both the browser HTTP cache
+and the Service-Worker cache wrap it.  Keys are request URLs; a ``Vary``
+response splits the slot into variants keyed by the named request headers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from ..http.messages import Request, Response
+from .entry import CacheEntry
+from .policy import may_store
+
+__all__ = ["CacheStore"]
+
+
+def _variant_key(vary: str, request: Request) -> tuple[tuple[str, str], ...]:
+    """Secondary key from the request headers a response varies on."""
+    names = sorted({name.strip().lower()
+                    for name in vary.split(",") if name.strip()})
+    return tuple((name, request.headers.get(name, "") or "")
+                 for name in names)
+
+
+class CacheStore:
+    """URL-keyed response store with LRU eviction.
+
+    ``max_bytes`` bounds the sum of entry footprints (``math.inf`` for
+    unbounded, the default — browser disk caches are effectively unbounded
+    at the scale of one page's resources).
+    """
+
+    def __init__(self, max_bytes: float = math.inf):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = max_bytes
+        # url -> variant_key -> entry; OrderedDict for LRU over urls+variant
+        self._entries: OrderedDict[tuple[str, tuple], CacheEntry] = \
+            OrderedDict()
+        self._bytes = 0
+        # statistics
+        self.stores = 0
+        self.evictions = 0
+        self.lookups = 0
+        self.hits = 0
+
+    # -- primary operations ---------------------------------------------------
+    def store(self, request: Request, response: Response,
+              request_time: float, response_time: float) -> Optional[CacheEntry]:
+        """Store the exchange if policy allows; returns the entry or None."""
+        if not may_store(request, response):
+            return None
+        vary = response.headers.get("Vary", "")
+        key = (request.url, _variant_key(vary, request))
+        vary_values = dict(_variant_key(vary, request)) if vary else {}
+        entry = CacheEntry(url=request.url, response=response.copy(),
+                           request_time=request_time,
+                           response_time=response_time,
+                           vary_values=vary_values)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.size_bytes
+        self._entries[key] = entry
+        self._bytes += entry.size_bytes
+        self.stores += 1
+        self._evict_if_needed()
+        return entry
+
+    def lookup(self, request: Request, now: float) -> Optional[CacheEntry]:
+        """Find the stored variant matching ``request`` (no freshness check)."""
+        self.lookups += 1
+        for key in self._keys_for_url(request.url):
+            entry = self._entries[key]
+            if self._variant_matches(entry, request):
+                entry.last_used = now
+                entry.hits += 1
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+        return None
+
+    def invalidate(self, url: str) -> int:
+        """Drop every variant stored for ``url``; returns count removed."""
+        removed = 0
+        for key in list(self._keys_for_url(url)):
+            entry = self._entries.pop(key)
+            self._bytes -= entry.size_bytes
+            removed += 1
+        return removed
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def byte_size(self) -> int:
+        return self._bytes
+
+    def urls(self) -> Iterator[str]:
+        seen = set()
+        for url, _ in self._entries:
+            if url not in seen:
+                seen.add(url)
+                yield url
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(list(self._entries.values()))
+
+    def __contains__(self, url: str) -> bool:
+        return any(True for _ in self._keys_for_url(url))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- internals ----------------------------------------------------------------
+    def _keys_for_url(self, url: str) -> Iterator[tuple[str, tuple]]:
+        for key in self._entries:
+            if key[0] == url:
+                yield key
+
+    @staticmethod
+    def _variant_matches(entry: CacheEntry, request: Request) -> bool:
+        for name, stored_value in entry.vary_values.items():
+            if (request.headers.get(name, "") or "") != stored_value:
+                return False
+        return True
+
+    def _evict_if_needed(self) -> None:
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, entry = self._entries.popitem(last=False)
+            self._bytes -= entry.size_bytes
+            self.evictions += 1

@@ -1,0 +1,234 @@
+"""Command-line interface for the reproduction.
+
+Thin wrappers over the experiment APIs so results are reachable without
+writing Python::
+
+    python -m repro figure1
+    python -m repro figure3 --sites 6 --throughputs 8,60 --latencies 10,40
+    python -m repro motivation
+    python -m repro crosspage
+    python -m repro visit --seed 7 --delay 1d --mbps 60 --rtt 40
+    python -m repro serve --port 8080 --time-scale 3600
+
+Every command prints to stdout; ``figure3`` accepts the same knobs as
+:func:`repro.experiments.figure3.run_figure3`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _float_list(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number list: {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CacheCatalyst reproduction (HotNets '24)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figure1", help="the worked example's three timelines")
+
+    fig3 = sub.add_parser("figure3", help="the PLT-reduction grid")
+    fig3.add_argument("--sites", type=int, default=6,
+                      help="corpus subsample size (default 6)")
+    fig3.add_argument("--throughputs", type=_float_list,
+                      default=(8.0, 60.0), help="Mbit/s list, e.g. 8,30,60")
+    fig3.add_argument("--latencies", type=_float_list,
+                      default=(10.0, 40.0, 100.0),
+                      help="RTT ms list, e.g. 10,40,100")
+    fig3.add_argument("--delays", default="1min,6h,1w",
+                      help="revisit delays, e.g. 1min,6h,1w")
+    fig3.add_argument("--churn", action="store_true",
+                      help="realistic content churn instead of clones")
+    fig3.add_argument("--parallel", action="store_true",
+                      help="fan out over a process pool")
+
+    sub.add_parser("motivation", help="the §2.2 workload statistics")
+    sub.add_parser("crosspage", help="first visits to inner pages")
+    sub.add_parser("serverload",
+                   help="origin request volume per mode (§6)")
+    sub.add_parser("userweighted",
+                   help="population-weighted revisit benefit")
+
+    visit = sub.add_parser("visit", help="one cold+warm pair, all modes")
+    visit.add_argument("--seed", type=int, default=7)
+    visit.add_argument("--delay", default="1d")
+    visit.add_argument("--mbps", type=float, default=60.0)
+    visit.add_argument("--rtt", type=float, default=40.0)
+    visit.add_argument("--waterfall", action="store_true",
+                       help="print the warm catalyst waterfall")
+
+    report = sub.add_parser("report",
+                            help="bundle benchmark artifacts into HTML")
+    report.add_argument("--results", default="benchmarks/results",
+                        help="artifact directory")
+    report.add_argument("--out", default="report.html")
+
+    serve = sub.add_parser("serve",
+                           help="run a Catalyst origin on localhost")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--time-scale", type=float, default=3600.0,
+                       help="simulated seconds per wall second")
+    return parser
+
+
+def _cmd_figure1() -> int:
+    from .experiments.figure1 import run_figure1
+    print(run_figure1().format())
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from .experiments.figure3 import run_figure3
+    from .netsim.clock import parse_duration
+    delays = tuple(parse_duration(part)
+                   for part in args.delays.split(","))
+    result = run_figure3(sites=args.sites,
+                         throughputs_mbps=args.throughputs,
+                         latencies_ms=args.latencies,
+                         delays_s=delays,
+                         content_churn=args.churn,
+                         parallel=args.parallel,
+                         progress=lambda msg: print(f"  .. {msg}",
+                                                    file=sys.stderr))
+    print(result.format())
+    return 0
+
+
+def _cmd_motivation() -> int:
+    from .experiments.motivation import measure_motivation
+    print(measure_motivation().format())
+    return 0
+
+
+def _cmd_crosspage() -> int:
+    from .experiments.cross_page import format_cross_page, run_cross_page
+    print(format_cross_page(run_cross_page()))
+    return 0
+
+
+def _cmd_serverload() -> int:
+    from .experiments.server_load import (format_server_load,
+                                          run_server_load)
+    print(format_server_load(run_server_load()))
+    return 0
+
+
+def _cmd_userweighted() -> int:
+    from .experiments.user_weighted import run_user_weighted
+    print(run_user_weighted().format())
+    return 0
+
+
+def _cmd_visit(args: argparse.Namespace) -> int:
+    from .browser.trace import render_waterfall
+    from .core.catalyst import run_visit_sequence
+    from .core.modes import CachingMode, build_mode
+    from .netsim.clock import parse_duration
+    from .netsim.link import NetworkConditions
+    from .workload.sitegen import generate_site
+
+    site = generate_site(f"https://cli{args.seed}.example", seed=args.seed)
+    conditions = NetworkConditions.of(args.mbps, args.rtt)
+    delay_s = parse_duration(args.delay)
+    print(f"site seed {args.seed}: {site.index.resource_count} resources; "
+          f"{conditions.describe()}; revisit after {args.delay}\n")
+    warm_catalyst = None
+    for mode in (CachingMode.NO_CACHE, CachingMode.STANDARD,
+                 CachingMode.CATALYST):
+        setup = build_mode(mode, site)
+        outcomes = run_visit_sequence(setup, conditions, [0.0, delay_s])
+        cold, warm = outcomes[0].result, outcomes[1].result
+        print(f"{mode.value:>9}: cold {cold.plt_ms:7.1f} ms   "
+              f"warm {warm.plt_ms:7.1f} ms   "
+              f"({warm.bytes_down:,} warm bytes)")
+        if mode is CachingMode.CATALYST:
+            warm_catalyst = warm
+    if args.waterfall and warm_catalyst is not None:
+        print()
+        print(render_waterfall(warm_catalyst))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments.report_html import write_report
+    results = pathlib.Path(args.results)
+    if not results.is_dir():
+        print(f"no artifact directory at {results} — run "
+              "`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+    out = write_report(results, pathlib.Path(args.out))
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .http.aserver import AsyncHttpServer
+    from .server.adapter import as_async_handler
+    from .server.catalyst import CatalystServer
+    from .server.site import OriginSite
+    from .workload.sitegen import generate_site
+
+    site = OriginSite(generate_site(f"https://cli{args.seed}.example",
+                                    seed=args.seed),
+                      materialize_fully=True)
+    catalyst = CatalystServer(site)
+    handler = as_async_handler(catalyst, time_scale=args.time_scale)
+
+    async def serve() -> None:
+        async with AsyncHttpServer(handler, port=args.port) as server:
+            print(f"Catalyst origin on {server.base_url} "
+                  f"(x{args.time_scale:g} time; Ctrl-C to stop)")
+            try:
+                await asyncio.Event().wait()
+            except asyncio.CancelledError:
+                pass
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nbye")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figure1":
+        return _cmd_figure1()
+    if args.command == "figure3":
+        return _cmd_figure3(args)
+    if args.command == "motivation":
+        return _cmd_motivation()
+    if args.command == "crosspage":
+        return _cmd_crosspage()
+    if args.command == "serverload":
+        return _cmd_serverload()
+    if args.command == "userweighted":
+        return _cmd_userweighted()
+    if args.command == "visit":
+        return _cmd_visit(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

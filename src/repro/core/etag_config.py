@@ -1,0 +1,146 @@
+"""The ``X-Etag-Config`` map: model, header codec, size accounting.
+
+This is the paper's central artifact: a map of resource URL -> current
+ETag that the server staples onto the base HTML response.  The browser's
+Service Worker uses it to decide, *without any network round trip*,
+whether each cached resource is still current.
+
+Encoding
+--------
+The header value is compact JSON — ``{"/a.css":"1a2b","/b.js":"9f8e"}`` —
+with ETags stripped to their opaque tag (quotes and weakness are
+reconstructible: stapled tags are compared with the weak comparison, so
+weakness doesn't alter the outcome).  JSON keeps the header debuggable in
+devtools, which the paper's open-source artifact also favoured.
+
+Large pages produce large maps; :meth:`EtagConfig.header_size` feeds the
+overhead benchmark, and ``max_entries`` guards against unbounded headers
+(entries past the cap are dropped largest-URL-last, keeping the most
+valuable — render-blocking — entries first when the caller pre-sorts).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional
+
+from ..http.etag import ETag
+from ..http.headers import Headers
+
+__all__ = ["EtagConfig", "ETAG_CONFIG_HEADER", "ETAG_CONFIG_DIGEST_HEADER",
+           "ETAG_CONFIG_SAME_HEADER", "DEFAULT_MAX_ENTRIES"]
+
+ETAG_CONFIG_HEADER = "X-Etag-Config"
+
+#: request header: digest of the map the client already holds
+ETAG_CONFIG_DIGEST_HEADER = "X-Etag-Config-Digest"
+
+#: response header replacing the map when the client's copy is current
+ETAG_CONFIG_SAME_HEADER = "X-Etag-Config-Same"
+
+#: Beyond ~8 KB of header the overhead starts to rival a small resource;
+#: 512 entries of typical URL+tag length stay well under that.
+DEFAULT_MAX_ENTRIES = 512
+
+
+@dataclass
+class EtagConfig:
+    """An ordered URL -> ETag map."""
+
+    entries: dict[str, ETag] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Mapping[str, ETag] | list[tuple[str, ETag]],
+                   max_entries: int = DEFAULT_MAX_ENTRIES) -> "EtagConfig":
+        items = pairs.items() if isinstance(pairs, Mapping) else pairs
+        entries: dict[str, ETag] = {}
+        for url, etag in items:
+            if len(entries) >= max_entries:
+                break
+            entries[url] = etag
+        return cls(entries=entries)
+
+    # -- lookups ----------------------------------------------------------------
+    def etag_for(self, url: str) -> Optional[ETag]:
+        return self.entries.get(url)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.entries)
+
+    def merged_with(self, other: "EtagConfig") -> "EtagConfig":
+        """Union of maps; ``other`` wins on conflicts (it is newer)."""
+        merged = dict(self.entries)
+        merged.update(other.entries)
+        return EtagConfig(entries=merged)
+
+    # -- codec ------------------------------------------------------------------
+    def to_header_value(self) -> str:
+        payload = {url: etag.opaque for url, etag in self.entries.items()}
+        return json.dumps(payload, separators=(",", ":"), sort_keys=False)
+
+    @classmethod
+    def from_header_value(cls, value: str) -> "EtagConfig":
+        """Parse a header value; raises ValueError on malformed input."""
+        try:
+            payload = json.loads(value)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed {ETAG_CONFIG_HEADER}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(f"{ETAG_CONFIG_HEADER} must be a JSON object")
+        entries: dict[str, ETag] = {}
+        for url, opaque in payload.items():
+            if not isinstance(url, str) or not isinstance(opaque, str):
+                raise ValueError(
+                    f"{ETAG_CONFIG_HEADER} entries must be string->string")
+            entries[url] = ETag(opaque=opaque)
+        return cls(entries=entries)
+
+    def apply_to(self, headers: Headers) -> None:
+        """Set the header on a response (removed when the map is empty)."""
+        if self.entries:
+            headers.set(ETAG_CONFIG_HEADER, self.to_header_value())
+        else:
+            headers.remove(ETAG_CONFIG_HEADER)
+
+    @classmethod
+    def from_headers(cls, headers: Headers) -> Optional["EtagConfig"]:
+        """Extract and parse the header; None when absent or malformed.
+
+        Malformed maps are treated as absent rather than fatal — a client
+        must degrade to status-quo behaviour, never break the page load.
+        """
+        raw = headers.get(ETAG_CONFIG_HEADER)
+        if raw is None:
+            return None
+        try:
+            return cls.from_header_value(raw)
+        except ValueError:
+            return None
+
+    def digest(self) -> str:
+        """Short content digest of the map (for revisit deduplication).
+
+        A revisit whose page content is unchanged would receive a
+        byte-identical map; the client advertises this digest and the
+        server replies ``X-Etag-Config-Same`` (a few bytes) instead of
+        re-sending kilobytes of JSON.
+        """
+        import hashlib
+        return hashlib.sha256(
+            self.to_header_value().encode()).hexdigest()[:16]
+
+    # -- accounting ----------------------------------------------------------
+    def header_size(self) -> int:
+        """Bytes this map adds to the response head."""
+        if not self.entries:
+            return 0
+        return (len(ETAG_CONFIG_HEADER) + 2
+                + len(self.to_header_value().encode()) + 2)

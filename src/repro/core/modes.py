@@ -1,0 +1,141 @@
+"""Caching modes: one factory per evaluated configuration.
+
+A mode bundles the three things that vary between the paper's compared
+systems: which origin server runs, how the browser is configured, and
+whether a push planner feeds the loader.  Everything else (link, corpus,
+visit schedule) is experiment-level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from ..browser.engine import BrowserConfig, BrowserSession
+from ..server.catalyst import CatalystConfig, CatalystServer
+from ..server.hints import HintPlanner
+from ..server.push import PushPlanner, PushPolicy
+from ..server.site import OriginSite
+from ..server.static import StaticServer
+from ..workload.sitegen import SiteSpec
+
+__all__ = ["CachingMode", "ModeSetup", "build_mode"]
+
+
+class CachingMode(enum.Enum):
+    """Every client/server configuration the benches compare."""
+
+    #: no client caching at all — every visit is a cold load
+    NO_CACHE = "no-cache"
+    #: status-quo HTTP caching (Figure 1b): max-age + revalidation
+    STANDARD = "standard"
+    #: the paper's proposal (Figure 1c)
+    CATALYST = "catalyst"
+    #: catalyst + per-session resource recording (§3 alt / §6)
+    CATALYST_SESSIONS = "catalyst-sessions"
+    #: HTTP/2 server push of every DOM-visible subresource (§5)
+    PUSH_ALL = "push-all"
+    #: server push of render-blocking resources only
+    PUSH_BLOCKING = "push-blocking"
+    #: 103-Early-Hints-style URL lists (Vroom/Polaris family, §5)
+    HINTS = "hints"
+    #: hints layered on top of the full catalyst stack (they compose)
+    CATALYST_HINTS = "catalyst-hints"
+
+    @property
+    def uses_catalyst_server(self) -> bool:
+        return self in (CachingMode.CATALYST, CachingMode.CATALYST_SESSIONS)
+
+
+@dataclass
+class ModeSetup:
+    """Everything a page-load run needs for one mode against one site."""
+
+    mode: CachingMode
+    server: object  # StaticServer | CatalystServer (both expose .handle)
+    session: BrowserSession
+    push_urls_fn: Optional[Callable[[str], list[str]]] = None
+    hint_urls_fn: Optional[Callable[[str], list[str]]] = None
+    session_id: Optional[str] = None
+
+    @property
+    def handler(self):
+        return self.server.handle
+
+    @property
+    def label(self) -> str:
+        return self.mode.value
+
+
+def build_mode(mode: CachingMode, site_spec: SiteSpec,
+               base_config: BrowserConfig = BrowserConfig(),
+               materialize_fully: bool = False) -> ModeSetup:
+    """Instantiate server + browser session for ``mode`` over ``site_spec``.
+
+    ``base_config`` carries the shared cost model; the mode toggles only
+    the feature switches so comparisons never mix cost assumptions.
+    """
+    site = OriginSite(site_spec, materialize_fully=materialize_fully)
+
+    if mode is CachingMode.NO_CACHE:
+        return ModeSetup(
+            mode=mode, server=StaticServer(site),
+            session=BrowserSession(replace(base_config,
+                                           use_http_cache=False,
+                                           use_service_worker=False)))
+
+    if mode is CachingMode.STANDARD:
+        return ModeSetup(
+            mode=mode, server=StaticServer(site),
+            session=BrowserSession(replace(base_config,
+                                           use_http_cache=True,
+                                           use_service_worker=False)))
+
+    if mode is CachingMode.CATALYST:
+        return ModeSetup(
+            mode=mode, server=CatalystServer(site),
+            session=BrowserSession(replace(base_config,
+                                           use_http_cache=True,
+                                           use_service_worker=True)))
+
+    if mode is CachingMode.CATALYST_SESSIONS:
+        server = CatalystServer(
+            site, config=CatalystConfig(use_sessions=True))
+        return ModeSetup(
+            mode=mode, server=server,
+            session=BrowserSession(replace(base_config,
+                                           use_http_cache=True,
+                                           use_service_worker=True)),
+            session_id="client-0")
+
+    if mode in (CachingMode.PUSH_ALL, CachingMode.PUSH_BLOCKING):
+        policy = (PushPolicy.ALL if mode is CachingMode.PUSH_ALL
+                  else PushPolicy.BLOCKING)
+        planner = PushPlanner(site=site, policy=policy)
+        return ModeSetup(
+            mode=mode, server=StaticServer(site),
+            session=BrowserSession(replace(base_config,
+                                           use_http_cache=True,
+                                           use_service_worker=False)),
+            push_urls_fn=planner.push_urls)
+
+    if mode is CachingMode.HINTS:
+        planner = HintPlanner(site=site)
+        return ModeSetup(
+            mode=mode, server=StaticServer(site),
+            session=BrowserSession(replace(base_config,
+                                           use_http_cache=True,
+                                           use_service_worker=False)),
+            hint_urls_fn=planner.hint_urls)
+
+    if mode is CachingMode.CATALYST_HINTS:
+        planner = HintPlanner(site=site)
+        return ModeSetup(
+            mode=mode, server=CatalystServer(site),
+            session=BrowserSession(replace(base_config,
+                                           use_http_cache=True,
+                                           use_service_worker=True)),
+            hint_urls_fn=planner.hint_urls)
+
+    raise ValueError(f"unhandled mode: {mode}")

@@ -1,0 +1,101 @@
+"""Cross-page navigation: caching pays on pages never visited before.
+
+The paper motivates caching with reuse "in future requests to the same
+page **or other pages within the same website**" (§1).  This experiment
+measures exactly that: load the homepage, then navigate to an inner page
+for the *first time*.  Site-wide assets (theme CSS, framework JS, fonts)
+are already cached; the inner page's own HTML staples their current
+ETags, so CacheCatalyst serves them with zero round trips even though
+this page has never been loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..browser.engine import BrowserConfig
+from ..core.modes import CachingMode, build_mode
+from ..netsim.link import Link, NetworkConditions
+from ..netsim.sim import Simulator
+from ..workload.sitegen import SiteSpec, generate_site
+from .report import format_pct, format_table
+
+__all__ = ["CrossPageResult", "run_cross_page", "make_multipage_site"]
+
+
+def make_multipage_site(seed: int = 1234, pages: int = 3,
+                        shared_fraction: float = 0.6,
+                        median_resources: int = 60) -> SiteSpec:
+    """A site with a homepage plus inner pages sharing 60 % of assets."""
+    return generate_site(
+        origin=f"https://multipage{seed}.example", seed=seed,
+        extra_pages=pages, shared_asset_fraction=shared_fraction,
+        median_resources=median_resources)
+
+
+@dataclass
+class CrossPageResult:
+    """PLTs of a homepage visit followed by first inner-page visits."""
+
+    mode: str
+    homepage_plt_ms: float
+    #: per inner page: first-ever visit PLT, milliseconds
+    inner_plts_ms: list[float]
+
+    @property
+    def mean_inner_plt_ms(self) -> float:
+        return sum(self.inner_plts_ms) / len(self.inner_plts_ms)
+
+
+def run_cross_page(site: SiteSpec | None = None,
+                   conditions: NetworkConditions = NetworkConditions.of(
+                       60, 40),
+                   navigation_gap_s: float = 30.0,
+                   modes: tuple[CachingMode, ...] = (
+                       CachingMode.NO_CACHE, CachingMode.STANDARD,
+                       CachingMode.CATALYST),
+                   base_config: BrowserConfig = BrowserConfig()
+                   ) -> list[CrossPageResult]:
+    """Homepage at t=0, then each inner page 30 s apart, per mode."""
+    if site is None:
+        site = make_multipage_site()
+    inner_urls = [url for url in site.pages if url != "/index.html"]
+    results = []
+    for mode in modes:
+        setup = build_mode(mode, site, base_config)
+        sim = Simulator()
+        link = Link(sim, conditions)
+        home = sim.run_process(setup.session.load(
+            sim, link, setup.handler, "/index.html",
+            mode_label=mode.value, push_urls_fn=setup.push_urls_fn,
+            session_id=setup.session_id))
+        inner_plts = []
+        for inner_url in inner_urls:
+            sim.run(until=sim.now + navigation_gap_s)
+            link = Link(sim, conditions)
+            result = sim.run_process(setup.session.load(
+                sim, link, setup.handler, inner_url,
+                mode_label=mode.value, push_urls_fn=setup.push_urls_fn,
+                session_id=setup.session_id))
+            inner_plts.append(result.plt_ms)
+        results.append(CrossPageResult(
+            mode=mode.value, homepage_plt_ms=home.plt_ms,
+            inner_plts_ms=inner_plts))
+    return results
+
+
+def format_cross_page(results: list[CrossPageResult]) -> str:
+    baseline = next(r for r in results if r.mode == "no-cache")
+    rows = []
+    for result in results:
+        saving = ((baseline.mean_inner_plt_ms - result.mean_inner_plt_ms)
+                  / baseline.mean_inner_plt_ms)
+        rows.append([result.mode, f"{result.homepage_plt_ms:.0f}",
+                     f"{result.mean_inner_plt_ms:.0f}",
+                     format_pct(saving)])
+    return format_table(
+        ["mode", "homepage PLT ms", "first inner-page PLT ms",
+         "inner saving vs no-cache"], rows)
+
+
+__all__.append("format_cross_page")

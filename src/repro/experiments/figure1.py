@@ -1,0 +1,111 @@
+"""Figure 1: the paper's worked example, reproduced end to end.
+
+The page: ``index.htm`` links ``a.css`` and ``b.js``; evaluating ``b.js``
+fetches ``c.js``; evaluating ``c.js`` fetches ``d.jpg``.
+
+Headers (as in the figure): ``a.css`` max-age=1 week, ``b.js`` no-cache,
+``c.js`` max-age=1 day, ``d.jpg`` max-age=1 hour.  On a revisit two hours
+later only ``d.jpg`` has actually changed.
+
+The three panels:
+
+- (a) cold first visit — every resource pays RTT + download,
+- (b) status-quo revisit — a.css and c.js fresh; b.js revalidates (304,
+  an RTT for nothing); d.jpg expired and changed (full fetch),
+- (c) CacheCatalyst revisit — unchanged resources served instantly from
+  the SW cache; only d.jpg (changed) and the base HTML touch the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..browser.engine import BrowserConfig
+from ..browser.metrics import PageLoadResult
+from ..core.catalyst import run_visit_sequence
+from ..core.modes import CachingMode, build_mode
+from ..html.parser import ResourceKind
+from ..netsim.clock import DAY, HOUR, WEEK
+from ..netsim.link import NetworkConditions
+from ..workload.headers_model import HeaderPolicy
+from ..workload.sitegen import PageSpec, ResourceSpec, SiteSpec
+
+__all__ = ["build_figure1_site", "run_figure1", "Figure1Panels",
+           "FIGURE1_REVISIT_DELAY_S"]
+
+FIGURE1_REVISIT_DELAY_S = 2 * HOUR
+
+#: d.jpg changes 1.5 h after the first visit — inside the 2 h revisit gap
+_DJPG_CHANGE_S = 1.5 * HOUR
+
+_NEVER = 10 * 365 * DAY  # change period standing in for "doesn't change"
+
+
+def build_figure1_site() -> SiteSpec:
+    """The exact five-resource page of Figure 1."""
+    a_css = ResourceSpec(
+        url="/a.css", kind=ResourceKind.STYLESHEET, size_bytes=15_000,
+        policy=HeaderPolicy(mode="max-age", ttl_s=1 * WEEK),
+        change_period_s=_NEVER, content_seed=101, discovered_via="html",
+        blocking=True, fixed_change_times=())
+    b_js = ResourceSpec(
+        url="/b.js", kind=ResourceKind.SCRIPT, size_bytes=25_000,
+        policy=HeaderPolicy(mode="no-cache"),
+        change_period_s=_NEVER, content_seed=102, discovered_via="html",
+        children=("/c.js",), blocking=True, fixed_change_times=())
+    c_js = ResourceSpec(
+        url="/c.js", kind=ResourceKind.SCRIPT, size_bytes=18_000,
+        policy=HeaderPolicy(mode="max-age", ttl_s=1 * DAY),
+        change_period_s=_NEVER, content_seed=103, discovered_via="js",
+        parent="/b.js", children=("/d.jpg",), blocking=False,
+        fixed_change_times=())
+    d_jpg = ResourceSpec(
+        url="/d.jpg", kind=ResourceKind.IMAGE, size_bytes=40_000,
+        policy=HeaderPolicy(mode="max-age", ttl_s=1 * HOUR),
+        change_period_s=_NEVER, content_seed=104, discovered_via="js",
+        parent="/c.js", blocking=False,
+        fixed_change_times=(_DJPG_CHANGE_S,))
+    page = PageSpec(
+        url="/index.html", html_size_bytes=12_000,
+        html_change_period_s=_NEVER, html_content_seed=100,
+        html_refs=("/a.css", "/b.js"),
+        resources={spec.url: spec for spec in (a_css, b_js, c_js, d_jpg)})
+    return SiteSpec(origin="https://figure1.example", seed=1,
+                    pages={"/index.html": page})
+
+
+@dataclass
+class Figure1Panels:
+    """The three timelines of Figure 1."""
+
+    cold: PageLoadResult              # (a) first visit
+    standard_revisit: PageLoadResult  # (b) status quo, +2 h
+    catalyst_revisit: PageLoadResult  # (c) proposed, +2 h
+
+    def format(self) -> str:
+        return "\n\n".join([
+            "(a) first visit (cold cache)\n" + self.cold.describe(),
+            "(b) revisit +2h, current caching\n"
+            + self.standard_revisit.describe(),
+            "(c) revisit +2h, CacheCatalyst\n"
+            + self.catalyst_revisit.describe(),
+        ])
+
+
+def run_figure1(conditions: NetworkConditions = NetworkConditions.of(60, 40),
+                base_config: BrowserConfig = BrowserConfig()
+                ) -> Figure1Panels:
+    """Simulate all three panels; deterministic."""
+    site = build_figure1_site()
+    times = [0.0, FIGURE1_REVISIT_DELAY_S]
+
+    standard = build_mode(CachingMode.STANDARD, site, base_config)
+    std_outcomes = run_visit_sequence(standard, conditions, times)
+
+    catalyst = build_mode(CachingMode.CATALYST, site, base_config)
+    cat_outcomes = run_visit_sequence(catalyst, conditions, times)
+
+    return Figure1Panels(
+        cold=std_outcomes[0].result,
+        standard_revisit=std_outcomes[1].result,
+        catalyst_revisit=cat_outcomes[1].result)

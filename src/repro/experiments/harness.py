@@ -1,0 +1,182 @@
+"""The experiment runner: corpus × network grid × caching mode.
+
+A *measurement pair* is the paper's unit of evaluation: load a page cold
+at t=0, reload it after a revisit delay, and record both PLTs plus the
+traffic/caching breakdown of the warm visit.  The harness sweeps pairs
+over sites, network conditions, modes and delays, and audits warm visits
+for staleness against the origin's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..browser.engine import BrowserConfig
+from ..browser.metrics import FetchSource, PageLoadResult
+from ..core.catalyst import run_visit_sequence
+from ..core.modes import CachingMode, build_mode
+from ..netsim.link import NetworkConditions
+from ..server.site import OriginSite
+from ..workload.corpus import Corpus
+from ..workload.sitegen import SiteSpec
+
+__all__ = ["PairMeasurement", "measure_pair", "run_grid", "GridResult"]
+
+
+@dataclass(frozen=True)
+class PairMeasurement:
+    """Cold + warm load of one site in one mode under one condition."""
+
+    origin: str
+    mode: str
+    conditions: str
+    delay_s: float
+    cold_plt_ms: float
+    warm_plt_ms: float
+    cold_bytes: int
+    warm_bytes: int
+    warm_requests: int
+    #: warm-visit acquisitions by source (network / sw-cache / ...)
+    warm_sources: dict[str, int] = field(default_factory=dict, hash=False)
+    #: cache hits whose content no longer matched the origin (staleness)
+    warm_stale_hits: int = 0
+
+    @property
+    def reduction(self) -> float:
+        """Fractional warm-PLT reduction relative to the cold load."""
+        if self.cold_plt_ms <= 0:
+            return 0.0
+        return (self.cold_plt_ms - self.warm_plt_ms) / self.cold_plt_ms
+
+
+def _stale_hits(result: PageLoadResult, site_spec: SiteSpec,
+                at_time: float) -> int:
+    """Cache hits whose served content differs from the origin's current.
+
+    Uses a pristine :class:`OriginSite` as the ground-truth oracle, so
+    counting never perturbs the measured servers.
+    """
+    oracle = OriginSite(site_spec)
+    stale = 0
+    for event in result.events:
+        if event.source not in (FetchSource.HTTP_CACHE,
+                                FetchSource.SW_CACHE):
+            continue
+        current = oracle.etag_of(event.url, at_time)
+        if current is not None and event.served_etag \
+                and event.served_etag != current:
+            stale += 1
+    return stale
+
+
+def measure_pair(site_spec: SiteSpec, mode: CachingMode,
+                 conditions: NetworkConditions, delay_s: float,
+                 base_config: BrowserConfig = BrowserConfig(),
+                 audit_staleness: bool = False) -> PairMeasurement:
+    """Run one cold+warm pair and summarize it."""
+    setup = build_mode(mode, site_spec, base_config)
+    outcomes = run_visit_sequence(setup, conditions, [0.0, delay_s])
+    cold, warm = outcomes[0].result, outcomes[1].result
+    return PairMeasurement(
+        origin=site_spec.origin,
+        mode=mode.value,
+        conditions=conditions.describe(),
+        delay_s=delay_s,
+        cold_plt_ms=cold.plt_ms,
+        warm_plt_ms=warm.plt_ms,
+        cold_bytes=cold.bytes_down,
+        warm_bytes=warm.bytes_down,
+        warm_requests=warm.request_count,
+        warm_sources={source.value: count for source, count
+                      in warm.count_by_source().items()},
+        warm_stale_hits=(_stale_hits(warm, site_spec, delay_s)
+                         if audit_staleness else 0),
+    )
+
+
+@dataclass
+class GridResult:
+    """All measurements of a sweep plus slicing helpers."""
+
+    measurements: list[PairMeasurement]
+
+    def where(self, mode: Optional[str] = None,
+              conditions: Optional[str] = None,
+              delay_s: Optional[float] = None) -> list[PairMeasurement]:
+        out = self.measurements
+        if mode is not None:
+            out = [m for m in out if m.mode == mode]
+        if conditions is not None:
+            out = [m for m in out if m.conditions == conditions]
+        if delay_s is not None:
+            out = [m for m in out if m.delay_s == delay_s]
+        return out
+
+    def mean_warm_plt(self, **filters) -> float:
+        rows = self.where(**filters)
+        if not rows:
+            raise ValueError(f"no measurements match {filters}")
+        return sum(m.warm_plt_ms for m in rows) / len(rows)
+
+    def reductions_vs(self, baseline_mode: str, target_mode: str,
+                      conditions: Optional[str] = None,
+                      delay_s: Optional[float] = None) -> list[float]:
+        """Per-(site, delay) fractional warm-PLT reductions."""
+        base = {(m.origin, m.delay_s, m.conditions): m.warm_plt_ms
+                for m in self.where(mode=baseline_mode,
+                                    conditions=conditions,
+                                    delay_s=delay_s)}
+        reductions = []
+        for m in self.where(mode=target_mode, conditions=conditions,
+                            delay_s=delay_s):
+            key = (m.origin, m.delay_s, m.conditions)
+            baseline_plt = base.get(key)
+            if baseline_plt and baseline_plt > 0:
+                reductions.append(
+                    (baseline_plt - m.warm_plt_ms) / baseline_plt)
+        if not reductions:
+            raise ValueError("no overlapping measurements to compare")
+        return reductions
+
+    def mean_reduction_vs(self, baseline_mode: str, target_mode: str,
+                          conditions: Optional[str] = None,
+                          delay_s: Optional[float] = None) -> float:
+        """Mean per-(site, delay) fractional warm-PLT reduction."""
+        reductions = self.reductions_vs(baseline_mode, target_mode,
+                                        conditions=conditions,
+                                        delay_s=delay_s)
+        return sum(reductions) / len(reductions)
+
+    def reduction_summary(self, baseline_mode: str, target_mode: str,
+                          conditions: Optional[str] = None,
+                          delay_s: Optional[float] = None):
+        """Full :class:`~repro.experiments.stats.Summary` of reductions."""
+        from .stats import summarize
+        return summarize(self.reductions_vs(baseline_mode, target_mode,
+                                            conditions=conditions,
+                                            delay_s=delay_s))
+
+
+def run_grid(sites: Corpus | Sequence[SiteSpec],
+             modes: Iterable[CachingMode],
+             conditions_list: Iterable[NetworkConditions],
+             delays_s: Iterable[float],
+             base_config: BrowserConfig = BrowserConfig(),
+             audit_staleness: bool = False,
+             progress: Optional[Callable[[str], None]] = None) -> GridResult:
+    """Sweep the full cross product; deterministic output order."""
+    measurements: list[PairMeasurement] = []
+    site_list = list(sites)
+    for conditions in conditions_list:
+        for mode in modes:
+            for delay_s in delays_s:
+                for site_spec in site_list:
+                    measurements.append(measure_pair(
+                        site_spec, mode, conditions, delay_s,
+                        base_config=base_config,
+                        audit_staleness=audit_staleness))
+                if progress is not None:
+                    progress(f"{conditions.describe()} {mode.value} "
+                             f"delay={delay_s:g}s done")
+    return GridResult(measurements=measurements)

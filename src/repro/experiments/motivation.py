@@ -1,0 +1,101 @@
+"""§2.2 motivation statistics, measured on the synthetic corpus.
+
+The paper motivates the redesign with three measurement findings from
+prior studies; the corpus's header and churn models are calibrated to
+reproduce them, and this module *measures* them (rather than restating
+the calibration constants) so the workload can be audited:
+
+- [Liu et al.]     ~40 % of resources carry a TTL below one day...
+- [Liu et al.]     ...yet ~86 % of those do not change within that day.
+- [Ramanujam et al.] ~47 % of resources expire in cache despite unchanged
+  content.
+- [several]        only ~50 % of cacheable resources are actually cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.clock import DAY, WEEK
+from ..workload.corpus import Corpus, make_corpus
+from .report import format_pct, format_table
+
+__all__ = ["MotivationStats", "measure_motivation"]
+
+
+@dataclass(frozen=True)
+class MotivationStats:
+    """Corpus-wide header/churn statistics."""
+
+    total_resources: int
+    #: share of resources whose headers allow reuse without validation
+    #: (the "actually cached" share; paper cites ≈50 %)
+    effectively_cached_share: float
+    #: share of TTL'd resources with TTL < 1 day (paper cites 40 %)
+    short_ttl_share: float
+    #: of those, share that do NOT change within a day (paper cites 86 %)
+    short_ttl_unchanged_share: float
+    #: share of cacheable resources that expire while unchanged
+    #: (paper cites 47 %)
+    expire_unchanged_share: float
+
+    def format(self) -> str:
+        rows = [
+            ("cacheable resources actually cached",
+             format_pct(self.effectively_cached_share), "~50%"),
+            ("resources with TTL < 1 day",
+             format_pct(self.short_ttl_share), "40%"),
+            ("of those, unchanged within the day",
+             format_pct(self.short_ttl_unchanged_share), "86%"),
+            ("expire in cache while unchanged",
+             format_pct(self.expire_unchanged_share), "47%"),
+        ]
+        return format_table(["statistic", "measured", "paper"], rows)
+
+
+def measure_motivation(corpus: Corpus | None = None) -> MotivationStats:
+    """Measure the §2.2 statistics over the corpus's resource population.
+
+    "Expire while unchanged" follows Ramanujam et al.'s framing: over an
+    observation window (one week — their study horizon), the share of
+    *all* resources that hit cache expiry with content identical to what
+    was cached (``no-cache`` counts with TTL 0 — it is *always* expired,
+    and usually unchanged).
+    """
+    if corpus is None:
+        corpus = make_corpus()
+
+    total = 0
+    reusable = 0            # max-age > 0: the browser may skip the network
+    ttl_count = 0           # resources carrying an explicit finite TTL
+    short_ttl = 0
+    short_ttl_unchanged = 0
+    expire_unchanged = 0
+
+    for site in corpus:
+        for spec in site.index.iter_resources():
+            total += 1
+            policy = spec.policy
+            churn = spec.make_churn()
+            if policy.allows_reuse_without_validation and not spec.dynamic:
+                reusable += 1
+            if policy.mode == "max-age":
+                ttl_count += 1
+                if policy.ttl_s < DAY:
+                    short_ttl += 1
+                    if not churn.changed_between(0.0, DAY):
+                        short_ttl_unchanged += 1
+            if policy.mode in ("max-age", "no-cache") and not spec.dynamic:
+                expiry = policy.ttl_s if policy.mode == "max-age" else 0.0
+                if expiry < WEEK \
+                        and not churn.changed_between(0.0, max(expiry, 1.0)):
+                    expire_unchanged += 1
+
+    return MotivationStats(
+        total_resources=total,
+        effectively_cached_share=reusable / total if total else 0.0,
+        short_ttl_share=short_ttl / ttl_count if ttl_count else 0.0,
+        short_ttl_unchanged_share=(short_ttl_unchanged / short_ttl
+                                   if short_ttl else 0.0),
+        expire_unchanged_share=expire_unchanged / total if total else 0.0,
+    )

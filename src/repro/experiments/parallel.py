@@ -1,0 +1,66 @@
+"""Multiprocess experiment sweeps.
+
+The full Figure 3 grid is ~20 000 deterministic page-load pairs; each
+pair is independent, so the sweep parallelizes perfectly.  This module
+fans :func:`~repro.experiments.harness.measure_pair` out over a process
+pool while keeping the output *identical* to the sequential runner
+(work is deterministic and results are re-ordered canonically).
+
+Used by the CLI for full-corpus runs; the benches stay sequential so
+their timings mean something.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Optional, Sequence
+
+from ..browser.engine import BrowserConfig
+from ..core.modes import CachingMode
+from ..netsim.link import NetworkConditions
+from ..workload.corpus import Corpus
+from ..workload.sitegen import SiteSpec
+from .harness import GridResult, PairMeasurement, measure_pair
+
+__all__ = ["run_grid_parallel"]
+
+
+def _measure_one(args: tuple) -> PairMeasurement:
+    site_spec, mode_value, mbps, rtt_ms, label, delay_s, config, audit = args
+    conditions = NetworkConditions.of(mbps, rtt_ms, label=label)
+    return measure_pair(site_spec, CachingMode(mode_value), conditions,
+                        delay_s, base_config=config,
+                        audit_staleness=audit)
+
+
+def run_grid_parallel(sites: Corpus | Sequence[SiteSpec],
+                      modes: Iterable[CachingMode],
+                      conditions_list: Iterable[NetworkConditions],
+                      delays_s: Iterable[float],
+                      base_config: BrowserConfig = BrowserConfig(),
+                      audit_staleness: bool = False,
+                      max_workers: Optional[int] = None) -> GridResult:
+    """Parallel drop-in for :func:`~repro.experiments.harness.run_grid`.
+
+    Produces the same measurements in the same canonical order; only the
+    wall time differs.
+    """
+    site_list = list(sites)
+    conditions = list(conditions_list)
+    mode_list = list(modes)
+    delay_list = list(delays_s)
+    tasks = []
+    for cond in conditions:
+        for mode in mode_list:
+            for delay_s in delay_list:
+                for site_spec in site_list:
+                    tasks.append((site_spec, mode.value,
+                                  cond.downlink_mbps, cond.rtt_ms,
+                                  cond.describe(), delay_s, base_config,
+                                  audit_staleness))
+    if len(tasks) <= 1:
+        return GridResult(measurements=[_measure_one(t) for t in tasks])
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        measurements = list(pool.map(_measure_one, tasks,
+                                     chunksize=max(1, len(tasks) // 64)))
+    return GridResult(measurements=measurements)

@@ -1,0 +1,58 @@
+"""Plain-text table/grid formatting for benchmark output.
+
+The benches print the same rows/series the paper's figures report; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_grid", "format_pct"]
+
+
+def format_pct(fraction: float, digits: int = 1) -> str:
+    """0.314 -> '31.4%'."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Monospace table with right-aligned columns.
+
+    >>> print(format_table(['a', 'b'], [[1, 'x'], [22, 'yy']]))
+     a |  b
+    ---+---
+     1 |  x
+    22 | yy
+    """
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[index])
+                          for index, cell in enumerate(cells))
+
+    lines = [fmt_row(list(headers))]
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_grid(row_labels: Sequence[str], col_labels: Sequence[str],
+                values: Sequence[Sequence[object]],
+                corner: str = "") -> str:
+    """A labelled 2-D grid (throughput × latency, like Figure 3)."""
+    headers = [corner] + list(col_labels)
+    rows = [[row_labels[index]] + list(row)
+            for index, row in enumerate(values)]
+    return format_table(headers, rows)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

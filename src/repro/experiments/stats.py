@@ -1,0 +1,132 @@
+"""Statistics helpers for experiment aggregation.
+
+The paper reports means; a reproduction should also say how tight they
+are.  These helpers (plain Python, deterministic bootstrap) feed the
+summary layers: robust central tendencies, spread, and confidence
+intervals over per-site measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Summary", "summarize", "mean", "median", "percentile",
+           "stdev", "bootstrap_ci"]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input.
+
+    >>> mean([1.0, 2.0, 3.0])
+    2.0
+    """
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (midpoint of the two central values for even n).
+
+    >>> median([4.0, 1.0, 3.0, 2.0])
+    2.5
+    """
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100].
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 100)
+    4.0
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(math.floor(position))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0 for n < 2)."""
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values)
+                     / (len(values) - 1))
+
+
+def bootstrap_ci(values: Sequence[float], confidence: float = 0.95,
+                 resamples: int = 2000, seed: int = 0) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval of the mean.
+
+    Deterministic given ``seed``; degenerate inputs collapse to a point.
+    """
+    if not values:
+        raise ValueError("bootstrap of empty sequence")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence out of (0,1): {confidence}")
+    if len(values) == 1:
+        return (values[0], values[0])
+    rng = random.Random(seed)
+    n = len(values)
+    means = []
+    for _ in range(resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(sample) / n)
+    alpha = (1.0 - confidence) / 2.0 * 100.0
+    return (percentile(means, alpha), percentile(means, 100.0 - alpha))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric across sites."""
+
+    n: int
+    mean: float
+    median: float
+    stdev: float
+    p10: float
+    p90: float
+    ci_low: float
+    ci_high: float
+
+    def format(self, unit: str = "") -> str:
+        suffix = unit and f" {unit}"
+        return (f"mean {self.mean:.1f}{suffix} "
+                f"(95% CI [{self.ci_low:.1f}, {self.ci_high:.1f}]), "
+                f"median {self.median:.1f}{suffix}, "
+                f"p10-p90 [{self.p10:.1f}, {self.p90:.1f}], n={self.n}")
+
+
+def summarize(values: Sequence[float], seed: int = 0) -> Summary:
+    """Build a :class:`Summary` (deterministic bootstrap CI)."""
+    low, high = bootstrap_ci(values, seed=seed)
+    return Summary(
+        n=len(values),
+        mean=mean(values),
+        median=median(values),
+        stdev=stdev(values),
+        p10=percentile(values, 10),
+        p90=percentile(values, 90),
+        ci_low=low,
+        ci_high=high,
+    )

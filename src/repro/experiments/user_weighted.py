@@ -1,0 +1,78 @@
+"""User-weighted expected benefit.
+
+Figure 3 averages over five arbitrary delays; a deployment decision asks
+a different question: *over a realistic population of revisits, what PLT
+does a user actually save?*  This experiment samples revisit intervals
+from :data:`~repro.workload.revisits.DEFAULT_REVISIT_MODEL` and reports
+the distribution of per-revisit reductions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..browser.engine import BrowserConfig
+from ..core.catalyst import run_visit_sequence
+from ..core.modes import CachingMode, build_mode
+from ..netsim.link import NetworkConditions
+from ..workload.corpus import Corpus, make_corpus
+from ..workload.revisits import DEFAULT_REVISIT_MODEL, RevisitModel
+from .stats import Summary, summarize
+
+__all__ = ["UserWeightedResult", "run_user_weighted"]
+
+
+@dataclass
+class UserWeightedResult:
+    """Distribution of per-revisit reductions over sampled intervals."""
+
+    conditions: str
+    reductions: list[float]
+    delays_s: list[float]
+
+    @property
+    def summary(self) -> Summary:
+        return summarize(self.reductions)
+
+    def format(self) -> str:
+        pct = summarize([r * 100.0 for r in self.reductions])
+        return (f"{self.conditions}: user-weighted PLT reduction "
+                f"mean {pct.mean:.1f}% "
+                f"(95% CI [{pct.ci_low:.1f}%, {pct.ci_high:.1f}%]), "
+                f"median {pct.median:.1f}%, "
+                f"p10-p90 [{pct.p10:.1f}%, {pct.p90:.1f}%], n={pct.n}")
+
+
+def run_user_weighted(corpus: Optional[Corpus] = None,
+                      conditions: NetworkConditions = NetworkConditions.of(
+                          60, 40, label="60Mbps/40ms"),
+                      model: RevisitModel = DEFAULT_REVISIT_MODEL,
+                      sites: int = 5, revisits_per_site: int = 4,
+                      seed: int = 99,
+                      base_config: BrowserConfig = BrowserConfig()
+                      ) -> UserWeightedResult:
+    """Sample (site, revisit-interval) pairs and measure each."""
+    if corpus is None:
+        corpus = make_corpus()
+    subset = corpus.sample(sites, seed=seed).frozen()
+    rng = random.Random(seed)
+    reductions: list[float] = []
+    delays: list[float] = []
+    for site in subset:
+        for delay_s in model.draw_many(rng, revisits_per_site):
+            warm = {}
+            for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+                setup = build_mode(mode, site, base_config)
+                outcomes = run_visit_sequence(setup, conditions,
+                                              [0.0, delay_s])
+                warm[mode] = outcomes[1].result.plt_ms
+            if warm[CachingMode.STANDARD] > 0:
+                reductions.append(
+                    (warm[CachingMode.STANDARD]
+                     - warm[CachingMode.CATALYST])
+                    / warm[CachingMode.STANDARD])
+                delays.append(delay_s)
+    return UserWeightedResult(conditions=conditions.describe(),
+                              reductions=reductions, delays_s=delays)

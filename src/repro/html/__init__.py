@@ -1,0 +1,18 @@
+"""HTML/CSS content model: parsing, subresource extraction, rewriting."""
+
+from .css import CssRef, extract_css_refs, extract_css_urls
+from .dom import Document, Element, Text
+from .parser import (ResourceKind, ResourceRef, extract_resources,
+                     is_same_origin, parse_html, resolve_url)
+from .rewrite import (CACHE_SW_PATH, SW_REGISTRATION_MARKER,
+                      has_sw_registration, inject_sw_registration,
+                      sw_registration_script)
+
+__all__ = [
+    "Document", "Element", "Text",
+    "parse_html", "extract_resources", "ResourceRef", "ResourceKind",
+    "resolve_url", "is_same_origin",
+    "CssRef", "extract_css_refs", "extract_css_urls",
+    "inject_sw_registration", "has_sw_registration",
+    "sw_registration_script", "SW_REGISTRATION_MARKER", "CACHE_SW_PATH",
+]

@@ -1,0 +1,86 @@
+"""CSS subresource extraction.
+
+Stylesheets pull in more resources — ``@import`` chains, ``url(...)``
+images and fonts.  The paper's server must follow these too ("Most
+resources are deterministic and can be identified by parsing HTML and CSS
+files"), so extraction is shared between server and browser model.
+
+A full CSS parser is unnecessary: references can only appear in ``url()``
+tokens and ``@import`` rules, which a small tokenizer handles, including
+quoting, escapes and comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["CssRef", "extract_css_urls", "extract_css_refs"]
+
+_COMMENT_RE = re.compile(r"/\*.*?\*/", re.S)
+_URL_RE = re.compile(
+    r"""url\(\s*(?:'(?P<sq>[^']*)'|"(?P<dq>[^"]*)"|(?P<bare>[^)'"\s]+))\s*\)""",
+    re.IGNORECASE)
+_IMPORT_RE = re.compile(
+    r"""@import\s+(?:url\(\s*)?(?:'(?P<sq>[^']*)'|"(?P<dq>[^"]*)"|(?P<bare>[^;)'"\s]+))""",
+    re.IGNORECASE)
+_FONT_FACE_RE = re.compile(r"@font-face\s*\{(?P<body>[^}]*)\}",
+                           re.IGNORECASE | re.S)
+
+
+@dataclass(frozen=True)
+class CssRef:
+    """A reference found inside a stylesheet."""
+
+    url: str
+    #: "import" (another stylesheet), "font", or "image"
+    kind: str
+
+
+def _matched_url(match: re.Match) -> str:
+    return (match.group("sq") or match.group("dq")
+            or match.group("bare") or "").strip()
+
+
+def extract_css_refs(css_text: str) -> list[CssRef]:
+    """All external references in a stylesheet, in source order.
+
+    >>> refs = extract_css_refs("@import 'a.css'; body{background:url(b.png)}")
+    >>> [(r.url, r.kind) for r in refs]
+    [('a.css', 'import'), ('b.png', 'image')]
+    """
+    text = _COMMENT_RE.sub("", css_text)
+    refs: list[CssRef] = []
+    seen: set[str] = set()
+
+    font_spans: list[tuple[int, int]] = []
+    for match in _FONT_FACE_RE.finditer(text):
+        font_spans.append(match.span("body"))
+
+    def in_font_face(position: int) -> bool:
+        return any(start <= position < end for start, end in font_spans)
+
+    import_spans: list[tuple[int, int]] = []
+    for match in _IMPORT_RE.finditer(text):
+        url = _matched_url(match)
+        import_spans.append(match.span())
+        if url and not url.startswith("data:") and url not in seen:
+            seen.add(url)
+            refs.append(CssRef(url=url, kind="import"))
+
+    for match in _URL_RE.finditer(text):
+        # Skip url() tokens that belong to an @import we already recorded.
+        if any(start <= match.start() < end for start, end in import_spans):
+            continue
+        url = _matched_url(match)
+        if not url or url.startswith("data:") or url in seen:
+            continue
+        seen.add(url)
+        kind = "font" if in_font_face(match.start()) else "image"
+        refs.append(CssRef(url=url, kind=kind))
+    return refs
+
+
+def extract_css_urls(css_text: str) -> list[str]:
+    """Just the URLs (order preserved, de-duplicated)."""
+    return [ref.url for ref in extract_css_refs(css_text)]

@@ -1,0 +1,123 @@
+"""A lightweight DOM tree.
+
+Just enough document object model for the two jobs the reproduction needs:
+
+- the *server* traverses the DOM of an HTML file to collect subresource
+  links for the ``X-Etag-Config`` map (paper §3, "traverses its entire
+  DOM, extracts all resource links"), and
+- the *browser model* walks the same tree in document order to discover
+  fetches and their blocking semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Element", "Text", "Document", "VOID_ELEMENTS"]
+
+#: HTML elements that never have children / close tags
+VOID_ELEMENTS = frozenset({
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+})
+
+
+@dataclass
+class Text:
+    """A text node."""
+
+    data: str
+
+    def to_html(self) -> str:
+        return self.data
+
+
+@dataclass
+class Element:
+    """An element node with attributes and children."""
+
+    tag: str
+    attrs: dict[str, Optional[str]] = field(default_factory=dict)
+    children: list["Element | Text"] = field(default_factory=list)
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attrs.get(name.lower(), default)
+
+    def has_attr(self, name: str) -> bool:
+        return name.lower() in self.attrs
+
+    def append(self, node: "Element | Text") -> None:
+        self.children.append(node)
+
+    # -- traversal --------------------------------------------------------
+    def walk(self) -> Iterator["Element"]:
+        """Yield this element and every descendant element, document order."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.walk()
+
+    def find_all(self, tag: str) -> Iterator["Element"]:
+        want = tag.lower()
+        for el in self.walk():
+            if el.tag == want:
+                yield el
+
+    def find(self, tag: str) -> Optional["Element"]:
+        return next(self.find_all(tag), None)
+
+    def text_content(self) -> str:
+        parts = []
+        for child in self.children:
+            if isinstance(child, Text):
+                parts.append(child.data)
+            else:
+                parts.append(child.text_content())
+        return "".join(parts)
+
+    # -- serialization -----------------------------------------------------
+    def to_html(self) -> str:
+        attrs = "".join(
+            f" {name}" if value is None else f' {name}="{_escape(value)}"'
+            for name, value in self.attrs.items())
+        if self.tag in VOID_ELEMENTS:
+            return f"<{self.tag}{attrs}>"
+        inner = "".join(child.to_html() for child in self.children)
+        return f"<{self.tag}{attrs}>{inner}</{self.tag}>"
+
+    def __repr__(self) -> str:
+        return f"<Element {self.tag} attrs={self.attrs}>"
+
+
+@dataclass
+class Document:
+    """A parsed HTML document: a virtual root above the top-level nodes."""
+
+    root: Element
+
+    def walk(self) -> Iterator[Element]:
+        yield from self.root.walk()
+
+    def find_all(self, tag: str) -> Iterator[Element]:
+        return self.root.find_all(tag)
+
+    def find(self, tag: str) -> Optional[Element]:
+        return self.root.find(tag)
+
+    @property
+    def head(self) -> Optional[Element]:
+        return self.find("head")
+
+    @property
+    def body(self) -> Optional[Element]:
+        return self.find("body")
+
+    def to_html(self) -> str:
+        inner = "".join(child.to_html() for child in self.root.children)
+        return "<!DOCTYPE html>" + inner
+
+
+def _escape(value: str) -> str:
+    return (value.replace("&", "&amp;").replace('"', "&quot;")
+            .replace("<", "&lt;").replace(">", "&gt;"))

@@ -1,0 +1,225 @@
+"""HTML parsing and subresource extraction.
+
+Built on the stdlib :class:`html.parser.HTMLParser`.  Produces both a DOM
+tree (:mod:`repro.html.dom`) and, more importantly for this reproduction,
+the ordered list of subresource references a browser would fetch while
+loading the page — with the metadata that decides scheduling:
+
+- ``kind``: stylesheet / script / image / font / media / prefetch...
+- ``blocking``: whether the reference blocks parsing or the load event
+- ``discovered_by``: the URL of the document/stylesheet that linked it
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from html.parser import HTMLParser
+from typing import Optional
+from urllib.parse import urljoin, urlsplit
+
+from .dom import Document, Element, Text, VOID_ELEMENTS
+from .css import extract_css_urls
+
+__all__ = ["ResourceKind", "ResourceRef", "parse_html",
+           "extract_resources", "resolve_url", "is_same_origin"]
+
+
+class ResourceKind(enum.Enum):
+    DOCUMENT = "document"
+    STYLESHEET = "stylesheet"
+    SCRIPT = "script"
+    IMAGE = "image"
+    FONT = "font"
+    MEDIA = "media"
+    IFRAME = "iframe"
+    FETCH = "fetch"      # XHR/fetch() issued by scripts
+    PREFETCH = "prefetch"  # <link rel=preload/prefetch>
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class ResourceRef:
+    """One subresource reference discovered in a document or stylesheet."""
+
+    url: str
+    kind: ResourceKind
+    #: blocks HTML parsing (sync scripts) or rendering (stylesheets)
+    blocking: bool
+    #: URL of the containing document/stylesheet
+    discovered_by: str = ""
+    #: True for <script async>/<script defer>
+    deferred: bool = False
+
+    def resolved(self, base_url: str) -> "ResourceRef":
+        """Same reference with ``url`` made absolute against ``base_url``."""
+        absolute = resolve_url(base_url, self.url)
+        if absolute == self.url:
+            return self
+        return ResourceRef(url=absolute, kind=self.kind,
+                           blocking=self.blocking,
+                           discovered_by=self.discovered_by,
+                           deferred=self.deferred)
+
+
+def resolve_url(base_url: str, url: str) -> str:
+    """Resolve ``url`` against ``base_url`` (RFC 3986 join)."""
+    return urljoin(base_url, url)
+
+
+def is_same_origin(url_a: str, url_b: str) -> bool:
+    """Scheme+host+port equality; relative URLs count as same-origin."""
+    a, b = urlsplit(url_a), urlsplit(url_b)
+    if not a.netloc or not b.netloc:
+        return True
+    return (a.scheme, a.netloc) == (b.scheme, b.netloc)
+
+
+class _DomBuilder(HTMLParser):
+    """Builds the DOM tree, tolerant of unclosed tags."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = Element(tag="#root")
+        self._stack: list[Element] = [self.root]
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        element = Element(tag=tag.lower(),
+                          attrs={k.lower(): v for k, v in attrs})
+        self._stack[-1].append(element)
+        if tag.lower() not in VOID_ELEMENTS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs) -> None:
+        self._stack[-1].append(
+            Element(tag=tag.lower(),
+                    attrs={k.lower(): v for k, v in attrs}))
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        # Pop to the matching open tag if one exists; ignore strays.
+        for index in range(len(self._stack) - 1, 0, -1):
+            if self._stack[index].tag == tag:
+                del self._stack[index:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if data:
+            self._stack[-1].append(Text(data))
+
+
+def parse_html(markup: str) -> Document:
+    """Parse HTML text into a :class:`Document`.
+
+    >>> doc = parse_html('<html><body><img src=a.png></body></html>')
+    >>> doc.find('img').get('src')
+    'a.png'
+    """
+    builder = _DomBuilder()
+    builder.feed(markup)
+    builder.close()
+    return Document(root=builder.root)
+
+
+# ---------------------------------------------------------------------------
+# Subresource extraction
+# ---------------------------------------------------------------------------
+
+_IMG_TAGS = {"img": "src", "embed": "src"}
+_MEDIA_TAGS = {"video", "audio", "source", "track"}
+
+_PRELOAD_KINDS = {
+    "style": ResourceKind.STYLESHEET,
+    "script": ResourceKind.SCRIPT,
+    "image": ResourceKind.IMAGE,
+    "font": ResourceKind.FONT,
+    "fetch": ResourceKind.FETCH,
+}
+
+
+def extract_resources(document: Document, base_url: str = "",
+                      include_inline_css: bool = True) -> list[ResourceRef]:
+    """Collect subresource references in document order.
+
+    This single function serves both sides of CacheCatalyst: the server
+    calls it to build the ETag map; the browser model calls it to know
+    what to fetch.  Keeping one implementation guarantees the two agree —
+    a disagreement would silently disable the optimization for the missed
+    resources.
+    """
+    refs: list[ResourceRef] = []
+
+    def add(url: Optional[str], kind: ResourceKind, blocking: bool,
+            deferred: bool = False) -> None:
+        if not url:
+            return
+        url = url.strip()
+        if not url or url.startswith(("data:", "javascript:", "about:",
+                                      "#", "blob:")):
+            return
+        ref = ResourceRef(url=url, kind=kind, blocking=blocking,
+                          discovered_by=base_url, deferred=deferred)
+        if base_url:
+            ref = ref.resolved(base_url)
+        refs.append(ref)
+
+    for el in document.walk():
+        tag = el.tag
+        if tag == "link":
+            rel = (el.get("rel") or "").lower()
+            href = el.get("href")
+            rels = rel.split()
+            if "stylesheet" in rels:
+                add(href, ResourceKind.STYLESHEET, blocking=True)
+            elif "preload" in rels or "prefetch" in rels:
+                as_kind = _PRELOAD_KINDS.get((el.get("as") or "").lower(),
+                                             ResourceKind.PREFETCH)
+                add(href, as_kind, blocking=False)
+            elif "icon" in rels or "shortcut" in rels \
+                    or "apple-touch-icon" in rel:
+                add(href, ResourceKind.IMAGE, blocking=False)
+            elif "manifest" in rels:
+                add(href, ResourceKind.FETCH, blocking=False)
+        elif tag == "script":
+            src = el.get("src")
+            if src:
+                deferred = el.has_attr("async") or el.has_attr("defer") \
+                    or (el.get("type") or "").lower() == "module"
+                add(src, ResourceKind.SCRIPT, blocking=not deferred,
+                    deferred=deferred)
+        elif tag in _IMG_TAGS:
+            add(el.get(_IMG_TAGS[tag]), ResourceKind.IMAGE, blocking=False)
+            srcset = el.get("srcset")
+            if srcset:
+                for candidate in srcset.split(","):
+                    url = candidate.strip().split(" ")[0]
+                    add(url, ResourceKind.IMAGE, blocking=False)
+        elif tag in _MEDIA_TAGS:
+            add(el.get("src"), ResourceKind.MEDIA, blocking=False)
+            add(el.get("poster"), ResourceKind.IMAGE, blocking=False)
+        elif tag == "iframe":
+            add(el.get("src"), ResourceKind.IFRAME, blocking=False)
+        elif tag == "input" and (el.get("type") or "").lower() == "image":
+            add(el.get("src"), ResourceKind.IMAGE, blocking=False)
+        elif tag == "object":
+            add(el.get("data"), ResourceKind.OTHER, blocking=False)
+        elif tag == "style" and include_inline_css:
+            for url in extract_css_urls(el.text_content()):
+                add(url, ResourceKind.IMAGE, blocking=False)
+        if include_inline_css:
+            style_attr = el.get("style")
+            if style_attr:
+                for url in extract_css_urls(style_attr):
+                    add(url, ResourceKind.IMAGE, blocking=False)
+
+    # De-duplicate by URL, keeping the first (and most blocking) mention.
+    seen: dict[str, ResourceRef] = {}
+    for ref in refs:
+        prior = seen.get(ref.url)
+        if prior is None:
+            seen[ref.url] = ref
+        elif ref.blocking and not prior.blocking:
+            seen[ref.url] = ResourceRef(
+                url=prior.url, kind=prior.kind, blocking=True,
+                discovered_by=prior.discovered_by, deferred=False)
+    return list(seen.values())

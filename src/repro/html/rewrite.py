@@ -1,0 +1,79 @@
+"""HTML rewriting: Service-Worker registration injection.
+
+The paper's modified Caddy "inserts the registration code of the Service
+Worker in the HTML file" on the way out.  We do the same with a string-
+level injection (not a DOM re-serialization) so the original markup —
+whitespace, comments, quirks — survives byte-for-byte except for the one
+added ``<script>`` block.  Injection is idempotent.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SW_REGISTRATION_MARKER", "sw_registration_script",
+           "inject_sw_registration", "has_sw_registration",
+           "CACHE_SW_PATH"]
+
+#: URL path the cache Service Worker script is served from
+CACHE_SW_PATH = "/cache-catalyst-sw.js"
+
+SW_REGISTRATION_MARKER = "cache-catalyst-register"
+
+_HEAD_OPEN_RE = re.compile(r"<head(\s[^>]*)?>", re.IGNORECASE)
+_HTML_OPEN_RE = re.compile(r"<html(\s[^>]*)?>", re.IGNORECASE)
+
+
+def sw_registration_script(sw_path: str = CACHE_SW_PATH,
+                           chain_existing: bool = True) -> str:
+    """The registration snippet injected into served HTML.
+
+    ``chain_existing`` addresses the paper's §6 concern about sites that
+    already register their own Service Worker: the snippet registers the
+    cache SW on its own scope and leaves any existing registration alone,
+    letting both coexist (the cache SW claims only fetches the site SW
+    passes through).
+    """
+    coexist = ("" if not chain_existing else
+               "/* coexists with any site SW: separate registration, "
+               "no takeover */")
+    return (
+        f'<script id="{SW_REGISTRATION_MARKER}">'
+        f"{coexist}"
+        "if('serviceWorker' in navigator){"
+        f"navigator.serviceWorker.register('{sw_path}')"
+        ".catch(function(e){console.warn('cc-sw',e);});"
+        "}</script>"
+    )
+
+
+def has_sw_registration(markup: str) -> bool:
+    """Whether the registration snippet is already present."""
+    return SW_REGISTRATION_MARKER in markup
+
+
+def inject_sw_registration(markup: str,
+                           sw_path: str = CACHE_SW_PATH) -> str:
+    """Insert the registration script, preferably right after ``<head>``.
+
+    Falls back to after ``<html>``, then to prepending — every document
+    gets the snippet somewhere the browser will execute it.
+
+    >>> out = inject_sw_registration('<html><head></head></html>')
+    >>> SW_REGISTRATION_MARKER in out
+    True
+    >>> inject_sw_registration(out) == out   # idempotent
+    True
+    """
+    if has_sw_registration(markup):
+        return markup
+    snippet = sw_registration_script(sw_path)
+    match = _HEAD_OPEN_RE.search(markup)
+    if match:
+        pos = match.end()
+        return markup[:pos] + snippet + markup[pos:]
+    match = _HTML_OPEN_RE.search(markup)
+    if match:
+        pos = match.end()
+        return markup[:pos] + snippet + markup[pos:]
+    return snippet + markup

@@ -1,0 +1,36 @@
+"""HTTP substrate: messages, header semantics, wire codec, asyncio I/O.
+
+Everything caching-related in RFC 9110/9111 that the reproduction needs is
+implemented here from scratch (no third-party HTTP library is available in
+the offline environment):
+
+- :class:`Headers` — case-insensitive multimap
+- :class:`Request` / :class:`Response` — in-memory message model
+- :mod:`etag` — entity tags and conditional-request evaluation
+- :mod:`cache_control` — Cache-Control directive parsing
+- :mod:`dates` — HTTP-date handling
+- :mod:`wire` — HTTP/1.1 serialization/parsing
+- :class:`AsyncHttpServer` / :class:`AsyncHttpClient` — real-socket path
+"""
+
+from .cache_control import CacheControl, parse_cache_control
+from .dates import format_http_date, parse_http_date
+from .errors import (ConnectionClosed, HttpError, MessageTooLarge,
+                     ProtocolError, RequestTimeout)
+from .etag import (ETag, etag_for_content, if_none_match_matches, parse_etag,
+                   parse_etag_list)
+from .headers import Headers
+from .messages import Request, Response, status_reason
+from .aclient import AsyncHttpClient, FetchResult, FetchTiming
+from .aserver import AsyncHttpServer
+
+__all__ = [
+    "Headers", "Request", "Response", "status_reason",
+    "ETag", "parse_etag", "parse_etag_list", "etag_for_content",
+    "if_none_match_matches",
+    "CacheControl", "parse_cache_control",
+    "format_http_date", "parse_http_date",
+    "HttpError", "ProtocolError", "MessageTooLarge", "ConnectionClosed",
+    "RequestTimeout",
+    "AsyncHttpServer", "AsyncHttpClient", "FetchResult", "FetchTiming",
+]

@@ -1,0 +1,183 @@
+"""Real asyncio HTTP/1.1 client with per-origin connection pooling.
+
+Mirrors what a browser's network stack gives a page: persistent
+connections, a per-origin concurrency cap, and timing for each exchange —
+enough to measure request latency in the real-socket integration path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+from urllib.parse import urlsplit
+
+from .errors import ConnectionClosed, HttpError, RequestTimeout
+from .headers import Headers
+from .messages import Request, Response
+from .wire import read_response, serialize_request
+
+__all__ = ["AsyncHttpClient", "FetchTiming", "FetchResult"]
+
+#: browsers open at most this many parallel connections per origin
+DEFAULT_CONNECTIONS_PER_ORIGIN = 6
+
+
+@dataclass(frozen=True)
+class FetchTiming:
+    """Wall-clock timing of one exchange (seconds)."""
+
+    start: float
+    connect_done: float
+    response_done: float
+    reused_connection: bool
+
+    @property
+    def total_s(self) -> float:
+        return self.response_done - self.start
+
+    @property
+    def connect_s(self) -> float:
+        return self.connect_done - self.start
+
+
+@dataclass
+class FetchResult:
+    response: Response
+    timing: FetchTiming
+
+
+@dataclass
+class _PooledConnection:
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    created_at: float = field(default_factory=time.monotonic)
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class AsyncHttpClient:
+    """Pooled HTTP client.
+
+    Usage::
+
+        async with AsyncHttpClient() as client:
+            result = await client.get("http://127.0.0.1:8080/index.html")
+    """
+
+    def __init__(self,
+                 connections_per_origin: int = DEFAULT_CONNECTIONS_PER_ORIGIN,
+                 timeout_s: float = 30.0):
+        self.timeout_s = timeout_s
+        self.connections_per_origin = connections_per_origin
+        self._idle: dict[tuple[str, int], list[_PooledConnection]] = {}
+        self._limits: dict[tuple[str, int], asyncio.Semaphore] = {}
+        self._closed = False
+
+    async def __aenter__(self) -> "AsyncHttpClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        for conns in self._idle.values():
+            for conn in conns:
+                conn.close()
+        self._idle.clear()
+
+    # -- public API -----------------------------------------------------------
+    async def get(self, url: str,
+                  headers: Optional[Headers] = None) -> FetchResult:
+        return await self.request(Request(method="GET", url=url,
+                                          headers=headers or Headers()))
+
+    async def request(self, request: Request) -> FetchResult:
+        if self._closed:
+            raise HttpError("client is closed")
+        host, port, origin_form = self._split(request.url)
+        key = (host, port)
+        semaphore = self._limits.setdefault(
+            key, asyncio.Semaphore(self.connections_per_origin))
+        wire_request = request.copy()
+        wire_request.url = origin_form
+        wire_request.headers.setdefault(
+            "Host", host if port == 80 else f"{host}:{port}")
+        async with semaphore:
+            start = time.monotonic()
+            conn, reused = await self._acquire(key)
+            connect_done = time.monotonic()
+            try:
+                response = await asyncio.wait_for(
+                    self._exchange(conn, wire_request),
+                    timeout=self.timeout_s)
+            except asyncio.TimeoutError:
+                conn.close()
+                raise RequestTimeout(f"{request.method} {request.url}")
+            except (ConnectionClosed, ConnectionResetError,
+                    BrokenPipeError):
+                conn.close()
+                if reused:
+                    # Stale pooled connection: retry once on a fresh one.
+                    conn, _ = await self._new_connection(key)
+                    try:
+                        response = await asyncio.wait_for(
+                            self._exchange(conn, wire_request),
+                            timeout=self.timeout_s)
+                    except asyncio.TimeoutError:
+                        conn.close()
+                        raise RequestTimeout(
+                            f"{request.method} {request.url}")
+                else:
+                    raise
+            done = time.monotonic()
+            if (response.headers.get("Connection") or "").lower() == "close":
+                conn.close()
+            else:
+                self._idle.setdefault(key, []).append(conn)
+        timing = FetchTiming(start=start, connect_done=connect_done,
+                             response_done=done,
+                             reused_connection=reused)
+        return FetchResult(response=response, timing=timing)
+
+    # -- internals --------------------------------------------------------------
+    @staticmethod
+    def _split(url: str) -> tuple[str, int, str]:
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", ""):
+            raise HttpError(f"unsupported scheme in {url!r} "
+                            "(real-socket path is plain HTTP)")
+        if not parts.hostname:
+            raise HttpError(f"URL without host: {url!r}")
+        origin_form = parts.path or "/"
+        if parts.query:
+            origin_form += "?" + parts.query
+        return parts.hostname, parts.port or 80, origin_form
+
+    async def _acquire(self, key: tuple[str, int]) \
+            -> tuple[_PooledConnection, bool]:
+        idle = self._idle.get(key, [])
+        while idle:
+            conn = idle.pop()
+            if not conn.writer.is_closing():
+                return conn, True
+            conn.close()
+        return await self._new_connection(key)
+
+    async def _new_connection(self, key: tuple[str, int]) \
+            -> tuple[_PooledConnection, bool]:
+        host, port = key
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=self.timeout_s)
+        return _PooledConnection(reader=reader, writer=writer), False
+
+    @staticmethod
+    async def _exchange(conn: _PooledConnection,
+                        request: Request) -> Response:
+        conn.writer.write(serialize_request(request))
+        await conn.writer.drain()
+        return await read_response(conn.reader,
+                                   request_method=request.method)

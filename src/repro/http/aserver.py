@@ -1,0 +1,147 @@
+"""Real asyncio HTTP/1.1 server.
+
+Serves the same handler objects the discrete-event stack uses
+(``handler(request) -> Response``, sync or async), over actual TCP sockets
+with keep-alive.  Used by the integration tests and the runnable examples
+to demonstrate the system end-to-end outside the simulator.
+
+An optional ``latency_s`` injects a one-way artificial delay before each
+response, emulating a distant origin on localhost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import logging
+from typing import Awaitable, Callable, Optional, Union
+
+from .errors import HttpError, ProtocolError
+from .messages import Request, Response
+from .wire import read_request, serialize_response
+
+__all__ = ["AsyncHttpServer", "Handler"]
+
+logger = logging.getLogger(__name__)
+
+Handler = Callable[[Request], Union[Response, Awaitable[Response]]]
+
+
+class AsyncHttpServer:
+    """A minimal but correct HTTP/1.1 origin server.
+
+    Usage::
+
+        server = AsyncHttpServer(handler)
+        await server.start()          # binds 127.0.0.1 on a free port
+        ... use server.port ...
+        await server.stop()
+
+    Also usable as an async context manager.
+    """
+
+    def __init__(self, handler: Handler, host: str = "127.0.0.1",
+                 port: int = 0, latency_s: float = 0.0,
+                 keepalive_timeout_s: float = 15.0):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.latency_s = latency_s
+        self.keepalive_timeout_s = keepalive_timeout_s
+        self._server: Optional[asyncio.base_events.Server] = None
+        #: total requests served (diagnostics / tests)
+        self.requests_served = 0
+
+    async def start(self) -> "AsyncHttpServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "AsyncHttpServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection loop -----------------------------------------------------
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader),
+                        timeout=self.keepalive_timeout_s)
+                except asyncio.TimeoutError:
+                    return
+                except ProtocolError as exc:
+                    await self._write(writer, Response(
+                        status=400, body=str(exc).encode(),
+                        headers={"Connection": "close"}))
+                    return
+                if request is None:  # clean EOF
+                    return
+                response = await self._dispatch(request)
+                if self.latency_s > 0:
+                    await asyncio.sleep(self.latency_s)
+                keep_alive = self._keep_alive(request)
+                if not keep_alive:
+                    response.headers.set("Connection", "close")
+                await self._write(writer, response)
+                self.requests_served += 1
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, HttpError):
+            return
+        except asyncio.CancelledError:
+            # loop teardown while parked on keep-alive: close quietly
+            # (returning, not re-raising, keeps task.exception() clean)
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Response:
+        try:
+            result = self.handler(request)
+            if inspect.isawaitable(result):
+                result = await result
+        except Exception:
+            logger.exception("handler raised for %s %s",
+                             request.method, request.url)
+            return Response(status=500, body=b"internal server error")
+        if not isinstance(result, Response):
+            logger.error("handler returned %r, not Response", type(result))
+            return Response(status=500, body=b"bad handler result")
+        return result
+
+    @staticmethod
+    def _keep_alive(request: Request) -> bool:
+        conn = (request.headers.get("Connection") or "").lower()
+        if request.http_version == "HTTP/1.0":
+            return conn == "keep-alive"
+        return conn != "close"
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter,
+                     response: Response) -> None:
+        writer.write(serialize_response(response))
+        await writer.drain()

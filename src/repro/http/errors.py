@@ -1,0 +1,31 @@
+"""Exception hierarchy for the HTTP substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "HttpError",
+    "ProtocolError",
+    "MessageTooLarge",
+    "ConnectionClosed",
+    "RequestTimeout",
+]
+
+
+class HttpError(Exception):
+    """Base class for all HTTP-layer errors."""
+
+
+class ProtocolError(HttpError):
+    """Malformed message on the wire."""
+
+
+class MessageTooLarge(ProtocolError):
+    """Start line, header block, or body exceeded a configured limit."""
+
+
+class ConnectionClosed(HttpError):
+    """The peer closed the connection mid-message."""
+
+
+class RequestTimeout(HttpError):
+    """The client gave up waiting for a response."""

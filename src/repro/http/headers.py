@@ -1,0 +1,161 @@
+"""Case-insensitive HTTP header multimap.
+
+Semantics follow RFC 9110: field names compare case-insensitively, a field
+may occur multiple times, and for list-valued fields the occurrences join
+with commas.  Insertion order is preserved (it matters on the wire and for
+deterministic tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Union
+
+__all__ = ["Headers"]
+
+_RawItems = Union["Headers", Mapping[str, str],
+                  Iterable[tuple[str, str]], None]
+
+
+class Headers:
+    """An ordered, case-insensitive multimap of header fields.
+
+    >>> h = Headers({"Content-Type": "text/html"})
+    >>> h["content-type"]
+    'text/html'
+    >>> h.add("Set-Cookie", "a=1"); h.add("Set-Cookie", "b=2")
+    >>> h.get_all("set-cookie")
+    ['a=1', 'b=2']
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: _RawItems = None):
+        self._items: list[tuple[str, str]] = []
+        if items is None:
+            return
+        if isinstance(items, Headers):
+            self._items = list(items._items)
+        elif isinstance(items, Mapping):
+            for name, value in items.items():
+                self.add(name, value)
+        else:
+            for name, value in items:
+                self.add(name, value)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, name: str, value: str) -> None:
+        """Append an occurrence of ``name`` (keeps existing ones)."""
+        self._items.append((self._check_name(name), self._check_value(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all occurrences of ``name`` with a single value."""
+        self.remove(name)
+        self.add(name, value)
+
+    def setdefault(self, name: str, value: str) -> str:
+        existing = self.get(name)
+        if existing is not None:
+            return existing
+        self.add(name, value)
+        return value
+
+    def remove(self, name: str) -> None:
+        """Drop every occurrence of ``name`` (no error if absent)."""
+        key = name.lower()
+        self._items = [(n, v) for n, v in self._items if n.lower() != key]
+
+    def extend(self, items: _RawItems) -> None:
+        for name, value in Headers(items).items():
+            self.add(name, value)
+
+    # -- access ------------------------------------------------------------
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First occurrence of ``name``, or ``default``."""
+        key = name.lower()
+        for n, v in self._items:
+            if n.lower() == key:
+                return v
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        """Every occurrence of ``name``, in insertion order."""
+        key = name.lower()
+        return [v for n, v in self._items if n.lower() == key]
+
+    def get_joined(self, name: str) -> Optional[str]:
+        """All occurrences joined with ``", "`` (RFC 9110 list semantics)."""
+        values = self.get_all(name)
+        if not values:
+            return None
+        return ", ".join(values)
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def names(self) -> list[str]:
+        seen: dict[str, str] = {}
+        for n, _ in self._items:
+            seen.setdefault(n.lower(), n)
+        return list(seen.values())
+
+    def copy(self) -> "Headers":
+        return Headers(self)
+
+    # -- dunder ------------------------------------------------------------
+    def __getitem__(self, name: str) -> str:
+        value = self.get(name)
+        if value is None:
+            raise KeyError(name)
+        return value
+
+    def __setitem__(self, name: str, value: str) -> None:
+        self.set(name, value)
+
+    def __delitem__(self, name: str) -> None:
+        if name.lower() not in (n.lower() for n, _ in self._items):
+            raise KeyError(name)
+        self.remove(name)
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return (n for n, _ in self._items)
+
+    def __eq__(self, other: object) -> bool:
+        """Order-insensitive, name-case-insensitive equality."""
+        if not isinstance(other, Headers):
+            return NotImplemented
+        mine = sorted((n.lower(), v) for n, v in self._items)
+        theirs = sorted((n.lower(), v) for n, v in other._items)
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {v!r}" for n, v in self._items)
+        return f"Headers({inner})"
+
+    # -- wire accounting ----------------------------------------------------
+    def wire_size(self) -> int:
+        """Bytes these headers occupy serialized (``Name: value\\r\\n``)."""
+        return sum(len(n) + 2 + len(v.encode("utf-8", "replace")) + 2
+                   for n, v in self._items)
+
+    # -- validation ----------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not name or any(c in name for c in " \t\r\n:"):
+            raise ValueError(f"invalid header field name: {name!r}")
+        return name
+
+    @staticmethod
+    def _check_value(value: str) -> str:
+        if not isinstance(value, str):
+            raise TypeError(f"header value must be str, got {type(value)}")
+        if "\r" in value or "\n" in value:
+            raise ValueError("header value contains CR/LF (smuggling risk)")
+        return value.strip()

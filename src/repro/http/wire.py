@@ -1,0 +1,214 @@
+"""HTTP/1.1 wire codec over asyncio streams.
+
+Serializes :class:`~repro.http.messages.Request`/``Response`` objects and
+parses them back from ``asyncio.StreamReader``.  Supports Content-Length
+and chunked transfer coding, enforces size limits, and rejects messages
+that smell like request smuggling (conflicting length framing).
+
+This module carries the *real-socket* integration path; the discrete-event
+experiments never serialize, they hand message objects across directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .errors import ConnectionClosed, MessageTooLarge, ProtocolError
+from .headers import Headers
+from .messages import Request, Response, status_reason
+
+__all__ = [
+    "serialize_request", "serialize_response",
+    "read_request", "read_response",
+    "MAX_START_LINE", "MAX_HEADER_BLOCK", "MAX_BODY",
+]
+
+MAX_START_LINE = 8 * 1024
+MAX_HEADER_BLOCK = 256 * 1024   # X-Etag-Config headers can be large
+MAX_BODY = 64 * 1024 * 1024
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+def serialize_request(request: Request) -> bytes:
+    """Encode a request for the wire, adding Content-Length when needed."""
+    headers = request.headers.copy()
+    if request.body and "Content-Length" not in headers:
+        headers.set("Content-Length", str(len(request.body)))
+    lines = [f"{request.method} {request.url} {request.http_version}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + request.body
+
+
+def serialize_response(response: Response) -> bytes:
+    """Encode a response for the wire, adding Content-Length when needed."""
+    headers = response.headers.copy()
+    has_body = _response_may_have_body(response.status)
+    if has_body and "Content-Length" not in headers \
+            and "Transfer-Encoding" not in headers:
+        headers.set("Content-Length", str(len(response.body)))
+    reason = response.reason or status_reason(response.status)
+    lines = [f"{response.http_version} {response.status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + (response.body if has_body else b"")
+
+
+def _response_may_have_body(status: int) -> bool:
+    return not (100 <= status < 200 or status in (204, 304))
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionClosed("peer closed before start of message")
+        raise ProtocolError("truncated line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise MessageTooLarge("line exceeds stream limit") from exc
+    if len(line) > limit:
+        raise MessageTooLarge(f"line of {len(line)} bytes exceeds {limit}")
+    return line[:-2]
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> Headers:
+    headers = Headers()
+    total = 0
+    while True:
+        line = await _read_line(reader, MAX_START_LINE)
+        if not line:
+            return headers
+        total += len(line)
+        if total > MAX_HEADER_BLOCK:
+            raise MessageTooLarge("header block too large")
+        if line[:1] in (b" ", b"\t"):
+            raise ProtocolError("obsolete header line folding rejected")
+        name, sep, value = line.partition(b":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line[:80]!r}")
+        if name != name.strip():
+            raise ProtocolError("whitespace around header field name")
+        headers.add(name.decode("latin-1"),
+                    value.strip().decode("latin-1"))
+
+
+def _body_framing(headers: Headers) -> tuple[str, int]:
+    """Determine framing; rejects smuggling-prone combinations.
+
+    Returns ``("length", n)``, ``("chunked", 0)``, or ``("none", 0)``.
+    """
+    te = headers.get_joined("Transfer-Encoding")
+    cl_values = headers.get_all("Content-Length")
+    if te is not None:
+        if cl_values:
+            raise ProtocolError(
+                "both Transfer-Encoding and Content-Length present")
+        codings = [c.strip().lower() for c in te.split(",") if c.strip()]
+        if codings != ["chunked"]:
+            raise ProtocolError(f"unsupported transfer coding: {te!r}")
+        return ("chunked", 0)
+    if cl_values:
+        unique = {v.strip() for v in cl_values}
+        if len(unique) != 1:
+            raise ProtocolError("conflicting Content-Length values")
+        raw = unique.pop()
+        if not raw.isdigit():
+            raise ProtocolError(f"invalid Content-Length: {raw!r}")
+        length = int(raw)
+        if length > MAX_BODY:
+            raise MessageTooLarge(f"declared body of {length} bytes")
+        return ("length", length)
+    return ("none", 0)
+
+
+async def _read_body(reader: asyncio.StreamReader,
+                     headers: Headers) -> bytes:
+    framing, length = _body_framing(headers)
+    if framing == "none":
+        return b""
+    if framing == "length":
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionClosed("body truncated") from exc
+    # chunked
+    chunks: list[bytes] = []
+    total = 0
+    while True:
+        size_line = await _read_line(reader, MAX_START_LINE)
+        size_text = size_line.split(b";", 1)[0].strip()
+        try:
+            size = int(size_text, 16)
+        except ValueError:
+            raise ProtocolError(f"bad chunk size: {size_line[:40]!r}")
+        if size < 0:
+            raise ProtocolError("negative chunk size")
+        total += size
+        if total > MAX_BODY:
+            raise MessageTooLarge("chunked body too large")
+        if size == 0:
+            # trailer section: read until blank line
+            while True:
+                trailer = await _read_line(reader, MAX_START_LINE)
+                if not trailer:
+                    return b"".join(chunks)
+        try:
+            chunks.append(await reader.readexactly(size))
+            crlf = await reader.readexactly(2)
+        except asyncio.IncompleteReadError as exc:
+            raise ConnectionClosed("chunk truncated") from exc
+        if crlf != b"\r\n":
+            raise ProtocolError("chunk missing terminating CRLF")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request; returns None on clean EOF before any bytes."""
+    try:
+        line = await _read_line(reader, MAX_START_LINE)
+    except ConnectionClosed:
+        return None
+    parts = line.decode("latin-1").split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {line[:80]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(f"unsupported version {version!r}")
+    if not method.isalpha():
+        raise ProtocolError(f"malformed method {method!r}")
+    headers = await _read_headers(reader)
+    body = await _read_body(reader, headers)
+    return Request(method=method, url=target, headers=headers, body=body,
+                   http_version=version)
+
+
+async def read_response(reader: asyncio.StreamReader,
+                        request_method: str = "GET") -> Response:
+    """Read one response (framing depends on the request method)."""
+    line = await _read_line(reader, MAX_START_LINE)
+    parts = line.decode("latin-1").split(" ", 2)
+    if len(parts) < 2:
+        raise ProtocolError(f"malformed status line: {line[:80]!r}")
+    version = parts[0]
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(f"unsupported version {version!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise ProtocolError(f"non-numeric status: {parts[1]!r}")
+    reason = parts[2] if len(parts) == 3 else ""
+    headers = await _read_headers(reader)
+    if request_method == "HEAD" or not _response_may_have_body(status):
+        body = b""
+    else:
+        body = await _read_body(reader, headers)
+    return Response(status=status, headers=headers, body=body,
+                    http_version=version, reason=reason)

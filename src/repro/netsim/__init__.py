@@ -1,0 +1,33 @@
+"""Deterministic discrete-event network simulation substrate.
+
+Public surface:
+
+- :class:`~repro.netsim.sim.Simulator` and the event primitives — the DES
+  kernel everything runs on.
+- :class:`~repro.netsim.link.NetworkConditions` /
+  :class:`~repro.netsim.link.Link` — throttled access-link model.
+- :class:`~repro.netsim.tcp.Connection` — handshake + transfer cost model.
+- :mod:`~repro.netsim.conditions` — named profiles and the Figure 3 grid.
+- :mod:`~repro.netsim.clock` — duration parsing/formatting helpers.
+"""
+
+from .clock import (DAY, HOUR, MINUTE, SECOND, WEEK, format_duration, ms,
+                    parse_duration)
+from .conditions import (FIGURE3_LATENCIES_MS, FIGURE3_THROUGHPUTS_MBPS,
+                         PROFILES, figure3_grid, profile)
+from .link import Link, NetworkConditions, ProcessorSharingPipe
+from .sim import (AllOf, AnyOf, Event, Interrupt, Process, Resource,
+                  SimulationError, Simulator, Timeout)
+from .tcp import Connection, ConnectionPolicy, slow_start_extra_rtts
+from .variable import VariableLink
+
+__all__ = [
+    "Simulator", "Event", "Timeout", "Process", "AnyOf", "AllOf", "Resource",
+    "Interrupt", "SimulationError",
+    "NetworkConditions", "Link", "ProcessorSharingPipe", "VariableLink",
+    "Connection", "ConnectionPolicy", "slow_start_extra_rtts",
+    "PROFILES", "profile", "figure3_grid",
+    "FIGURE3_THROUGHPUTS_MBPS", "FIGURE3_LATENCIES_MS",
+    "SECOND", "MINUTE", "HOUR", "DAY", "WEEK",
+    "parse_duration", "format_duration", "ms",
+]

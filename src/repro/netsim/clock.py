@@ -1,0 +1,93 @@
+"""Time utilities for the simulator.
+
+Everything in the simulation is measured in *seconds* (floats).  These
+helpers convert between human-friendly duration strings (used in experiment
+configs and by the paper: "1 min", "1 h", "6 h", "1 d", "1 w") and seconds,
+and format timeline output.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "SECOND", "MINUTE", "HOUR", "DAY", "WEEK",
+    "parse_duration", "format_duration", "ms", "seconds_to_ms",
+]
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+_UNITS = {
+    "s": SECOND, "sec": SECOND, "second": SECOND, "seconds": SECOND,
+    "m": MINUTE, "min": MINUTE, "minute": MINUTE, "minutes": MINUTE,
+    "h": HOUR, "hr": HOUR, "hour": HOUR, "hours": HOUR,
+    "d": DAY, "day": DAY, "days": DAY,
+    "w": WEEK, "wk": WEEK, "week": WEEK, "weeks": WEEK,
+    "ms": SECOND / 1000.0,
+}
+
+_DURATION_RE = re.compile(
+    r"\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[a-zA-Z]+)\s*")
+
+
+def parse_duration(text: str | float | int) -> float:
+    """Parse a duration into seconds.
+
+    Accepts a bare number (seconds) or strings like ``"1 min"``, ``"6h"``,
+    ``"1 week"``, ``"250ms"``, and concatenations (``"1h 30min"``).
+
+    >>> parse_duration("1 min")
+    60.0
+    >>> parse_duration("1h 30min")
+    5400.0
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    total = 0.0
+    pos = 0
+    matched = False
+    for match in _DURATION_RE.finditer(text):
+        if match.start() != pos:
+            raise ValueError(f"unparsable duration: {text!r}")
+        unit = match.group("unit").lower()
+        if unit not in _UNITS:
+            raise ValueError(f"unknown duration unit {unit!r} in {text!r}")
+        total += float(match.group("num")) * _UNITS[unit]
+        pos = match.end()
+        matched = True
+    if not matched or pos != len(text):
+        raise ValueError(f"unparsable duration: {text!r}")
+    return total
+
+
+def format_duration(seconds: float) -> str:
+    """Format seconds as the largest clean unit (for report labels).
+
+    >>> format_duration(3600.0)
+    '1h'
+    >>> format_duration(90.0)
+    '1.5min'
+    """
+    for label, size in (("w", WEEK), ("d", DAY), ("h", HOUR), ("min", MINUTE)):
+        if seconds >= size:
+            qty = seconds / size
+            if qty == int(qty):
+                return f"{int(qty)}{label}"
+            return f"{qty:g}{label}"
+    if seconds >= 1:
+        return f"{seconds:g}s"
+    return f"{seconds * 1000:g}ms"
+
+
+def ms(milliseconds: float) -> float:
+    """Milliseconds -> seconds (reads nicely at call sites: ``ms(40)``)."""
+    return milliseconds / 1000.0
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Seconds -> milliseconds."""
+    return seconds * 1000.0

@@ -1,0 +1,66 @@
+"""Named network profiles and the Figure 3 evaluation grid.
+
+The paper evaluates under browser-throttled combinations of throughput and
+latency; the text names 8 Mbps (bandwidth-bound) and 60 Mbps / 40 ms — the
+median global 5G condition — as anchors, and notes improvement grows with
+latency at fixed throughput.  The grid below spans those anchors.
+"""
+
+from __future__ import annotations
+
+from .link import NetworkConditions
+
+__all__ = [
+    "PROFILES",
+    "FIGURE3_THROUGHPUTS_MBPS",
+    "FIGURE3_LATENCIES_MS",
+    "figure3_grid",
+    "profile",
+]
+
+#: Throughput axis of Figure 3, in Mbit/s.  16 Mbps is the knee found by
+#: Sundaresan et al. (cited in the paper) past which latency dominates PLT.
+FIGURE3_THROUGHPUTS_MBPS = (8.0, 16.0, 30.0, 60.0)
+
+#: Latency axis of Figure 3 (round-trip, milliseconds).
+FIGURE3_LATENCIES_MS = (10.0, 20.0, 40.0, 80.0, 100.0)
+
+PROFILES: dict[str, NetworkConditions] = {
+    # The paper's anchor: median global 5G access.
+    "5g-median": NetworkConditions.of(60, 40, label="5g-median"),
+    "4g": NetworkConditions.of(20, 60, label="4g"),
+    "3g-fast": NetworkConditions.of(1.6, 150, label="3g-fast"),
+    "dsl": NetworkConditions.of(8, 25, label="dsl"),
+    "cable": NetworkConditions.of(30, 15, label="cable"),
+    "fiber": NetworkConditions.of(100, 5, label="fiber"),
+    "satellite": NetworkConditions.of(25, 600, label="satellite"),
+    # Degenerate profiles for tests/analytics.
+    "no-throttle": NetworkConditions.of(1e6, 0.0, label="no-throttle"),
+}
+
+
+def profile(name: str) -> NetworkConditions:
+    """Look up a named profile.
+
+    >>> profile("5g-median").rtt_ms
+    40.0
+    """
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network profile {name!r}; "
+            f"known: {sorted(PROFILES)}") from None
+
+
+def figure3_grid(throughputs_mbps=FIGURE3_THROUGHPUTS_MBPS,
+                 latencies_ms=FIGURE3_LATENCIES_MS):
+    """All (throughput, latency) cells of the Figure 3 sweep.
+
+    Yields :class:`NetworkConditions` row-major: for each throughput, every
+    latency.
+    """
+    for mbps in throughputs_mbps:
+        for rtt_ms in latencies_ms:
+            yield NetworkConditions.of(
+                mbps, rtt_ms, label=f"{mbps:g}Mbps/{rtt_ms:g}ms")

@@ -1,0 +1,228 @@
+"""Network link models: propagation latency + shared bandwidth.
+
+The access link is modelled the way browser throttling (the paper's
+measurement tool) models it:
+
+- every request/response pays propagation delay derived from the configured
+  round-trip time, and
+- response bodies are serialized through a *shared* downlink pipe, so
+  concurrent fetches divide the configured throughput between them.
+
+The pipe uses a processor-sharing discipline: at any instant each of the
+``n`` active transfers progresses at ``capacity / n``.  This matches how
+parallel HTTP downloads share a last-mile link closely enough for PLT work,
+and is what Chrome's throttle approximates.
+
+:class:`ProcessorSharingPipe` is exact: on every arrival or departure it
+advances all in-flight transfers by the elapsed time at the old rate and
+reschedules the next completion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .sim import Event, Simulator
+
+__all__ = ["NetworkConditions", "ProcessorSharingPipe", "Link"]
+
+#: Bytes of protocol overhead we bill per HTTP message exchange
+#: (request line + headers up, status line + headers down).  Headers ride the
+#: same pipes as bodies.
+DEFAULT_REQUEST_BYTES = 450
+DEFAULT_RESPONSE_HEADER_BYTES = 350
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """A throttling profile: RTT plus down/up throughput.
+
+    ``rtt_s`` is the full round-trip time between client and origin in
+    seconds.  ``downlink_bps``/``uplink_bps`` are in bits per second;
+    ``math.inf`` disables the corresponding bandwidth limit.
+    """
+
+    rtt_s: float
+    downlink_bps: float
+    uplink_bps: float = math.inf
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rtt_s < 0:
+            raise ValueError(f"negative RTT: {self.rtt_s}")
+        if self.downlink_bps <= 0 or self.uplink_bps <= 0:
+            raise ValueError("throughput must be positive")
+
+    @property
+    def one_way_s(self) -> float:
+        """One-way propagation delay."""
+        return self.rtt_s / 2.0
+
+    @property
+    def rtt_ms(self) -> float:
+        return self.rtt_s * 1000.0
+
+    @property
+    def downlink_mbps(self) -> float:
+        return self.downlink_bps / 1e6
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        down = ("inf" if math.isinf(self.downlink_bps)
+                else f"{self.downlink_mbps:g}Mbps")
+        return f"{down}/{self.rtt_ms:g}ms"
+
+    @classmethod
+    def of(cls, mbps: float, rtt_ms: float, up_mbps: Optional[float] = None,
+           label: str = "") -> "NetworkConditions":
+        """Build from the units the paper uses (Mbit/s and milliseconds)."""
+        return cls(
+            rtt_s=rtt_ms / 1000.0,
+            downlink_bps=mbps * 1e6,
+            uplink_bps=math.inf if up_mbps is None else up_mbps * 1e6,
+            label=label,
+        )
+
+
+class _Transfer:
+    __slots__ = ("remaining_bits", "event")
+
+    def __init__(self, remaining_bits: float, event: Event):
+        self.remaining_bits = remaining_bits
+        self.event = event
+
+
+class ProcessorSharingPipe:
+    """A bandwidth pipe shared equally among in-flight transfers."""
+
+    def __init__(self, sim: Simulator, capacity_bps: float):
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity_bps = capacity_bps
+        self._active: list[_Transfer] = []
+        self._last_update = 0.0
+        self._wakeup_token = 0
+        #: cumulative bits pushed through the pipe (for accounting benches)
+        self.total_bits = 0.0
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def set_capacity(self, capacity_bps: float) -> None:
+        """Change the pipe's rate mid-flight (mobility / handover).
+
+        In-flight transfers are advanced at the old rate up to now, then
+        continue at the new rate — work done is conserved.
+        """
+        if capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        self._advance()
+        self.capacity_bps = capacity_bps
+        self._reschedule()
+
+    def transfer(self, nbytes: int) -> Event:
+        """Begin a transfer of ``nbytes``; the event fires on completion."""
+        ev = Event(self.sim)
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        self.total_bits += nbytes * 8.0
+        if nbytes == 0 or math.isinf(self.capacity_bps):
+            ev.succeed(nbytes)
+            return ev
+        self._advance()
+        self._active.append(_Transfer(nbytes * 8.0, ev))
+        self._reschedule()
+        return ev
+
+    # -- internals ----------------------------------------------------------
+    def _rate_per_transfer(self) -> float:
+        if not self._active:
+            return self.capacity_bps
+        return self.capacity_bps / len(self._active)
+
+    def _advance(self) -> None:
+        """Account progress since the last queue change at the old rate."""
+        now = self.sim.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed <= 0 or not self._active:
+            return
+        progressed = elapsed * self._rate_per_transfer()
+        for t in self._active:
+            t.remaining_bits -= progressed
+
+    def _reschedule(self) -> None:
+        """Complete any finished transfers and arm the next wakeup.
+
+        The wakeup carries its target transfer and force-completes it:
+        float drift could otherwise leave a sub-bit residue whose
+        completion delay underflows to a zero time step, livelocking the
+        queue.
+        """
+        finished = [t for t in self._active if t.remaining_bits <= 1e-6]
+        if finished:
+            self._active = [t for t in self._active
+                            if t.remaining_bits > 1e-6]
+            for t in finished:
+                t.event.succeed()
+        self._wakeup_token += 1
+        if not self._active:
+            return
+        rate = self._rate_per_transfer()
+        target = min(self._active, key=lambda t: t.remaining_bits)
+        delay = target.remaining_bits / rate
+        token = self._wakeup_token
+        timer = self.sim.timeout(delay)
+        timer.add_callback(lambda _ev: self._on_wakeup(token, target))
+
+    def _on_wakeup(self, token: int, target: _Transfer) -> None:
+        if token != self._wakeup_token:
+            return  # superseded by a later arrival/departure
+        self._advance()
+        target.remaining_bits = 0.0  # guaranteed progress per wakeup
+        self._reschedule()
+
+
+class Link:
+    """A client access link: propagation + shared up/down pipes.
+
+    All fetches issued by one simulated browser share one :class:`Link`,
+    which is what makes concurrent downloads contend for throughput the way
+    they do behind a real last-mile connection.
+    """
+
+    def __init__(self, sim: Simulator, conditions: NetworkConditions):
+        self.sim = sim
+        self.conditions = conditions
+        self._down = (None if math.isinf(conditions.downlink_bps)
+                      else ProcessorSharingPipe(sim, conditions.downlink_bps))
+        self._up = (None if math.isinf(conditions.uplink_bps)
+                    else ProcessorSharingPipe(sim, conditions.uplink_bps))
+        #: bytes that actually crossed the downlink (response headers+bodies)
+        self.bytes_down = 0
+        self.bytes_up = 0
+
+    # Each direction: one-way propagation, then serialization through the
+    # shared pipe.  Exposed as generator-coroutines for use in processes.
+    def send_upstream(self, nbytes: int):
+        """Process: deliver ``nbytes`` from client to server."""
+        self.bytes_up += nbytes
+        yield self.sim.timeout(self.conditions.one_way_s)
+        if self._up is not None:
+            yield self._up.transfer(nbytes)
+
+    def send_downstream(self, nbytes: int):
+        """Process: deliver ``nbytes`` from server to client."""
+        self.bytes_down += nbytes
+        yield self.sim.timeout(self.conditions.one_way_s)
+        if self._down is not None:
+            yield self._down.transfer(nbytes)
+
+    def round_trip(self):
+        """Process: one full RTT with no payload (e.g. TCP SYN/SYN-ACK)."""
+        yield self.sim.timeout(self.conditions.rtt_s)

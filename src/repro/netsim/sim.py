@@ -1,0 +1,425 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine event simulator in the style of
+SimPy (which is not available offline).  All network and page-load timing in
+this package runs on this kernel so that experiments are exactly
+reproducible and take milliseconds of wall time regardless of how many
+seconds of simulated time they span.
+
+Model
+-----
+- A :class:`Simulator` owns a virtual clock and a priority queue of pending
+  events.
+- An :class:`Event` is a one-shot occurrence.  Once *triggered* with a value
+  it fires its callbacks when the simulator reaches its scheduled time.
+- A :class:`Process` wraps a generator.  The generator ``yield``\\ s events;
+  the process resumes when the yielded event fires, receiving the event's
+  value as the result of the ``yield`` expression.  A process is itself an
+  event that triggers when the generator returns (its value is the
+  generator's return value), so processes can wait on each other.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def worker(sim, results):
+...     yield sim.timeout(2.0)
+...     results.append(sim.now)
+>>> results = []
+>>> _ = sim.process(worker(sim, results))
+>>> sim.run()
+>>> results
+[2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Resource",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, yielding non-events...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    Lifecycle: *pending* -> *triggered* (value decided, scheduled on the
+    queue) -> *processed* (callbacks ran).  Callbacks added after processing
+    are invoked immediately.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value (or failure) has been decided."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only after triggering)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value of untriggered event")
+        return self._value
+
+    # -- transitions ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters will see ``exception``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._schedule(self, 0.0 if delay is None else delay)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event fires.
+
+        Adding to an already-processed event defers ``fn`` through the
+        queue (same simulated time, later step) instead of invoking it
+        synchronously — this keeps resumption order deterministic and
+        bounds recursion when long chains of completed events are awaited.
+        """
+        if self.callbacks is None:
+            relay = Event(self.sim)
+            relay._triggered = True
+            relay._ok = self._ok
+            relay._value = self._value
+            relay.callbacks.append(fn)
+            self.sim._schedule(relay, 0.0)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:g}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.succeed(value, delay=delay)
+
+
+class Process(Event):
+    """Drives a generator coroutine; itself an event (fires on return)."""
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError("Process requires a generator")
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time.
+        start = Event(sim)
+        start.succeed(None)
+        start.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and self._resume in (target.callbacks or []):
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+        wake = Event(self.sim)
+        wake.fail(Interrupt(cause))
+        wake.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._gen.send(event.value)
+            else:
+                target = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process as failed.
+            self.fail(exc)
+            return
+        except Exception as exc:
+            if self.sim.strict:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, not an Event")
+        if target.sim is not self.sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AnyOf(Event):
+    """Fires when the first of ``events`` fires.
+
+    Value is a dict of the already-fired events to their values (at the
+    moment of first firing; simultaneous events at the same timestamp that
+    were processed earlier are included).
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed({ev: ev.value for ev in self.events if ev.processed
+                      or ev is event})
+
+
+class AllOf(Event):
+    """Fires when every one of ``events`` has fired; value maps event->value."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev.value for ev in self.events})
+
+
+class Resource:
+    """A counted resource (e.g. an origin's connection pool slots).
+
+    ``request()`` returns an event that fires when a slot is granted;
+    ``release()`` returns the slot.  FIFO granting keeps behaviour
+    deterministic.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: list[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._queue:
+            nxt = self._queue.pop(0)
+            nxt.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def use(self):
+        """Context-manager style helper for use inside processes::
+
+            grant = resource.request()
+            yield grant
+            try: ...
+            finally: resource.release()
+        """
+        return _ResourceUsage(self)
+
+
+class _ResourceUsage:
+    def __init__(self, resource: Resource):
+        self.resource = resource
+        self.grant = resource.request()
+
+    def __enter__(self) -> Event:
+        return self.grant
+
+    def __exit__(self, *exc) -> None:
+        self.resource.release()
+
+
+class Simulator:
+    """The event queue and virtual clock.
+
+    Parameters
+    ----------
+    strict:
+        When True (default), exceptions escaping a process fail the process
+        event (and propagate to waiters) instead of unwinding ``run()``.
+    """
+
+    def __init__(self, strict: bool = True):
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self.strict = strict
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def resource(self, capacity: int) -> Resource:
+        return Resource(self, capacity)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter),
+                                     event))
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks:
+            fn(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        When stopped by ``until`` the clock is advanced exactly to
+        ``until``.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError("until lies in the past")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: run ``gen`` to completion and return its value.
+
+        Raises the process's exception if it failed.
+        """
+        proc = self.process(gen, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} never finished (deadlock?)")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

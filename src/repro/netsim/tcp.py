@@ -1,0 +1,134 @@
+"""Connection model: handshakes, persistence, and optional slow start.
+
+Browser throttling (the paper's tool) charges each request the configured
+latency and squeezes bytes through the throughput cap; it does not emulate
+congestion control.  We default to the same model so the reproduced numbers
+follow the paper's methodology, but additionally provide a TCP slow-start
+cost model as an ablation (``ConnectionPolicy(slow_start=True)``) to show
+the conclusions are not artifacts of the simple pipe model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .link import (DEFAULT_REQUEST_BYTES, DEFAULT_RESPONSE_HEADER_BYTES,
+                   Link)
+from .sim import Simulator
+
+__all__ = ["ConnectionPolicy", "Connection", "slow_start_extra_rtts"]
+
+
+@dataclass(frozen=True)
+class ConnectionPolicy:
+    """Knobs for connection setup and transfer cost accounting."""
+
+    #: pay one RTT for the TCP three-way handshake on a new connection
+    tcp_handshake: bool = True
+    #: extra RTTs for TLS setup (1 = TLS 1.3, 2 = TLS 1.2, 0 = plain HTTP)
+    tls_rtts: int = 1
+    #: model congestion-window ramp-up as extra RTTs on large responses
+    slow_start: bool = False
+    #: initial congestion window in segments (RFC 6928)
+    init_cwnd_segments: int = 10
+    #: maximum segment size in bytes
+    mss: int = 1460
+    #: request size on the wire (method + path + headers)
+    request_bytes: int = DEFAULT_REQUEST_BYTES
+    #: response status line + header bytes (body billed separately)
+    response_header_bytes: int = DEFAULT_RESPONSE_HEADER_BYTES
+
+    @property
+    def setup_rtts(self) -> float:
+        return (1.0 if self.tcp_handshake else 0.0) + float(self.tls_rtts)
+
+
+def slow_start_extra_rtts(nbytes: int, policy: ConnectionPolicy,
+                          cwnd_segments: int | None = None) -> int:
+    """Extra round trips beyond the first needed to deliver ``nbytes``.
+
+    With an initial window of ``w`` segments and per-RTT doubling, the
+    sender delivers ``w, 2w, 4w, ...`` segments in successive round trips.
+    The first window rides the RTT already billed to the request, so only
+    subsequent windows cost extra.
+
+    >>> pol = ConnectionPolicy(init_cwnd_segments=10, mss=1460)
+    >>> slow_start_extra_rtts(10 * 1460, pol)
+    0
+    >>> slow_start_extra_rtts(30 * 1460, pol)
+    1
+    """
+    if nbytes <= 0:
+        return 0
+    window = cwnd_segments if cwnd_segments is not None \
+        else policy.init_cwnd_segments
+    segments = math.ceil(nbytes / policy.mss)
+    rtts = 0
+    delivered = 0
+    while delivered < segments:
+        delivered += window
+        window *= 2
+        rtts += 1
+    return rtts - 1
+
+
+@dataclass
+class Connection:
+    """One persistent client->origin connection.
+
+    Tracks whether the handshake has completed and (when slow start is
+    modelled) the current congestion window, which keeps growing across
+    requests on the same connection — so connection reuse is rewarded the
+    way it is in reality.
+    """
+
+    sim: Simulator
+    link: Link
+    policy: ConnectionPolicy = field(default_factory=ConnectionPolicy)
+    established: bool = False
+    _cwnd_segments: int = 0
+    #: number of request/response exchanges carried (diagnostics)
+    requests_served: int = 0
+
+    def __post_init__(self) -> None:
+        self._cwnd_segments = self.policy.init_cwnd_segments
+
+    def setup(self):
+        """Process: perform TCP (and TLS) handshakes if not yet done."""
+        if self.established:
+            return
+        rtts = self.policy.setup_rtts
+        if rtts > 0:
+            yield self.sim.timeout(self.link.conditions.rtt_s * rtts)
+        self.established = True
+
+    def request_response(self, response_body_bytes: int,
+                         server_think_s: float = 0.0,
+                         request_extra_bytes: int = 0):
+        """Process: one HTTP exchange; returns elapsed seconds.
+
+        ``request_extra_bytes`` covers oversized requests (e.g. long
+        ``If-None-Match`` lists); the response header cost comes from the
+        policy and the body from ``response_body_bytes``.
+        """
+        if not self.established:
+            yield from self.setup()
+        start = self.sim.now
+        req_bytes = self.policy.request_bytes + request_extra_bytes
+        yield from self.link.send_upstream(req_bytes)
+        if server_think_s > 0:
+            yield self.sim.timeout(server_think_s)
+        resp_bytes = self.policy.response_header_bytes + response_body_bytes
+        if self.policy.slow_start and response_body_bytes > 0:
+            extra = slow_start_extra_rtts(
+                response_body_bytes, self.policy, self._cwnd_segments)
+            if extra > 0:
+                yield self.sim.timeout(self.link.conditions.rtt_s * extra)
+            # cwnd keeps the value reached while sending this response
+            sent_segments = math.ceil(response_body_bytes / self.policy.mss)
+            self._cwnd_segments = max(self._cwnd_segments,
+                                      min(2 * sent_segments, 1 << 16))
+        yield from self.link.send_downstream(resp_bytes)
+        self.requests_served += 1
+        return self.sim.now - start

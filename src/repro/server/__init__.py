@@ -1,0 +1,17 @@
+"""Origin-server substrate: site materialization, static + Catalyst servers."""
+
+from .adapter import TimedHandler, as_async_handler
+from .catalyst import (SERVICE_WORKER_JS, CatalystConfig, CatalystServer)
+from .hints import HintPlanner
+from .push import PushPlanner, PushPolicy
+from .sessions import SessionRecorder
+from .site import CONTENT_TYPES, WALL_EPOCH, OriginSite
+from .static import StaticServer
+
+__all__ = [
+    "OriginSite", "StaticServer",
+    "CatalystServer", "CatalystConfig", "SERVICE_WORKER_JS",
+    "SessionRecorder", "PushPlanner", "PushPolicy", "HintPlanner",
+    "WALL_EPOCH", "CONTENT_TYPES",
+    "as_async_handler", "TimedHandler",
+]

@@ -1,0 +1,42 @@
+"""Bridging sim-time request handlers onto the real asyncio server.
+
+The DES servers take ``handle(request, at_time)``; the asyncio server
+calls ``handler(request)`` in wall time.  :func:`as_async_handler` maps
+wall-clock seconds since construction onto the sim-time axis, so one
+:class:`~repro.server.catalyst.CatalystServer` (or StaticServer /
+ExtremeCacheProxy) serves both worlds unchanged — the integration tests
+and examples exercise the identical code the experiments measure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Protocol
+
+from ..http.messages import Request, Response
+
+__all__ = ["as_async_handler", "TimedHandler"]
+
+
+class TimedHandler(Protocol):
+    """Anything with the DES server surface."""
+
+    def handle(self, request: Request, at_time: float) -> Response: ...
+
+
+def as_async_handler(server: TimedHandler,
+                     clock: Callable[[], float] = time.monotonic,
+                     time_scale: float = 1.0) -> Callable[[Request], Response]:
+    """Wrap a sim-time server for :class:`~repro.http.AsyncHttpServer`.
+
+    ``time_scale`` compresses wall time onto the sim axis — e.g. 3600.0
+    makes one wall second age the served content by an hour, letting a
+    live demo show revisit behaviour without waiting a week.
+    """
+    epoch = clock()
+
+    def handler(request: Request) -> Response:
+        at_time = (clock() - epoch) * time_scale
+        return server.handle(request, at_time)
+
+    return handler

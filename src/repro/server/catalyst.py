@@ -1,0 +1,266 @@
+"""The CacheCatalyst origin server (the paper's modified Caddy).
+
+On every base-HTML response the server:
+
+1. renders the current document,
+2. injects the Service-Worker registration snippet (§3),
+3. traverses the DOM and collects same-origin subresource links —
+   optionally following stylesheets one level for their ``url()``
+   references ("parsing HTML and CSS files", §3),
+4. staples the current ETag of every collected resource into the
+   ``X-Etag-Config`` response header, and
+5. answers conditional requests with 304s that *still carry the map*,
+   because a revisit whose HTML is unchanged needs fresh tokens most of
+   all.
+
+Stylesheet responses likewise carry a map for their own references, so
+CSS-discovered images/fonts get tokens even when the stylesheet itself
+had to be re-fetched.
+
+Two §6 future-work items are implemented behind flags:
+- ``use_sessions``: per-client recording of first-visit resource URLs so
+  JS-discovered resources get stapled tokens on later visits,
+- ``third_party_oracle``: a hook through which the origin can learn (and
+  staple) ETags of cross-origin resources it proactively fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.etag_config import (DEFAULT_MAX_ENTRIES,
+                                ETAG_CONFIG_DIGEST_HEADER,
+                                ETAG_CONFIG_SAME_HEADER, EtagConfig)
+from ..html.parser import (ResourceKind, extract_resources, is_same_origin,
+                           parse_html)
+from ..html.css import extract_css_refs
+from ..html.rewrite import CACHE_SW_PATH, inject_sw_registration
+from ..http.etag import ETag, etag_for_content
+from ..http.headers import Headers
+from ..http.messages import Request, Response
+from .site import OriginSite
+from .static import StaticServer
+from .sessions import SessionRecorder
+
+__all__ = ["CatalystConfig", "CatalystServer", "SERVICE_WORKER_JS"]
+
+#: The client-side Service Worker source served at CACHE_SW_PATH.  The DES
+#: browser model implements the same logic natively
+#: (:mod:`repro.browser.sw_host`); this artifact is what a real browser
+#: would execute, and the integration tests serve it for fidelity.
+SERVICE_WORKER_JS = r"""
+// CacheCatalyst service worker (reproduction).
+// Serves cached responses when the X-Etag-Config map says they are
+// current; forwards to network otherwise and refreshes the cache.
+const CACHE = 'cache-catalyst-v1';
+let etagConfig = {};
+
+self.addEventListener('install', e => self.skipWaiting());
+self.addEventListener('activate', e => e.waitUntil(clients.claim()));
+
+async function handle(request) {
+  const url = new URL(request.url).pathname;
+  const cache = await caches.open(CACHE);
+  const expected = etagConfig[url];
+  if (expected) {
+    const cached = await cache.match(request);
+    if (cached) {
+      const tag = (cached.headers.get('ETag') || '').replace(/W\//, '')
+        .replace(/"/g, '');
+      if (tag === expected) return cached;  // zero RTTs
+    }
+  }
+  const response = await fetch(request);
+  const cc = response.headers.get('Cache-Control') || '';
+  const config = response.headers.get('X-Etag-Config');
+  if (config) { try { etagConfig = JSON.parse(config); } catch (e) {} }
+  if (request.method === 'GET' && response.ok && !cc.includes('no-store')) {
+    cache.put(request, response.clone());
+  }
+  return response;
+}
+
+self.addEventListener('fetch', e => e.respondWith(handle(e.request)));
+"""
+
+
+@dataclass(frozen=True)
+class CatalystConfig:
+    """Server-side knobs (each is an ablation axis)."""
+
+    #: follow stylesheet url()/@import references one level
+    include_css_transitive: bool = True
+    #: inject the SW registration snippet into served HTML
+    inject_sw: bool = True
+    #: cap on stapled entries (header-size guard)
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    #: record per-session fetched URLs and staple them on revisits (§6)
+    use_sessions: bool = False
+    #: cap on distinct sessions kept in memory (the §6 footprint concern)
+    max_sessions: int = 10_000
+    #: honour X-Etag-Config-Digest: answer with a tiny "-Same" header
+    #: instead of re-sending an identical map (this repo's extension)
+    use_map_digest: bool = False
+
+
+class CatalystServer:
+    """Drop-in replacement for :class:`StaticServer` with stapling."""
+
+    def __init__(self, site: OriginSite,
+                 config: CatalystConfig = CatalystConfig(),
+                 third_party_oracle: Optional[
+                     Callable[[str, float], Optional[str]]] = None):
+        self.site = site
+        self.config = config
+        self.static = StaticServer(site)
+        self.sessions = SessionRecorder(max_sessions=config.max_sessions) \
+            if config.use_sessions else None
+        self.third_party_oracle = third_party_oracle
+        #: total bytes of X-Etag-Config emitted (overhead accounting)
+        self.config_bytes_emitted = 0
+        #: entries stapled per HTML response (overhead accounting)
+        self.config_entry_counts: list[int] = []
+        #: (css_url, version) -> child URLs; stylesheets are parsed once
+        #: per content version, not once per HTML request
+        self._css_children_memo: dict[tuple[str, int], list[str]] = {}
+
+    # -- request entry point ----------------------------------------------------
+    def handle(self, request: Request, at_time: float) -> Response:
+        path = request.path
+        if path == CACHE_SW_PATH:
+            return self._serve_sw()
+        session_id = request.headers.get("X-Client-Id")
+        page = self.site.page_spec(path)
+        if page is None:
+            response = self.static.handle(request, at_time)
+            self._maybe_attach_css_config(path, response, at_time)
+            if self.sessions is not None and session_id:
+                self.sessions.record(session_id, path)
+            return response
+        return self._handle_page(request, path, session_id, at_time)
+
+    def _handle_page(self, request: Request, path: str,
+                     session_id: Optional[str], at_time: float) -> Response:
+        full = self.site.respond(path, at_time)
+        if full.status != 200:
+            return full
+        if self.config.inject_sw:
+            markup = inject_sw_registration(full.body.decode())
+            full.body = markup.encode()
+            full.headers.set("ETag", str(etag_for_content(full.body)))
+        config = self._build_config_for_html(full.body.decode(), at_time)
+        if self.sessions is not None and session_id:
+            # A base-HTML request marks a new visit: promote the previous
+            # visit's recording, then staple tokens for everything in it.
+            self.sessions.begin_visit(session_id)
+            recorded = self.sessions.urls_for(session_id)
+            config = config.merged_with(
+                self._config_for_urls(recorded, at_time))
+        response = self.static.finalize(request, full, at_time)
+        if self.config.use_map_digest:
+            client_digest = request.headers.get(ETAG_CONFIG_DIGEST_HEADER)
+            digest = config.digest()
+            if client_digest == digest:
+                response.headers.set(ETAG_CONFIG_SAME_HEADER, digest)
+                self.config_entry_counts.append(len(config))
+                self.config_bytes_emitted += len(
+                    ETAG_CONFIG_SAME_HEADER) + len(digest) + 4
+                return response
+        config.apply_to(response.headers)
+        self.config_bytes_emitted += config.header_size()
+        self.config_entry_counts.append(len(config))
+        return response
+
+    def _serve_sw(self) -> Response:
+        body = SERVICE_WORKER_JS.encode()
+        headers = Headers({
+            "Content-Type": "application/javascript",
+            "Cache-Control": "max-age=86400",
+            "ETag": str(etag_for_content(body)),
+        })
+        return Response(status=200, headers=headers, body=body)
+
+    # -- config construction -------------------------------------------------
+    def _build_config_for_html(self, markup: str,
+                               at_time: float) -> EtagConfig:
+        document = parse_html(markup)
+        refs = extract_resources(document, base_url="")
+        urls: list[str] = []
+        for ref in refs:
+            if not is_same_origin(self.site.origin, ref.url):
+                if self.third_party_oracle is None:
+                    continue  # cross-origin not covered (paper §6)
+            urls.append(ref.url)
+            if self.config.include_css_transitive \
+                    and ref.kind is ResourceKind.STYLESHEET:
+                urls.extend(self._css_children(ref.url, at_time))
+        # Blocking resources first: if the entry cap bites, keep the
+        # entries whose saved RTTs matter most for PLT.
+        blocking_urls = {ref.url for ref in refs if ref.blocking}
+        urls.sort(key=lambda u: (u not in blocking_urls))
+        return self._config_for_urls(urls, at_time)
+
+    def _css_children(self, css_url: str, at_time: float) -> list[str]:
+        spec = self.site.resource_spec(css_url)
+        if spec is None or spec.kind is not ResourceKind.STYLESHEET:
+            return []
+        version = self.site.version_of(css_url, at_time)
+        memo_key = (css_url, version if version is not None else -1)
+        cached = self._css_children_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        response = self._peek(css_url, at_time)
+        if response is None or response.status != 200:
+            return []
+        children = [ref.url
+                    for ref in extract_css_refs(response.body.decode())]
+        self._css_children_memo[memo_key] = children
+        return children
+
+    def _config_for_urls(self, urls: list[str],
+                         at_time: float) -> EtagConfig:
+        pairs: list[tuple[str, ETag]] = []
+        seen: set[str] = set()
+        for url in urls:
+            if url in seen:
+                continue
+            seen.add(url)
+            if is_same_origin(self.site.origin, url):
+                opaque = self.site.etag_of(url, at_time)
+            elif self.third_party_oracle is not None:
+                opaque = self.third_party_oracle(url, at_time)
+            else:
+                opaque = None
+            if opaque is None:
+                continue  # dynamic or unknown: cannot promise a tag
+            pairs.append((url, ETag(opaque=opaque)))
+        return EtagConfig.from_pairs(pairs,
+                                     max_entries=self.config.max_entries)
+
+    def _maybe_attach_css_config(self, path: str, response: Response,
+                                 at_time: float) -> None:
+        if response.status not in (200, 304):
+            return
+        spec = self.site.resource_spec(path)
+        if spec is None or spec.kind is not ResourceKind.STYLESHEET:
+            return
+        if not self.config.include_css_transitive:
+            return
+        children = self._css_children(path, at_time)
+        if not children:
+            return
+        config = self._config_for_urls(children, at_time)
+        config.apply_to(response.headers)
+        self.config_bytes_emitted += config.header_size()
+
+    def _peek(self, url: str, at_time: float) -> Optional[Response]:
+        """Render a resource without counting a request (server-internal)."""
+        spec = self.site.resource_spec(url)
+        if spec is None:
+            return None
+        counts = dict(self.site.request_counts)
+        response = self.site.respond(url, at_time)
+        self.site.request_counts.clear()
+        self.site.request_counts.update(counts)
+        return response

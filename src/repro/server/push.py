@@ -1,0 +1,62 @@
+"""HTTP/2-style Server Push policies (comparison baseline, paper §5).
+
+Server Push sends subresources before the client asks.  The paper's
+criticism: the server cannot know what the client has cached, so pushing
+"all" wastes bandwidth on already-cached or unneeded bytes, and pushed
+resources still consume client downlink that competes with what the page
+actually needs.
+
+The policy objects answer "which resources should ride along with this
+HTML response"; the browser engine charges their bytes to the downlink
+and skips requesting them (they arrive push-style, zero request RTT).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..html.parser import extract_resources, is_same_origin, parse_html
+from .site import OriginSite
+
+__all__ = ["PushPolicy", "PushPlanner"]
+
+
+class PushPolicy(enum.Enum):
+    """Which subresources to push with the base HTML."""
+
+    #: push every same-origin subresource visible in the DOM
+    ALL = "all"
+    #: push only render-blocking resources (stylesheets, sync scripts)
+    BLOCKING = "blocking"
+    #: push nothing (degenerates to the plain baseline)
+    NONE = "none"
+
+
+@dataclass
+class PushPlanner:
+    """Computes the push set for an HTML response."""
+
+    site: OriginSite
+    policy: PushPolicy = PushPolicy.ALL
+
+    def push_urls(self, markup: str) -> list[str]:
+        """Same-origin subresource URLs to push, in document order.
+
+        Note what is *missing* by construction: the server has no idea
+        which of these the client already has — that blindness is the
+        waste the paper contrasts CacheCatalyst against.
+        """
+        if self.policy is PushPolicy.NONE:
+            return []
+        refs = extract_resources(parse_html(markup), base_url="")
+        urls = []
+        for ref in refs:
+            if not is_same_origin(self.site.origin, ref.url):
+                continue  # cannot securely push other origins (§5)
+            if self.policy is PushPolicy.BLOCKING and not ref.blocking:
+                continue
+            if self.site.resource_spec(ref.url) is None:
+                continue
+            urls.append(ref.url)
+        return urls

@@ -1,0 +1,88 @@
+"""Per-session resource recording (paper §3 alternative / §6 future work).
+
+"A different solution entails the server capturing a list of resource
+URLs that the client requests during a user's first visit to a webpage...
+When the user returns ... the server includes validation tokens for the
+previously listed resources along with the primary HTML file."
+
+This covers JS-discovered and user-specific resources that static DOM/CSS
+parsing cannot see.  The §6 concern — "potentially incurs a significant
+memory footprint" — is handled with an LRU cap on sessions and a cap on
+URLs per session.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["SessionRecorder"]
+
+
+class SessionRecorder:
+    """Records the URL set each session fetched during its last visit."""
+
+    def __init__(self, max_sessions: int = 10_000,
+                 max_urls_per_session: int = 512):
+        if max_sessions < 1 or max_urls_per_session < 1:
+            raise ValueError("caps must be positive")
+        self.max_sessions = max_sessions
+        self.max_urls_per_session = max_urls_per_session
+        # session id -> (completed visit URLs, in-progress visit URLs)
+        self._sessions: OrderedDict[str, tuple[list[str], list[str]]] = \
+            OrderedDict()
+        self.evicted_sessions = 0
+
+    def begin_visit(self, session_id: str) -> None:
+        """Mark a new visit: the previous visit's recording becomes the
+        stapling source; recording starts fresh."""
+        completed, in_progress = self._sessions.get(session_id, ([], []))
+        merged = self._merge(completed, in_progress)
+        self._sessions[session_id] = (merged, [])
+        self._sessions.move_to_end(session_id)
+        self._evict()
+
+    def record(self, session_id: str, url: str) -> None:
+        """Record one resource fetch for the session's current visit."""
+        completed, in_progress = self._sessions.setdefault(
+            session_id, ([], []))
+        if url not in in_progress \
+                and len(in_progress) < self.max_urls_per_session:
+            in_progress.append(url)
+        self._sessions.move_to_end(session_id)
+        self._evict()
+
+    def urls_for(self, session_id: str) -> list[str]:
+        """URLs to staple for this session (from *completed* visits).
+
+        The in-progress list is excluded: mid-visit the server cannot yet
+        know the full set, and stapling half a set is still correct (the
+        map is advisory, never authoritative).
+        """
+        completed, _ = self._sessions.get(session_id, ([], []))
+        return list(completed)
+
+    def _merge(self, completed: list[str],
+               in_progress: list[str]) -> list[str]:
+        merged = list(completed)
+        for url in in_progress:
+            if url not in merged:
+                merged.append(url)
+        return merged[-self.max_urls_per_session:]
+
+    def _evict(self) -> None:
+        while len(self._sessions) > self.max_sessions:
+            self._sessions.popitem(last=False)
+            self.evicted_sessions += 1
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def memory_footprint_bytes(self) -> int:
+        """Rough accounting for the §6 footprint discussion."""
+        total = 0
+        for session_id, (completed, in_progress) in self._sessions.items():
+            total += len(session_id)
+            total += sum(len(u) for u in completed)
+            total += sum(len(u) for u in in_progress)
+        return total

@@ -1,0 +1,226 @@
+"""Materializing a :class:`~repro.workload.sitegen.SiteSpec` into servable
+content.
+
+The :class:`OriginSite` answers "what are the bytes, ETag and headers of
+URL *u* at simulated time *t*?"  Content versions come from the resource's
+seeded churn process, so the same site queried at the same time always
+serves identical representations — across processes and runs.
+
+The simulated epoch maps to an absolute wall epoch (:data:`WALL_EPOCH`)
+for ``Date``/``Last-Modified``/``Expires`` headers, which keeps the HTTP
+cache arithmetic real rather than mocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..html.parser import ResourceKind
+from ..http.dates import format_http_date
+from ..http.etag import etag_for_content
+from ..http.headers import Headers
+from ..http.messages import Response
+from ..workload.churn import ResourceChurn
+from ..workload.sitegen import (PageSpec, ResourceSpec, SiteSpec,
+                                render_html, render_resource_body)
+
+__all__ = ["OriginSite", "WALL_EPOCH", "CONTENT_TYPES"]
+
+#: Simulated t=0 corresponds to this wall-clock epoch (2024-01-01T00:00Z),
+#: the era of the paper's measurements.
+WALL_EPOCH = 1704067200.0
+
+CONTENT_TYPES: dict[ResourceKind, str] = {
+    ResourceKind.STYLESHEET: "text/css; charset=utf-8",
+    ResourceKind.SCRIPT: "application/javascript",
+    ResourceKind.IMAGE: "image/png",
+    ResourceKind.FONT: "font/woff2",
+    ResourceKind.MEDIA: "video/mp4",
+    ResourceKind.FETCH: "application/json",
+    ResourceKind.IFRAME: "text/html; charset=utf-8",
+    ResourceKind.OTHER: "application/octet-stream",
+}
+
+HTML_CONTENT_TYPE = "text/html; charset=utf-8"
+
+
+@dataclass
+class OriginSite:
+    """Serves one synthetic site's content as HTTP responses.
+
+    ``materialize_fully`` pads stand-in bodies to their declared size —
+    required on the real-socket path, wasteful in the DES.
+    """
+
+    spec: SiteSpec
+    materialize_fully: bool = False
+    _churns: dict[str, ResourceChurn] = field(default_factory=dict)
+    _html_churns: dict[str, ResourceChurn] = field(default_factory=dict)
+    #: requests served per URL (diagnostics)
+    request_counts: dict[str, int] = field(default_factory=dict)
+    #: (url, version) -> opaque ETag; content is deterministic per
+    #: version, so tags are computed once — exactly the memoization a
+    #: production stapling server needs to keep per-request cost flat
+    _etag_memo: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    # -- version / etag oracle ------------------------------------------------
+    def _churn_for(self, spec: ResourceSpec) -> ResourceChurn:
+        churn = self._churns.get(spec.url)
+        if churn is None:
+            churn = spec.make_churn()
+            self._churns[spec.url] = churn
+        return churn
+
+    def _html_churn_for(self, page: PageSpec) -> ResourceChurn:
+        churn = self._html_churns.get(page.url)
+        if churn is None:
+            churn = page.make_html_churn()
+            self._html_churns[page.url] = churn
+        return churn
+
+    def resource_spec(self, url: str) -> Optional[ResourceSpec]:
+        for page in self.spec.pages.values():
+            spec = page.resources.get(url)
+            if spec is not None:
+                return spec
+        return None
+
+    def page_spec(self, url: str) -> Optional[PageSpec]:
+        return self.spec.pages.get(url)
+
+    def version_of(self, url: str, at_time: float) -> Optional[int]:
+        """Current content version of ``url`` (None if unknown URL)."""
+        page = self.page_spec(url)
+        if page is not None:
+            return self._html_churn_for(page).version_at(at_time)
+        spec = self.resource_spec(url)
+        if spec is None:
+            return None
+        if spec.dynamic:
+            # Personalised response: new representation on every request.
+            count = self.request_counts.get(url, 0)
+            return count
+        return self._churn_for(spec).version_at(at_time)
+
+    def last_modified_of(self, url: str, at_time: float) -> float:
+        page = self.page_spec(url)
+        churn: Optional[ResourceChurn]
+        if page is not None:
+            churn = self._html_churn_for(page)
+        else:
+            spec = self.resource_spec(url)
+            churn = self._churn_for(spec) if spec else None
+        if churn is None:
+            return WALL_EPOCH
+        return WALL_EPOCH + churn.last_change_at(at_time)
+
+    # -- response construction ---------------------------------------------------
+    def respond(self, url: str, at_time: float) -> Response:
+        """Build the 200 response for ``url`` at simulated time ``at_time``.
+
+        Unknown URLs get a 404.  Conditional handling (304) lives in
+        :mod:`repro.server.static`, which calls this for the current
+        representation.
+        """
+        page = self.page_spec(url)
+        if page is not None:
+            return self._respond_page(page, at_time)
+        spec = self.resource_spec(url)
+        if spec is not None:
+            return self._respond_resource(spec, at_time)
+        return Response(status=404, body=b"not found",
+                        headers=Headers({"Content-Type": "text/plain"}))
+
+    def _respond_page(self, page: PageSpec, at_time: float) -> Response:
+        version = self._html_churn_for(page).version_at(at_time)
+        markup = render_html(page, version)
+        body = markup.encode()
+        headers = self._common_headers(page.url, at_time, HTML_CONTENT_TYPE,
+                                       body)
+        # Base documents ship no-cache in the wild and in the paper's
+        # examples: always revalidated, never trusted from cache.
+        headers.set("Cache-Control", "no-cache")
+        self._count(page.url)
+        return Response(status=200, headers=headers, body=body)
+
+    def _respond_resource(self, spec: ResourceSpec,
+                          at_time: float) -> Response:
+        version = self.version_of(spec.url, at_time)
+        body, wire_size = render_resource_body(
+            spec, version, materialize_fully=self.materialize_fully)
+        headers = self._common_headers(spec.url, at_time,
+                                       CONTENT_TYPES[spec.kind], body)
+        spec.policy.apply(headers)
+        self._count(spec.url)
+        declared = None if self.materialize_fully or wire_size == len(body) \
+            else wire_size
+        return Response(status=200, headers=headers, body=body,
+                        declared_size=declared)
+
+    def _common_headers(self, url: str, at_time: float, content_type: str,
+                        body: bytes) -> Headers:
+        headers = Headers()
+        headers.set("Date", format_http_date(WALL_EPOCH + at_time))
+        headers.set("Content-Type", content_type)
+        headers.set("ETag", str(etag_for_content(body)))
+        last_modified = self.last_modified_of(url, at_time)
+        headers.set("Last-Modified", format_http_date(last_modified))
+        headers.set("Server", "repro-origin")
+        return headers
+
+    def _count(self, url: str) -> None:
+        self.request_counts[url] = self.request_counts.get(url, 0) + 1
+
+    # -- oracle used by experiments ---------------------------------------------
+    def etag_of(self, url: str, at_time: float) -> Optional[str]:
+        """Current ETag opaque value without counting a request."""
+        page = self.page_spec(url)
+        if page is not None:
+            version = self._html_churn_for(page).version_at(at_time)
+            memo_key = (url, version)
+            cached = self._etag_memo.get(memo_key)
+            if cached is None:
+                body = render_html(page, version).encode()
+                cached = etag_for_content(body).opaque
+                self._etag_memo[memo_key] = cached
+            return cached
+        spec = self.resource_spec(url)
+        if spec is None:
+            return None
+        if spec.dynamic:
+            return None  # changes per request; has no stable current tag
+        version = self._churn_for(spec).version_at(at_time)
+        memo_key = (url, version)
+        cached = self._etag_memo.get(memo_key)
+        if cached is None:
+            body, _ = render_resource_body(spec, version)
+            cached = etag_for_content(body).opaque
+            self._etag_memo[memo_key] = cached
+        return cached
+
+    def changed_between(self, url: str, t0: float, t1: float) -> bool:
+        """Whether a (non-dynamic) resource's content changed in (t0, t1]."""
+        spec = self.resource_spec(url)
+        if spec is None:
+            page = self.page_spec(url)
+            if page is None:
+                raise KeyError(url)
+            return self._html_churn_for(page).changed_between(t0, t1)
+        if spec.dynamic:
+            return True
+        return self._churn_for(spec).changed_between(t0, t1)
+
+    @property
+    def origin(self) -> str:
+        return self.spec.origin
+
+    def absolute_url(self, path: str) -> str:
+        return self.spec.origin + path
+
+    def all_urls(self) -> list[str]:
+        urls: list[str] = []
+        for page_url, page in self.spec.pages.items():
+            urls.append(page_url)
+            urls.extend(page.resources)
+        return urls

@@ -1,0 +1,33 @@
+"""Synthetic workload: sites, resource distributions, churn, headers.
+
+The corpus substitutes for the paper's 100 cloned homepages; every piece
+is seeded and deterministic so experiments are exactly reproducible.
+"""
+
+from .churn import ChurnModel, ResourceChurn, DEFAULT_CHANGE_PERIODS
+from .corpus import CORPUS_SIZE, Corpus, make_corpus
+from .har_import import HarImportError, site_from_har
+from .headers_model import DeveloperModel, HeaderPolicy, TTL_MENU
+from .revisits import DEFAULT_REVISIT_MODEL, RevisitModel
+from .resources import (DEFAULT_SIZES, DEFAULT_TYPE_MIX, SizeModel, TypeMix,
+                        draw_kind, draw_resource_count, draw_size)
+from .validation import CorpusShape, measure_corpus_shape
+from .sitegen import (JS_FETCH_DIRECTIVE, PageSpec, ResourceSpec, SiteShape,
+                      SiteSpec, freeze_site, generate_site,
+                      render_resource_body)
+from .sitegen import render_css, render_html, render_js
+
+__all__ = [
+    "Corpus", "make_corpus", "CORPUS_SIZE",
+    "SiteSpec", "PageSpec", "ResourceSpec", "SiteShape", "generate_site",
+    "freeze_site",
+    "render_html", "render_css", "render_js", "render_resource_body",
+    "JS_FETCH_DIRECTIVE",
+    "ChurnModel", "ResourceChurn", "DEFAULT_CHANGE_PERIODS",
+    "DeveloperModel", "HeaderPolicy", "TTL_MENU",
+    "site_from_har", "HarImportError",
+    "RevisitModel", "DEFAULT_REVISIT_MODEL",
+    "CorpusShape", "measure_corpus_shape",
+    "SizeModel", "TypeMix", "DEFAULT_SIZES", "DEFAULT_TYPE_MIX",
+    "draw_kind", "draw_resource_count", "draw_size",
+]

@@ -1,0 +1,105 @@
+"""The synthetic "top-100 websites" corpus.
+
+The paper clones the homepages of the 100 most-visited sites; we generate
+100 synthetic homepages from seeded distributions instead (see DESIGN.md
+for why this substitution preserves the evaluated behaviour).  A small
+amount of per-site diversity mimics the real ranking's heterogeneity:
+some sites are media-heavy, some script-heavy, some lean.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from .churn import ChurnModel
+from .headers_model import DeveloperModel
+from .sitegen import SiteShape, SiteSpec, freeze_site, generate_site
+
+__all__ = ["Corpus", "make_corpus", "CORPUS_SIZE"]
+
+CORPUS_SIZE = 100
+
+#: Site archetypes roughly matching top-list categories and their shares.
+_ARCHETYPES: tuple[tuple[str, float, dict], ...] = (
+    # (name, share, overrides for SiteShape/median resources).  Medians
+    # run above the all-web median: the corpus mimics *top-100 homepages*,
+    # which are markedly heavier than the average page.
+    ("portal", 0.30, {"median_resources": 110}),
+    ("media", 0.20, {"median_resources": 150,
+                     "shape": SiteShape(js_fetching_share=0.6,
+                                        dynamic_fetch_share=0.35)}),
+    ("commerce", 0.20, {"median_resources": 100,
+                        "shape": SiteShape(css_children_mean=2.2)}),
+    ("docs", 0.15, {"median_resources": 60,
+                    "shape": SiteShape(js_fetching_share=0.2,
+                                       async_script_share=0.6)}),
+    ("app", 0.15, {"median_resources": 75,
+                   "shape": SiteShape(js_fetching_share=0.7,
+                                      dynamic_fetch_share=0.4)}),
+)
+
+
+@dataclass
+class Corpus:
+    """A generated collection of sites plus the models that shaped it."""
+
+    sites: list[SiteSpec]
+    seed: int
+    developer: DeveloperModel
+    churn: ChurnModel
+
+    def __iter__(self) -> Iterator[SiteSpec]:
+        return iter(self.sites)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def __getitem__(self, index: int) -> SiteSpec:
+        return self.sites[index]
+
+    @property
+    def total_resources(self) -> int:
+        return sum(site.index.resource_count for site in self.sites)
+
+    def sample(self, count: int, seed: int = 0) -> "Corpus":
+        """A reproducible subset (cheaper experiment runs)."""
+        rng = random.Random(seed)
+        subset = rng.sample(self.sites, min(count, len(self.sites)))
+        return replace(self, sites=subset)
+
+    def frozen(self) -> "Corpus":
+        """Clone semantics: content never changes (paper's methodology)."""
+        return replace(self,
+                       sites=[freeze_site(site) for site in self.sites])
+
+
+def make_corpus(size: int = CORPUS_SIZE, seed: int = 2024,
+                developer: Optional[DeveloperModel] = None,
+                churn: Optional[ChurnModel] = None) -> Corpus:
+    """Generate the evaluation corpus.
+
+    Deterministic in ``(size, seed)`` and the supplied models.
+    """
+    developer = developer or DeveloperModel()
+    churn = churn or ChurnModel()
+    rng = random.Random(seed)
+    names = [name for name, _, _ in _ARCHETYPES]
+    weights = [share for _, share, _ in _ARCHETYPES]
+    overrides = {name: params for name, _, params in _ARCHETYPES}
+
+    sites: list[SiteSpec] = []
+    for rank in range(size):
+        archetype = rng.choices(names, weights=weights, k=1)[0]
+        params = overrides[archetype]
+        site = generate_site(
+            origin=f"https://site{rank:03d}-{archetype}.example",
+            seed=rng.getrandbits(32),
+            churn_model=churn,
+            developer=developer,
+            shape=params.get("shape", SiteShape()),
+            median_resources=params.get("median_resources", 70),
+        )
+        sites.append(site)
+    return Corpus(sites=sites, seed=seed, developer=developer, churn=churn)

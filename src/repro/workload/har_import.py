@@ -1,0 +1,190 @@
+"""Building a :class:`SiteSpec` from a real HAR capture.
+
+The corpus generator substitutes for the paper's cloned homepages; this
+module closes the loop for practitioners: export a HAR from your
+browser's devtools for *your* page, import it here, and measure what
+CacheCatalyst would do for your users — the same "clone and serve"
+workflow the paper used, with the HAR as the clone.
+
+What is derived from the HAR:
+
+- the resource set, sizes (``response.bodySize``/``content.size``) and
+  MIME-derived kinds,
+- each resource's Cache-Control policy (parsed from response headers),
+- the dependency structure, approximated from the HAR's initiator-free
+  data: documents link everything requested while they loaded; CSS files
+  adopt the fonts/images requested after them (heuristic, flagged in the
+  spec via ``discovered_via``).
+
+Change periods cannot come from a single capture, so importers choose a
+:class:`~repro.workload.churn.ChurnModel` (default: the calibrated one).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Optional
+from urllib.parse import urlsplit
+
+from ..html.parser import ResourceKind
+from ..http.cache_control import parse_cache_control
+from .churn import ChurnModel
+from .headers_model import HeaderPolicy
+from .sitegen import PageSpec, ResourceSpec, SiteSpec
+
+__all__ = ["site_from_har", "HarImportError"]
+
+
+class HarImportError(ValueError):
+    """Raised when the HAR is malformed or unusable."""
+
+
+_MIME_KINDS: tuple[tuple[str, ResourceKind], ...] = (
+    ("text/css", ResourceKind.STYLESHEET),
+    ("javascript", ResourceKind.SCRIPT),
+    ("ecmascript", ResourceKind.SCRIPT),
+    ("image/", ResourceKind.IMAGE),
+    ("font", ResourceKind.FONT),
+    ("video/", ResourceKind.MEDIA),
+    ("audio/", ResourceKind.MEDIA),
+    ("json", ResourceKind.FETCH),
+    ("text/html", ResourceKind.IFRAME),
+)
+
+
+def _kind_for_mime(mime: str) -> ResourceKind:
+    mime = mime.lower()
+    for prefix, kind in _MIME_KINDS:
+        if prefix in mime:
+            return kind
+    return ResourceKind.OTHER
+
+
+def _header(entry_headers: list[dict], name: str) -> Optional[str]:
+    name = name.lower()
+    for header in entry_headers:
+        if str(header.get("name", "")).lower() == name:
+            return str(header.get("value", ""))
+    return None
+
+
+def _policy_from_headers(entry_headers: list[dict]) -> HeaderPolicy:
+    raw = _header(entry_headers, "Cache-Control")
+    if raw is None:
+        return HeaderPolicy(mode="none")
+    cc = parse_cache_control(raw)
+    if cc.no_store:
+        return HeaderPolicy(mode="no-store")
+    if cc.no_cache:
+        return HeaderPolicy(mode="no-cache")
+    if cc.max_age is not None:
+        return HeaderPolicy(mode="max-age", ttl_s=float(cc.max_age),
+                            immutable=cc.immutable)
+    return HeaderPolicy(mode="none")
+
+
+def site_from_har(har: dict | str, origin: Optional[str] = None,
+                  churn: Optional[ChurnModel] = None,
+                  seed: int = 0) -> SiteSpec:
+    """Convert a HAR capture into a servable, measurable site.
+
+    ``har`` is a parsed HAR dict or its JSON text.  ``origin`` filters to
+    one origin (default: the first document's); cross-origin entries are
+    dropped — the paper's clones did the same (§3 leaves third parties to
+    future work).
+    """
+    if isinstance(har, str):
+        try:
+            har = json.loads(har)
+        except json.JSONDecodeError as exc:
+            raise HarImportError(f"not JSON: {exc}") from exc
+    try:
+        entries = har["log"]["entries"]
+    except (KeyError, TypeError):
+        raise HarImportError("missing log.entries")
+    if not entries:
+        raise HarImportError("HAR has no entries")
+
+    churn = churn or ChurnModel()
+    rng = random.Random(seed)
+
+    document_entry = None
+    for entry in entries:
+        mime = str(entry.get("response", {}).get("content", {})
+                   .get("mimeType", ""))
+        if "text/html" in mime.lower():
+            document_entry = entry
+            break
+    if document_entry is None:
+        document_entry = entries[0]
+
+    doc_url = urlsplit(str(document_entry["request"]["url"]))
+    if origin is None:
+        origin = f"{doc_url.scheme}://{doc_url.netloc}"
+
+    resources: dict[str, ResourceSpec] = {}
+    html_refs: list[str] = []
+    last_stylesheet: Optional[str] = None
+    css_children: dict[str, list[str]] = {}
+
+    for entry in entries:
+        if entry is document_entry:
+            continue
+        url = str(entry["request"]["url"])
+        parts = urlsplit(url)
+        if f"{parts.scheme}://{parts.netloc}" != origin:
+            continue  # cross-origin: out of scope, like the paper
+        path = parts.path or "/"
+        if parts.query:
+            path += "?" + parts.query
+        if path in resources:
+            continue
+        response = entry.get("response", {})
+        content = response.get("content", {})
+        size = int(content.get("size") or response.get("bodySize") or 0)
+        if size <= 0:
+            size = 2048  # HAR omitted it; keep the request, guess small
+        mime = str(content.get("mimeType", ""))
+        kind = _kind_for_mime(mime)
+        policy = _policy_from_headers(response.get("headers", []))
+        period = churn.draw_period(rng, kind)
+        via = "html"
+        parent = ""
+        if kind in (ResourceKind.FONT, ResourceKind.IMAGE) \
+                and last_stylesheet is not None \
+                and kind is ResourceKind.FONT:
+            # fonts are almost always CSS-discovered
+            via, parent = "css", last_stylesheet
+            css_children.setdefault(last_stylesheet, []).append(path)
+        resources[path] = ResourceSpec(
+            url=path, kind=kind, size_bytes=size, policy=policy,
+            change_period_s=period, content_seed=rng.getrandbits(48),
+            discovered_via=via, parent=parent,
+            blocking=(kind is ResourceKind.STYLESHEET))
+        if via == "html":
+            html_refs.append(path)
+        if kind is ResourceKind.STYLESHEET:
+            last_stylesheet = path
+
+    # attach collected CSS children
+    for sheet_url, children in css_children.items():
+        from dataclasses import replace
+        sheet = resources[sheet_url]
+        resources[sheet_url] = replace(sheet,
+                                       children=tuple(children))
+
+    if not resources:
+        raise HarImportError(f"no same-origin subresources for {origin}")
+
+    doc_size = int(document_entry.get("response", {}).get("content", {})
+                   .get("size") or 30_000)
+    page = PageSpec(
+        url="/index.html",
+        html_size_bytes=max(doc_size, 1_000),
+        html_change_period_s=churn.draw_period(rng, None),
+        html_content_seed=rng.getrandbits(48),
+        html_refs=tuple(html_refs),
+        resources=resources)
+    return SiteSpec(origin=origin, seed=seed,
+                    pages={"/index.html": page})

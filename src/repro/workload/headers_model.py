@@ -1,0 +1,142 @@
+"""Developer cache-header assignment model.
+
+The paper's motivation (§2.2) is that cache headers are chosen by humans
+and CMS defaults, not by the resources' true change behaviour:
+
+- many cacheable resources ship with headers that prevent reuse entirely
+  ("only about 50 percent of the resources that can be cached are actually
+  cached"),
+- TTLs come from a small menu of habitual values (5 min, 1 h, 1 d, 1 w...)
+  that is *uncorrelated* with when the content actually changes, and is
+  conservative on average,
+- resources whose change time can't be estimated get ``no-cache``.
+
+This module draws a header policy per resource accordingly.  The share
+parameters are calibrated so the generated corpus reproduces the cited
+statistics; ``experiments.motivation`` measures them and the test suite
+asserts the bands.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..http.headers import Headers
+from ..netsim.clock import DAY, HOUR, MINUTE, WEEK
+
+__all__ = ["HeaderPolicy", "DeveloperModel", "TTL_MENU"]
+
+
+@dataclass(frozen=True)
+class HeaderPolicy:
+    """The Cache-Control treatment a developer gave one resource.
+
+    ``mode="none"`` models the commonest neglect: *no* Cache-Control at
+    all.  Browsers then fall back to heuristic freshness (a fraction of
+    the resource's age since Last-Modified), which for recently-deployed
+    content means near-constant revalidation — cheap caching for the
+    bytes, expensive in round trips.
+    """
+
+    #: "none" | "no-store" | "no-cache" | "max-age"
+    mode: str
+    ttl_s: float = 0.0
+    immutable: bool = False
+
+    def to_cache_control(self) -> Optional[str]:
+        if self.mode == "none":
+            return None
+        if self.mode == "no-store":
+            return "no-store"
+        if self.mode == "no-cache":
+            return "no-cache"
+        value = f"max-age={int(self.ttl_s)}"
+        if self.immutable:
+            value += ", immutable"
+        return value
+
+    def apply(self, headers: Headers) -> None:
+        value = self.to_cache_control()
+        if value is None:
+            headers.remove("Cache-Control")
+        else:
+            headers.set("Cache-Control", value)
+
+    @property
+    def allows_reuse_without_validation(self) -> bool:
+        return self.mode == "max-age" and self.ttl_s > 0
+
+
+#: The habitual TTL menu with draw weights.  The menu skews short — the
+#: "conservative TTLs" phenomenon — because a too-long TTL risks serving
+#: stale content and developers fear that more than extra requests.
+TTL_MENU: tuple[tuple[float, float], ...] = (
+    (5 * MINUTE, 0.16),
+    (30 * MINUTE, 0.10),
+    (1 * HOUR, 0.18),
+    (6 * HOUR, 0.08),
+    (1 * DAY, 0.20),
+    (1 * WEEK, 0.13),
+    (30 * DAY, 0.09),
+    (365 * DAY, 0.06),
+)
+
+
+@dataclass(frozen=True)
+class DeveloperModel:
+    """Distribution over header policies.
+
+    Defaults reproduce the paper's cited numbers; experiments can override
+    shares for ablations (e.g. ``no_store_share=0`` models a perfectly
+    configured site, the best case for the *status quo*).
+    """
+
+    #: share shipped with explicit no-store (CMS "dynamic" defaults)
+    no_store_share: float = 0.12
+    #: share shipped with *no* cache headers at all (pure neglect)
+    missing_share: float = 0.22
+    #: share marked no-cache ("can't estimate the TTL at all")
+    no_cache_share: float = 0.15
+    #: immutable assets (hash-named bundles) that developers DO recognise
+    #: and mark with a year-long TTL
+    recognised_immutable_share: float = 0.50
+
+    def __post_init__(self) -> None:
+        total = self.no_store_share + self.no_cache_share \
+            + self.missing_share
+        if not 0 <= total <= 1:
+            raise ValueError("shares must sum within [0, 1]")
+
+    def draw(self, rng: random.Random,
+             change_period_s: Optional[float] = None) -> HeaderPolicy:
+        """Draw a policy, optionally informed by the true change period.
+
+        The only correlation with reality: *some* never-changing assets are
+        hash-named and get a long immutable TTL.  Everything else is menu
+        roulette, faithfully reproducing the mess the paper describes.
+        """
+        if change_period_s is not None and math.isinf(change_period_s) \
+                and rng.random() < self.recognised_immutable_share:
+            return HeaderPolicy(mode="max-age", ttl_s=365 * DAY,
+                                immutable=True)
+        roll = rng.random()
+        if roll < self.no_store_share:
+            return HeaderPolicy(mode="no-store")
+        if roll < self.no_store_share + self.missing_share:
+            return HeaderPolicy(mode="none")
+        if roll < self.no_store_share + self.missing_share \
+                + self.no_cache_share:
+            return HeaderPolicy(mode="no-cache")
+        ttls = [ttl for ttl, _ in TTL_MENU]
+        weights = [weight for _, weight in TTL_MENU]
+        ttl = rng.choices(ttls, weights=weights, k=1)[0]
+        return HeaderPolicy(mode="max-age", ttl_s=ttl)
+
+    @classmethod
+    def well_configured(cls) -> "DeveloperModel":
+        """An unrealistically diligent developer (ablation baseline)."""
+        return cls(no_store_share=0.0, missing_share=0.0,
+                   no_cache_share=0.05, recognised_immutable_share=1.0)

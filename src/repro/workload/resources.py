@@ -1,0 +1,116 @@
+"""Resource type and size distributions for synthetic pages.
+
+Figures follow the httparchive "State of the Web" shape the paper cites
+(§2.2: "Web pages, while containing hundreds of resources, have a total
+size of about 2.5MB ... resources are around a few kilobytes in size"):
+
+- median page weight ≈ 2.5 MB across ≈ 70 requests,
+- images dominate bytes, scripts dominate request count after images,
+- individual resources are small (median ≈ 10-30 KB) with a heavy tail.
+
+Sizes are drawn from per-type lognormal distributions whose medians and
+spreads reproduce those aggregates; page request counts come from a
+lognormal around the median with realistic dispersion across the corpus.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..html.parser import ResourceKind
+
+__all__ = ["SizeModel", "TypeMix", "DEFAULT_TYPE_MIX", "DEFAULT_SIZES",
+           "draw_resource_count", "draw_size", "draw_kind"]
+
+
+@dataclass(frozen=True)
+class SizeModel:
+    """Lognormal size distribution for one resource type (bytes)."""
+
+    median_bytes: float
+    sigma: float
+    min_bytes: int = 120
+    max_bytes: int = 4_000_000
+
+    def draw(self, rng: random.Random) -> int:
+        mu = math.log(self.median_bytes)
+        value = rng.lognormvariate(mu, self.sigma)
+        return int(min(max(value, self.min_bytes), self.max_bytes))
+
+
+#: Per-type size models (medians from httparchive 2024 state-of-the-web
+#: per-request figures; sigmas give the usual order-of-magnitude spread).
+DEFAULT_SIZES: dict[ResourceKind, SizeModel] = {
+    ResourceKind.STYLESHEET: SizeModel(median_bytes=12_000, sigma=1.0),
+    ResourceKind.SCRIPT: SizeModel(median_bytes=22_000, sigma=1.1),
+    ResourceKind.IMAGE: SizeModel(median_bytes=18_000, sigma=1.3),
+    ResourceKind.FONT: SizeModel(median_bytes=40_000, sigma=0.7),
+    ResourceKind.MEDIA: SizeModel(median_bytes=120_000, sigma=1.2),
+    ResourceKind.FETCH: SizeModel(median_bytes=3_000, sigma=1.0),
+    ResourceKind.IFRAME: SizeModel(median_bytes=25_000, sigma=0.9),
+    ResourceKind.OTHER: SizeModel(median_bytes=8_000, sigma=1.0),
+}
+
+#: Base HTML size model (document itself).
+HTML_SIZE = SizeModel(median_bytes=30_000, sigma=0.8, max_bytes=400_000)
+
+
+@dataclass(frozen=True)
+class TypeMix:
+    """Relative frequency of resource types on a page (request share)."""
+
+    weights: tuple[tuple[ResourceKind, float], ...]
+
+    def draw(self, rng: random.Random) -> ResourceKind:
+        kinds = [kind for kind, _ in self.weights]
+        weights = [weight for _, weight in self.weights]
+        return rng.choices(kinds, weights=weights, k=1)[0]
+
+    def share(self, kind: ResourceKind) -> float:
+        total = sum(weight for _, weight in self.weights)
+        for k, weight in self.weights:
+            if k == kind:
+                return weight / total
+        return 0.0
+
+
+#: Request-count mix per httparchive: images ≈ 38 %, scripts ≈ 30 %,
+#: css ≈ 10 %, fonts ≈ 5 %, xhr/other make up the rest.
+DEFAULT_TYPE_MIX = TypeMix(weights=(
+    (ResourceKind.IMAGE, 38.0),
+    (ResourceKind.SCRIPT, 30.0),
+    (ResourceKind.STYLESHEET, 10.0),
+    (ResourceKind.FONT, 5.0),
+    (ResourceKind.FETCH, 12.0),
+    (ResourceKind.MEDIA, 2.0),
+    (ResourceKind.OTHER, 3.0),
+))
+
+#: Median requests per page; the paper's corpus is homepage-only, which
+#: trends a little above the all-pages median.
+MEDIAN_RESOURCES_PER_PAGE = 70
+RESOURCE_COUNT_SIGMA = 0.45
+MIN_RESOURCES_PER_PAGE = 8
+MAX_RESOURCES_PER_PAGE = 400
+
+
+def draw_resource_count(rng: random.Random,
+                        median: int = MEDIAN_RESOURCES_PER_PAGE) -> int:
+    """Number of subresources for one page."""
+    value = rng.lognormvariate(math.log(median), RESOURCE_COUNT_SIGMA)
+    return int(min(max(value, MIN_RESOURCES_PER_PAGE),
+                   MAX_RESOURCES_PER_PAGE))
+
+
+def draw_kind(rng: random.Random,
+              mix: TypeMix = DEFAULT_TYPE_MIX) -> ResourceKind:
+    return mix.draw(rng)
+
+
+def draw_size(rng: random.Random, kind: ResourceKind,
+              sizes: dict[ResourceKind, SizeModel] | None = None) -> int:
+    model = (sizes or DEFAULT_SIZES).get(kind,
+                                         DEFAULT_SIZES[ResourceKind.OTHER])
+    return model.draw(rng)

@@ -1,0 +1,87 @@
+"""Corpus composition validation against published web statistics.
+
+The synthetic corpus substitutes for real top-100 homepages, so its
+aggregate shape has to be defensible.  This module measures the
+distributions that matter for PLT work and compares them against the
+httparchive-style targets the generator was built from:
+
+- page weight (total bytes) and request count medians,
+- request share per resource type,
+- share of bytes in images (the weight-dominant type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .corpus import Corpus, make_corpus
+
+__all__ = ["CorpusShape", "measure_corpus_shape"]
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class CorpusShape:
+    """Aggregate composition of a corpus."""
+
+    sites: int
+    median_page_bytes: float
+    median_resource_count: float
+    #: request share per resource kind (fractions summing to ~1)
+    request_share: dict[str, float]
+    #: byte share per resource kind
+    byte_share: dict[str, float]
+
+    def format(self) -> str:
+        lines = [
+            f"sites: {self.sites}",
+            f"median page weight: {self.median_page_bytes / 1e6:.2f} MB "
+            "(httparchive ~2.5 MB)",
+            f"median requests/page: {self.median_resource_count:.0f} "
+            "(top-site homepages ~70-150)",
+            "request share by type:",
+        ]
+        for kind, share in sorted(self.request_share.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"  {kind:<11} {share:6.1%}  "
+                         f"(bytes {self.byte_share.get(kind, 0):6.1%})")
+        return "\n".join(lines)
+
+
+def measure_corpus_shape(corpus: Corpus | None = None) -> CorpusShape:
+    """Measure the composition of ``corpus`` (default: the full corpus)."""
+    if corpus is None:
+        corpus = make_corpus()
+    weights: list[float] = []
+    counts: list[float] = []
+    requests_by_kind: dict[str, int] = {}
+    bytes_by_kind: dict[str, int] = {}
+    total_requests = 0
+    total_bytes = 0
+    for site in corpus:
+        page = site.index
+        weights.append(float(page.total_bytes))
+        counts.append(float(page.resource_count))
+        for spec in page.iter_resources():
+            kind = spec.kind.value
+            requests_by_kind[kind] = requests_by_kind.get(kind, 0) + 1
+            bytes_by_kind[kind] = bytes_by_kind.get(kind, 0) \
+                + spec.size_bytes
+            total_requests += 1
+            total_bytes += spec.size_bytes
+    return CorpusShape(
+        sites=len(corpus),
+        median_page_bytes=_median(weights),
+        median_resource_count=_median(counts),
+        request_share={kind: count / total_requests
+                       for kind, count in requests_by_kind.items()},
+        byte_share={kind: size / total_bytes
+                    for kind, size in bytes_by_kind.items()},
+    )

@@ -1,0 +1,107 @@
+"""Integration: offline mode — the Service Worker serves without origin.
+
+Paper §3: a Service Worker "can ... respond to requests on its own ...
+when the origin server is not accessible (for example, in offline
+mode)".  After catalyst visits have populated the SW cache, the page
+still loads when the origin goes dark.
+"""
+
+import pytest
+
+from repro.browser.fetcher import OriginUnreachable
+from repro.browser.metrics import FetchSource
+from repro.core.modes import CachingMode, build_mode
+from repro.http.messages import Request
+from repro.netsim.clock import HOUR
+from repro.netsim.link import Link, NetworkConditions
+from repro.netsim.sim import Simulator
+from repro.workload.sitegen import freeze_site, generate_site
+
+COND = NetworkConditions.of(60, 40)
+
+
+@pytest.fixture(scope="module")
+def site_spec():
+    return freeze_site(generate_site("https://off.example", seed=23,
+                                     median_resources=20))
+
+
+def down_handler(request, at_time):
+    raise OriginUnreachable(request.url)
+
+
+def visit(setup, handler, at_time, sim):
+    sim.run(until=at_time)
+    link = Link(sim, COND)
+    return sim.run_process(setup.session.load(
+        sim, link, handler, "/index.html", mode_label=setup.label))
+
+
+def warmed_catalyst(site_spec):
+    """Two online visits: the second stores the HTML through the (by
+    then active) Service Worker, completing the offline-capable cache —
+    exactly the real SW lifecycle."""
+    setup = build_mode(CachingMode.CATALYST, site_spec)
+    sim = Simulator()
+    visit(setup, setup.handler, 0.0, sim)
+    visit(setup, setup.handler, HOUR, sim)
+    return setup, sim
+
+
+class TestOffline:
+    def test_catalyst_survives_origin_outage(self, site_spec):
+        setup, sim = warmed_catalyst(site_spec)
+        online_plt = None
+        offline = visit(setup, down_handler, 2 * HOUR, sim)
+        sources = offline.count_by_source()
+        assert sources.get(FetchSource.OFFLINE_CACHE, 0) >= 1
+        # nothing succeeded over the network; un-cached (no-store)
+        # subresources failed with 504 and the page load carried on
+        for event in offline.events:
+            if event.source is FetchSource.NETWORK:
+                assert event.status == 504
+                assert event.bytes_down == 0
+        assert offline.plt_s > 0
+
+    def test_offline_faster_than_online(self, site_spec):
+        setup, sim = warmed_catalyst(site_spec)
+        sim2 = Simulator()
+        fresh = build_mode(CachingMode.CATALYST, site_spec)
+        online = visit(fresh, fresh.handler, 0.0, sim2)
+        offline = visit(setup, down_handler, 2 * HOUR, sim)
+        assert offline.plt_s < online.plt_s
+
+    def test_offline_responses_carry_warning(self, site_spec):
+        """Stale-because-offline content is marked per RFC 9111 §5.5."""
+        setup, sim = warmed_catalyst(site_spec)
+        fallback = setup.session.sw.offline_fallback(
+            Request(url="/index.html"), sim.now)
+        assert fallback is not None
+        assert "111" in fallback.headers.get("Warning", "")
+
+    def test_standard_browser_fails_offline(self, site_spec):
+        """Without the SW, an outage mid-revalidation kills the load."""
+        setup = build_mode(CachingMode.STANDARD, site_spec)
+        sim = Simulator()
+        visit(setup, setup.handler, 0.0, sim)
+        with pytest.raises(OriginUnreachable):
+            visit(setup, down_handler, HOUR, sim)
+
+    def test_cold_catalyst_cannot_help_offline(self, site_spec):
+        """No prior visit, nothing cached: offline is offline."""
+        setup = build_mode(CachingMode.CATALYST, site_spec)
+        sim = Simulator()
+        with pytest.raises(OriginUnreachable):
+            visit(setup, down_handler, 0.0, sim)
+
+    def test_no_store_content_never_served_offline(self, site_spec):
+        """Personalised (no-store) responses were never cached, so the
+        SW cannot leak them in offline mode."""
+        no_store_urls = {s.url for s in site_spec.index.iter_resources()
+                         if s.policy.mode == "no-store"}
+        if not no_store_urls:
+            pytest.skip("seed has no no-store resources")
+        setup, sim = warmed_catalyst(site_spec)
+        for url in no_store_urls:
+            assert setup.session.sw.offline_fallback(
+                Request(url=url), sim.now) is None

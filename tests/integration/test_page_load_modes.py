@@ -1,0 +1,120 @@
+"""Integration: full corpus-site page loads through every caching mode."""
+
+import pytest
+
+from repro.browser.metrics import FetchSource
+from repro.core.catalyst import run_visit_sequence
+from repro.core.modes import CachingMode, build_mode
+from repro.netsim.clock import DAY, HOUR
+from repro.netsim.link import NetworkConditions
+from repro.workload.sitegen import freeze_site, generate_site
+
+COND = NetworkConditions.of(60, 40)
+
+
+@pytest.fixture(scope="module")
+def site():
+    return generate_site("https://int.example", seed=4, median_resources=45)
+
+
+@pytest.fixture(scope="module")
+def frozen(site):
+    return freeze_site(site)
+
+
+def warm_result(site_spec, mode, delay=DAY, conditions=COND):
+    setup = build_mode(mode, site_spec)
+    outcomes = run_visit_sequence(setup, conditions, [0.0, delay])
+    return outcomes[0].result, outcomes[1].result
+
+
+class TestEveryModeLoadsThePage:
+    @pytest.mark.parametrize("mode", list(CachingMode))
+    def test_full_resource_coverage(self, site, mode):
+        cold, warm = warm_result(site, mode)
+        expected = set(site.index.resources) | {"/index.html"}
+        assert {e.url for e in cold.events} == expected
+        assert {e.url for e in warm.events} == expected
+
+    @pytest.mark.parametrize("mode", list(CachingMode))
+    def test_events_within_load_window(self, site, mode):
+        cold, warm = warm_result(site, mode)
+        for result in (cold, warm):
+            for event in result.events:
+                assert result.start_s <= event.start_s <= event.end_s
+                assert event.end_s <= result.onload_s + 1e-9
+
+
+class TestModeOrdering:
+    def test_warm_plt_ordering_on_frozen_content(self, frozen):
+        """On clone content: no-cache >= standard >= catalyst."""
+        plts = {}
+        for mode in (CachingMode.NO_CACHE, CachingMode.STANDARD,
+                     CachingMode.CATALYST):
+            _, warm = warm_result(frozen, mode)
+            plts[mode] = warm.plt_s
+        assert plts[CachingMode.NO_CACHE] >= plts[CachingMode.STANDARD]
+        assert plts[CachingMode.STANDARD] > plts[CachingMode.CATALYST]
+
+    def test_catalyst_saves_bytes_vs_standard(self, frozen):
+        _, warm_std = warm_result(frozen, CachingMode.STANDARD)
+        _, warm_cat = warm_result(frozen, CachingMode.CATALYST)
+        assert warm_cat.bytes_down <= warm_std.bytes_down
+
+    def test_push_wastes_bytes_on_revisit(self, frozen):
+        _, warm_std = warm_result(frozen, CachingMode.STANDARD)
+        _, warm_push = warm_result(frozen, CachingMode.PUSH_ALL)
+        pushed = [e for e in warm_push.events
+                  if e.source is FetchSource.PUSHED]
+        assert pushed
+        # push re-ships bytes the standard client served from cache
+
+
+class TestCatalystMechanics:
+    def test_sw_hits_dominate_on_frozen_revisit(self, frozen):
+        _, warm = warm_result(frozen, CachingMode.CATALYST)
+        counts = {source.value: count
+                  for source, count in warm.count_by_source().items()}
+        total = sum(counts.values())
+        assert counts.get("sw-cache", 0) > 0.5 * total
+
+    def test_revalidations_nearly_eliminated(self, frozen):
+        _, warm_std = warm_result(frozen, CachingMode.STANDARD)
+        _, warm_cat = warm_result(frozen, CachingMode.CATALYST)
+        reval_std = sum(1 for e in warm_std.events
+                        if e.source is FetchSource.REVALIDATED)
+        reval_cat = sum(1 for e in warm_cat.events
+                        if e.source is FetchSource.REVALIDATED)
+        assert reval_std > 0
+        assert reval_cat < reval_std / 2
+
+    def test_dynamic_resources_always_fetched(self, frozen):
+        _, warm = warm_result(frozen, CachingMode.CATALYST)
+        page = frozen.index
+        for event in warm.events:
+            spec = page.resources.get(event.url)
+            if spec is not None and spec.dynamic:
+                assert event.source is FetchSource.NETWORK
+
+    def test_sessions_mode_beats_plain_catalyst_eventually(self, frozen):
+        """Third visit: session stapling covers js-discovered resources."""
+        js_urls = {u for u, s in frozen.index.resources.items()
+                   if s.discovered_via == "js" and not s.dynamic}
+        if not js_urls:
+            pytest.skip("no js-discovered resources in this seed")
+        plain = build_mode(CachingMode.CATALYST, frozen)
+        sessions = build_mode(CachingMode.CATALYST_SESSIONS, frozen)
+        times = [0.0, HOUR, 2 * HOUR]
+        plain_results = run_visit_sequence(plain, COND, times)
+        session_results = run_visit_sequence(sessions, COND, times)
+        assert session_results[2].result.plt_s <= \
+            plain_results[2].result.plt_s
+
+    def test_multi_visit_sequence_stays_consistent(self, site):
+        """Churned content across five visits: no errors, PLT bounded."""
+        setup = build_mode(CachingMode.CATALYST, site)
+        times = [0.0, HOUR, 6 * HOUR, DAY, 7 * DAY]
+        outcomes = run_visit_sequence(setup, COND, times)
+        cold_plt = outcomes[0].result.plt_s
+        for outcome in outcomes[1:]:
+            assert 0 < outcome.result.plt_s <= cold_plt * 1.1

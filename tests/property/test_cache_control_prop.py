@@ -1,0 +1,59 @@
+"""Property-based tests for Cache-Control parsing."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.http.cache_control import parse_cache_control
+
+directive_name = st.sampled_from([
+    "no-store", "no-cache", "must-revalidate", "private", "public",
+    "immutable"])
+delta = st.integers(min_value=0, max_value=10 ** 9)
+
+
+@st.composite
+def directive_strings(draw):
+    parts = []
+    for _ in range(draw(st.integers(0, 6))):
+        choice = draw(st.integers(0, 3))
+        if choice == 0:
+            parts.append(draw(directive_name))
+        elif choice == 1:
+            parts.append(f"max-age={draw(delta)}")
+        elif choice == 2:
+            parts.append(f"s-maxage={draw(delta)}")
+        else:
+            name = draw(st.text(alphabet=string.ascii_lowercase + "-",
+                                min_size=1, max_size=12))
+            parts.append(name)
+    return ", ".join(parts)
+
+
+@given(directive_strings())
+def test_never_raises(value):
+    parse_cache_control(value)
+
+
+@given(directive_strings())
+def test_serialization_fixpoint(value):
+    once = parse_cache_control(value)
+    twice = parse_cache_control(str(once))
+    assert once == twice
+
+
+@given(st.text(max_size=100))
+def test_arbitrary_garbage_never_raises(value):
+    parse_cache_control(value)
+
+
+@given(delta)
+def test_max_age_parsed_exactly(seconds):
+    capped = min(seconds, 2 ** 31)
+    assert parse_cache_control(f"max-age={seconds}").max_age == capped
+
+
+@given(directive_strings())
+def test_no_store_dominates_cacheability(value):
+    cc = parse_cache_control(value)
+    assert cc.is_cacheable == (not cc.no_store)

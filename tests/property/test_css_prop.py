@@ -1,0 +1,45 @@
+"""Property-based tests for CSS/JS reference extraction round trips."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.browser.js import extract_js_fetches
+from repro.html.css import extract_css_urls
+from repro.workload.sitegen import JS_FETCH_DIRECTIVE
+
+url_chars = string.ascii_letters + string.digits + "/._-"
+urls = st.lists(
+    st.text(alphabet=url_chars, min_size=1, max_size=30)
+    .map(lambda s: "/" + s),
+    min_size=0, max_size=10, unique=True)
+filler = st.text(alphabet=string.ascii_letters + string.digits + " ;{}:\n",
+                 max_size=80)
+
+
+@given(urls, filler)
+def test_css_url_extraction_roundtrip(url_list, noise):
+    css = noise + "\n" + "\n".join(
+        f".c{i} {{ background: url({url}); }}"
+        for i, url in enumerate(url_list))
+    assert extract_css_urls(css) == url_list
+
+
+@given(urls, filler)
+def test_css_import_roundtrip(url_list, noise):
+    css = "\n".join(f"@import '{url}';" for url in url_list) + "\n" + noise
+    extracted = extract_css_urls(css)
+    assert extracted[:len(url_list)] == url_list
+
+
+@given(urls, filler)
+def test_js_directive_roundtrip(url_list, noise):
+    js = noise.replace("/*", "").replace("*/", "") + "\n" + "\n".join(
+        f"{JS_FETCH_DIRECTIVE}{url}*/" for url in url_list)
+    assert extract_js_fetches(js) == url_list
+
+
+@given(st.text(max_size=200))
+def test_extractors_never_raise(text):
+    extract_css_urls(text)
+    extract_js_fetches(text)

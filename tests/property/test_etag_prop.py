@@ -1,0 +1,56 @@
+"""Property-based tests for ETags and the If-None-Match algebra."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.http.etag import (ETag, etag_for_content, if_none_match_matches,
+                             parse_etag, parse_etag_list)
+
+opaque = st.text(alphabet=string.ascii_letters + string.digits + "-._:/+",
+                 min_size=0, max_size=24)
+etags = st.builds(ETag, opaque=opaque, weak=st.booleans())
+
+
+@given(etags)
+def test_parse_str_roundtrip(tag):
+    assert parse_etag(str(tag)) == tag
+
+
+@given(etags)
+def test_weak_compare_reflexive(tag):
+    assert tag.weak_compare(tag)
+
+
+@given(etags, etags)
+def test_weak_compare_symmetric(a, b):
+    assert a.weak_compare(b) == b.weak_compare(a)
+
+
+@given(etags, etags)
+def test_strong_implies_weak(a, b):
+    if a.strong_compare(b):
+        assert a.weak_compare(b)
+
+
+@given(st.lists(etags, min_size=1, max_size=8))
+def test_list_roundtrip(tags):
+    header_value = ", ".join(str(tag) for tag in tags)
+    assert parse_etag_list(header_value) == tags
+
+
+@given(st.lists(etags, min_size=1, max_size=8), etags)
+def test_if_none_match_equivalent_to_any(tags, current):
+    header_value = ", ".join(str(tag) for tag in tags)
+    expected = any(tag.weak_compare(current) for tag in tags)
+    assert if_none_match_matches(header_value, current) == expected
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_content_etag_injective_enough(a, b):
+    """Equal content -> equal tag; differing tags -> differing content."""
+    tag_a, tag_b = etag_for_content(a), etag_for_content(b)
+    if a == b:
+        assert tag_a == tag_b
+    if tag_a != tag_b:
+        assert a != b

@@ -1,0 +1,65 @@
+"""Property-based tests for the header multimap."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.http.headers import Headers
+
+token_chars = string.ascii_letters + string.digits + "-_"
+names = st.text(alphabet=token_chars, min_size=1, max_size=20)
+values = st.text(alphabet=string.ascii_letters + string.digits + " .,;=\"'",
+                 min_size=0, max_size=60).map(str.strip)
+pairs = st.lists(st.tuples(names, values), max_size=20)
+
+
+@given(pairs)
+def test_roundtrip_through_items(items):
+    headers = Headers(items)
+    rebuilt = Headers(list(headers.items()))
+    assert rebuilt == headers
+
+
+@given(pairs, names)
+def test_get_all_matches_manual_filter(items, probe):
+    headers = Headers(items)
+    expected = [value.strip() for name, value in items
+                if name.lower() == probe.lower()]
+    assert headers.get_all(probe) == expected
+
+
+@given(pairs, names, values)
+def test_set_then_get(items, name, value):
+    headers = Headers(items)
+    headers.set(name, value)
+    assert headers.get(name) == value
+    assert headers.get_all(name) == [value]
+
+
+@given(pairs, names)
+def test_remove_removes_everything(items, name):
+    headers = Headers(items)
+    headers.remove(name)
+    assert name not in headers
+    assert headers.get_all(name) == []
+
+
+@given(pairs)
+def test_wire_size_matches_serialized_length(items):
+    headers = Headers(items)
+    serialized = "".join(f"{n}: {v}\r\n" for n, v in headers.items())
+    assert headers.wire_size() == len(serialized.encode("utf-8"))
+
+
+@given(pairs)
+def test_copy_equal_but_independent(items):
+    headers = Headers(items)
+    clone = headers.copy()
+    assert clone == headers
+    clone.add("X-Extra", "1")
+    assert ("X-Extra" in clone) and ("X-Extra" not in headers)
+
+
+@given(pairs)
+def test_len_counts_occurrences(items):
+    assert len(Headers(items)) == len(items)

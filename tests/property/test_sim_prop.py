@@ -1,0 +1,66 @@
+"""Property-based tests for the DES kernel's ordering invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.sim import Simulator
+
+delays = st.lists(st.floats(min_value=0.0, max_value=1e4,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=30)
+
+
+@given(delays)
+def test_callbacks_fire_in_time_order(values):
+    sim = Simulator()
+    fired = []
+    for delay in values:
+        sim.timeout(delay).add_callback(lambda _ev, d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(fired)
+    assert sim.now == max(values)
+
+
+@given(delays)
+def test_clock_never_goes_backwards(values):
+    sim = Simulator()
+    observed = []
+    for delay in values:
+        sim.timeout(delay).add_callback(lambda _ev: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+
+
+@given(delays, delays)
+def test_process_completion_equals_sum_of_waits(first, second):
+    sim = Simulator()
+
+    def proc(waits):
+        for wait in waits:
+            yield sim.timeout(wait)
+        return sim.now
+    a = sim.process(proc(first))
+    b = sim.process(proc(second))
+    sim.run()
+    assert a.value == sum(first)
+    assert b.value == sum(second)
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=1, max_value=5),
+       st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1,
+                max_size=20))
+def test_resource_conservation(capacity, durations):
+    """Work conservation: makespan >= total_work / capacity."""
+    sim = Simulator()
+    resource = sim.resource(capacity)
+
+    def worker(duration):
+        yield resource.request()
+        yield sim.timeout(duration)
+        resource.release()
+    for duration in durations:
+        sim.process(worker(duration))
+    sim.run()
+    lower_bound = sum(durations) / capacity
+    assert sim.now >= lower_bound - 1e-9
+    assert sim.now <= sum(durations) + 1e-9

@@ -1,0 +1,70 @@
+"""Property-based tests for the LRU cache store invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.cache.store import CacheStore
+from repro.http.messages import Request, Response
+
+urls = st.sampled_from([f"/r{i}" for i in range(8)])
+bodies = st.binary(min_size=0, max_size=200)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("store"), urls, bodies),
+        st.tuples(st.just("lookup"), urls, st.just(b"")),
+        st.tuples(st.just("invalidate"), urls, st.just(b"")),
+    ),
+    max_size=60)
+
+
+def apply_ops(store: CacheStore, operations):
+    clock = 0.0
+    for op, url, body in operations:
+        clock += 1.0
+        if op == "store":
+            store.store(Request(url=url), Response(body=body), clock, clock)
+        elif op == "lookup":
+            store.lookup(Request(url=url), clock)
+        else:
+            store.invalidate(url)
+
+
+@given(ops)
+def test_byte_size_matches_entries(operations):
+    store = CacheStore()
+    apply_ops(store, operations)
+    assert store.byte_size == sum(e.size_bytes for e in store.entries())
+
+
+@given(ops, st.integers(min_value=300, max_value=2000))
+def test_budget_respected(operations, budget):
+    store = CacheStore(max_bytes=budget)
+    apply_ops(store, operations)
+    assert store.byte_size <= budget or store.entry_count <= 1
+
+
+@given(ops)
+def test_lookup_after_store_returns_latest_body(operations):
+    store = CacheStore()
+    latest: dict[str, bytes] = {}
+    clock = 0.0
+    for op, url, body in operations:
+        clock += 1.0
+        if op == "store":
+            stored = store.store(Request(url=url), Response(body=body),
+                                 clock, clock)
+            if stored is not None:
+                latest[url] = body
+        elif op == "invalidate":
+            store.invalidate(url)
+            latest.pop(url, None)
+    for url, body in latest.items():
+        entry = store.lookup(Request(url=url), clock)
+        assert entry is not None
+        assert entry.response.body == body
+
+
+@given(ops)
+def test_hits_never_exceed_lookups(operations):
+    store = CacheStore()
+    apply_ops(store, operations)
+    assert 0 <= store.hits <= store.lookups

@@ -1,0 +1,95 @@
+"""Property-based tests for the HTTP/1.1 wire codec."""
+
+import asyncio
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.http.errors import (ConnectionClosed, HttpError, MessageTooLarge,
+                               ProtocolError)
+from repro.http.headers import Headers
+from repro.http.messages import Request, Response
+from repro.http.wire import (read_request, read_response, serialize_request,
+                             serialize_response)
+
+token = st.text(alphabet=string.ascii_letters + string.digits + "-_",
+                min_size=1, max_size=16)
+header_value = st.text(
+    alphabet=string.ascii_letters + string.digits + " ;,=.\"'/",
+    max_size=40).map(str.strip)
+header_lists = st.lists(st.tuples(token, header_value), max_size=10)
+paths = st.text(alphabet=string.ascii_letters + string.digits + "/._-",
+                min_size=1, max_size=40).map(lambda s: "/" + s)
+bodies = st.binary(max_size=500)
+statuses = st.sampled_from([200, 201, 204, 301, 304, 400, 404, 500])
+
+
+def parse(parse_fn, data: bytes, **kwargs):
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await parse_fn(reader, **kwargs)
+    return asyncio.run(inner())
+
+
+@given(paths, header_lists, bodies)
+@settings(max_examples=60)
+def test_request_round_trip(path, headers, body):
+    method = "POST" if body else "GET"
+    original = Request(method=method, url=path, headers=Headers(headers),
+                       body=body)
+    parsed = parse(read_request, serialize_request(original))
+    assert parsed.method == method
+    assert parsed.url == path
+    assert parsed.body == body
+    for name, value in headers:
+        assert value in parsed.headers.get_all(name)
+
+
+@given(statuses, header_lists, bodies)
+@settings(max_examples=60)
+def test_response_round_trip(status, headers, body):
+    original = Response(status=status, headers=Headers(headers), body=body)
+    parsed = parse(read_response, serialize_response(original))
+    assert parsed.status == status
+    if status in (204, 304):
+        assert parsed.body == b""
+    else:
+        assert parsed.body == body
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=100)
+def test_arbitrary_bytes_never_hang_or_crash(data):
+    """Garbage input must raise a protocol-family error or parse —
+    never raise something else and never loop forever."""
+    try:
+        parse(read_request, data)
+    except (ProtocolError, ConnectionClosed, MessageTooLarge, HttpError):
+        pass
+    try:
+        parse(read_response, data)
+    except (ProtocolError, ConnectionClosed, MessageTooLarge, HttpError):
+        pass
+
+
+@given(paths, header_lists, bodies, paths, bodies)
+@settings(max_examples=30)
+def test_pipelined_requests_parse_in_order(path_a, headers, body_a,
+                                           path_b, body_b):
+    first = Request(method="POST", url=path_a, headers=Headers(headers),
+                    body=body_a)
+    second = Request(method="POST", url=path_b, body=body_b)
+    stream = serialize_request(first) + serialize_request(second)
+
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(stream)
+        reader.feed_eof()
+        one = await read_request(reader)
+        two = await read_request(reader)
+        return one, two
+    one, two = asyncio.run(inner())
+    assert one.url == path_a and one.body == body_a
+    assert two.url == path_b and two.body == body_b

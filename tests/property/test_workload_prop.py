@@ -1,0 +1,86 @@
+"""Property-based tests for workload generation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.html import extract_resources, parse_html
+from repro.html.parser import ResourceKind
+from repro.workload.churn import ResourceChurn
+from repro.workload.sitegen import (freeze_site, generate_site, render_html)
+
+seeds = st.integers(min_value=0, max_value=100_000)
+medians = st.sampled_from([12, 30, 70])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seeds, medians)
+def test_site_structure_invariants(seed, median):
+    site = generate_site(f"https://p{seed}.example", seed=seed,
+                         median_resources=median)
+    page = site.index
+    # every HTML ref resolves; every child resolves; URLs unique
+    for url in page.html_refs:
+        assert url in page.resources
+    for spec in page.iter_resources():
+        assert spec.size_bytes > 0
+        assert spec.change_period_s > 0
+        for child in spec.children:
+            assert child in page.resources
+        if spec.dynamic:
+            assert spec.policy.mode == "no-store"
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds, medians, st.integers(min_value=0, max_value=5))
+def test_render_extract_round_trip(seed, median, version):
+    site = generate_site(f"https://p{seed}.example", seed=seed,
+                         median_resources=median)
+    markup = render_html(site.index, version=version)
+    extracted = {r.url for r in extract_resources(parse_html(markup))}
+    assert extracted == set(site.index.html_refs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_generation_is_pure(seed):
+    a = generate_site(f"https://p{seed}.example", seed=seed)
+    b = generate_site(f"https://p{seed}.example", seed=seed)
+    assert a.index.resources == b.index.resources
+    assert a.index.html_refs == b.index.html_refs
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_freezing_preserves_structure(seed):
+    site = generate_site(f"https://p{seed}.example", seed=seed,
+                         median_resources=20)
+    frozen = freeze_site(site)
+    assert set(frozen.index.resources) == set(site.index.resources)
+    assert frozen.index.html_refs == site.index.html_refs
+    for url, spec in frozen.index.resources.items():
+        original = site.index.resources[url]
+        assert spec.policy == original.policy
+        assert spec.size_bytes == original.size_bytes
+
+
+churn_seeds = st.integers(min_value=0, max_value=10_000)
+periods = st.floats(min_value=60.0, max_value=1e8, allow_nan=False)
+times = st.lists(st.floats(min_value=0.0, max_value=1e7,
+                           allow_nan=False), min_size=2, max_size=10)
+
+
+@given(churn_seeds, periods, times)
+def test_churn_version_monotone_any_order(seed, period, query_times):
+    churn = ResourceChurn(period_s=period, seed=seed)
+    results = [(t, churn.version_at(t)) for t in query_times]
+    for t_a, v_a in results:
+        for t_b, v_b in results:
+            if t_a <= t_b:
+                assert v_a <= v_b
+
+
+@given(churn_seeds, periods, times)
+def test_churn_pure_across_instances(seed, period, query_times):
+    a = ResourceChurn(period_s=period, seed=seed)
+    b = ResourceChurn(period_s=period, seed=seed)
+    for t in query_times:
+        assert a.version_at(t) == b.version_at(t)

@@ -1,0 +1,133 @@
+"""Focused tests for asyncio client/server corner cases.
+
+(The happy paths live in tests/integration/test_asyncio_http.py; these
+cover the failure handling.)
+"""
+
+import asyncio
+
+import pytest
+
+from repro.http.aclient import AsyncHttpClient
+from repro.http.aserver import AsyncHttpServer
+from repro.http.errors import HttpError, RequestTimeout
+from repro.http.messages import Request, Response
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestClientErrors:
+    def test_unsupported_scheme_rejected(self):
+        async def scenario():
+            async with AsyncHttpClient() as client:
+                with pytest.raises(HttpError, match="scheme"):
+                    await client.get("ftp://example.com/x")
+        run(scenario())
+
+    def test_missing_host_rejected(self):
+        async def scenario():
+            async with AsyncHttpClient() as client:
+                with pytest.raises(HttpError, match="host"):
+                    await client.get("http:///nohost")
+        run(scenario())
+
+    def test_closed_client_rejects_requests(self):
+        async def scenario():
+            client = AsyncHttpClient()
+            await client.close()
+            with pytest.raises(HttpError, match="closed"):
+                await client.get("http://127.0.0.1:1/x")
+        run(scenario())
+
+    def test_request_timeout_raised(self):
+        async def never_responds(reader, writer):
+            await asyncio.sleep(10)
+
+        async def scenario():
+            server = await asyncio.start_server(never_responds,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                async with AsyncHttpClient(timeout_s=0.2) as client:
+                    with pytest.raises(RequestTimeout):
+                        await client.get(f"http://127.0.0.1:{port}/slow")
+            finally:
+                server.close()
+                await server.wait_closed()
+        run(scenario())
+
+    def test_stale_pooled_connection_retried(self):
+        """Server closes idle connections; the next request must retry
+        transparently on a fresh connection."""
+        async def scenario():
+            handler = lambda req: Response(body=req.path.encode())
+            async with AsyncHttpServer(handler,
+                                       keepalive_timeout_s=0.15) as server:
+                async with AsyncHttpClient() as client:
+                    first = await client.get(server.base_url + "/one")
+                    await asyncio.sleep(0.4)  # server times the conn out
+                    second = await client.get(server.base_url + "/two")
+                    return first.response.body, second.response.body
+        first, second = run(scenario())
+        assert first == b"/one"
+        assert second == b"/two"
+
+
+class TestServerBehaviour:
+    def test_connection_close_honoured(self):
+        def handler(request):
+            return Response(body=b"x",
+                            headers={"Connection": "close"})
+
+        async def scenario():
+            async with AsyncHttpServer(handler) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+                await writer.drain()
+                data = await reader.read()  # until server closes
+                writer.close()
+                return data
+        data = run(scenario())
+        assert b"200" in data
+        assert b"Connection: close" in data
+
+    def test_http10_defaults_to_close(self):
+        async def scenario():
+            async with AsyncHttpServer(
+                    lambda req: Response(body=b"x")) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(b"GET / HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                return data
+        assert b"200" in run(scenario())
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            async with AsyncHttpServer(
+                    lambda req: Response()) as server:
+                with pytest.raises(RuntimeError):
+                    await server.start()
+        run(scenario())
+
+    def test_requests_served_counter(self):
+        async def scenario():
+            async with AsyncHttpServer(
+                    lambda req: Response(body=b"x")) as server:
+                async with AsyncHttpClient() as client:
+                    for _ in range(3):
+                        await client.get(server.base_url + "/")
+                return server.requests_served
+        assert run(scenario()) == 3
+
+    def test_non_response_handler_result_is_500(self):
+        async def scenario():
+            async with AsyncHttpServer(lambda req: "oops") as server:
+                async with AsyncHttpClient() as client:
+                    return (await client.get(server.base_url + "/")).response
+        assert run(scenario()).status == 500

@@ -1,0 +1,55 @@
+"""Unit tests for the sim-time -> wall-time handler adapter."""
+
+import itertools
+
+from repro.http.messages import Request, Response
+from repro.server.adapter import as_async_handler
+
+
+class FakeServer:
+    def __init__(self):
+        self.calls: list[float] = []
+
+    def handle(self, request: Request, at_time: float) -> Response:
+        self.calls.append(at_time)
+        return Response(body=f"{at_time:.3f}".encode())
+
+
+class TestAdapter:
+    def test_epoch_starts_at_zero(self):
+        ticks = iter([100.0, 100.0])
+        server = FakeServer()
+        handler = as_async_handler(server, clock=lambda: next(ticks))
+        handler(Request(url="/"))
+        assert server.calls == [0.0]
+
+    def test_elapsed_time_passed_through(self):
+        ticks = iter([50.0, 52.5])
+        server = FakeServer()
+        handler = as_async_handler(server, clock=lambda: next(ticks))
+        handler(Request(url="/"))
+        assert server.calls == [2.5]
+
+    def test_time_scale_multiplies(self):
+        ticks = iter([0.0, 2.0])
+        server = FakeServer()
+        handler = as_async_handler(server, clock=lambda: next(ticks),
+                                   time_scale=3600.0)
+        handler(Request(url="/"))
+        assert server.calls == [7200.0]
+
+    def test_monotone_over_calls(self):
+        counter = itertools.count()
+        server = FakeServer()
+        handler = as_async_handler(server,
+                                   clock=lambda: float(next(counter)))
+        for _ in range(4):
+            handler(Request(url="/"))
+        assert server.calls == sorted(server.calls)
+
+    def test_response_passes_through(self):
+        ticks = iter([0.0, 1.0])
+        handler = as_async_handler(FakeServer(),
+                                   clock=lambda: next(ticks))
+        response = handler(Request(url="/"))
+        assert response.body == b"1.000"

@@ -1,0 +1,80 @@
+"""Unit tests for the closed-form PLT model."""
+
+import pytest
+
+from repro.core.analysis import AnalyticModel, estimate_plt, estimate_reduction
+from repro.core.modes import CachingMode
+from repro.experiments.figure1 import build_figure1_site
+from repro.netsim.clock import DAY, HOUR
+from repro.netsim.link import NetworkConditions
+from repro.workload.sitegen import generate_site
+
+COND = NetworkConditions.of(60, 40)
+
+
+@pytest.fixture(scope="module")
+def site():
+    return generate_site("https://an.example", seed=71)
+
+
+class TestEstimatePlt:
+    def test_positive(self, site):
+        assert estimate_plt(site, CachingMode.STANDARD, HOUR, COND) > 0
+
+    def test_cold_slower_than_warm(self, site):
+        cold = estimate_plt(site, CachingMode.STANDARD, HOUR, COND,
+                            cold=True)
+        warm = estimate_plt(site, CachingMode.STANDARD, HOUR, COND)
+        assert cold > warm
+
+    def test_catalyst_not_slower(self, site):
+        std = estimate_plt(site, CachingMode.STANDARD, DAY, COND)
+        cat = estimate_plt(site, CachingMode.CATALYST, DAY, COND)
+        assert cat <= std
+
+    def test_monotone_in_rtt(self, site):
+        plts = [estimate_plt(site, CachingMode.STANDARD, HOUR,
+                             NetworkConditions.of(60, rtt))
+                for rtt in (10, 40, 100)]
+        assert plts == sorted(plts)
+
+    def test_no_cache_worst(self, site):
+        none = estimate_plt(site, CachingMode.NO_CACHE, HOUR, COND)
+        std = estimate_plt(site, CachingMode.STANDARD, HOUR, COND)
+        assert none >= std
+
+
+class TestEstimateReduction:
+    def test_in_unit_interval(self, site):
+        reduction = estimate_reduction(site, DAY, COND)
+        assert 0.0 <= reduction < 1.0
+
+    def test_higher_latency_higher_reduction(self, site):
+        low = estimate_reduction(site, DAY, NetworkConditions.of(60, 10))
+        high = estimate_reduction(site, DAY, NetworkConditions.of(60, 100))
+        assert high > low
+
+
+class TestAgainstSimulator:
+    def test_rank_correlation_with_des(self):
+        """Analytic and simulated PLT must order conditions the same way."""
+        from repro.core.modes import build_mode
+        from repro.core.catalyst import run_visit_sequence
+        site = build_figure1_site()
+        conditions = [NetworkConditions.of(mbps, rtt)
+                      for mbps in (8, 60) for rtt in (10, 100)]
+        analytic, simulated = [], []
+        for cond in conditions:
+            analytic.append(estimate_plt(site, CachingMode.STANDARD,
+                                         2 * HOUR, cond))
+            setup = build_mode(CachingMode.STANDARD, site)
+            outcomes = run_visit_sequence(setup, cond, [0.0, 2 * HOUR])
+            simulated.append(outcomes[1].result.plt_s)
+
+        def ranks(values):
+            order = sorted(range(len(values)), key=values.__getitem__)
+            rank = [0] * len(values)
+            for position, index in enumerate(order):
+                rank[index] = position
+            return rank
+        assert ranks(analytic) == ranks(simulated)

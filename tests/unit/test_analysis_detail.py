@@ -1,0 +1,110 @@
+"""Detailed unit tests for the analytic model's per-resource expectations."""
+
+import math
+
+import pytest
+
+from repro.core.analysis import AnalyticModel
+from repro.core.modes import CachingMode
+from repro.html.parser import ResourceKind
+from repro.netsim.clock import DAY, HOUR
+from repro.netsim.link import NetworkConditions
+from repro.workload.headers_model import HeaderPolicy
+from repro.workload.sitegen import ResourceSpec
+
+COND = NetworkConditions.of(60, 40)
+
+
+def spec_with(policy: HeaderPolicy, period_s: float = math.inf,
+              via: str = "html", dynamic: bool = False,
+              size: int = 10_000) -> ResourceSpec:
+    return ResourceSpec(
+        url="/r.bin", kind=ResourceKind.IMAGE, size_bytes=size,
+        policy=policy, change_period_s=period_s, content_seed=1,
+        discovered_via=via, dynamic=dynamic,
+        fixed_change_times=() if math.isinf(period_s) else None)
+
+
+@pytest.fixture
+def model():
+    return AnalyticModel(COND)
+
+
+class TestExpectedResourceCost:
+    def test_no_cache_mode_always_full(self, model):
+        spec = spec_with(HeaderPolicy(mode="max-age", ttl_s=1e9))
+        cost = model.expected_resource_s(spec, CachingMode.NO_CACHE, HOUR)
+        assert cost == pytest.approx(model._full_fetch_s(spec.size_bytes))
+
+    def test_fresh_max_age_is_lookup_cost(self, model):
+        spec = spec_with(HeaderPolicy(mode="max-age", ttl_s=2 * HOUR))
+        cost = model.expected_resource_s(spec, CachingMode.STANDARD, HOUR)
+        assert cost == model.config.cache_lookup_s
+
+    def test_expired_unchanged_costs_a_revalidation(self, model):
+        spec = spec_with(HeaderPolicy(mode="max-age", ttl_s=60.0))
+        cost = model.expected_resource_s(spec, CachingMode.STANDARD, HOUR)
+        assert cost == pytest.approx(model._revalidation_s())
+
+    def test_no_store_always_full(self, model):
+        spec = spec_with(HeaderPolicy(mode="no-store"))
+        cost = model.expected_resource_s(spec, CachingMode.STANDARD, HOUR)
+        assert cost == pytest.approx(model._full_fetch_s(spec.size_bytes))
+
+    def test_catalyst_unchanged_is_sw_lookup(self, model):
+        spec = spec_with(HeaderPolicy(mode="no-cache"))
+        cost = model.expected_resource_s(spec, CachingMode.CATALYST, HOUR)
+        assert cost == model.config.sw_lookup_s
+
+    def test_catalyst_js_discovered_falls_back_to_standard(self, model):
+        spec = spec_with(HeaderPolicy(mode="no-cache"), via="js")
+        standard = model.expected_resource_s(spec, CachingMode.STANDARD,
+                                             HOUR)
+        catalyst = model.expected_resource_s(spec, CachingMode.CATALYST,
+                                             HOUR)
+        assert catalyst == pytest.approx(standard)
+
+    def test_catalyst_sessions_covers_js_discovered(self, model):
+        spec = spec_with(HeaderPolicy(mode="no-cache"), via="js")
+        cost = model.expected_resource_s(
+            spec, CachingMode.CATALYST_SESSIONS, HOUR)
+        assert cost == model.config.sw_lookup_s
+
+    def test_dynamic_always_full_even_for_catalyst(self, model):
+        spec = spec_with(HeaderPolicy(mode="no-store"), dynamic=True)
+        cost = model.expected_resource_s(spec, CachingMode.CATALYST, HOUR)
+        assert cost == pytest.approx(model._full_fetch_s(spec.size_bytes))
+
+    def test_churned_resource_mixes_probabilistically(self, model):
+        spec = spec_with(HeaderPolicy(mode="no-cache"), period_s=DAY)
+        cost = model.expected_resource_s(spec, CachingMode.CATALYST, DAY)
+        p = 1 - math.exp(-1)
+        expected = (p * model._full_fetch_s(spec.size_bytes)
+                    + (1 - p) * model.config.sw_lookup_s)
+        assert cost == pytest.approx(expected, rel=0.01)
+
+
+class TestLevelAggregation:
+    def test_empty_level_is_free(self, model):
+        assert model._level_s([]) == 0.0
+
+    def test_single_wave_is_max(self, model):
+        assert model._level_s([0.1, 0.2, 0.05]) == pytest.approx(0.2)
+
+    def test_two_waves_sum_maxima(self, model):
+        costs = [0.1] * 6 + [0.2] * 6
+        # sorted desc: first wave all 0.2s, second all 0.1s
+        assert model._level_s(costs) == pytest.approx(0.3)
+
+    def test_zero_costs_filtered(self, model):
+        assert model._level_s([0.0, 0.0, 0.3]) == pytest.approx(0.3)
+
+    def test_transfer_time_scales_with_bandwidth(self):
+        slow = AnalyticModel(NetworkConditions.of(8, 40))
+        fast = AnalyticModel(NetworkConditions.of(60, 40))
+        assert slow._transfer_s(100_000) > fast._transfer_s(100_000)
+
+    def test_revalidation_cost_is_rtt_dominated(self, model):
+        reval = model._revalidation_s()
+        assert reval >= COND.rtt_s
+        assert reval < COND.rtt_s + 0.05

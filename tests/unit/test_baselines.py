@@ -1,0 +1,137 @@
+"""Unit tests for the RDR and Extreme Cache baselines."""
+
+import pytest
+
+from repro.baselines.extreme_cache import ExtremeCacheProxy
+from repro.baselines.rdr import RdrProxy
+from repro.browser.engine import BrowserConfig, BrowserSession
+from repro.core.modes import CachingMode, build_mode
+from repro.http.messages import Request
+from repro.netsim.clock import HOUR
+from repro.netsim.link import Link, NetworkConditions
+from repro.netsim.sim import Simulator
+from repro.server.site import OriginSite
+from repro.workload.sitegen import generate_site
+
+COND = NetworkConditions.of(60, 100)
+
+
+@pytest.fixture(scope="module")
+def site_spec():
+    return generate_site("https://b.example", seed=81)
+
+
+def rdr_load(site_spec, conditions=COND):
+    sim = Simulator()
+    proxy = RdrProxy(OriginSite(site_spec))
+    link = Link(sim, conditions)
+    return sim.run_process(proxy.load(sim, link, "/index.html"))
+
+
+class TestRdr:
+    def test_single_bulk_event(self, site_spec):
+        result = rdr_load(site_spec)
+        assert len(result.events) == 1
+        assert result.events[0].bytes_down > 0
+        assert result.mode == "rdr"
+
+    def test_beats_cold_standard_load_at_high_latency(self, site_spec):
+        from repro.core.catalyst import run_visit_sequence
+        setup = build_mode(CachingMode.STANDARD, site_spec)
+        cold = run_visit_sequence(setup, COND, [0.0])[0].result
+        rdr = rdr_load(site_spec)
+        assert rdr.plt_s < cold.plt_s
+
+    def test_no_benefit_from_client_cache(self, site_spec):
+        """RDR re-ships the bundle every visit (the §5 criticism)."""
+        first = rdr_load(site_spec)
+        second = rdr_load(site_spec)
+        assert second.plt_s == pytest.approx(first.plt_s, rel=0.05)
+        assert second.bytes_down == pytest.approx(first.bytes_down,
+                                                  rel=0.05)
+
+    def test_plt_scales_with_rtt_only_weakly(self, site_spec):
+        low = rdr_load(site_spec, NetworkConditions.of(60, 10))
+        high = rdr_load(site_spec, NetworkConditions.of(60, 200))
+        # one round trip of difference-ish, not dozens
+        assert (high.plt_s - low.plt_s) < 10 * 0.190
+
+
+class TestExtremeCache:
+    def test_rewrites_short_ttls(self, site_spec):
+        proxy = ExtremeCacheProxy(OriginSite(site_spec))
+        page = site_spec.index
+        rewritable = [
+            url for url, spec in page.resources.items()
+            if spec.policy.mode in ("max-age", "none") and not spec.dynamic]
+        for url in rewritable[:5]:
+            response = proxy.handle(Request(url=url), at_time=0.0)
+            cc = response.cache_control
+            assert cc.max_age is not None and cc.max_age >= 60
+        assert proxy.rewritten > 0
+
+    def test_no_store_respected(self, site_spec):
+        proxy = ExtremeCacheProxy(OriginSite(site_spec))
+        page = site_spec.index
+        no_store = [url for url, spec in page.resources.items()
+                    if spec.policy.mode == "no-store"]
+        if not no_store:
+            pytest.skip("no no-store resources in this seed")
+        response = proxy.handle(Request(url=no_store[0]), at_time=0.0)
+        assert response.cache_control.no_store
+
+    def test_no_cache_left_alone(self, site_spec):
+        proxy = ExtremeCacheProxy(OriginSite(site_spec))
+        page = site_spec.index
+        no_cache = [url for url, spec in page.resources.items()
+                    if spec.policy.mode == "no-cache"]
+        if not no_cache:
+            pytest.skip("no no-cache resources in this seed")
+        response = proxy.handle(Request(url=no_cache[0]), at_time=0.0)
+        assert response.cache_control.no_cache
+
+    def test_estimates_deterministic_per_url(self, site_spec):
+        proxy = ExtremeCacheProxy(OriginSite(site_spec), seed=5)
+        page = site_spec.index
+        url = next(u for u, s in page.resources.items()
+                   if s.policy.mode == "max-age")
+        first = proxy.handle(Request(url=url), 0.0).cache_control.max_age
+        second = proxy.handle(Request(url=url), 1.0).cache_control.max_age
+        assert first == second
+
+    def test_oracle_estimator_matches_period_scale(self, site_spec):
+        """sigma=0: TTL == safety_factor * true period (clamped)."""
+        proxy = ExtremeCacheProxy(OriginSite(site_spec),
+                                  estimation_sigma=0.0, safety_factor=0.5)
+        page = site_spec.index
+        url, spec = next(
+            (u, s) for u, s in page.resources.items()
+            if s.policy.mode == "max-age" and s.change_period_s < 1e8
+            and s.change_period_s > 200)
+        ttl = proxy.handle(Request(url=url), 0.0).cache_control.max_age
+        expected = min(max(spec.change_period_s * 0.5, 60), 30 * 86400)
+        assert ttl == pytest.approx(expected, rel=0.01)
+
+    def test_stale_serves_measurable_with_long_estimates(self, site_spec):
+        """Overestimation creates stale serves — the unreported risk."""
+        from repro.browser.metrics import FetchSource
+        from repro.experiments.harness import _stale_hits
+        site = OriginSite(site_spec)
+        proxy = ExtremeCacheProxy(site, estimation_sigma=0.0,
+                                  safety_factor=50.0)  # reckless TTLs
+        config = BrowserConfig()
+        session = BrowserSession(config)
+        sim = Simulator()
+        link = Link(sim, COND)
+        sim.run_process(session.load(sim, link, proxy.handle,
+                                     "/index.html", mode_label="xc"))
+        sim.run(until=30 * 24 * 3600.0)
+        link = Link(sim, COND)
+        warm = sim.run_process(session.load(sim, link, proxy.handle,
+                                            "/index.html",
+                                            mode_label="xc"))
+        stale = _stale_hits(warm, site_spec, 30 * 24 * 3600.0)
+        hits = sum(1 for e in warm.events
+                   if e.source is FetchSource.HTTP_CACHE)
+        assert hits > 0
+        assert stale > 0  # month-old content served as fresh

@@ -1,0 +1,86 @@
+"""Unit tests for Cache-Control parsing."""
+
+import pytest
+
+from repro.http.cache_control import CacheControl, parse_cache_control
+
+
+class TestDirectives:
+    def test_no_store(self):
+        assert parse_cache_control("no-store").no_store
+
+    def test_no_cache(self):
+        assert parse_cache_control("no-cache").no_cache
+
+    def test_max_age(self):
+        assert parse_cache_control("max-age=3600").max_age == 3600
+
+    def test_s_maxage(self):
+        assert parse_cache_control("s-maxage=60").s_maxage == 60
+
+    def test_combination(self):
+        cc = parse_cache_control("public, max-age=300, must-revalidate")
+        assert cc.public and cc.must_revalidate and cc.max_age == 300
+
+    def test_immutable(self):
+        assert parse_cache_control("max-age=31536000, immutable").immutable
+
+    def test_stale_while_revalidate(self):
+        cc = parse_cache_control("max-age=60, stale-while-revalidate=30")
+        assert cc.stale_while_revalidate == 30
+
+    def test_private(self):
+        assert parse_cache_control("private").private
+
+
+class TestRobustness:
+    def test_case_insensitive_names(self):
+        assert parse_cache_control("No-Store").no_store
+        assert parse_cache_control("MAX-AGE=5").max_age == 5
+
+    def test_unknown_directives_preserved(self):
+        cc = parse_cache_control("max-age=1, x-custom=foo, bare-flag")
+        assert ("x-custom", "foo") in cc.extensions
+        assert ("bare-flag", None) in cc.extensions
+
+    def test_quoted_argument(self):
+        assert parse_cache_control('max-age="300"').max_age == 300
+
+    def test_malformed_max_age_is_zero(self):
+        assert parse_cache_control("max-age=banana").max_age == 0
+
+    def test_negative_max_age_is_zero(self):
+        assert parse_cache_control("max-age=-5").max_age == 0
+
+    def test_huge_max_age_capped(self):
+        assert parse_cache_control(
+            "max-age=99999999999999").max_age == 2 ** 31
+
+    def test_empty_value(self):
+        cc = parse_cache_control("")
+        assert cc == CacheControl()
+
+    def test_stray_commas_and_spaces(self):
+        cc = parse_cache_control(" , no-cache ,, max-age=1 , ")
+        assert cc.no_cache and cc.max_age == 1
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("value", [
+        "no-store",
+        "no-cache",
+        "max-age=300",
+        "no-cache, max-age=300",
+        "max-age=60, must-revalidate",
+        "private, s-maxage=10",
+        "public, immutable, stale-while-revalidate=5",
+    ])
+    def test_round_trip(self, value):
+        once = parse_cache_control(value)
+        twice = parse_cache_control(str(once))
+        assert once == twice
+
+    def test_is_cacheable(self):
+        assert not parse_cache_control("no-store").is_cacheable
+        assert parse_cache_control("no-cache").is_cacheable
+        assert parse_cache_control("max-age=0").is_cacheable

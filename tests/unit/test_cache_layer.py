@@ -1,0 +1,116 @@
+"""Unit tests for the browser HTTP-cache fetch layer."""
+
+import pytest
+
+from repro.browser.cache_layer import BrowserCache
+from repro.http.etag import etag_for_content
+from repro.http.messages import Request, Response
+
+
+def response(body: bytes = b"x", cache_control: str = "max-age=100",
+             etag: bool = True) -> Response:
+    headers = {}
+    if cache_control:
+        headers["Cache-Control"] = cache_control
+    if etag:
+        headers["ETag"] = str(etag_for_content(body))
+    return Response(headers=headers, body=body)
+
+
+class TestPlan:
+    def test_miss_sends_plain_request(self):
+        cache = BrowserCache()
+        plan = cache.plan(Request(url="/a"), now=0.0)
+        assert not plan.is_local_hit
+        assert not plan.is_revalidation
+        assert plan.outgoing.headers.get("If-None-Match") is None
+
+    def test_fresh_hit_is_local(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        cache.absorb(cache.plan(request, 0.0), request, response(), 0.0, 0.0)
+        plan = cache.plan(request, now=50.0)
+        assert plan.is_local_hit
+        assert plan.local_response.body == b"x"
+        assert cache.fresh_hits == 1
+
+    def test_stale_becomes_conditional(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        stored = response(cache_control="max-age=10")
+        cache.absorb(cache.plan(request, 0.0), request, stored, 0.0, 0.0)
+        plan = cache.plan(request, now=100.0)
+        assert plan.is_revalidation
+        assert plan.outgoing.headers["If-None-Match"] == \
+            stored.headers["ETag"]
+        assert "If-Modified-Since" not in plan.outgoing.headers  # none stored
+        assert cache.revalidations == 1
+
+    def test_no_cache_always_conditional(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        cache.absorb(cache.plan(request, 0.0), request,
+                     response(cache_control="no-cache"), 0.0, 0.0)
+        assert cache.plan(request, now=0.5).is_revalidation
+
+    def test_no_validators_means_plain_refetch(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        stored = response(cache_control="max-age=1", etag=False)
+        cache.absorb(cache.plan(request, 0.0), request, stored, 0.0, 0.0)
+        plan = cache.plan(request, now=100.0)
+        assert not plan.is_local_hit
+        assert not plan.is_revalidation
+
+
+class TestAbsorb:
+    def test_200_stored(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        plan = cache.plan(request, 0.0)
+        cache.absorb(plan, request, response(), 0.0, 0.1)
+        assert cache.entry_count == 1
+
+    def test_304_resurrects_body(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        stored = response(body=b"cached-bytes", cache_control="no-cache")
+        cache.absorb(cache.plan(request, 0.0), request, stored, 0.0, 0.0)
+        plan = cache.plan(request, now=10.0)
+        not_modified = Response(status=304, headers={
+            "ETag": stored.headers["ETag"]})
+        usable = cache.absorb(plan, request, not_modified, 10.0, 10.1)
+        assert usable.status == 200
+        assert usable.body == b"cached-bytes"
+        assert cache.validations_not_modified == 1
+
+    def test_304_freshens_metadata(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        stored = response(cache_control="max-age=10")
+        cache.absorb(cache.plan(request, 0.0), request, stored, 0.0, 0.0)
+        plan = cache.plan(request, now=100.0)
+        not_modified = Response(status=304, headers={
+            "Cache-Control": "max-age=10",
+            "ETag": stored.headers["ETag"]})
+        cache.absorb(plan, request, not_modified, 100.0, 100.0)
+        # entry re-fresh: now fresh again for another 10 s
+        assert cache.plan(request, now=105.0).is_local_hit
+
+    def test_404_invalidates(self):
+        cache = BrowserCache()
+        request = Request(url="/a")
+        cache.absorb(cache.plan(request, 0.0), request, response(), 0.0, 0.0)
+        plan = cache.plan(request, now=200.0)
+        cache.absorb(plan, request, Response(status=404), 200.0, 200.0)
+        assert cache.entry_count == 0
+
+    def test_store_pushed(self):
+        cache = BrowserCache()
+        cache.store_pushed(Request(url="/p"), response(), now=1.0)
+        assert cache.plan(Request(url="/p"), now=2.0).is_local_hit
+
+    def test_store_pushed_ignores_errors(self):
+        cache = BrowserCache()
+        cache.store_pushed(Request(url="/p"), Response(status=500), now=1.0)
+        assert cache.entry_count == 0

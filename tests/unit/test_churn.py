@@ -1,0 +1,128 @@
+"""Unit tests for the resource churn model."""
+
+import math
+
+import pytest
+
+from repro.html.parser import ResourceKind
+from repro.netsim.clock import DAY, HOUR, WEEK
+from repro.workload.churn import ChurnModel, ResourceChurn
+
+
+class TestResourceChurn:
+    def test_version_monotone(self):
+        churn = ResourceChurn(period_s=HOUR, seed=1)
+        versions = [churn.version_at(t) for t in
+                    (0, HOUR, DAY, WEEK, 2 * WEEK)]
+        assert versions == sorted(versions)
+
+    def test_version_zero_at_time_zero(self):
+        assert ResourceChurn(period_s=HOUR, seed=1).version_at(0.0) == 0
+
+    def test_deterministic_across_instances(self):
+        a = ResourceChurn(period_s=HOUR, seed=99)
+        b = ResourceChurn(period_s=HOUR, seed=99)
+        times = [123.0, 5000.0, 100_000.0]
+        assert [a.version_at(t) for t in times] == \
+            [b.version_at(t) for t in times]
+
+    def test_query_order_does_not_matter(self):
+        a = ResourceChurn(period_s=HOUR, seed=5)
+        b = ResourceChurn(period_s=HOUR, seed=5)
+        v_big_a = a.version_at(WEEK)
+        _ = b.version_at(HOUR)
+        v_big_b = b.version_at(WEEK)
+        assert v_big_a == v_big_b
+
+    def test_infinite_period_never_changes(self):
+        churn = ResourceChurn(period_s=math.inf, seed=1)
+        assert churn.version_at(1e12) == 0
+        assert not churn.changed_between(0, 1e12)
+        assert churn.change_probability(1e12) == 0.0
+
+    def test_changed_between(self):
+        churn = ResourceChurn(period_s=math.inf, seed=1,
+                              change_times=[100.0])
+        assert not churn.changed_between(0, 99)
+        assert churn.changed_between(0, 100)
+        assert not churn.changed_between(100, 200)
+
+    def test_changed_between_swapped_args(self):
+        churn = ResourceChurn(period_s=1.0, seed=1, change_times=[50.0])
+        assert churn.changed_between(100, 0)
+
+    def test_fixed_change_times(self):
+        churn = ResourceChurn(period_s=1.0, seed=1,
+                              change_times=[10.0, 20.0])
+        assert churn.version_at(5) == 0
+        assert churn.version_at(10) == 1
+        assert churn.version_at(25) == 2
+
+    def test_empty_fixed_times_is_frozen(self):
+        churn = ResourceChurn(period_s=1.0, seed=1, change_times=[])
+        assert churn.version_at(1e9) == 0
+
+    def test_last_change_at(self):
+        churn = ResourceChurn(period_s=1.0, seed=1,
+                              change_times=[10.0, 20.0])
+        assert churn.last_change_at(5) == 0.0
+        assert churn.last_change_at(15) == 10.0
+        assert churn.last_change_at(100) == 20.0
+
+    def test_change_probability_closed_form(self):
+        churn = ResourceChurn(period_s=100.0, seed=1)
+        assert churn.change_probability(100.0) == \
+            pytest.approx(1 - math.exp(-1))
+
+    def test_mean_change_count_tracks_rate(self):
+        """Empirical Poisson check: N(t)/t ~ 1/tau over many resources."""
+        total = 0
+        horizon = 50 * HOUR
+        n = 200
+        for seed in range(n):
+            total += ResourceChurn(period_s=HOUR, seed=seed) \
+                .version_at(horizon)
+        mean = total / n
+        assert mean == pytest.approx(50.0, rel=0.15)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceChurn(period_s=0.0, seed=1)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceChurn(period_s=1.0, seed=1).version_at(-1.0)
+
+
+class TestChurnModel:
+    def test_per_kind_periods_ordered_sensibly(self):
+        """API payloads churn faster than fonts, medians say so."""
+        model = ChurnModel()
+        fetch = model.periods[ResourceKind.FETCH]
+        font = model.periods[ResourceKind.FONT]
+        assert fetch.median_s < font.median_s
+
+    def test_draw_period_positive(self):
+        import random
+        model = ChurnModel()
+        rng = random.Random(0)
+        for kind in (None, ResourceKind.IMAGE, ResourceKind.SCRIPT):
+            period = model.draw_period(rng, kind)
+            assert period > 0
+
+    def test_immutable_share_produces_inf(self):
+        import random
+        model = ChurnModel()
+        rng = random.Random(0)
+        periods = [model.draw_period(rng, ResourceKind.FONT)
+                   for _ in range(200)]
+        inf_share = sum(1 for p in periods if math.isinf(p)) / len(periods)
+        assert 0.4 < inf_share < 0.8  # configured 0.60
+
+    def test_overrides_respected(self):
+        from repro.workload.churn import PeriodModel
+        model = ChurnModel(periods={
+            ResourceKind.IMAGE: PeriodModel(median_s=1.0, sigma=0.0)})
+        import random
+        assert model.draw_period(random.Random(0),
+                                 ResourceKind.IMAGE) == pytest.approx(1.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure3_defaults(self):
+        args = build_parser().parse_args(["figure3"])
+        assert args.sites == 6
+        assert args.throughputs == (8.0, 60.0)
+
+    def test_float_list_parsing(self):
+        args = build_parser().parse_args(
+            ["figure3", "--throughputs", "8,16,60"])
+        assert args.throughputs == (8.0, 16.0, 60.0)
+
+    def test_bad_float_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure3", "--throughputs", "a,b"])
+
+    def test_visit_options(self):
+        args = build_parser().parse_args(
+            ["visit", "--seed", "3", "--delay", "6h", "--rtt", "80"])
+        assert args.seed == 3
+        assert args.delay == "6h"
+        assert args.rtt == 80.0
+
+
+class TestCommands:
+    def test_figure1_runs(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "(a) first visit" in out
+        assert "CacheCatalyst" in out
+
+    def test_visit_runs(self, capsys):
+        assert main(["visit", "--seed", "3", "--delay", "1h"]) == 0
+        out = capsys.readouterr().out
+        assert "catalyst" in out and "standard" in out
+
+    def test_visit_waterfall(self, capsys):
+        assert main(["visit", "--seed", "3", "--delay", "1h",
+                     "--waterfall"]) == 0
+        assert "PLT=" in capsys.readouterr().out
+
+    def test_motivation_runs(self, capsys):
+        # full corpus; moderate runtime, exercised once here
+        assert main(["motivation"]) == 0
+        assert "paper" in capsys.readouterr().out
+
+    def test_figure3_tiny_runs(self, capsys):
+        assert main(["figure3", "--sites", "2", "--throughputs", "60",
+                     "--latencies", "40", "--delays", "1h"]) == 0
+        out = capsys.readouterr().out
+        assert "PLT reduction" in out
+
+    def test_crosspage_runs(self, capsys):
+        assert main(["crosspage"]) == 0
+        assert "inner" in capsys.readouterr().out
+
+    def test_serverload_runs(self, capsys):
+        assert main(["serverload"]) == 0
+        out = capsys.readouterr().out
+        assert "origin requests" in out
+
+    def test_userweighted_runs(self, capsys):
+        assert main(["userweighted"]) == 0
+        assert "user-weighted" in capsys.readouterr().out

@@ -1,0 +1,25 @@
+"""Unit tests for the CLI report command."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+
+class TestReportCommand:
+    def test_report_from_artifacts(self, tmp_path, capsys, monkeypatch):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "headline_claim.txt").write_text("overall: 30.6%")
+        out = tmp_path / "out.html"
+        assert main(["report", "--results", str(results),
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "30.6%" in out.read_text()
+        assert str(out) in capsys.readouterr().out
+
+    def test_report_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", "--results", str(tmp_path / "nope"),
+                     "--out", str(tmp_path / "o.html")]) == 1
+        assert "no artifact directory" in capsys.readouterr().err

@@ -1,0 +1,69 @@
+"""Unit tests for duration parsing/formatting."""
+
+import pytest
+
+from repro.netsim.clock import (DAY, HOUR, MINUTE, WEEK, format_duration, ms,
+                                parse_duration, seconds_to_ms)
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize("text,expected", [
+        ("1 min", 60.0),
+        ("1min", 60.0),
+        ("2 minutes", 120.0),
+        ("1h", 3600.0),
+        ("6 hours", 6 * 3600.0),
+        ("1 d", 86400.0),
+        ("1 day", 86400.0),
+        ("1 week", 7 * 86400.0),
+        ("1w", 7 * 86400.0),
+        ("250ms", 0.25),
+        ("1.5h", 5400.0),
+        ("1h 30min", 5400.0),
+        ("0.5s", 0.5),
+    ])
+    def test_parses(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_numbers_pass_through_as_seconds(self):
+        assert parse_duration(42) == 42.0
+        assert parse_duration(1.5) == 1.5
+
+    @pytest.mark.parametrize("bad", ["", "xyz", "5 parsecs", "1h!",
+                                     "h1", "--3s"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_duration(bad)
+
+    def test_constants_consistent(self):
+        assert MINUTE == 60.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize("seconds,expected", [
+        (WEEK, "1w"),
+        (DAY, "1d"),
+        (HOUR, "1h"),
+        (MINUTE, "1min"),
+        (90.0, "1.5min"),
+        (5.0, "5s"),
+        (0.25, "250ms"),
+        (6 * HOUR, "6h"),
+    ])
+    def test_formats(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_roundtrip_of_paper_delays(self):
+        for text in ("1min", "1h", "6h", "1d", "1w"):
+            assert format_duration(parse_duration(text)) == text
+
+
+class TestMs:
+    def test_ms_converts_to_seconds(self):
+        assert ms(40) == 0.04
+
+    def test_seconds_to_ms(self):
+        assert seconds_to_ms(0.04) == pytest.approx(40.0)

@@ -1,0 +1,51 @@
+"""Unit tests for named network profiles and the Figure 3 grid axes."""
+
+import pytest
+
+from repro.netsim.conditions import (FIGURE3_LATENCIES_MS,
+                                     FIGURE3_THROUGHPUTS_MBPS, PROFILES,
+                                     figure3_grid, profile)
+
+
+class TestProfiles:
+    def test_5g_median_matches_paper_anchor(self):
+        anchor = profile("5g-median")
+        assert anchor.downlink_mbps == 60.0
+        assert anchor.rtt_ms == 40.0
+
+    def test_all_profiles_valid(self):
+        for name, conditions in PROFILES.items():
+            assert conditions.rtt_s >= 0
+            assert conditions.downlink_bps > 0
+            assert conditions.describe() == name
+
+    def test_unknown_profile_helpful_error(self):
+        with pytest.raises(KeyError, match="known:"):
+            profile("6g-hype")
+
+    def test_satellite_has_the_worst_latency(self):
+        rtts = {name: cond.rtt_ms for name, cond in PROFILES.items()}
+        assert max(rtts, key=rtts.get) == "satellite"
+
+
+class TestGrid:
+    def test_default_grid_covers_paper_axes(self):
+        cells = list(figure3_grid())
+        assert len(cells) == len(FIGURE3_THROUGHPUTS_MBPS) \
+            * len(FIGURE3_LATENCIES_MS)
+        assert 8.0 in FIGURE3_THROUGHPUTS_MBPS
+        assert 60.0 in FIGURE3_THROUGHPUTS_MBPS
+        assert 40.0 in FIGURE3_LATENCIES_MS
+
+    def test_grid_row_major(self):
+        cells = list(figure3_grid(throughputs_mbps=(1, 2),
+                                  latencies_ms=(10, 20)))
+        labels = [cell.describe() for cell in cells]
+        assert labels == ["1Mbps/10ms", "1Mbps/20ms",
+                          "2Mbps/10ms", "2Mbps/20ms"]
+
+    def test_custom_axes(self):
+        cells = list(figure3_grid(throughputs_mbps=(5,),
+                                  latencies_ms=(30,)))
+        assert len(cells) == 1
+        assert cells[0].downlink_mbps == 5.0

@@ -1,0 +1,68 @@
+"""Unit tests for the top-100 corpus."""
+
+import pytest
+
+from repro.workload.corpus import make_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(size=40, seed=2024)
+
+
+class TestMakeCorpus:
+    def test_size(self, corpus):
+        assert len(corpus) == 40
+
+    def test_deterministic(self, corpus):
+        again = make_corpus(size=40, seed=2024)
+        assert [s.origin for s in again] == [s.origin for s in corpus]
+        assert again[0].index.resources == corpus[0].index.resources
+
+    def test_unique_origins(self, corpus):
+        origins = [site.origin for site in corpus]
+        assert len(set(origins)) == len(origins)
+
+    def test_archetype_diversity(self, corpus):
+        archetypes = {site.origin.rsplit("-", 1)[-1].split(".")[0]
+                      for site in corpus}
+        assert len(archetypes) >= 3
+
+    def test_median_page_weight_plausible(self, corpus):
+        """httparchive-ish: a couple of MB per page, not 100 kB, not 50 MB."""
+        weights = sorted(site.index.total_bytes for site in corpus)
+        median = weights[len(weights) // 2]
+        assert 800_000 < median < 10_000_000
+
+    def test_median_resource_count_plausible(self, corpus):
+        counts = sorted(site.index.resource_count for site in corpus)
+        median = counts[len(counts) // 2]
+        assert 40 < median < 250
+
+
+class TestSample:
+    def test_sample_subset(self, corpus):
+        sub = corpus.sample(5, seed=1)
+        assert len(sub) == 5
+        assert all(s in corpus.sites for s in sub.sites)
+
+    def test_sample_deterministic(self, corpus):
+        a = corpus.sample(5, seed=1)
+        b = corpus.sample(5, seed=1)
+        assert [s.origin for s in a] == [s.origin for s in b]
+
+    def test_sample_larger_than_corpus_is_everything(self, corpus):
+        assert len(corpus.sample(1000)) == len(corpus)
+
+
+class TestFrozen:
+    def test_frozen_corpus_is_static(self, corpus):
+        frozen = corpus.frozen()
+        site = frozen[0]
+        for spec in site.index.iter_resources():
+            if not spec.dynamic:
+                assert spec.fixed_change_times == ()
+
+    def test_total_resources(self, corpus):
+        assert corpus.total_resources == sum(
+            s.index.resource_count for s in corpus)

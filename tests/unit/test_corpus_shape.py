@@ -1,0 +1,42 @@
+"""Unit tests for corpus composition validation."""
+
+import pytest
+
+from repro.workload.corpus import make_corpus
+from repro.workload.validation import measure_corpus_shape
+
+
+@pytest.fixture(scope="module")
+def shape():
+    return measure_corpus_shape(make_corpus(size=60, seed=2024))
+
+
+class TestCorpusShape:
+    def test_page_weight_in_httparchive_band(self, shape):
+        assert 1.2e6 < shape.median_page_bytes < 6e6
+
+    def test_request_count_in_topsite_band(self, shape):
+        assert 50 < shape.median_resource_count < 200
+
+    def test_request_shares_sum_to_one(self, shape):
+        assert sum(shape.request_share.values()) == pytest.approx(1.0)
+        assert sum(shape.byte_share.values()) == pytest.approx(1.0)
+
+    def test_images_lead_requests(self, shape):
+        """httparchive: images are the most numerous resource type."""
+        top = max(shape.request_share, key=shape.request_share.get)
+        assert top == "image"
+
+    def test_scripts_substantial(self, shape):
+        assert shape.request_share.get("script", 0) > 0.15
+
+    def test_images_dominate_bytes(self, shape):
+        """Images + media carry the byte majority on real pages."""
+        heavy = shape.byte_share.get("image", 0) \
+            + shape.byte_share.get("media", 0)
+        assert heavy > 0.35
+
+    def test_format_readable(self, shape):
+        text = shape.format()
+        assert "median page weight" in text
+        assert "httparchive" in text

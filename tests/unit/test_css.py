@@ -1,0 +1,71 @@
+"""Unit tests for CSS reference extraction."""
+
+import pytest
+
+from repro.html.css import extract_css_refs, extract_css_urls
+
+
+class TestUrls:
+    @pytest.mark.parametrize("css,expected", [
+        ("a{background:url(x.png)}", ["x.png"]),
+        ("a{background:url('x.png')}", ["x.png"]),
+        ('a{background:url("x.png")}', ["x.png"]),
+        ("a{background: url( x.png )}", ["x.png"]),
+        ("a{background:URL(x.png)}", ["x.png"]),
+    ])
+    def test_quoting_variants(self, css, expected):
+        assert extract_css_urls(css) == expected
+
+    def test_multiple_in_order(self):
+        css = "a{background:url(1.png)} b{background:url(2.png)}"
+        assert extract_css_urls(css) == ["1.png", "2.png"]
+
+    def test_duplicates_removed(self):
+        css = "a{background:url(x.png)} b{background:url(x.png)}"
+        assert extract_css_urls(css) == ["x.png"]
+
+    def test_data_uris_skipped(self):
+        assert extract_css_urls(
+            "a{background:url(data:image/png;base64,AAA)}") == []
+
+    def test_comments_ignored(self):
+        assert extract_css_urls("/* url(commented.png) */") == []
+
+    def test_multiline_comment_spanning(self):
+        css = "/* start\nurl(hidden.png)\nend */ a{background:url(real.png)}"
+        assert extract_css_urls(css) == ["real.png"]
+
+
+class TestImports:
+    @pytest.mark.parametrize("css", [
+        "@import 'other.css';",
+        '@import "other.css";',
+        "@import url(other.css);",
+        "@import url('other.css');",
+        "@IMPORT 'other.css';",
+    ])
+    def test_import_forms(self, css):
+        (ref,) = extract_css_refs(css)
+        assert ref.url == "other.css"
+        assert ref.kind == "import"
+
+    def test_import_not_double_counted_as_url(self):
+        refs = extract_css_refs("@import url(a.css); b{x:url(img.png)}")
+        assert [(r.url, r.kind) for r in refs] == [
+            ("a.css", "import"), ("img.png", "image")]
+
+
+class TestFonts:
+    def test_font_face_src_is_font(self):
+        css = "@font-face { font-family: X; src: url(f.woff2); }"
+        (ref,) = extract_css_refs(css)
+        assert ref.kind == "font"
+
+    def test_url_outside_font_face_is_image(self):
+        css = ("@font-face { src: url(f.woff2); } "
+               "a { background: url(i.png); }")
+        kinds = {r.url: r.kind for r in extract_css_refs(css)}
+        assert kinds == {"f.woff2": "font", "i.png": "image"}
+
+    def test_empty_css(self):
+        assert extract_css_refs("") == []

@@ -1,0 +1,41 @@
+"""Unit tests for HTTP-date handling."""
+
+import pytest
+
+from repro.http.dates import format_http_date, parse_http_date
+
+_CANONICAL = "Sun, 06 Nov 1994 08:49:37 GMT"
+_TIMESTAMP = 784111777.0
+
+
+class TestParse:
+    def test_imf_fixdate(self):
+        assert parse_http_date(_CANONICAL) == _TIMESTAMP
+
+    def test_rfc850(self):
+        assert parse_http_date(
+            "Sunday, 06-Nov-94 08:49:37 GMT") == _TIMESTAMP
+
+    def test_asctime(self):
+        assert parse_http_date("Sun Nov  6 08:49:37 1994") == _TIMESTAMP
+
+    def test_whitespace_tolerated(self):
+        assert parse_http_date(f"  {_CANONICAL}  ") == _TIMESTAMP
+
+    @pytest.mark.parametrize("bad", ["", "not a date", "32 Foo 2024",
+                                     "Sun, 99 Nov 1994 08:49:37 GMT"])
+    def test_garbage_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_http_date(bad)
+
+
+class TestFormat:
+    def test_canonical_output(self):
+        assert format_http_date(_TIMESTAMP) == _CANONICAL
+
+    def test_round_trip(self):
+        for ts in (0.0, 1704067200.0, 2_000_000_000.0):
+            assert parse_http_date(format_http_date(ts)) == ts
+
+    def test_epoch(self):
+        assert format_http_date(0.0) == "Thu, 01 Jan 1970 00:00:00 GMT"

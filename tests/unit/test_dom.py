@@ -1,0 +1,72 @@
+"""Unit tests for the DOM tree."""
+
+from repro.html.dom import Document, Element, Text
+
+
+def tree() -> Document:
+    img = Element(tag="img", attrs={"src": "a.png"})
+    p = Element(tag="p", children=[Text("hello "), Element(tag="b",
+                children=[Text("bold")])])
+    body = Element(tag="body", children=[p, img])
+    head = Element(tag="head", children=[Element(tag="title",
+                   children=[Text("t")])])
+    html = Element(tag="html", children=[head, body])
+    return Document(root=Element(tag="#root", children=[html]))
+
+
+class TestTraversal:
+    def test_walk_is_document_order(self):
+        tags = [el.tag for el in tree().walk()]
+        assert tags == ["#root", "html", "head", "title", "body", "p", "b",
+                        "img"]
+
+    def test_find_first(self):
+        assert tree().find("img").get("src") == "a.png"
+
+    def test_find_missing_is_none(self):
+        assert tree().find("video") is None
+
+    def test_find_all(self):
+        doc = tree()
+        assert len(list(doc.find_all("p"))) == 1
+
+    def test_head_body_properties(self):
+        doc = tree()
+        assert doc.head.tag == "head"
+        assert doc.body.tag == "body"
+
+
+class TestContent:
+    def test_text_content_concatenates(self):
+        doc = tree()
+        assert doc.find("p").text_content() == "hello bold"
+
+    def test_attrs_case_insensitive_get(self):
+        el = Element(tag="a", attrs={"href": "/x"})
+        assert el.get("HREF") == "/x"
+        assert el.has_attr("Href")
+
+    def test_get_default(self):
+        assert Element(tag="a").get("href", "fallback") == "fallback"
+
+
+class TestSerialization:
+    def test_to_html_void_element(self):
+        el = Element(tag="img", attrs={"src": "a.png"})
+        assert el.to_html() == '<img src="a.png">'
+
+    def test_to_html_nested(self):
+        el = Element(tag="p", children=[Text("x"), Element(tag="br")])
+        assert el.to_html() == "<p>x<br></p>"
+
+    def test_valueless_attr(self):
+        el = Element(tag="script", attrs={"async": None, "src": "s.js"})
+        assert el.to_html() == '<script async src="s.js"></script>'
+
+    def test_attr_escaping(self):
+        el = Element(tag="a", attrs={"title": 'has "quotes" & <angles>'})
+        html = el.to_html()
+        assert "&quot;" in html and "&amp;" in html and "&lt;" in html
+
+    def test_document_to_html_has_doctype(self):
+        assert tree().to_html().startswith("<!DOCTYPE html>")

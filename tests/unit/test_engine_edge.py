@@ -1,0 +1,120 @@
+"""Edge-case tests for the page-load engine."""
+
+import pytest
+
+from repro.browser.engine import BrowserConfig, BrowserSession
+from repro.browser.metrics import FetchSource
+from repro.http.headers import Headers
+from repro.http.messages import Request, Response
+from repro.netsim.link import Link, NetworkConditions
+from repro.netsim.sim import Simulator
+from repro.workload.headers_model import HeaderPolicy
+from repro.workload.sitegen import (PageSpec, ResourceSpec, SiteSpec,
+                                    generate_site)
+from repro.html.parser import ResourceKind
+from repro.server.site import OriginSite
+from repro.server.static import StaticServer
+
+COND = NetworkConditions.of(60, 40)
+
+
+def load(handler, config=BrowserConfig(), page="/index.html"):
+    sim = Simulator()
+    link = Link(sim, COND)
+    session = BrowserSession(config)
+    return sim.run_process(session.load(sim, link, handler, page,
+                                        mode_label="edge"))
+
+
+def bare_page_site() -> SiteSpec:
+    page = PageSpec(url="/index.html", html_size_bytes=2_000,
+                    html_change_period_s=1e9, html_content_seed=1,
+                    html_refs=(), resources={},
+                    html_fixed_change_times=())
+    return SiteSpec(origin="https://bare.example", seed=0,
+                    pages={"/index.html": page})
+
+
+class TestDegeneratePages:
+    def test_page_with_no_subresources(self):
+        server = StaticServer(OriginSite(bare_page_site()))
+        result = load(server.handle)
+        assert len(result.events) == 1
+        assert result.events[0].kind is ResourceKind.DOCUMENT
+        assert result.plt_s > 0
+
+    def test_unparseable_html_still_loads(self):
+        def handler(request, at_time):
+            return Response(body=b"<<<< not html >>>> \xff\xfe",
+                            headers=Headers({"Cache-Control": "no-cache"}))
+        result = load(handler)
+        assert result.plt_s > 0
+        assert len(result.events) == 1
+
+    def test_missing_subresource_404_does_not_kill_load(self):
+        markup = (b'<html><head></head><body>'
+                  b'<img src="/present.png"><img src="/missing.png">'
+                  b'</body></html>')
+
+        def handler(request, at_time):
+            if request.path == "/index.html":
+                return Response(body=markup)
+            if request.path == "/present.png":
+                return Response(body=b"pixels")
+            return Response(status=404, body=b"nope")
+        result = load(handler)
+        statuses = {e.url: e.status for e in result.events}
+        assert statuses["/missing.png"] == 404
+        assert statuses["/present.png"] == 200
+
+    def test_css_with_broken_child_chain(self):
+        def handler(request, at_time):
+            if request.path == "/index.html":
+                return Response(
+                    body=b'<html><head>'
+                         b'<link rel="stylesheet" href="/a.css">'
+                         b'</head></html>')
+            if request.path == "/a.css":
+                return Response(body=b"x { background: url(/gone.png); }",
+                                headers=Headers(
+                                    {"Content-Type": "text/css"}))
+            return Response(status=404)
+        result = load(handler)
+        urls = {e.url for e in result.events}
+        assert "/gone.png" in urls  # attempted, 404'd, load completed
+
+
+class TestScale:
+    def test_heavy_page_completes(self):
+        site = generate_site("https://heavy.example", seed=99,
+                             median_resources=220)
+        server = StaticServer(OriginSite(site))
+        result = load(server.handle)
+        assert len(result.events) == site.index.resource_count + 1
+        assert result.plt_s > 0
+
+    def test_heavy_page_deterministic(self):
+        site = generate_site("https://heavy.example", seed=99,
+                             median_resources=220)
+
+        def run():
+            server = StaticServer(OriginSite(site))
+            result = load(server.handle)
+            return result.plt_s
+        assert run() == run()
+
+
+class TestRedirectsAndErrors:
+    def test_server_500_on_subresource(self):
+        def handler(request, at_time):
+            if request.path == "/index.html":
+                return Response(body=b'<html><img src="/boom.png"></html>')
+            return Response(status=500, body=b"err")
+        result = load(handler)
+        assert {e.status for e in result.events} == {200, 500}
+
+    def test_html_500_still_returns_result(self):
+        def handler(request, at_time):
+            return Response(status=500, body=b"<html>oops</html>")
+        result = load(handler)
+        assert result.events[0].status == 500

@@ -1,0 +1,98 @@
+"""Unit tests for entity tags and conditional evaluation."""
+
+import pytest
+
+from repro.http.etag import (ETag, etag_for_content, if_none_match_matches,
+                             parse_etag, parse_etag_list)
+
+
+class TestParseEtag:
+    def test_strong(self):
+        tag = parse_etag('"abc123"')
+        assert tag == ETag(opaque="abc123", weak=False)
+        assert str(tag) == '"abc123"'
+
+    def test_weak(self):
+        tag = parse_etag('W/"abc"')
+        assert tag.weak
+        assert str(tag) == 'W/"abc"'
+
+    def test_lowercase_w_tolerated(self):
+        assert parse_etag('w/"abc"').weak
+
+    def test_empty_opaque_is_valid(self):
+        assert parse_etag('""').opaque == ""
+
+    @pytest.mark.parametrize("bad", ["abc", '"unterminated', 'W/abc',
+                                     "", '"', "W/"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_etag(bad)
+
+    def test_quote_inside_opaque_rejected(self):
+        with pytest.raises(ValueError):
+            ETag(opaque='has"quote')
+
+
+class TestComparison:
+    def test_strong_compare_requires_both_strong(self):
+        strong = ETag("x")
+        weak = ETag("x", weak=True)
+        assert strong.strong_compare(ETag("x"))
+        assert not strong.strong_compare(weak)
+        assert not weak.strong_compare(weak)
+
+    def test_weak_compare_ignores_weakness(self):
+        assert ETag("x", weak=True).weak_compare(ETag("x"))
+        assert not ETag("x").weak_compare(ETag("y"))
+
+
+class TestParseList:
+    def test_single(self):
+        assert parse_etag_list('"a"') == [ETag("a")]
+
+    def test_multiple_mixed(self):
+        tags = parse_etag_list('"a", W/"b" , "c"')
+        assert tags == [ETag("a"), ETag("b", weak=True), ETag("c")]
+
+    def test_wildcard_returns_none(self):
+        assert parse_etag_list("*") is None
+
+    def test_comma_inside_quotes_not_split(self):
+        # opaque tags cannot contain quotes, but commas are legal
+        tags = parse_etag_list('"a,b", "c"')
+        assert [t.opaque for t in tags] == ["a,b", "c"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_etag_list("")
+
+
+class TestIfNoneMatch:
+    def test_match_weak_comparison(self):
+        assert if_none_match_matches('W/"x"', ETag("x"))
+        assert if_none_match_matches('"x"', ETag("x", weak=True))
+
+    def test_mismatch(self):
+        assert not if_none_match_matches('"y"', ETag("x"))
+
+    def test_wildcard_always_matches(self):
+        assert if_none_match_matches("*", ETag("anything"))
+
+    def test_any_of_list_matches(self):
+        assert if_none_match_matches('"a", "b", "c"', ETag("b"))
+
+
+class TestContentEtag:
+    def test_deterministic(self):
+        assert etag_for_content(b"hello") == etag_for_content(b"hello")
+
+    def test_different_content_different_tag(self):
+        assert etag_for_content(b"a") != etag_for_content(b"b")
+
+    def test_weak_flag(self):
+        assert etag_for_content(b"x", weak=True).weak
+
+    def test_roundtrips_through_header(self):
+        tag = etag_for_content(b"content")
+        assert parse_etag(str(tag)) == tag

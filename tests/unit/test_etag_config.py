@@ -1,0 +1,88 @@
+"""Unit tests for the X-Etag-Config model and codec."""
+
+import pytest
+
+from repro.core.etag_config import (DEFAULT_MAX_ENTRIES, ETAG_CONFIG_HEADER,
+                                    EtagConfig)
+from repro.http.etag import ETag
+from repro.http.headers import Headers
+
+
+def config_with(n: int = 3) -> EtagConfig:
+    return EtagConfig.from_pairs(
+        [(f"/r{i}.css", ETag(opaque=f"tag{i}")) for i in range(n)])
+
+
+class TestCodec:
+    def test_round_trip(self):
+        config = config_with(5)
+        parsed = EtagConfig.from_header_value(config.to_header_value())
+        assert set(parsed) == set(config)
+        for url in config:
+            assert parsed.etag_for(url).opaque == config.etag_for(url).opaque
+
+    def test_header_value_is_compact_json(self):
+        value = config_with(2).to_header_value()
+        assert " " not in value
+        assert value.startswith("{") and value.endswith("}")
+
+    def test_empty_config(self):
+        config = EtagConfig()
+        assert len(config) == 0
+        assert config.header_size() == 0
+
+    @pytest.mark.parametrize("bad", ["not json", "[1,2]", '{"a": 1}',
+                                     '{"a": ["x"]}', "null"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            EtagConfig.from_header_value(bad)
+
+    def test_from_headers_absent_is_none(self):
+        assert EtagConfig.from_headers(Headers()) is None
+
+    def test_from_headers_malformed_degrades_to_none(self):
+        headers = Headers({ETAG_CONFIG_HEADER: "%%%"})
+        assert EtagConfig.from_headers(headers) is None
+
+    def test_apply_and_extract(self):
+        headers = Headers()
+        config = config_with(2)
+        config.apply_to(headers)
+        assert EtagConfig.from_headers(headers) is not None
+
+    def test_apply_empty_removes_header(self):
+        headers = Headers({ETAG_CONFIG_HEADER: "{}"})
+        EtagConfig().apply_to(headers)
+        assert ETAG_CONFIG_HEADER not in headers
+
+
+class TestSemantics:
+    def test_lookup(self):
+        config = config_with(2)
+        assert config.etag_for("/r0.css").opaque == "tag0"
+        assert config.etag_for("/missing") is None
+        assert "/r1.css" in config
+
+    def test_merged_with_other_wins(self):
+        old = EtagConfig.from_pairs([("/a", ETag("old")), ("/b", ETag("b"))])
+        new = EtagConfig.from_pairs([("/a", ETag("new")), ("/c", ETag("c"))])
+        merged = old.merged_with(new)
+        assert merged.etag_for("/a").opaque == "new"
+        assert set(merged) == {"/a", "/b", "/c"}
+
+    def test_max_entries_truncates(self):
+        pairs = [(f"/r{i}", ETag(opaque=str(i))) for i in range(20)]
+        config = EtagConfig.from_pairs(pairs, max_entries=5)
+        assert len(config) == 5
+        assert "/r0" in config and "/r19" not in config
+
+    def test_default_cap(self):
+        pairs = [(f"/r{i}", ETag(opaque=str(i)))
+                 for i in range(DEFAULT_MAX_ENTRIES + 50)]
+        assert len(EtagConfig.from_pairs(pairs)) == DEFAULT_MAX_ENTRIES
+
+    def test_header_size_counts_name_and_value(self):
+        config = config_with(1)
+        expected = len(ETAG_CONFIG_HEADER) + 2 \
+            + len(config.to_header_value()) + 2
+        assert config.header_size() == expected

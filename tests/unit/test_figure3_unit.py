@@ -1,0 +1,68 @@
+"""Unit tests for the Figure 3 experiment plumbing (small scale)."""
+
+import pytest
+
+from repro.experiments.figure3 import run_figure3
+from repro.netsim.clock import HOUR
+from repro.workload.corpus import make_corpus
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure3(corpus=make_corpus(size=4, seed=8),
+                       throughputs_mbps=(8.0, 60.0),
+                       latencies_ms=(40.0,),
+                       delays_s=(HOUR,))
+
+
+class TestFigure3Result:
+    def test_cells_cover_grid(self, result):
+        assert len(result.cells) == 2
+        assert result.cell(8.0, 40.0).rtt_ms == 40.0
+        assert result.cell(60.0, 40.0).mbps == 60.0
+
+    def test_unknown_cell_raises(self, result):
+        with pytest.raises(KeyError):
+            result.cell(999.0, 1.0)
+
+    def test_pairs_counted(self, result):
+        # 4 sites x 1 delay per cell
+        assert result.cell(60.0, 40.0).pairs == 4
+
+    def test_reduction_positive_at_anchor(self, result):
+        assert result.cell(60.0, 40.0).mean_reduction > 0
+
+    def test_standard_slower_than_catalyst(self, result):
+        cell = result.cell(60.0, 40.0)
+        assert cell.mean_standard_plt_ms > cell.mean_catalyst_plt_ms
+
+    def test_overall_mean_is_cell_average(self, result):
+        expected = sum(c.mean_reduction for c in result.cells) / 2
+        assert result.overall_mean_reduction == pytest.approx(expected)
+
+    def test_format_contains_grid_and_mean(self, result):
+        text = result.format()
+        assert "PLT reduction" in text
+        assert "overall mean" in text
+        assert "8 Mbps" in text and "60 Mbps" in text
+
+    def test_cell_summary_ci(self, result):
+        summary = result.cell_summary(60.0, 40.0)
+        assert summary.n == 4
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_format_cell_with_ci(self, result):
+        text = result.format_cell_with_ci(60.0, 40.0)
+        assert "95% CI" in text and "n=4" in text
+
+    def test_churn_variant_not_higher(self):
+        frozen = run_figure3(corpus=make_corpus(size=3, seed=8),
+                             throughputs_mbps=(60.0,),
+                             latencies_ms=(40.0,), delays_s=(HOUR,),
+                             content_churn=False)
+        churned = run_figure3(corpus=make_corpus(size=3, seed=8),
+                              throughputs_mbps=(60.0,),
+                              latencies_ms=(40.0,), delays_s=(HOUR,),
+                              content_churn=True)
+        assert churned.overall_mean_reduction <= \
+            frozen.overall_mean_reduction + 0.02

@@ -1,0 +1,148 @@
+"""Unit tests for HAR import (and the export->import loop)."""
+
+import json
+
+import pytest
+
+from repro.browser.trace import to_har
+from repro.html.parser import ResourceKind
+from repro.workload.har_import import HarImportError, site_from_har
+
+
+def make_har(entries: list[dict]) -> dict:
+    return {"log": {"version": "1.2", "entries": entries}}
+
+
+def entry(url: str, mime: str, size: int = 1000,
+          cache_control: str | None = None, status: int = 200) -> dict:
+    headers = []
+    if cache_control is not None:
+        headers.append({"name": "Cache-Control", "value": cache_control})
+    return {
+        "request": {"method": "GET", "url": url},
+        "response": {"status": status, "headers": headers,
+                     "content": {"size": size, "mimeType": mime},
+                     "bodySize": size},
+    }
+
+
+BASE = "https://example.org"
+
+
+def typical_har() -> dict:
+    return make_har([
+        entry(f"{BASE}/", "text/html", 24_000, "no-cache"),
+        entry(f"{BASE}/main.css", "text/css", 12_000, "max-age=3600"),
+        entry(f"{BASE}/app.js", "application/javascript", 80_000),
+        entry(f"{BASE}/logo.png", "image/png", 5_000, "max-age=86400"),
+        entry(f"{BASE}/brand.woff2", "font/woff2", 40_000,
+              "max-age=31536000, immutable"),
+        entry(f"{BASE}/api/feed", "application/json", 3_000, "no-store"),
+        entry("https://cdn.other.com/lib.js", "application/javascript",
+              30_000),
+    ])
+
+
+class TestImport:
+    def test_same_origin_resources_imported(self):
+        site = site_from_har(typical_har())
+        assert site.origin == BASE
+        urls = set(site.index.resources)
+        assert "/main.css" in urls
+        assert "/app.js" in urls
+        assert all(not u.startswith("https://cdn") for u in urls)
+
+    def test_kinds_from_mime(self):
+        site = site_from_har(typical_har())
+        resources = site.index.resources
+        assert resources["/main.css"].kind is ResourceKind.STYLESHEET
+        assert resources["/app.js"].kind is ResourceKind.SCRIPT
+        assert resources["/logo.png"].kind is ResourceKind.IMAGE
+        assert resources["/brand.woff2"].kind is ResourceKind.FONT
+        assert resources["/api/feed"].kind is ResourceKind.FETCH
+
+    def test_policies_from_headers(self):
+        site = site_from_har(typical_har())
+        resources = site.index.resources
+        assert resources["/main.css"].policy.mode == "max-age"
+        assert resources["/main.css"].policy.ttl_s == 3600.0
+        assert resources["/app.js"].policy.mode == "none"
+        assert resources["/api/feed"].policy.mode == "no-store"
+        assert resources["/brand.woff2"].policy.immutable
+
+    def test_sizes_preserved(self):
+        site = site_from_har(typical_har())
+        assert site.index.resources["/app.js"].size_bytes == 80_000
+        assert site.index.html_size_bytes == 24_000
+
+    def test_fonts_become_css_children(self):
+        site = site_from_har(typical_har())
+        font = site.index.resources["/brand.woff2"]
+        assert font.discovered_via == "css"
+        assert font.parent == "/main.css"
+        assert "/brand.woff2" in \
+            site.index.resources["/main.css"].children
+
+    def test_json_text_accepted(self):
+        site = site_from_har(json.dumps(typical_har()))
+        assert site.index.resource_count >= 5
+
+    def test_deterministic(self):
+        a = site_from_har(typical_har(), seed=4)
+        b = site_from_har(typical_har(), seed=4)
+        assert a.index.resources == b.index.resources
+
+    @pytest.mark.parametrize("bad", [
+        "not json", {}, {"log": {}}, make_har([]),
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(HarImportError):
+            site_from_har(bad)
+
+    def test_cross_origin_only_rejected(self):
+        har = make_har([
+            entry(f"{BASE}/", "text/html", 9_000),
+            entry("https://cdn.other.com/x.js",
+                  "application/javascript", 1_000)])
+        with pytest.raises(HarImportError):
+            site_from_har(har)
+
+
+class TestImportedSiteIsMeasurable:
+    def test_full_pipeline(self):
+        """HAR -> SiteSpec -> Catalyst vs standard measurement."""
+        from repro.core.catalyst import run_visit_sequence
+        from repro.core.modes import CachingMode, build_mode
+        from repro.netsim.clock import DAY
+        from repro.netsim.link import NetworkConditions
+        site = site_from_har(typical_har())
+        plts = {}
+        for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+            setup = build_mode(mode, site)
+            outcomes = run_visit_sequence(
+                setup, NetworkConditions.of(60, 40), [0.0, DAY])
+            plts[mode] = outcomes[1].result.plt_ms
+        assert plts[CachingMode.CATALYST] <= plts[CachingMode.STANDARD]
+
+    def test_export_import_loop(self):
+        """Our own HAR export is importable (sizes land in the spec)."""
+        from repro.core.catalyst import run_visit_sequence
+        from repro.core.modes import CachingMode, build_mode
+        from repro.netsim.link import NetworkConditions
+        from repro.workload.sitegen import generate_site
+        site = generate_site("https://loop.example", seed=55,
+                             median_resources=15)
+        setup = build_mode(CachingMode.STANDARD, site)
+        outcomes = run_visit_sequence(setup,
+                                      NetworkConditions.of(60, 40), [0.0])
+        har = to_har(outcomes[0].result)
+        # HAR entries carry path-only URLs; give them the origin back
+        for har_entry in har["log"]["entries"]:
+            har_entry["request"]["url"] = \
+                site.origin + har_entry["request"]["url"]
+            har_entry["response"]["content"]["mimeType"] = (
+                "text/html" if har_entry["request"]["url"]
+                .endswith("index.html")
+                else "application/octet-stream")
+        imported = site_from_har(har, origin=site.origin)
+        assert imported.index.resource_count > 0

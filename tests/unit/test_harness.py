@@ -1,0 +1,112 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.core.modes import CachingMode
+from repro.experiments.harness import GridResult, measure_pair, run_grid
+from repro.experiments.motivation import measure_motivation
+from repro.netsim.clock import HOUR
+from repro.netsim.link import NetworkConditions
+from repro.workload.corpus import make_corpus
+from repro.workload.sitegen import generate_site
+
+COND = NetworkConditions.of(60, 40, label="5g")
+
+
+@pytest.fixture(scope="module")
+def site_spec():
+    return generate_site("https://h.example", seed=91, median_resources=25)
+
+
+class TestMeasurePair:
+    def test_fields_populated(self, site_spec):
+        m = measure_pair(site_spec, CachingMode.STANDARD, COND, HOUR)
+        assert m.origin == site_spec.origin
+        assert m.mode == "standard"
+        assert m.conditions == "5g"
+        assert m.cold_plt_ms > m.warm_plt_ms > 0
+        assert m.cold_bytes > m.warm_bytes
+        assert m.warm_requests >= 1
+        assert sum(m.warm_sources.values()) >= 1
+
+    def test_reduction_property(self, site_spec):
+        m = measure_pair(site_spec, CachingMode.STANDARD, COND, HOUR)
+        assert m.reduction == pytest.approx(
+            (m.cold_plt_ms - m.warm_plt_ms) / m.cold_plt_ms)
+
+    def test_deterministic(self, site_spec):
+        a = measure_pair(site_spec, CachingMode.CATALYST, COND, HOUR)
+        b = measure_pair(site_spec, CachingMode.CATALYST, COND, HOUR)
+        assert a == b
+
+    def test_staleness_audit_counts(self, site_spec):
+        m = measure_pair(site_spec, CachingMode.CATALYST, COND, HOUR,
+                         audit_staleness=True)
+        assert m.warm_stale_hits == 0  # catalyst never serves stale
+
+
+class TestRunGrid:
+    @pytest.fixture(scope="class")
+    def grid(self, site_spec):
+        corpus = make_corpus(size=2, seed=5)
+        return run_grid(
+            sites=corpus,
+            modes=(CachingMode.STANDARD, CachingMode.CATALYST),
+            conditions_list=[COND],
+            delays_s=[HOUR])
+
+    def test_full_cross_product(self, grid):
+        assert len(grid.measurements) == 2 * 2  # sites x modes
+
+    def test_where_filters(self, grid):
+        standard = grid.where(mode="standard")
+        assert len(standard) == 2
+        assert all(m.mode == "standard" for m in standard)
+
+    def test_mean_warm_plt(self, grid):
+        mean = grid.mean_warm_plt(mode="standard")
+        values = [m.warm_plt_ms for m in grid.where(mode="standard")]
+        assert mean == pytest.approx(sum(values) / len(values))
+
+    def test_mean_warm_plt_empty_filter_raises(self, grid):
+        with pytest.raises(ValueError):
+            grid.mean_warm_plt(mode="nonexistent")
+
+    def test_mean_reduction_vs(self, grid):
+        reduction = grid.mean_reduction_vs("standard", "catalyst")
+        assert -0.5 < reduction < 1.0
+
+    def test_mean_reduction_no_overlap_raises(self):
+        empty = GridResult(measurements=[])
+        with pytest.raises(ValueError):
+            empty.mean_reduction_vs("standard", "catalyst")
+
+    def test_progress_callback(self, site_spec):
+        messages = []
+        run_grid(sites=[site_spec], modes=[CachingMode.STANDARD],
+                 conditions_list=[COND], delays_s=[HOUR],
+                 progress=messages.append)
+        assert len(messages) == 1
+
+
+class TestMotivationBands:
+    """The workload must keep reproducing the §2.2 calibration targets."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return measure_motivation(make_corpus(size=60, seed=2024))
+
+    def test_actually_cached_band(self, stats):
+        assert 0.42 <= stats.effectively_cached_share <= 0.62
+
+    def test_short_ttl_band(self, stats):
+        assert 0.30 <= stats.short_ttl_share <= 0.50
+
+    def test_short_ttl_unchanged_band(self, stats):
+        assert 0.75 <= stats.short_ttl_unchanged_share <= 0.95
+
+    def test_expire_unchanged_band(self, stats):
+        assert 0.32 <= stats.expire_unchanged_share <= 0.55
+
+    def test_formatting_contains_paper_column(self, stats):
+        assert "paper" in stats.format()

@@ -1,0 +1,126 @@
+"""Unit tests for the case-insensitive header multimap."""
+
+import pytest
+
+from repro.http.headers import Headers
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(Headers()) == 0
+
+    def test_from_mapping(self):
+        h = Headers({"Content-Type": "text/html", "ETag": '"x"'})
+        assert h["content-type"] == "text/html"
+
+    def test_from_pairs_preserves_duplicates(self):
+        h = Headers([("Set-Cookie", "a=1"), ("Set-Cookie", "b=2")])
+        assert h.get_all("set-cookie") == ["a=1", "b=2"]
+
+    def test_copy_is_independent(self):
+        original = Headers({"A": "1"})
+        clone = original.copy()
+        clone.set("A", "2")
+        assert original["A"] == "1"
+
+
+class TestCaseInsensitivity:
+    def test_get_any_case(self):
+        h = Headers({"Cache-Control": "no-store"})
+        assert h.get("cache-control") == "no-store"
+        assert h.get("CACHE-CONTROL") == "no-store"
+
+    def test_contains(self):
+        h = Headers({"ETag": '"x"'})
+        assert "etag" in h
+        assert "ETAG" in h
+        assert "missing" not in h
+        assert 42 not in h
+
+    def test_remove_all_cases(self):
+        h = Headers([("X-Test", "1"), ("x-test", "2")])
+        h.remove("X-TEST")
+        assert "x-test" not in h
+
+
+class TestMutation:
+    def test_set_replaces_all(self):
+        h = Headers([("Via", "a"), ("Via", "b")])
+        h.set("via", "c")
+        assert h.get_all("via") == ["c"]
+
+    def test_setdefault_keeps_existing(self):
+        h = Headers({"Host": "a.example"})
+        assert h.setdefault("Host", "b.example") == "a.example"
+        assert h["Host"] == "a.example"
+
+    def test_setdefault_adds_missing(self):
+        h = Headers()
+        assert h.setdefault("Host", "a.example") == "a.example"
+        assert h["Host"] == "a.example"
+
+    def test_delitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            del Headers()["nope"]
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            Headers()["nope"]
+
+    def test_value_stripped(self):
+        h = Headers()
+        h.add("X", "  padded  ")
+        assert h["X"] == "padded"
+
+
+class TestListSemantics:
+    def test_get_joined(self):
+        h = Headers([("Cache-Control", "no-cache"),
+                     ("Cache-Control", "max-age=3")])
+        assert h.get_joined("cache-control") == "no-cache, max-age=3"
+
+    def test_get_joined_absent_is_none(self):
+        assert Headers().get_joined("x") is None
+
+    def test_names_deduplicated(self):
+        h = Headers([("A", "1"), ("a", "2"), ("B", "3")])
+        assert h.names() == ["A", "B"]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", ["", "has space", "has:colon",
+                                     "has\nnewline", "tab\there"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Headers().add(bad, "v")
+
+    def test_crlf_in_value_rejected(self):
+        with pytest.raises(ValueError):
+            Headers().add("X", "evil\r\nInjected: yes")
+
+    def test_non_string_value_rejected(self):
+        with pytest.raises(TypeError):
+            Headers().add("X", 42)
+
+
+class TestEquality:
+    def test_order_insensitive(self):
+        a = Headers([("A", "1"), ("B", "2")])
+        b = Headers([("B", "2"), ("a", "1")])
+        assert a == b
+
+    def test_value_sensitive(self):
+        assert Headers({"A": "1"}) != Headers({"A": "2"})
+
+    def test_not_equal_to_dict(self):
+        assert Headers({"A": "1"}).__eq__({"A": "1"}) is NotImplemented
+
+
+class TestWireSize:
+    def test_counts_name_colon_space_value_crlf(self):
+        h = Headers({"AB": "cd"})
+        # "AB: cd\r\n" = 2 + 2 + 2 + 2
+        assert h.wire_size() == 8
+
+    def test_empty_is_zero(self):
+        assert Headers().wire_size() == 0

@@ -1,0 +1,92 @@
+"""Unit tests for the developer header-assignment model."""
+
+import math
+import random
+
+import pytest
+
+from repro.http.headers import Headers
+from repro.netsim.clock import DAY
+from repro.workload.headers_model import (DeveloperModel, HeaderPolicy,
+                                          TTL_MENU)
+
+
+class TestHeaderPolicy:
+    def test_no_store_serialization(self):
+        assert HeaderPolicy(mode="no-store").to_cache_control() == "no-store"
+
+    def test_no_cache_serialization(self):
+        assert HeaderPolicy(mode="no-cache").to_cache_control() == "no-cache"
+
+    def test_max_age_serialization(self):
+        policy = HeaderPolicy(mode="max-age", ttl_s=3600)
+        assert policy.to_cache_control() == "max-age=3600"
+
+    def test_immutable_flag(self):
+        policy = HeaderPolicy(mode="max-age", ttl_s=1, immutable=True)
+        assert policy.to_cache_control() == "max-age=1, immutable"
+
+    def test_none_mode_removes_header(self):
+        headers = Headers({"Cache-Control": "stale"})
+        HeaderPolicy(mode="none").apply(headers)
+        assert "Cache-Control" not in headers
+
+    def test_apply_sets_header(self):
+        headers = Headers()
+        HeaderPolicy(mode="max-age", ttl_s=60).apply(headers)
+        assert headers["Cache-Control"] == "max-age=60"
+
+    def test_allows_reuse(self):
+        assert HeaderPolicy(mode="max-age", ttl_s=60) \
+            .allows_reuse_without_validation
+        assert not HeaderPolicy(mode="no-cache") \
+            .allows_reuse_without_validation
+        assert not HeaderPolicy(mode="none") \
+            .allows_reuse_without_validation
+
+
+class TestDeveloperModel:
+    def test_share_distribution_matches_config(self):
+        model = DeveloperModel(no_store_share=0.2, missing_share=0.3,
+                               no_cache_share=0.1)
+        rng = random.Random(42)
+        draws = [model.draw(rng) for _ in range(4000)]
+        share = lambda mode: sum(d.mode == mode for d in draws) / len(draws)
+        assert share("no-store") == pytest.approx(0.2, abs=0.03)
+        assert share("none") == pytest.approx(0.3, abs=0.03)
+        assert share("no-cache") == pytest.approx(0.1, abs=0.02)
+        assert share("max-age") == pytest.approx(0.4, abs=0.03)
+
+    def test_ttls_come_from_menu(self):
+        model = DeveloperModel()
+        rng = random.Random(1)
+        menu_values = {ttl for ttl, _ in TTL_MENU} | {365 * DAY}
+        for _ in range(500):
+            policy = model.draw(rng)
+            if policy.mode == "max-age":
+                assert policy.ttl_s in menu_values
+
+    def test_recognised_immutable_gets_year_ttl(self):
+        model = DeveloperModel(recognised_immutable_share=1.0)
+        rng = random.Random(1)
+        policy = model.draw(rng, change_period_s=math.inf)
+        assert policy.mode == "max-age"
+        assert policy.ttl_s == 365 * DAY
+        assert policy.immutable
+
+    def test_unrecognised_immutable_rolls_the_menu(self):
+        model = DeveloperModel(recognised_immutable_share=0.0)
+        rng = random.Random(1)
+        modes = {model.draw(rng, change_period_s=math.inf).mode
+                 for _ in range(100)}
+        assert "no-store" in modes  # the mess persists
+
+    def test_invalid_shares_rejected(self):
+        with pytest.raises(ValueError):
+            DeveloperModel(no_store_share=0.9, missing_share=0.5)
+
+    def test_well_configured_never_blocks_caching(self):
+        model = DeveloperModel.well_configured()
+        rng = random.Random(3)
+        draws = [model.draw(rng) for _ in range(300)]
+        assert not any(d.mode in ("no-store", "none") for d in draws)

@@ -1,0 +1,138 @@
+"""Unit tests for Early-Hints planning and the hinted load path."""
+
+import pytest
+
+from repro.browser.metrics import FetchSource
+from repro.core.catalyst import run_visit_sequence
+from repro.core.modes import CachingMode, build_mode
+from repro.netsim.link import NetworkConditions
+from repro.server.hints import HintPlanner
+from repro.server.site import OriginSite
+from repro.workload.sitegen import (SiteShape, freeze_site, generate_site,
+                                    render_html)
+
+COND = NetworkConditions.of(60, 40)
+
+
+@pytest.fixture(scope="module")
+def site_spec():
+    return freeze_site(generate_site(
+        "https://hints.example", seed=11, median_resources=20,
+        shape=SiteShape(js_fetching_share=0.8)))
+
+
+@pytest.fixture(scope="module")
+def site(site_spec):
+    return OriginSite(site_spec)
+
+
+def markup_of(site):
+    return render_html(site.spec.index, version=0)
+
+
+class TestHintPlanner:
+    def test_dom_resources_hinted(self, site):
+        planner = HintPlanner(site=site, include_css_children=False,
+                              include_profiled_js=False)
+        urls = planner.hint_urls(markup_of(site))
+        assert set(urls) == set(site.spec.index.html_refs)
+
+    def test_css_children_included(self, site):
+        planner = HintPlanner(site=site, include_profiled_js=False)
+        urls = set(planner.hint_urls(markup_of(site)))
+        for spec in site.spec.index.iter_resources():
+            if spec.discovered_via == "css":
+                assert spec.url in urls
+
+    def test_profiled_js_children_included(self, site):
+        planner = HintPlanner(site=site)
+        urls = set(planner.hint_urls(markup_of(site)))
+        for spec in site.spec.index.iter_resources():
+            if spec.discovered_via == "js" and not spec.dynamic:
+                assert spec.url in urls
+
+    def test_dynamic_resources_never_hinted(self, site):
+        planner = HintPlanner(site=site)
+        urls = set(planner.hint_urls(markup_of(site)))
+        for spec in site.spec.index.iter_resources():
+            if spec.dynamic:
+                assert spec.url not in urls
+
+    def test_no_duplicates(self, site):
+        urls = HintPlanner(site=site).hint_urls(markup_of(site))
+        assert len(urls) == len(set(urls))
+
+    def test_cross_origin_skipped(self, site):
+        planner = HintPlanner(site=site)
+        markup = ('<html><head>'
+                  '<script src="https://other.example/x.js"></script>'
+                  '</head></html>')
+        assert planner.hint_urls(markup) == []
+
+    def test_planning_does_not_count_requests(self, site):
+        before = dict(site.request_counts)
+        HintPlanner(site=site).hint_urls(markup_of(site))
+        assert site.request_counts == before
+
+
+class TestHintedLoads:
+    def test_mode_builds(self, site_spec):
+        setup = build_mode(CachingMode.HINTS, site_spec)
+        assert setup.hint_urls_fn is not None
+        assert setup.push_urls_fn is None
+
+    def test_hinted_cold_not_slower_materially(self, site_spec):
+        plts = {}
+        for mode in (CachingMode.NO_CACHE, CachingMode.HINTS):
+            setup = build_mode(mode, site_spec)
+            outcomes = run_visit_sequence(setup, COND, [0.0])
+            plts[mode] = outcomes[0].result.plt_s
+        assert plts[CachingMode.HINTS] <= plts[CachingMode.NO_CACHE] * 1.05
+
+    def test_hints_compress_discovery_on_deep_chains(self):
+        """On a small deep page at high RTT, hinted JS children arrive
+        before the scripts that would have discovered them."""
+        deep = freeze_site(generate_site(
+            "https://deep.example", seed=11, median_resources=14,
+            shape=SiteShape(js_fetching_share=0.9, js_children_mean=2.5)))
+        conditions = NetworkConditions.of(60, 200)
+        nested_urls = {s.url for s in deep.index.iter_resources()
+                       if s.discovered_via in ("css", "js")
+                       and not s.dynamic}
+        assert nested_urls  # the page does have chains
+        ends = {}
+        for mode in (CachingMode.NO_CACHE, CachingMode.HINTS):
+            setup = build_mode(mode, deep)
+            result = run_visit_sequence(setup, conditions,
+                                        [0.0])[0].result
+            ends[mode] = {e.url: e.end_s for e in result.events
+                          if e.url in nested_urls}
+        for url in nested_urls:
+            assert ends[CachingMode.HINTS][url] <= \
+                ends[CachingMode.NO_CACHE][url] + 1e-9
+
+    def test_hints_do_not_block_onload_for_unneeded(self, site_spec):
+        setup = build_mode(CachingMode.HINTS, site_spec)
+        result = run_visit_sequence(setup, COND, [0.0])[0].result
+        # every event belongs to the page load window
+        for event in result.events:
+            assert event.end_s <= result.onload_s + 1e-9
+
+    def test_catalyst_hints_compose(self, site_spec):
+        """catalyst-hints >= catalyst on warm visits (never worse)."""
+        from repro.netsim.clock import DAY
+        warm = {}
+        for mode in (CachingMode.CATALYST, CachingMode.CATALYST_HINTS):
+            setup = build_mode(mode, site_spec)
+            outcomes = run_visit_sequence(setup, COND, [0.0, DAY])
+            warm[mode] = outcomes[1].result.plt_s
+        assert warm[CachingMode.CATALYST_HINTS] <= \
+            warm[CachingMode.CATALYST] * 1.05
+
+    def test_hints_do_not_remove_revalidations(self, site_spec):
+        """The §5 distinction: hinted fetches still revalidate."""
+        from repro.netsim.clock import DAY
+        setup = build_mode(CachingMode.HINTS, site_spec)
+        outcomes = run_visit_sequence(setup, COND, [0.0, DAY])
+        warm_sources = outcomes[1].result.count_by_source()
+        assert warm_sources.get(FetchSource.REVALIDATED, 0) > 0

@@ -1,0 +1,132 @@
+"""Unit tests for HTML parsing and resource extraction."""
+
+import pytest
+
+from repro.html.parser import (ResourceKind, extract_resources,
+                               is_same_origin, parse_html, resolve_url)
+
+
+def refs_of(markup: str, base: str = ""):
+    return extract_resources(parse_html(markup), base_url=base)
+
+
+class TestParse:
+    def test_basic_structure(self):
+        doc = parse_html("<html><head></head><body><p>x</p></body></html>")
+        assert doc.find("p").text_content() == "x"
+
+    def test_unclosed_tags_tolerated(self):
+        doc = parse_html("<html><body><p>a<p>b")
+        assert len(list(doc.find_all("p"))) == 2
+
+    def test_stray_end_tags_ignored(self):
+        doc = parse_html("</div><p>x</p></span>")
+        assert doc.find("p") is not None
+
+    def test_self_closing(self):
+        doc = parse_html('<img src="a.png"/>')
+        assert doc.find("img").get("src") == "a.png"
+
+    def test_attrs_lowercased(self):
+        doc = parse_html('<IMG SRC="a.png">')
+        assert doc.find("img").get("src") == "a.png"
+
+
+class TestExtraction:
+    def test_stylesheet_blocking(self):
+        (ref,) = refs_of('<link rel="stylesheet" href="a.css">')
+        assert ref.kind is ResourceKind.STYLESHEET
+        assert ref.blocking
+
+    def test_sync_script_blocking(self):
+        (ref,) = refs_of('<script src="b.js"></script>')
+        assert ref.kind is ResourceKind.SCRIPT
+        assert ref.blocking and not ref.deferred
+
+    @pytest.mark.parametrize("attr", ["async", "defer"])
+    def test_async_defer_not_blocking(self, attr):
+        (ref,) = refs_of(f'<script src="b.js" {attr}></script>')
+        assert not ref.blocking and ref.deferred
+
+    def test_module_script_deferred(self):
+        (ref,) = refs_of('<script src="m.js" type="module"></script>')
+        assert ref.deferred
+
+    def test_inline_script_not_a_resource(self):
+        assert refs_of("<script>var x=1;</script>") == []
+
+    def test_img(self):
+        (ref,) = refs_of('<img src="d.jpg">')
+        assert ref.kind is ResourceKind.IMAGE and not ref.blocking
+
+    def test_srcset_candidates(self):
+        refs = refs_of('<img src="a.png" srcset="b.png 2x, c.png 3x">')
+        assert {r.url for r in refs} == {"a.png", "b.png", "c.png"}
+
+    def test_preload_as_font(self):
+        (ref,) = refs_of('<link rel="preload" as="font" href="f.woff2">')
+        assert ref.kind is ResourceKind.FONT
+
+    def test_icon(self):
+        (ref,) = refs_of('<link rel="icon" href="fav.ico">')
+        assert ref.kind is ResourceKind.IMAGE
+
+    def test_video_with_poster(self):
+        refs = refs_of('<video src="v.mp4" poster="p.jpg"></video>')
+        kinds = {r.url: r.kind for r in refs}
+        assert kinds["v.mp4"] is ResourceKind.MEDIA
+        assert kinds["p.jpg"] is ResourceKind.IMAGE
+
+    def test_iframe(self):
+        (ref,) = refs_of('<iframe src="frame.html"></iframe>')
+        assert ref.kind is ResourceKind.IFRAME
+
+    def test_style_block_urls(self):
+        (ref,) = refs_of("<style>body{background:url(bg.png)}</style>")
+        assert ref.url == "bg.png"
+        assert ref.kind is ResourceKind.IMAGE
+
+    def test_style_attribute_urls(self):
+        (ref,) = refs_of('<div style="background:url(inline.png)"></div>')
+        assert ref.url == "inline.png"
+
+    @pytest.mark.parametrize("skip", [
+        "data:image/png;base64,xyz", "javascript:void(0)", "#anchor",
+        "about:blank", "blob:xyz"])
+    def test_pseudo_urls_skipped(self, skip):
+        assert refs_of(f'<img src="{skip}">') == []
+
+    def test_duplicates_merged_keeping_blocking(self):
+        refs = refs_of('<img src="x.png">'
+                       '<link rel="stylesheet" href="x.png">')
+        assert len(refs) == 1
+        assert refs[0].blocking  # upgraded by the stylesheet mention
+
+    def test_base_url_resolution(self):
+        refs = refs_of('<img src="d.jpg">',
+                       base="https://a.example/dir/page.html")
+        assert refs[0].url == "https://a.example/dir/d.jpg"
+
+    def test_document_order_preserved(self):
+        refs = refs_of('<link rel=stylesheet href=1.css>'
+                       '<script src=2.js></script><img src=3.png>')
+        assert [r.url for r in refs] == ["1.css", "2.js", "3.png"]
+
+
+class TestUrlHelpers:
+    def test_resolve_relative(self):
+        assert resolve_url("https://h/x/page.html",
+                           "../y.css") == "https://h/y.css"
+
+    def test_same_origin_true(self):
+        assert is_same_origin("https://a.example/x", "https://a.example/y")
+
+    def test_same_origin_false_across_hosts(self):
+        assert not is_same_origin("https://a.example/x",
+                                  "https://b.example/x")
+
+    def test_same_origin_false_across_schemes(self):
+        assert not is_same_origin("http://a.example/", "https://a.example/")
+
+    def test_relative_urls_count_as_same_origin(self):
+        assert is_same_origin("https://a.example/", "/local/path.css")

@@ -1,0 +1,71 @@
+"""Unit tests for the modeled JS execution."""
+
+import pytest
+
+from repro.browser.js import ScriptModel, extract_js_fetches, kind_from_url
+from repro.html.parser import ResourceKind
+
+
+class TestExtractFetches:
+    def test_single_directive(self):
+        assert extract_js_fetches("/*@cc-fetch:/api/a.json*/") == \
+            ["/api/a.json"]
+
+    def test_multiple_in_order(self):
+        body = ("code();\n/*@cc-fetch:/a.js*/\nmore();\n"
+                "/*@cc-fetch:/b.json*/")
+        assert extract_js_fetches(body) == ["/a.js", "/b.json"]
+
+    def test_no_directives(self):
+        assert extract_js_fetches("var x = 1; /* comment */") == []
+
+    def test_unterminated_directive_ignored(self):
+        assert extract_js_fetches("/*@cc-fetch:/a.js") == []
+
+    def test_empty_url_skipped(self):
+        assert extract_js_fetches("/*@cc-fetch:  */") == []
+
+    def test_whitespace_stripped(self):
+        assert extract_js_fetches("/*@cc-fetch: /a.js */") == ["/a.js"]
+
+
+class TestKindFromUrl:
+    @pytest.mark.parametrize("url,kind", [
+        ("/a.css", ResourceKind.STYLESHEET),
+        ("/a.js", ResourceKind.SCRIPT),
+        ("/a.mjs", ResourceKind.SCRIPT),
+        ("/a.png", ResourceKind.IMAGE),
+        ("/a.JPG", ResourceKind.IMAGE),
+        ("/a.woff2", ResourceKind.FONT),
+        ("/a.mp4", ResourceKind.MEDIA),
+        ("/a.json", ResourceKind.FETCH),
+        ("/frame.html", ResourceKind.IFRAME),
+        ("/a.unknownext", ResourceKind.OTHER),
+        ("/api/endpoint", ResourceKind.FETCH),
+    ])
+    def test_mapping(self, url, kind):
+        assert kind_from_url(url) is kind
+
+    def test_query_and_fragment_ignored(self):
+        assert kind_from_url("/a.png?v=2#frag") is ResourceKind.IMAGE
+
+
+class TestScriptModel:
+    def test_floor(self):
+        model = ScriptModel(min_exec_s=0.002)
+        assert model.execution_time(0) == 0.002
+
+    def test_proportional_region(self):
+        model = ScriptModel(exec_s_per_byte=1e-6, min_exec_s=0.0,
+                            max_exec_s=10.0)
+        assert model.execution_time(50_000) == pytest.approx(0.05)
+
+    def test_cap(self):
+        model = ScriptModel(max_exec_s=0.1)
+        assert model.execution_time(10 ** 9) == 0.1
+
+    def test_monotone(self):
+        model = ScriptModel()
+        times = [model.execution_time(n) for n in
+                 (0, 1000, 100_000, 1_000_000)]
+        assert times == sorted(times)

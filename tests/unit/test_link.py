@@ -1,0 +1,158 @@
+"""Unit tests for network conditions, the sharing pipe, and links."""
+
+import math
+
+import pytest
+
+from repro.netsim.link import Link, NetworkConditions, ProcessorSharingPipe
+from repro.netsim.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestNetworkConditions:
+    def test_of_uses_paper_units(self):
+        cond = NetworkConditions.of(60, 40)
+        assert cond.downlink_bps == 60e6
+        assert cond.rtt_s == pytest.approx(0.040)
+        assert cond.rtt_ms == pytest.approx(40.0)
+        assert cond.one_way_s == pytest.approx(0.020)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(rtt_s=-1.0, downlink_bps=1e6)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(rtt_s=0.1, downlink_bps=0)
+
+    def test_describe_includes_units(self):
+        assert NetworkConditions.of(8, 100).describe() == "8Mbps/100ms"
+
+    def test_label_overrides_describe(self):
+        assert NetworkConditions.of(8, 100, label="dsl").describe() == "dsl"
+
+    def test_uplink_defaults_unlimited(self):
+        assert math.isinf(NetworkConditions.of(10, 10).uplink_bps)
+
+
+class TestProcessorSharingPipe:
+    def test_single_transfer_takes_size_over_capacity(self, sim):
+        pipe = ProcessorSharingPipe(sim, capacity_bps=8e6)  # 1 MB/s
+        done = pipe.transfer(1_000_000)
+        sim.run()
+        assert done.processed
+        assert sim.now == pytest.approx(1.0)
+
+    def test_two_equal_transfers_share_evenly(self, sim):
+        pipe = ProcessorSharingPipe(sim, capacity_bps=8e6)
+        ends = []
+        for _ in range(2):
+            pipe.transfer(500_000).add_callback(
+                lambda _ev: ends.append(sim.now))
+        sim.run()
+        # each would take 0.5 s alone; sharing doubles both to 1.0 s
+        assert ends == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_late_arrival_slows_first_transfer(self, sim):
+        pipe = ProcessorSharingPipe(sim, capacity_bps=8e6)
+        ends = {}
+        first = pipe.transfer(1_000_000)
+        first.add_callback(lambda _ev: ends.setdefault("first", sim.now))
+
+        def late():
+            yield sim.timeout(0.5)
+            second = pipe.transfer(250_000)
+            second.add_callback(
+                lambda _ev: ends.setdefault("second", sim.now))
+        sim.process(late())
+        sim.run()
+        # first: 0.5 s alone (500 kB done), then shares at 0.5 MB/s while
+        # second (250 kB) runs: both progress 250 kB by t=1.0, second
+        # completes; first's last 250 kB gets full capacity again => 1.25 s.
+        assert ends["second"] == pytest.approx(1.0)
+        assert ends["first"] == pytest.approx(1.25)
+
+    def test_zero_bytes_completes_instantly(self, sim):
+        pipe = ProcessorSharingPipe(sim, capacity_bps=1e6)
+        done = pipe.transfer(0)
+        assert done.triggered
+        sim.run()
+        assert sim.now == 0.0
+
+    def test_negative_bytes_rejected(self, sim):
+        pipe = ProcessorSharingPipe(sim, capacity_bps=1e6)
+        with pytest.raises(ValueError):
+            pipe.transfer(-1)
+
+    def test_infinite_capacity_is_instant(self, sim):
+        pipe = ProcessorSharingPipe(sim, capacity_bps=math.inf)
+        done = pipe.transfer(10 ** 9)
+        sim.run()
+        assert done.processed
+        assert sim.now == 0.0
+
+    def test_total_bits_accounting(self, sim):
+        pipe = ProcessorSharingPipe(sim, capacity_bps=1e6)
+        pipe.transfer(1000)
+        pipe.transfer(500)
+        sim.run()
+        assert pipe.total_bits == 1500 * 8
+
+    def test_many_tiny_transfers_terminate(self, sim):
+        """Regression: sub-bit float residue must not livelock the queue."""
+        pipe = ProcessorSharingPipe(sim, capacity_bps=1e9)
+        for _ in range(50):
+            pipe.transfer(7)
+        sim.run()
+        assert pipe.active_count == 0
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(ValueError):
+            ProcessorSharingPipe(sim, capacity_bps=0)
+
+
+class TestLink:
+    def test_downstream_pays_propagation_plus_serialization(self, sim):
+        link = Link(sim, NetworkConditions.of(8, 100))
+
+        def proc():
+            yield from link.send_downstream(100_000)
+            return sim.now
+        # 50 ms one-way + 100 kB over 1 MB/s = 0.1 s
+        assert sim.run_process(proc()) == pytest.approx(0.05 + 0.1)
+
+    def test_round_trip_is_full_rtt(self, sim):
+        link = Link(sim, NetworkConditions.of(8, 100))
+
+        def proc():
+            yield from link.round_trip()
+            return sim.now
+        assert sim.run_process(proc()) == pytest.approx(0.1)
+
+    def test_byte_counters(self, sim):
+        link = Link(sim, NetworkConditions.of(8, 100))
+
+        def proc():
+            yield from link.send_upstream(300)
+            yield from link.send_downstream(5000)
+        sim.run_process(proc())
+        assert link.bytes_up == 300
+        assert link.bytes_down == 5000
+
+    def test_concurrent_downloads_contend(self, sim):
+        link = Link(sim, NetworkConditions.of(8, 0.0001))
+        ends = []
+
+        def download():
+            yield from link.send_downstream(500_000)
+            ends.append(sim.now)
+        sim.process(download())
+        sim.process(download())
+        sim.run()
+        # 1 MB total through 1 MB/s => both finish ~1 s
+        assert ends[0] == pytest.approx(1.0, rel=0.01)
+        assert ends[1] == pytest.approx(1.0, rel=0.01)

@@ -1,0 +1,110 @@
+"""Unit tests for the map-digest revisit optimization (extension).
+
+The client advertises a digest of the `X-Etag-Config` it already holds;
+when the map is unchanged the server answers with a tiny
+``X-Etag-Config-Same`` header instead of kilobytes of JSON.
+"""
+
+import pytest
+
+from repro.browser.engine import BrowserConfig, BrowserSession
+from repro.core.catalyst import run_visit_sequence
+from repro.core.etag_config import (ETAG_CONFIG_DIGEST_HEADER,
+                                    ETAG_CONFIG_HEADER,
+                                    ETAG_CONFIG_SAME_HEADER, EtagConfig)
+from repro.core.modes import CachingMode, ModeSetup
+from repro.http.etag import ETag
+from repro.http.messages import Request
+from repro.netsim.clock import DAY, HOUR
+from repro.netsim.link import NetworkConditions
+from repro.server.catalyst import CatalystConfig, CatalystServer
+from repro.server.site import OriginSite
+from repro.workload.sitegen import freeze_site, generate_site
+
+COND = NetworkConditions.of(60, 40)
+
+
+@pytest.fixture(scope="module")
+def site_spec():
+    return freeze_site(generate_site("https://digest.example", seed=13,
+                                     median_resources=25))
+
+
+def digest_setup(site_spec) -> ModeSetup:
+    site = OriginSite(site_spec)
+    server = CatalystServer(site,
+                            config=CatalystConfig(use_map_digest=True))
+    return ModeSetup(mode=CachingMode.CATALYST, server=server,
+                     session=BrowserSession(
+                         BrowserConfig(use_service_worker=True)))
+
+
+class TestDigest:
+    def test_digest_stable_and_content_sensitive(self):
+        a = EtagConfig(entries={"/x": ETag("1")})
+        b = EtagConfig(entries={"/x": ETag("1")})
+        c = EtagConfig(entries={"/x": ETag("2")})
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+        assert len(a.digest()) == 16
+
+
+class TestServerSide:
+    def test_matching_digest_gets_same_header(self, site_spec):
+        site = OriginSite(site_spec)
+        server = CatalystServer(
+            site, config=CatalystConfig(use_map_digest=True))
+        first = server.handle(Request(url="/index.html"), 0.0)
+        config = EtagConfig.from_headers(first.headers)
+        revisit = server.handle(Request(url="/index.html", headers={
+            ETAG_CONFIG_DIGEST_HEADER: config.digest()}), 1.0)
+        assert ETAG_CONFIG_SAME_HEADER in revisit.headers
+        assert ETAG_CONFIG_HEADER not in revisit.headers
+
+    def test_stale_digest_gets_full_map(self, site_spec):
+        site = OriginSite(site_spec)
+        server = CatalystServer(
+            site, config=CatalystConfig(use_map_digest=True))
+        response = server.handle(Request(url="/index.html", headers={
+            ETAG_CONFIG_DIGEST_HEADER: "0" * 16}), 0.0)
+        assert ETAG_CONFIG_HEADER in response.headers
+        assert ETAG_CONFIG_SAME_HEADER not in response.headers
+
+    def test_disabled_by_default(self, site_spec):
+        server = CatalystServer(OriginSite(site_spec))
+        first = server.handle(Request(url="/index.html"), 0.0)
+        config = EtagConfig.from_headers(first.headers)
+        revisit = server.handle(Request(url="/index.html", headers={
+            ETAG_CONFIG_DIGEST_HEADER: config.digest()}), 1.0)
+        assert ETAG_CONFIG_HEADER in revisit.headers
+
+
+class TestEndToEnd:
+    def test_revisits_confirm_map_reuse(self, site_spec):
+        setup = digest_setup(site_spec)
+        run_visit_sequence(setup, COND, [0.0, HOUR, DAY])
+        assert setup.session.sw.map_reuse_confirmations == 2
+
+    def test_sw_hits_unaffected(self, site_spec):
+        from repro.browser.metrics import FetchSource
+        setup = digest_setup(site_spec)
+        outcomes = run_visit_sequence(setup, COND, [0.0, DAY])
+        warm_sources = outcomes[1].result.count_by_source()
+        assert warm_sources.get(FetchSource.SW_CACHE, 0) > 0
+
+    def test_header_bytes_saved(self, site_spec):
+        with_digest = digest_setup(site_spec)
+        run_visit_sequence(with_digest, COND, [0.0, HOUR, DAY])
+        without = digest_setup(site_spec)
+        without.server.config = CatalystConfig(use_map_digest=False)
+        run_visit_sequence(without, COND, [0.0, HOUR, DAY])
+        assert with_digest.server.config_bytes_emitted < \
+            without.server.config_bytes_emitted / 2
+
+    def test_plt_not_worse(self, site_spec):
+        with_digest = digest_setup(site_spec)
+        a = run_visit_sequence(with_digest, COND, [0.0, DAY])
+        plain = digest_setup(site_spec)
+        plain.server.config = CatalystConfig(use_map_digest=False)
+        b = run_visit_sequence(plain, COND, [0.0, DAY])
+        assert a[1].plt_ms <= b[1].plt_ms * 1.01

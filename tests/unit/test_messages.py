@@ -1,0 +1,110 @@
+"""Unit tests for the Request/Response models."""
+
+import pytest
+
+from repro.http.headers import Headers
+from repro.http.messages import Request, Response, status_reason
+
+
+class TestRequest:
+    def test_method_uppercased(self):
+        assert Request(method="get").method == "GET"
+
+    def test_headers_coerced_from_dict(self):
+        req = Request(headers={"Host": "x"})
+        assert isinstance(req.headers, Headers)
+
+    def test_path_and_query(self):
+        req = Request(url="/a/b?x=1")
+        assert req.path == "/a/b"
+        assert req.query == "x=1"
+
+    def test_root_path_default(self):
+        assert Request(url="").path == "/"
+
+    def test_origin_from_absolute_url(self):
+        req = Request(url="https://example.com:8443/a")
+        assert req.origin == "https://example.com:8443"
+
+    def test_origin_from_host_header(self):
+        req = Request(url="/a", headers={"Host": "example.com"})
+        assert req.origin == "https://example.com"
+
+    def test_origin_absent(self):
+        assert Request(url="/a").origin is None
+
+    def test_conditional_detection(self):
+        assert not Request().is_conditional
+        assert Request(headers={"If-None-Match": '"x"'}).is_conditional
+        assert Request(
+            headers={"If-Modified-Since": "x"}).is_conditional
+
+    def test_copy_deep_enough(self):
+        req = Request(url="/a", headers={"A": "1"})
+        clone = req.copy()
+        clone.headers.set("A", "2")
+        assert req.headers["A"] == "1"
+
+    def test_wire_size_positive_and_grows(self):
+        small = Request(url="/a").wire_size()
+        big = Request(url="/a", headers={"X": "y" * 100}).wire_size()
+        assert 0 < small < big
+
+
+class TestResponse:
+    def test_reason_defaults_from_status(self):
+        assert Response(status=404).reason == "Not Found"
+        assert Response(status=200).reason == "OK"
+
+    def test_custom_reason_kept(self):
+        assert Response(status=200, reason="Fine").reason == "Fine"
+
+    def test_ok_range(self):
+        assert Response(status=204).ok
+        assert not Response(status=304).ok
+        assert not Response(status=500).ok
+
+    def test_is_not_modified(self):
+        assert Response(status=304).is_not_modified
+
+    def test_etag_parsed(self):
+        resp = Response(headers={"ETag": 'W/"v1"'})
+        assert resp.etag.opaque == "v1"
+        assert resp.etag.weak
+
+    def test_malformed_etag_is_none(self):
+        assert Response(headers={"ETag": "garbage"}).etag is None
+
+    def test_cache_control_parsed(self):
+        resp = Response(headers={"Cache-Control": "no-store"})
+        assert resp.cache_control.no_store
+
+    def test_cache_control_joins_multiple_fields(self):
+        headers = Headers([("Cache-Control", "no-cache"),
+                           ("Cache-Control", "max-age=5")])
+        cc = Response(headers=headers).cache_control
+        assert cc.no_cache and cc.max_age == 5
+
+    def test_transfer_size_defaults_to_body(self):
+        assert Response(body=b"abc").transfer_size == 3
+
+    def test_declared_size_overrides(self):
+        resp = Response(body=b"abc", declared_size=1_000_000)
+        assert resp.transfer_size == 1_000_000
+        assert len(resp.body) == 3
+
+    def test_negative_declared_size_rejected(self):
+        with pytest.raises(ValueError):
+            Response(declared_size=-1)
+
+    def test_copy_preserves_declared_size(self):
+        resp = Response(body=b"x", declared_size=500)
+        assert resp.copy().transfer_size == 500
+
+
+class TestStatusReason:
+    def test_known(self):
+        assert status_reason(304) == "Not Modified"
+
+    def test_unknown_is_empty(self):
+        assert status_reason(799) == ""

@@ -1,0 +1,74 @@
+"""Unit tests for page-load metrics."""
+
+from repro.browser.metrics import FetchEvent, FetchSource, PageLoadResult
+from repro.html.parser import ResourceKind
+
+
+def event(url="/a", source=FetchSource.NETWORK, start=0.0, end=0.1,
+          bytes_down=100, rtts=1.0) -> FetchEvent:
+    return FetchEvent(url=url, kind=ResourceKind.IMAGE, source=source,
+                      start_s=start, end_s=end, bytes_down=bytes_down,
+                      rtts_paid=rtts)
+
+
+def result(events) -> PageLoadResult:
+    return PageLoadResult(url="/index.html", mode="test", start_s=0.0,
+                          onload_s=1.0, events=events)
+
+
+class TestPlt:
+    def test_plt_is_onload_minus_start(self):
+        r = PageLoadResult(url="/", mode="m", start_s=2.0, onload_s=3.5)
+        assert r.plt_s == 1.5
+        assert r.plt_ms == 1500.0
+
+    def test_first_render_ms(self):
+        r = PageLoadResult(url="/", mode="m", start_s=1.0, onload_s=3.0,
+                           first_render_s=2.0)
+        assert r.first_render_ms == 1000.0
+
+    def test_first_render_none(self):
+        r = PageLoadResult(url="/", mode="m", start_s=1.0, onload_s=3.0)
+        assert r.first_render_ms is None
+
+
+class TestAggregates:
+    def test_bytes_down_sums(self):
+        r = result([event(bytes_down=100), event(url="/b", bytes_down=50)])
+        assert r.bytes_down == 150
+
+    def test_rtts_paid_sums(self):
+        r = result([event(rtts=1.0), event(url="/b", rtts=3.0)])
+        assert r.rtts_paid == 4.0
+
+    def test_request_count_only_network_sources(self):
+        r = result([
+            event(source=FetchSource.NETWORK),
+            event(url="/b", source=FetchSource.REVALIDATED),
+            event(url="/c", source=FetchSource.HTTP_CACHE),
+            event(url="/d", source=FetchSource.SW_CACHE),
+            event(url="/e", source=FetchSource.PUSHED),
+        ])
+        assert r.request_count == 2
+
+    def test_count_by_source(self):
+        r = result([event(), event(url="/b"),
+                    event(url="/c", source=FetchSource.SW_CACHE)])
+        counts = r.count_by_source()
+        assert counts[FetchSource.NETWORK] == 2
+        assert counts[FetchSource.SW_CACHE] == 1
+
+    def test_events_for(self):
+        r = result([event(), event(url="/b")])
+        assert len(r.events_for("/a")) == 1
+
+    def test_timeline_sorted_by_start(self):
+        r = result([event(start=0.5), event(url="/b", start=0.1)])
+        assert [e.url for e in r.timeline()] == ["/b", "/a"]
+
+    def test_describe_contains_urls_and_plt(self):
+        text = result([event()]).describe()
+        assert "/a" in text and "PLT" in text
+
+    def test_event_elapsed(self):
+        assert event(start=1.0, end=1.25).elapsed_s == 0.25

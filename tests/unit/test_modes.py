@@ -1,0 +1,59 @@
+"""Unit tests for mode construction."""
+
+import pytest
+
+from repro.browser.engine import BrowserConfig
+from repro.core.modes import CachingMode, build_mode
+from repro.server.catalyst import CatalystServer
+from repro.server.static import StaticServer
+from repro.workload.sitegen import generate_site
+
+
+@pytest.fixture(scope="module")
+def site_spec():
+    return generate_site("https://m.example", seed=61)
+
+
+class TestBuildMode:
+    def test_no_cache_disables_http_cache(self, site_spec):
+        setup = build_mode(CachingMode.NO_CACHE, site_spec)
+        assert not setup.session.config.use_http_cache
+        assert isinstance(setup.server, StaticServer)
+
+    def test_standard(self, site_spec):
+        setup = build_mode(CachingMode.STANDARD, site_spec)
+        assert setup.session.config.use_http_cache
+        assert not setup.session.config.use_service_worker
+        assert setup.push_urls_fn is None
+
+    def test_catalyst(self, site_spec):
+        setup = build_mode(CachingMode.CATALYST, site_spec)
+        assert isinstance(setup.server, CatalystServer)
+        assert setup.session.config.use_service_worker
+        assert setup.server.sessions is None
+
+    def test_catalyst_sessions(self, site_spec):
+        setup = build_mode(CachingMode.CATALYST_SESSIONS, site_spec)
+        assert setup.server.sessions is not None
+        assert setup.session_id == "client-0"
+
+    def test_push_modes_have_planner(self, site_spec):
+        for mode in (CachingMode.PUSH_ALL, CachingMode.PUSH_BLOCKING):
+            setup = build_mode(mode, site_spec)
+            assert setup.push_urls_fn is not None
+            assert isinstance(setup.server, StaticServer)
+
+    def test_base_config_cost_model_shared(self, site_spec):
+        base = BrowserConfig(server_think_s=0.123)
+        for mode in CachingMode:
+            setup = build_mode(mode, site_spec, base)
+            assert setup.session.config.server_think_s == 0.123
+
+    def test_label(self, site_spec):
+        assert build_mode(CachingMode.CATALYST, site_spec).label == \
+            "catalyst"
+
+    def test_uses_catalyst_server_property(self):
+        assert CachingMode.CATALYST.uses_catalyst_server
+        assert CachingMode.CATALYST_SESSIONS.uses_catalyst_server
+        assert not CachingMode.STANDARD.uses_catalyst_server

@@ -1,0 +1,95 @@
+"""Unit tests for multi-page site generation and cross-page navigation."""
+
+import pytest
+
+from repro.experiments.cross_page import (format_cross_page,
+                                          make_multipage_site,
+                                          run_cross_page)
+from repro.html import extract_resources, parse_html
+from repro.workload.sitegen import generate_site, render_html
+
+
+@pytest.fixture(scope="module")
+def site():
+    return generate_site("https://mp.example", seed=5, extra_pages=3,
+                         median_resources=40)
+
+
+class TestGeneration:
+    def test_page_count(self, site):
+        assert set(site.pages) == {"/index.html", "/page1.html",
+                                   "/page2.html", "/page3.html"}
+
+    def test_inner_pages_share_assets(self, site):
+        index_urls = set(site.index.resources)
+        for url in ("/page1.html", "/page2.html"):
+            page = site.pages[url]
+            shared = set(page.resources) & index_urls
+            assert shared, f"{url} shares nothing with the homepage"
+
+    def test_inner_pages_have_unique_assets(self, site):
+        index_urls = set(site.index.resources)
+        page = site.pages["/page1.html"]
+        assert set(page.resources) - index_urls
+
+    def test_unique_assets_namespaced(self, site):
+        index_urls = set(site.index.resources)
+        for page_url in ("/page1.html", "/page2.html"):
+            tag = page_url.strip("/").split(".")[0]
+            page = site.pages[page_url]
+            for url in set(page.resources) - index_urls:
+                assert f"/{tag}/" in url
+
+    def test_shared_assets_are_same_spec_objects(self, site):
+        page = site.pages["/page1.html"]
+        for url in set(page.resources) & set(site.index.resources):
+            assert page.resources[url] is site.index.resources[url]
+
+    def test_children_closed_under_resources(self, site):
+        for page in site.pages.values():
+            for spec in page.resources.values():
+                for child in spec.children:
+                    assert child in page.resources
+
+    def test_render_extract_round_trip_all_pages(self, site):
+        for page in site.pages.values():
+            markup = render_html(page, version=0)
+            refs = {r.url for r in extract_resources(parse_html(markup))}
+            assert refs == set(page.html_refs)
+
+    def test_deterministic(self):
+        a = generate_site("https://mp.example", seed=5, extra_pages=2)
+        b = generate_site("https://mp.example", seed=5, extra_pages=2)
+        assert list(a.pages) == list(b.pages)
+        assert a.pages["/page1.html"].html_refs == \
+            b.pages["/page1.html"].html_refs
+
+
+class TestCrossPageExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_cross_page(make_multipage_site(
+            seed=77, pages=2, median_resources=30))
+
+    def test_all_modes_measured(self, results):
+        assert {r.mode for r in results} == \
+            {"no-cache", "standard", "catalyst"}
+
+    def test_caching_helps_first_inner_visit(self, results):
+        by_mode = {r.mode: r for r in results}
+        assert by_mode["standard"].mean_inner_plt_ms < \
+            by_mode["no-cache"].mean_inner_plt_ms
+
+    def test_catalyst_beats_standard_on_unseen_pages(self, results):
+        by_mode = {r.mode: r for r in results}
+        assert by_mode["catalyst"].mean_inner_plt_ms <= \
+            by_mode["standard"].mean_inner_plt_ms
+
+    def test_homepage_plt_mode_independent(self, results):
+        plts = [r.homepage_plt_ms for r in results]
+        assert max(plts) - min(plts) < 0.05 * max(plts)
+
+    def test_formatting(self, results):
+        text = format_cross_page(results)
+        assert "inner saving" in text
+        assert "catalyst" in text

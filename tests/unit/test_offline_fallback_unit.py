@@ -1,0 +1,59 @@
+"""Unit tests for the SW offline fallback (isolated from page loads)."""
+
+import pytest
+
+from repro.browser.sw_host import ServiceWorkerHost
+from repro.http.etag import etag_for_content
+from repro.http.messages import Request, Response
+
+
+def cached_sw() -> ServiceWorkerHost:
+    sw = ServiceWorkerHost()
+    sw.registered = True
+    body = b"stylesheet bytes"
+    sw.on_response(Request(url="/a.css"),
+                   Response(headers={"ETag": str(etag_for_content(body))},
+                            body=body), now=0.0)
+    return sw
+
+
+class TestOfflineFallback:
+    def test_serves_cached_body(self):
+        sw = cached_sw()
+        fallback = sw.offline_fallback(Request(url="/a.css"), now=10.0)
+        assert fallback is not None
+        assert fallback.body == b"stylesheet bytes"
+
+    def test_marks_warning_header(self):
+        sw = cached_sw()
+        fallback = sw.offline_fallback(Request(url="/a.css"), now=10.0)
+        assert fallback.headers["Warning"].startswith("111")
+
+    def test_returns_copy_not_cache_entry(self):
+        sw = cached_sw()
+        first = sw.offline_fallback(Request(url="/a.css"), now=10.0)
+        first.headers.set("Mutated", "yes")
+        second = sw.offline_fallback(Request(url="/a.css"), now=11.0)
+        assert "Mutated" not in second.headers
+
+    def test_unregistered_sw_refuses(self):
+        sw = cached_sw()
+        sw.registered = False
+        assert sw.offline_fallback(Request(url="/a.css"), now=10.0) is None
+
+    def test_uncached_url_refuses(self):
+        sw = cached_sw()
+        assert sw.offline_fallback(Request(url="/other.css"),
+                                   now=10.0) is None
+
+    def test_non_get_refuses(self):
+        sw = cached_sw()
+        assert sw.offline_fallback(Request(method="POST", url="/a.css"),
+                                   now=10.0) is None
+
+    def test_works_without_etag_config(self):
+        """Offline serving needs no stapled map — only the cache."""
+        sw = cached_sw()
+        assert sw.etag_config is None
+        assert sw.offline_fallback(Request(url="/a.css"),
+                                   now=10.0) is not None

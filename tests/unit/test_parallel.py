@@ -1,0 +1,41 @@
+"""Unit tests for the multiprocess sweep (must equal the sequential one)."""
+
+import pytest
+
+from repro.core.modes import CachingMode
+from repro.experiments.harness import run_grid
+from repro.experiments.parallel import run_grid_parallel
+from repro.netsim.clock import HOUR
+from repro.netsim.link import NetworkConditions
+from repro.workload.corpus import make_corpus
+
+COND = NetworkConditions.of(60, 40, label="60Mbps/40ms")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus(size=3, seed=77)
+
+
+class TestParallelEqualsSequential:
+    def test_identical_measurements(self, corpus):
+        kwargs = dict(sites=corpus,
+                      modes=(CachingMode.STANDARD, CachingMode.CATALYST),
+                      conditions_list=[COND], delays_s=[HOUR])
+        sequential = run_grid(**kwargs)
+        parallel = run_grid_parallel(**kwargs, max_workers=2)
+        assert parallel.measurements == sequential.measurements
+
+    def test_single_task_runs_inline(self, corpus):
+        result = run_grid_parallel(
+            sites=corpus.sites[:1], modes=(CachingMode.STANDARD,),
+            conditions_list=[COND], delays_s=[HOUR])
+        assert len(result.measurements) == 1
+
+    def test_aggregations_work(self, corpus):
+        result = run_grid_parallel(
+            sites=corpus, modes=(CachingMode.STANDARD,
+                                 CachingMode.CATALYST),
+            conditions_list=[COND], delays_s=[HOUR], max_workers=2)
+        reduction = result.mean_reduction_vs("standard", "catalyst")
+        assert -0.5 < reduction < 1.0

@@ -1,0 +1,54 @@
+"""Unit tests for server-push planning."""
+
+import pytest
+
+from repro.server.push import PushPlanner, PushPolicy
+from repro.server.site import OriginSite
+from repro.workload.sitegen import generate_site, render_html
+
+
+@pytest.fixture
+def site():
+    return OriginSite(generate_site("https://p.example", seed=51))
+
+
+def markup_of(site: OriginSite) -> str:
+    return render_html(site.spec.index, version=0)
+
+
+class TestPolicies:
+    def test_all_pushes_every_dom_resource(self, site):
+        planner = PushPlanner(site=site, policy=PushPolicy.ALL)
+        urls = planner.push_urls(markup_of(site))
+        assert set(urls) == set(site.spec.index.html_refs)
+
+    def test_blocking_only(self, site):
+        planner = PushPlanner(site=site, policy=PushPolicy.BLOCKING)
+        urls = set(planner.push_urls(markup_of(site)))
+        page = site.spec.index
+        for url in urls:
+            spec = page.resources[url]
+            assert spec.kind.value in ("stylesheet", "script")
+
+    def test_none_pushes_nothing(self, site):
+        planner = PushPlanner(site=site, policy=PushPolicy.NONE)
+        assert planner.push_urls(markup_of(site)) == []
+
+    def test_cross_origin_never_pushed(self, site):
+        planner = PushPlanner(site=site, policy=PushPolicy.ALL)
+        markup = ('<html><head>'
+                  '<script src="https://other.example/x.js"></script>'
+                  '</head></html>')
+        assert planner.push_urls(markup) == []
+
+    def test_unknown_local_urls_skipped(self, site):
+        planner = PushPlanner(site=site, policy=PushPolicy.ALL)
+        markup = '<html><body><img src="/not-hosted.png"></body></html>'
+        assert planner.push_urls(markup) == []
+
+    def test_push_ignorant_of_client_cache(self, site):
+        """The defining flaw (§5): the same set is pushed every time."""
+        planner = PushPlanner(site=site, policy=PushPolicy.ALL)
+        first = planner.push_urls(markup_of(site))
+        second = planner.push_urls(markup_of(site))
+        assert first == second

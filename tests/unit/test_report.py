@@ -1,0 +1,39 @@
+"""Unit tests for report formatting."""
+
+from repro.experiments.report import format_grid, format_pct, format_table
+
+
+class TestFormatPct:
+    def test_basic(self):
+        assert format_pct(0.314) == "31.4%"
+
+    def test_digits(self):
+        assert format_pct(0.5, digits=0) == "50%"
+
+    def test_negative(self):
+        assert format_pct(-0.021) == "-2.1%"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_floats_one_decimal(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.1" in out and "3.14159" not in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatGrid:
+    def test_labels_placed(self):
+        out = format_grid(["r1", "r2"], ["c1", "c2"],
+                          [["x", "y"], ["z", "w"]], corner="#")
+        lines = out.splitlines()
+        assert "#" in lines[0] and "c1" in lines[0]
+        assert "r1" in lines[2] and "x" in lines[2]

@@ -1,0 +1,62 @@
+"""Unit tests for the HTML results report."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report_html import build_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "headline_claim.txt").write_text("overall: 30.6%")
+    (tmp_path / "figure3_full.txt").write_text("grid | 1 | 2\n8Mbps | a | b")
+    (tmp_path / "custom_extra.txt").write_text("unlisted artifact")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_contains_all_artifacts(self, results_dir):
+        html_text = build_report(results_dir)
+        assert "overall: 30.6%" in html_text
+        assert "unlisted artifact" in html_text
+
+    def test_known_sections_titled(self, results_dir):
+        html_text = build_report(results_dir)
+        assert "Headline: the ~30 % claim" in html_text
+        assert "Figure 3 — full grid" in html_text
+
+    def test_unknown_artifacts_appended(self, results_dir):
+        html_text = build_report(results_dir)
+        assert "custom_extra" in html_text
+        # listed sections come before unlisted extras
+        assert html_text.index("Headline") < html_text.index("custom_extra")
+
+    def test_html_escaped(self, tmp_path):
+        (tmp_path / "evil.txt").write_text("<script>alert(1)</script>")
+        html_text = build_report(tmp_path)
+        assert "<script>alert" not in html_text
+        assert "&lt;script&gt;" in html_text
+
+    def test_self_contained(self, results_dir):
+        html_text = build_report(results_dir)
+        assert "http://" not in html_text
+        assert "https://" not in html_text
+        assert "src=" not in html_text
+
+    def test_empty_dir_still_valid(self, tmp_path):
+        html_text = build_report(tmp_path)
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "0 artifacts" in html_text
+
+
+class TestWriteReport:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "r.html")
+        assert out.exists()
+        assert "30.6%" in out.read_text()
+
+    def test_custom_title(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "r.html",
+                           title="My Run")
+        assert "<title>My Run</title>" in out.read_text()

@@ -1,0 +1,62 @@
+"""Unit tests for the revisit-interval model and user-weighted runs."""
+
+import random
+
+import pytest
+
+from repro.netsim.clock import DAY, HOUR, MINUTE
+from repro.workload.revisits import DEFAULT_REVISIT_MODEL, RevisitModel
+
+
+class TestRevisitModel:
+    def test_draws_within_clamps(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            delay = DEFAULT_REVISIT_MODEL.draw(rng)
+            assert DEFAULT_REVISIT_MODEL.min_delay_s <= delay \
+                <= DEFAULT_REVISIT_MODEL.max_delay_s
+
+    def test_deterministic_given_seed(self):
+        a = DEFAULT_REVISIT_MODEL.draw_many(random.Random(7), 50)
+        b = DEFAULT_REVISIT_MODEL.draw_many(random.Random(7), 50)
+        assert a == b
+
+    def test_heavy_tail_shape(self):
+        """Median within hours; p90 spans days — the documented shape."""
+        q50, q90 = DEFAULT_REVISIT_MODEL.quantiles([0.5, 0.9], seed=2)
+        assert MINUTE < q50 < DAY
+        assert q90 > 12 * HOUR
+        assert q90 > 5 * q50
+
+    def test_quantiles_monotone(self):
+        qs = DEFAULT_REVISIT_MODEL.quantiles([0.1, 0.5, 0.9, 0.99],
+                                             seed=3, samples=5000)
+        assert qs == sorted(qs)
+
+    def test_session_returns_dominate_short_end(self):
+        rng = random.Random(4)
+        draws = DEFAULT_REVISIT_MODEL.draw_many(rng, 2000)
+        within_hour = sum(1 for d in draws if d <= HOUR) / len(draws)
+        assert 0.25 < within_hour < 0.65
+
+
+class TestUserWeighted:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.user_weighted import run_user_weighted
+        return run_user_weighted(sites=3, revisits_per_site=2)
+
+    def test_positive_mean_reduction(self, result):
+        assert result.summary.mean > 0.10
+
+    def test_sample_bookkeeping(self, result):
+        assert len(result.reductions) == len(result.delays_s) == 6
+
+    def test_format_mentions_ci(self, result):
+        assert "95% CI" in result.format()
+
+    def test_deterministic(self):
+        from repro.experiments.user_weighted import run_user_weighted
+        a = run_user_weighted(sites=2, revisits_per_site=2, seed=5)
+        b = run_user_weighted(sites=2, revisits_per_site=2, seed=5)
+        assert a.reductions == b.reductions

@@ -1,0 +1,63 @@
+"""Unit tests for SW-registration injection."""
+
+from repro.html.parser import parse_html
+from repro.html.rewrite import (CACHE_SW_PATH, SW_REGISTRATION_MARKER,
+                                has_sw_registration, inject_sw_registration,
+                                sw_registration_script)
+
+
+class TestInjection:
+    def test_injected_after_head(self):
+        out = inject_sw_registration("<html><head><title>t</title></head>"
+                                     "<body></body></html>")
+        head_pos = out.index("<head>")
+        marker_pos = out.index(SW_REGISTRATION_MARKER)
+        title_pos = out.index("<title>")
+        assert head_pos < marker_pos < title_pos
+
+    def test_head_with_attributes(self):
+        out = inject_sw_registration('<html><head lang="en"></head></html>')
+        assert has_sw_registration(out)
+
+    def test_fallback_after_html(self):
+        out = inject_sw_registration("<html><body>x</body></html>")
+        assert out.index(SW_REGISTRATION_MARKER) > out.index("<html>")
+
+    def test_fallback_prepend(self):
+        out = inject_sw_registration("<p>bare fragment</p>")
+        assert out.startswith("<script")
+
+    def test_idempotent(self):
+        once = inject_sw_registration("<html><head></head></html>")
+        assert inject_sw_registration(once) == once
+
+    def test_original_markup_preserved(self):
+        original = "<html><head><!-- comment --></head><body>x</body></html>"
+        out = inject_sw_registration(original)
+        assert "<!-- comment -->" in out
+        assert "<body>x</body>" in out
+
+    def test_custom_sw_path(self):
+        out = inject_sw_registration("<html><head></head></html>",
+                                     sw_path="/custom-sw.js")
+        assert "/custom-sw.js" in out
+
+    def test_result_still_parses(self):
+        out = inject_sw_registration("<html><head></head>"
+                                     "<body><img src=a.png></body></html>")
+        doc = parse_html(out)
+        assert doc.find("img") is not None
+        script = doc.find("script")
+        assert script.get("id") == SW_REGISTRATION_MARKER
+
+
+class TestSnippet:
+    def test_snippet_mentions_default_path(self):
+        assert CACHE_SW_PATH in sw_registration_script()
+
+    def test_snippet_guards_for_support(self):
+        assert "'serviceWorker' in navigator" in sw_registration_script()
+
+    def test_detection(self):
+        assert not has_sw_registration("<html></html>")
+        assert has_sw_registration(sw_registration_script())

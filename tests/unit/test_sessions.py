@@ -1,0 +1,80 @@
+"""Unit tests for per-session resource recording."""
+
+import pytest
+
+from repro.server.sessions import SessionRecorder
+
+
+class TestRecording:
+    def test_first_visit_not_yet_stapled(self):
+        recorder = SessionRecorder()
+        recorder.begin_visit("s1")
+        recorder.record("s1", "/a.js")
+        assert recorder.urls_for("s1") == []  # mid-visit: not promoted
+
+    def test_second_visit_sees_first_visits_urls(self):
+        recorder = SessionRecorder()
+        recorder.begin_visit("s1")
+        recorder.record("s1", "/a.js")
+        recorder.record("s1", "/b.json")
+        recorder.begin_visit("s1")
+        assert recorder.urls_for("s1") == ["/a.js", "/b.json"]
+
+    def test_urls_accumulate_across_visits(self):
+        recorder = SessionRecorder()
+        recorder.begin_visit("s1")
+        recorder.record("s1", "/a.js")
+        recorder.begin_visit("s1")
+        recorder.record("s1", "/c.js")
+        recorder.begin_visit("s1")
+        assert set(recorder.urls_for("s1")) == {"/a.js", "/c.js"}
+
+    def test_duplicates_within_visit_collapsed(self):
+        recorder = SessionRecorder()
+        recorder.begin_visit("s1")
+        recorder.record("s1", "/a.js")
+        recorder.record("s1", "/a.js")
+        recorder.begin_visit("s1")
+        assert recorder.urls_for("s1") == ["/a.js"]
+
+    def test_sessions_isolated(self):
+        recorder = SessionRecorder()
+        recorder.begin_visit("s1")
+        recorder.record("s1", "/a.js")
+        recorder.begin_visit("s1")
+        assert recorder.urls_for("s2") == []
+
+    def test_unknown_session_empty(self):
+        assert SessionRecorder().urls_for("ghost") == []
+
+
+class TestFootprintCaps:
+    def test_url_cap_per_session(self):
+        recorder = SessionRecorder(max_urls_per_session=3)
+        recorder.begin_visit("s1")
+        for i in range(10):
+            recorder.record("s1", f"/r{i}.js")
+        recorder.begin_visit("s1")
+        assert len(recorder.urls_for("s1")) <= 3
+
+    def test_session_cap_evicts_lru(self):
+        recorder = SessionRecorder(max_sessions=2)
+        for sid in ("a", "b", "c"):
+            recorder.begin_visit(sid)
+            recorder.record(sid, "/x.js")
+        assert recorder.session_count == 2
+        assert recorder.evicted_sessions == 1
+        # "a" was least recently used
+        assert recorder.urls_for("a") == []
+
+    def test_memory_footprint_accounting(self):
+        recorder = SessionRecorder()
+        recorder.begin_visit("s1")
+        recorder.record("s1", "/abc.js")
+        assert recorder.memory_footprint_bytes() >= len("s1") + len("/abc.js")
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError):
+            SessionRecorder(max_sessions=0)
+        with pytest.raises(ValueError):
+            SessionRecorder(max_urls_per_session=0)

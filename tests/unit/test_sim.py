@@ -1,0 +1,327 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.netsim.sim import (AllOf, AnyOf, Event, Interrupt, Process,
+                              Resource, SimulationError, Simulator, Timeout)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvent:
+    def test_starts_untriggered(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_sets_value_after_run(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered
+        sim.run()
+        assert ev.processed
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("x"))
+
+    def test_value_before_trigger_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_fail_marks_not_ok(self, sim):
+        ev = sim.event()
+        exc = RuntimeError("boom")
+        ev.fail(exc)
+        sim.run()
+        assert not ev.ok
+        assert ev.value is exc
+
+    def test_callback_after_processing_is_deferred_not_lost(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == []  # deferred through the queue
+        sim.run()
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, sim):
+        t = sim.timeout(2.5)
+        sim.run()
+        assert sim.now == 2.5
+        assert t.processed
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_zero_delay_fires_immediately(self, sim):
+        t = sim.timeout(0.0, value="v")
+        sim.run()
+        assert sim.now == 0.0
+        assert t.value == "v"
+
+    def test_ordering_is_fifo_for_equal_times(self, sim):
+        order = []
+        for index in range(5):
+            sim.timeout(1.0).add_callback(
+                lambda _ev, i=index: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            return "done"
+        assert sim.run_process(proc()) == "done"
+        assert sim.now == 1.0
+
+    def test_receives_event_value(self, sim):
+        def proc():
+            got = yield sim.timeout(1.0, value="payload")
+            return got
+        assert sim.run_process(proc()) == "payload"
+
+    def test_sequential_timeouts_accumulate(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(2.0)
+            return sim.now
+        assert sim.run_process(proc()) == 3.0
+
+    def test_processes_wait_on_each_other(self, sim):
+        def child():
+            yield sim.timeout(5.0)
+            return "child-result"
+
+        def parent():
+            result = yield sim.process(child())
+            return result
+        assert sim.run_process(parent()) == "child-result"
+
+    def test_yielding_non_event_is_an_error(self, sim):
+        def proc():
+            yield 42
+        with pytest.raises(SimulationError, match="not an Event"):
+            sim.process(proc())
+            sim.run()
+
+    def test_exception_fails_process_in_strict_mode(self, sim):
+        def proc():
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+        with pytest.raises(ValueError, match="inner"):
+            sim.run_process(proc())
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+        ev.fail(RuntimeError("failed-dep"))
+
+        def proc():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+        assert sim.run_process(proc()) == "caught failed-dep"
+
+    def test_deadlock_detected_by_run_process(self, sim):
+        never = sim.event()
+
+        def proc():
+            yield never
+        with pytest.raises(SimulationError, match="never finished"):
+            sim.run_process(proc())
+
+    def test_interrupt_raises_in_process(self, sim):
+        log = []
+
+        def victim():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as exc:
+                log.append((exc.cause, sim.now))
+                return "interrupted"
+            return "completed"
+
+        proc = sim.process(victim())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt("reason")
+        sim.process(interrupter())
+        sim.run()
+        assert proc.value == "interrupted"
+        # the interrupt lands at t=1; the orphaned 100 s timeout still
+        # drains the queue afterwards, which is fine — nobody listens
+        assert log == [("reason", 1.0)]
+
+    def test_interrupt_after_completion_is_noop(self, sim):
+        def quick():
+            yield sim.timeout(1.0)
+        proc = sim.process(quick())
+        sim.run()
+        proc.interrupt()  # no error
+
+    def test_yield_already_processed_event(self, sim):
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+
+        def late():
+            value = yield done
+            return value
+        assert sim.run_process(late()) == "early"
+
+    def test_long_chain_of_processed_events_no_recursion_error(self, sim):
+        events = []
+        for _ in range(5000):
+            ev = sim.event()
+            ev.succeed(None)
+            events.append(ev)
+        sim.run()
+
+        def walker():
+            for ev in events:
+                yield ev
+            return "walked"
+        assert sim.run_process(walker()) == "walked"
+
+
+class TestCombinators:
+    def test_all_of_waits_for_all(self, sim):
+        t1, t2 = sim.timeout(1.0), sim.timeout(3.0)
+
+        def proc():
+            yield sim.all_of([t1, t2])
+            return sim.now
+        assert sim.run_process(proc()) == 3.0
+
+    def test_any_of_fires_on_first(self, sim):
+        t1, t2 = sim.timeout(1.0), sim.timeout(3.0)
+
+        def proc():
+            yield sim.any_of([t1, t2])
+            return sim.now
+        assert sim.run_process(proc()) == 1.0
+
+    def test_all_of_empty_is_immediate(self, sim):
+        def proc():
+            value = yield sim.all_of([])
+            return value
+        assert sim.run_process(proc()) == {}
+
+    def test_all_of_value_maps_events(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+
+        def proc():
+            mapping = yield sim.all_of([t1, t2])
+            return sorted(mapping.values())
+        assert sim.run_process(proc()) == ["a", "b"]
+
+    def test_all_of_propagates_failure(self, sim):
+        bad = sim.event()
+        bad.fail(ValueError("dep failed"))
+
+        def proc():
+            yield sim.all_of([sim.timeout(1.0), bad])
+        with pytest.raises(ValueError, match="dep failed"):
+            sim.run_process(proc())
+
+
+class TestResource:
+    def test_capacity_enforced(self, sim):
+        resource = sim.resource(2)
+        active = []
+        peak = []
+
+        def worker(i):
+            grant = resource.request()
+            yield grant
+            active.append(i)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.remove(i)
+            resource.release()
+
+        for i in range(6):
+            sim.process(worker(i))
+        sim.run()
+        assert max(peak) <= 2
+        assert sim.now == pytest.approx(3.0)  # 6 jobs, 2 wide, 1s each
+
+    def test_fifo_grant_order(self, sim):
+        resource = sim.resource(1)
+        order = []
+
+        def worker(i):
+            yield resource.request()
+            order.append(i)
+            yield sim.timeout(1.0)
+            resource.release()
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_release_without_request_rejected(self, sim):
+        resource = sim.resource(1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.resource(0)
+
+
+class TestRun:
+    def test_run_until_advances_clock_exactly(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.run()
+        assert sim.now == 10.0
+
+    def test_run_until_past_is_rejected(self, sim):
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_run_until_with_empty_queue_sets_clock(self, sim):
+        sim.run(until=123.0)
+        assert sim.now == 123.0
+
+    def test_determinism(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def worker(i):
+                yield sim.timeout(0.5 * i)
+                log.append((i, sim.now))
+                yield sim.timeout(1.0)
+                log.append((i, sim.now))
+            for i in range(10):
+                sim.process(worker(i))
+            sim.run()
+            return log
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,123 @@
+"""Unit tests for the Service-Worker cache."""
+
+from repro.cache.service_worker import ServiceWorkerCache
+from repro.http.etag import ETag, etag_for_content
+from repro.http.messages import Request, Response
+
+
+def response_with_etag(body: bytes, cache_control: str = "") -> Response:
+    headers = {"ETag": str(etag_for_content(body))}
+    if cache_control:
+        headers["Cache-Control"] = cache_control
+    return Response(headers=headers, body=body)
+
+
+class TestPut:
+    def test_stores_plain_response(self):
+        cache = ServiceWorkerCache()
+        assert cache.put(Request(url="/a"), response_with_etag(b"x"), 0.0)
+        assert "/a" in cache
+
+    def test_stores_despite_no_cache(self):
+        """The SW ignores freshness directives — only no-store opts out."""
+        cache = ServiceWorkerCache()
+        assert cache.put(Request(url="/a"),
+                         response_with_etag(b"x", "no-cache"), 0.0)
+        assert "/a" in cache
+
+    def test_stores_despite_zero_max_age(self):
+        cache = ServiceWorkerCache()
+        assert cache.put(Request(url="/a"),
+                         response_with_etag(b"x", "max-age=0"), 0.0)
+        assert "/a" in cache
+
+    def test_no_store_excluded(self):
+        cache = ServiceWorkerCache()
+        assert not cache.put(Request(url="/a"),
+                             response_with_etag(b"x", "no-store"), 0.0)
+        assert "/a" not in cache
+
+    def test_non_get_excluded(self):
+        cache = ServiceWorkerCache()
+        assert not cache.put(Request(method="POST", url="/a"),
+                             response_with_etag(b"x"), 0.0)
+
+    def test_error_responses_excluded(self):
+        cache = ServiceWorkerCache()
+        resp = Response(status=500, body=b"err")
+        assert not cache.put(Request(url="/a"), resp, 0.0)
+
+    def test_original_cache_control_preserved_for_inspection(self):
+        cache = ServiceWorkerCache()
+        cache.put(Request(url="/a"), response_with_etag(b"x", "no-cache"),
+                  0.0)
+        entry = cache.peek("/a")
+        assert entry.response.headers["X-Original-Cache-Control"] == \
+            "no-cache"
+
+
+class TestMatch:
+    def test_hit_on_matching_etag(self):
+        cache = ServiceWorkerCache()
+        response = response_with_etag(b"content")
+        cache.put(Request(url="/a"), response, 0.0)
+        hit = cache.match(Request(url="/a"), etag_for_content(b"content"),
+                          now=1.0)
+        assert hit is not None
+        assert hit.body == b"content"
+        assert cache.etag_hits == 1
+
+    def test_miss_on_stale_etag(self):
+        cache = ServiceWorkerCache()
+        cache.put(Request(url="/a"), response_with_etag(b"old"), 0.0)
+        miss = cache.match(Request(url="/a"), etag_for_content(b"new"),
+                           now=1.0)
+        assert miss is None
+        assert cache.etag_misses == 1
+
+    def test_no_expected_etag_is_miss(self):
+        cache = ServiceWorkerCache()
+        cache.put(Request(url="/a"), response_with_etag(b"x"), 0.0)
+        assert cache.match(Request(url="/a"), None, now=1.0) is None
+
+    def test_weak_comparison_used(self):
+        cache = ServiceWorkerCache()
+        body = b"content"
+        response = Response(
+            headers={"ETag": f'W/{etag_for_content(body)}'}, body=body)
+        cache.put(Request(url="/a"), response, 0.0)
+        assert cache.match(Request(url="/a"),
+                           etag_for_content(body), now=1.0) is not None
+
+    def test_returned_response_is_a_copy(self):
+        cache = ServiceWorkerCache()
+        body = b"content"
+        cache.put(Request(url="/a"), response_with_etag(body), 0.0)
+        expected = etag_for_content(body)
+        first = cache.match(Request(url="/a"), expected, now=1.0)
+        first.headers.set("Mutated", "yes")
+        second = cache.match(Request(url="/a"), expected, now=2.0)
+        assert "Mutated" not in second.headers
+
+
+class TestHousekeeping:
+    def test_stored_etag(self):
+        cache = ServiceWorkerCache()
+        body = b"abc"
+        cache.put(Request(url="/a"), response_with_etag(body), 0.0)
+        assert cache.stored_etag("/a") == etag_for_content(body)
+        assert cache.stored_etag("/missing") is None
+
+    def test_invalidate(self):
+        cache = ServiceWorkerCache()
+        cache.put(Request(url="/a"), response_with_etag(b"x"), 0.0)
+        assert cache.invalidate("/a") == 1
+        assert "/a" not in cache
+
+    def test_clear_and_counts(self):
+        cache = ServiceWorkerCache()
+        cache.put(Request(url="/a"), response_with_etag(b"x"), 0.0)
+        assert cache.entry_count == 1
+        assert cache.byte_size > 0
+        cache.clear()
+        assert cache.entry_count == 0

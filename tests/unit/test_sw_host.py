@@ -1,0 +1,115 @@
+"""Unit tests for the client-side Service Worker host."""
+
+from repro.browser.sw_host import ServiceWorkerHost
+from repro.core.etag_config import EtagConfig
+from repro.http.etag import ETag, etag_for_content
+from repro.http.messages import Request, Response
+
+
+def html_response_with_config(entries: dict[str, str]) -> Response:
+    config = EtagConfig(entries={url: ETag(opaque=tag)
+                                 for url, tag in entries.items()})
+    response = Response(headers={"Content-Type": "text/html"},
+                        body=b"<html></html>")
+    config.apply_to(response.headers)
+    return response
+
+
+def asset_response(body: bytes) -> Response:
+    return Response(headers={"ETag": str(etag_for_content(body))},
+                    body=body)
+
+
+class TestRegistrationGate:
+    def test_unregistered_never_intercepts(self):
+        sw = ServiceWorkerHost()
+        sw.etag_config = EtagConfig(entries={"/a": ETag("x")})
+        assert sw.intercept(Request(url="/a"), now=0.0) is None
+
+    def test_no_config_never_intercepts(self):
+        sw = ServiceWorkerHost()
+        sw.registered = True
+        assert sw.intercept(Request(url="/a"), now=0.0) is None
+
+    def test_observe_registration(self):
+        sw = ServiceWorkerHost()
+        sw.observe_registration(False)
+        assert not sw.registered
+        sw.observe_registration(True)
+        assert sw.registered
+        sw.observe_registration(False)  # once active, stays active
+        assert sw.registered
+
+
+class TestLearning:
+    def test_learns_config_from_response(self):
+        sw = ServiceWorkerHost()
+        sw.on_response(Request(url="/index.html"),
+                       html_response_with_config({"/a.css": "tag1"}), 0.0)
+        assert sw.knows == 1
+        assert sw.etag_config.etag_for("/a.css").opaque == "tag1"
+
+    def test_newer_entries_win_on_merge(self):
+        sw = ServiceWorkerHost()
+        sw.on_response(Request(url="/index.html"),
+                       html_response_with_config({"/a.css": "old"}), 0.0)
+        sw.on_response(Request(url="/index.html"),
+                       html_response_with_config({"/a.css": "new"}), 1.0)
+        assert sw.etag_config.etag_for("/a.css").opaque == "new"
+
+    def test_css_configs_extend(self):
+        sw = ServiceWorkerHost()
+        sw.on_response(Request(url="/index.html"),
+                       html_response_with_config({"/a.css": "t1"}), 0.0)
+        sw.on_response(Request(url="/a.css"),
+                       html_response_with_config({"/img.png": "t2"}), 1.0)
+        assert sw.knows == 2
+
+    def test_caches_only_when_registered(self):
+        sw = ServiceWorkerHost()
+        sw.on_response(Request(url="/a.png"), asset_response(b"img"), 0.0)
+        assert sw.cache.entry_count == 0
+        sw.registered = True
+        sw.on_response(Request(url="/a.png"), asset_response(b"img"), 1.0)
+        assert sw.cache.entry_count == 1
+
+
+class TestInterception:
+    def _warmed(self) -> ServiceWorkerHost:
+        sw = ServiceWorkerHost()
+        sw.registered = True
+        body = b"asset-bytes"
+        sw.on_response(Request(url="/a.css"), asset_response(body), 0.0)
+        tag = etag_for_content(body).opaque
+        sw.on_response(Request(url="/index.html"),
+                       html_response_with_config({"/a.css": tag}), 1.0)
+        return sw
+
+    def test_hit_when_etag_matches(self):
+        sw = self._warmed()
+        hit = sw.intercept(Request(url="/a.css"), now=2.0)
+        assert hit is not None
+        assert hit.body == b"asset-bytes"
+        assert sw.intercepted_hits == 1
+
+    def test_miss_when_config_has_new_tag(self):
+        sw = self._warmed()
+        sw.on_response(Request(url="/index.html"),
+                       html_response_with_config({"/a.css": "changed"}), 3.0)
+        assert sw.intercept(Request(url="/a.css"), now=4.0) is None
+
+    def test_miss_for_unknown_url(self):
+        sw = self._warmed()
+        assert sw.intercept(Request(url="/other.css"), now=2.0) is None
+
+    def test_non_get_not_intercepted(self):
+        sw = self._warmed()
+        assert sw.intercept(Request(method="POST", url="/a.css"),
+                            now=2.0) is None
+
+    def test_stats_surface(self):
+        sw = self._warmed()
+        sw.intercept(Request(url="/a.css"), now=2.0)
+        stats = sw.stats()
+        assert stats["intercepted_hits"] == 1
+        assert stats["entries"] == 2  # the asset plus the HTML itself

@@ -1,0 +1,136 @@
+"""Unit tests for the connection model."""
+
+import pytest
+
+from repro.netsim.link import Link, NetworkConditions
+from repro.netsim.sim import Simulator
+from repro.netsim.tcp import (Connection, ConnectionPolicy,
+                              slow_start_extra_rtts)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def link(sim):
+    return Link(sim, NetworkConditions.of(60, 40))
+
+
+class TestSlowStart:
+    def test_fits_in_initial_window(self):
+        policy = ConnectionPolicy(init_cwnd_segments=10, mss=1460)
+        assert slow_start_extra_rtts(10 * 1460, policy) == 0
+        assert slow_start_extra_rtts(1, policy) == 0
+
+    def test_one_extra_window(self):
+        policy = ConnectionPolicy(init_cwnd_segments=10, mss=1460)
+        assert slow_start_extra_rtts(11 * 1460, policy) == 1
+        assert slow_start_extra_rtts(30 * 1460, policy) == 1
+
+    def test_two_extra_windows(self):
+        policy = ConnectionPolicy(init_cwnd_segments=10, mss=1460)
+        # 10 + 20 + 40 = 70 segments within 3 windows
+        assert slow_start_extra_rtts(31 * 1460, policy) == 2
+        assert slow_start_extra_rtts(70 * 1460, policy) == 2
+
+    def test_zero_bytes(self):
+        assert slow_start_extra_rtts(0, ConnectionPolicy()) == 0
+
+    def test_custom_window_override(self):
+        policy = ConnectionPolicy(init_cwnd_segments=10)
+        assert slow_start_extra_rtts(40 * 1460, policy,
+                                     cwnd_segments=40) == 0
+
+
+class TestConnectionPolicy:
+    def test_default_setup_is_tcp_plus_tls13(self):
+        assert ConnectionPolicy().setup_rtts == 2.0
+
+    def test_plain_http_no_tls(self):
+        assert ConnectionPolicy(tls_rtts=0).setup_rtts == 1.0
+
+    def test_no_handshakes(self):
+        policy = ConnectionPolicy(tcp_handshake=False, tls_rtts=0)
+        assert policy.setup_rtts == 0.0
+
+
+class TestConnection:
+    def test_setup_pays_handshake_rtts(self, sim, link):
+        conn = Connection(sim=sim, link=link,
+                          policy=ConnectionPolicy(tls_rtts=1))
+
+        def proc():
+            yield from conn.setup()
+            return sim.now
+        assert sim.run_process(proc()) == pytest.approx(0.080)
+        assert conn.established
+
+    def test_setup_is_idempotent(self, sim, link):
+        conn = Connection(sim=sim, link=link)
+
+        def proc():
+            yield from conn.setup()
+            first = sim.now
+            yield from conn.setup()
+            return first, sim.now
+        first, second = sim.run_process(proc())
+        assert first == second
+
+    def test_request_response_timing(self, sim, link):
+        conn = Connection(sim=sim, link=link,
+                          policy=ConnectionPolicy(tcp_handshake=False,
+                                                  tls_rtts=0))
+
+        def proc():
+            elapsed = yield from conn.request_response(
+                response_body_bytes=75_000, server_think_s=0.010)
+            return elapsed
+        elapsed = sim.run_process(proc())
+        # one-way 20ms + think 10ms + one-way 20ms + ~75.35kB / 60 Mbps
+        expected = 0.020 + 0.010 + 0.020 + (75_350 + 450 / 1e9) * 8 / 60e6
+        assert elapsed == pytest.approx(expected, rel=0.01)
+        assert conn.requests_served == 1
+
+    def test_request_includes_setup_when_cold(self, sim, link):
+        conn = Connection(sim=sim, link=link,
+                          policy=ConnectionPolicy(tls_rtts=1))
+
+        def proc():
+            yield from conn.request_response(0)
+            return sim.now
+        total = sim.run_process(proc())
+        assert total > 0.080  # handshakes happened first
+
+    def test_slow_start_adds_rtts_for_large_bodies(self, sim, link):
+        fast = ConnectionPolicy(tcp_handshake=False, tls_rtts=0,
+                                slow_start=False)
+        slow = ConnectionPolicy(tcp_handshake=False, tls_rtts=0,
+                                slow_start=True)
+        body = 100 * 1460  # needs extra windows
+
+        def run(policy):
+            local_sim = Simulator()
+            local_link = Link(local_sim, NetworkConditions.of(60, 40))
+            conn = Connection(sim=local_sim, link=local_link, policy=policy)
+
+            def proc():
+                elapsed = yield from conn.request_response(body)
+                return elapsed
+            return local_sim.run_process(proc())
+
+        assert run(slow) > run(fast)
+
+    def test_slow_start_window_grows_across_requests(self, sim, link):
+        policy = ConnectionPolicy(tcp_handshake=False, tls_rtts=0,
+                                  slow_start=True)
+        conn = Connection(sim=sim, link=link, policy=policy)
+        body = 40 * 1460
+
+        def proc():
+            first = yield from conn.request_response(body)
+            second = yield from conn.request_response(body)
+            return first, second
+        first, second = sim.run_process(proc())
+        assert second < first  # cwnd carried over

@@ -1,0 +1,106 @@
+"""Unit tests for HAR export and the waterfall renderer."""
+
+import json
+
+import pytest
+
+from repro.browser.metrics import FetchEvent, FetchSource, PageLoadResult
+from repro.browser.trace import render_waterfall, to_har, to_har_json
+from repro.html.parser import ResourceKind
+
+
+def sample_result() -> PageLoadResult:
+    events = [
+        FetchEvent(url="/index.html", kind=ResourceKind.DOCUMENT,
+                   source=FetchSource.NETWORK, start_s=0.0, end_s=0.14,
+                   bytes_down=30_000, rtts_paid=3.0, blocking=True),
+        FetchEvent(url="/a.css", kind=ResourceKind.STYLESHEET,
+                   source=FetchSource.SW_CACHE, start_s=0.15, end_s=0.151,
+                   bytes_down=0, blocking=True),
+        FetchEvent(url="/d.jpg", kind=ResourceKind.IMAGE,
+                   source=FetchSource.NETWORK, start_s=0.15, end_s=0.2,
+                   bytes_down=40_000, rtts_paid=1.0),
+    ]
+    return PageLoadResult(url="/index.html", mode="catalyst", start_s=0.0,
+                          onload_s=0.2, events=events, first_render_s=0.151)
+
+
+class TestHar:
+    def test_shape(self):
+        har = to_har(sample_result())
+        log = har["log"]
+        assert log["version"] == "1.2"
+        assert len(log["pages"]) == 1
+        assert len(log["entries"]) == 3
+
+    def test_page_timings(self):
+        har = to_har(sample_result())
+        timings = har["log"]["pages"][0]["pageTimings"]
+        assert timings["onLoad"] == pytest.approx(200.0)
+        assert timings["onContentLoad"] == pytest.approx(151.0)
+
+    def test_entries_sorted_by_start(self):
+        entries = to_har(sample_result())["log"]["entries"]
+        starts = [e["startedDateTime"] for e in entries]
+        assert starts == sorted(starts)
+
+    def test_cache_source_annotation(self):
+        entries = to_har(sample_result())["log"]["entries"]
+        by_url = {e["request"]["url"]: e for e in entries}
+        assert by_url["/a.css"]["_cacheSource"] == "sw-cache"
+        assert by_url["/d.jpg"]["_cacheSource"] == "network"
+
+    def test_sizes(self):
+        entries = to_har(sample_result())["log"]["entries"]
+        by_url = {e["request"]["url"]: e for e in entries}
+        assert by_url["/d.jpg"]["response"]["bodySize"] == 40_000
+        assert by_url["/a.css"]["response"]["bodySize"] == 0
+
+    def test_json_round_trip(self):
+        text = to_har_json(sample_result())
+        assert json.loads(text)["log"]["entries"]
+
+    def test_iso_timestamps_anchor_at_wall_epoch(self):
+        har = to_har(sample_result())
+        started = har["log"]["pages"][0]["startedDateTime"]
+        assert started.startswith("2024-01-01T00:00:00")
+
+    def test_empty_result(self):
+        result = PageLoadResult(url="/", mode="m", start_s=0.0,
+                                onload_s=0.1)
+        assert to_har(result)["log"]["entries"] == []
+
+
+class TestWaterfall:
+    def test_contains_all_urls(self):
+        text = render_waterfall(sample_result())
+        for url in ("/index.html", "/a.css", "/d.jpg"):
+            assert url in text
+
+    def test_bars_reflect_order(self):
+        text = render_waterfall(sample_result(), width=40)
+        lines = text.splitlines()[1:]
+        first_bar = lines[0].split("|")[1]
+        last_bar = lines[-1].split("|")[1]
+        assert first_bar.index("#") <= last_bar.index("#")
+
+    def test_header_has_plt(self):
+        assert "PLT=200.0ms" in render_waterfall(sample_result())
+
+    def test_empty(self):
+        result = PageLoadResult(url="/", mode="m", start_s=0.0,
+                                onload_s=0.1)
+        assert "(no events)" in render_waterfall(result)
+
+    def test_real_load_renders(self):
+        from repro.core.catalyst import run_visit_sequence
+        from repro.core.modes import CachingMode, build_mode
+        from repro.netsim.link import NetworkConditions
+        from repro.workload.sitegen import generate_site
+        site = generate_site("https://w.example", seed=9,
+                             median_resources=15)
+        setup = build_mode(CachingMode.CATALYST, site)
+        outcomes = run_visit_sequence(setup, NetworkConditions.of(60, 40),
+                                      [0.0, 3600.0])
+        text = render_waterfall(outcomes[1].result)
+        assert "sw-cache" in text

@@ -1,0 +1,127 @@
+"""Unit tests for time-varying network conditions."""
+
+import pytest
+
+from repro.netsim.link import NetworkConditions
+from repro.netsim.sim import Simulator
+from repro.netsim.variable import VariableLink
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSchedule:
+    def test_conditions_follow_schedule(self, sim):
+        link = VariableLink(sim, [
+            (0.0, NetworkConditions.of(60, 40)),
+            (10.0, NetworkConditions.of(8, 120)),
+        ])
+        assert link.conditions.rtt_ms == 40.0
+        sim.run(until=10.0)
+        assert link.conditions.rtt_ms == 120.0
+
+    def test_empty_schedule_rejected(self, sim):
+        with pytest.raises(ValueError):
+            VariableLink(sim, [])
+
+    def test_future_only_schedule_rejected(self, sim):
+        with pytest.raises(ValueError):
+            VariableLink(sim, [(5.0, NetworkConditions.of(10, 10))])
+
+    def test_infinite_rate_rejected(self, sim):
+        with pytest.raises(ValueError):
+            VariableLink(sim, [(0.0, NetworkConditions(
+                rtt_s=0.01, downlink_bps=float("inf")))])
+
+    def test_unsorted_schedule_tolerated(self, sim):
+        link = VariableLink(sim, [
+            (10.0, NetworkConditions.of(8, 120)),
+            (0.0, NetworkConditions.of(60, 40)),
+        ])
+        assert link.conditions.downlink_mbps == 60.0
+
+
+class TestWorkConservation:
+    def test_rate_change_mid_transfer(self, sim):
+        """5 Mbit at 10 Mbps for 0.25 s, then at 1 Mbps for the rest."""
+        link = VariableLink(sim, [
+            (0.0, NetworkConditions.of(10, 0.0001)),
+            (0.25, NetworkConditions.of(1, 0.0001)),
+        ])
+        done = []
+
+        def download():
+            yield from link.send_downstream(5_000_000 // 8)
+            done.append(sim.now)
+        sim.process(download())
+        sim.run()
+        # 2.5 Mbit done by 0.25 s; remaining 2.5 Mbit at 1 Mbps = 2.5 s
+        assert done[0] == pytest.approx(0.25 + 2.5, rel=0.01)
+
+    def test_speedup_mid_transfer(self, sim):
+        link = VariableLink(sim, [
+            (0.0, NetworkConditions.of(1, 0.0001)),
+            (1.0, NetworkConditions.of(100, 0.0001)),
+        ])
+        done = []
+
+        def download():
+            yield from link.send_downstream(10_000_000 // 8)
+            done.append(sim.now)
+        sim.process(download())
+        sim.run()
+        # 1 Mbit done in the first second; 9 Mbit at 100 Mbps = 0.09 s
+        assert done[0] == pytest.approx(1.09, rel=0.01)
+
+    def test_propagation_read_at_send_time(self, sim):
+        link = VariableLink(sim, [
+            (0.0, NetworkConditions.of(100, 20)),
+            (1.0, NetworkConditions.of(100, 200)),
+        ])
+        stamps = []
+
+        def ping(at):
+            yield sim.timeout(at - sim.now)
+            start = sim.now
+            yield from link.round_trip()
+            stamps.append(sim.now - start)
+        sim.process(ping(0.0))
+        sim.run()
+        sim.process(ping(sim.now + 0.5))  # well after the transition
+        sim.run()
+        assert stamps[0] == pytest.approx(0.020)
+        assert stamps[1] == pytest.approx(0.200)
+
+
+class TestPageLoadOverHandover:
+    def test_load_survives_conditions_change(self):
+        """A full page load across a 5G->congested handover completes,
+        and catalyst still beats standard on the warm visit."""
+        from repro.core.modes import CachingMode, build_mode
+        from repro.netsim.clock import DAY
+        from repro.workload.sitegen import freeze_site, generate_site
+
+        site = freeze_site(generate_site("https://ho.example", seed=6,
+                                         median_resources=30))
+        warm = {}
+        for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+            setup = build_mode(mode, site)
+            sim = Simulator()
+            link = VariableLink(sim, [
+                (0.0, NetworkConditions.of(60, 40))])
+            cold = sim.run_process(setup.session.load(
+                sim, link, setup.handler, "/index.html",
+                mode_label=mode.value))
+            sim.run(until=DAY)
+            handover = VariableLink(sim, [
+                (sim.now, NetworkConditions.of(60, 40)),
+                (sim.now + 0.15, NetworkConditions.of(8, 150)),
+            ])
+            warm[mode] = sim.run_process(setup.session.load(
+                sim, handover, setup.handler, "/index.html",
+                mode_label=mode.value))
+            assert warm[mode].plt_s > 0
+        assert warm[CachingMode.CATALYST].plt_s <= \
+            warm[CachingMode.STANDARD].plt_s

@@ -1,0 +1,158 @@
+"""Unit tests for the HTTP/1.1 wire codec."""
+
+import asyncio
+
+import pytest
+
+from repro.http.errors import ProtocolError
+from repro.http.messages import Request, Response
+from repro.http.wire import (read_request, read_response, serialize_request,
+                             serialize_response)
+
+
+class _ParseCall:
+    """Defer reader construction into the running event loop."""
+
+    def __init__(self, parse_fn, data: bytes, **kwargs):
+        self.parse_fn = parse_fn
+        self.data = data
+        self.kwargs = kwargs
+
+    async def _invoke(self):
+        reader = asyncio.StreamReader()
+        reader.feed_data(self.data)
+        reader.feed_eof()
+        return await self.parse_fn(reader, **self.kwargs)
+
+
+def run(call: _ParseCall):
+    return asyncio.run(call._invoke())
+
+
+class TestSerializeRequest:
+    def test_basic_get(self):
+        wire = serialize_request(Request(url="/a", headers={"Host": "x"}))
+        assert wire.startswith(b"GET /a HTTP/1.1\r\n")
+        assert b"Host: x\r\n" in wire
+        assert wire.endswith(b"\r\n\r\n")
+
+    def test_body_gets_content_length(self):
+        wire = serialize_request(Request(method="POST", url="/",
+                                         body=b"abc"))
+        assert b"Content-Length: 3\r\n" in wire
+        assert wire.endswith(b"abc")
+
+
+class TestSerializeResponse:
+    def test_basic(self):
+        wire = serialize_response(Response(status=200, body=b"hi"))
+        assert wire.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2\r\n" in wire
+        assert wire.endswith(b"hi")
+
+    def test_304_has_no_body_bytes(self):
+        wire = serialize_response(Response(status=304, body=b"ignored"))
+        assert not wire.endswith(b"ignored")
+        assert b"Content-Length" not in wire
+
+    def test_204_has_no_body(self):
+        wire = serialize_response(Response(status=204))
+        assert b"Content-Length" not in wire
+
+
+class TestReadRequest:
+    def test_round_trip(self):
+        original = Request(method="GET", url="/x?q=1",
+                           headers={"Host": "h", "Accept": "*/*"})
+        parsed = run(_ParseCall(read_request, serialize_request(original)))
+        assert parsed.method == "GET"
+        assert parsed.url == "/x?q=1"
+        assert parsed.headers["host"] == "h"
+
+    def test_round_trip_with_body(self):
+        original = Request(method="POST", url="/submit", body=b"payload")
+        parsed = run(_ParseCall(read_request, serialize_request(original)))
+        assert parsed.body == b"payload"
+
+    def test_clean_eof_returns_none(self):
+        assert run(_ParseCall(read_request, b"")) is None
+
+    @pytest.mark.parametrize("bad", [
+        b"GARBAGE\r\n\r\n",
+        b"GET /\r\n\r\n",                      # missing version
+        b"GET / HTTP/3.0\r\n\r\n",             # unsupported version
+        b"G=T / HTTP/1.1\r\n\r\n",             # bad method
+        b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        b"GET / HTTP/1.1\r\nName : v\r\n\r\n",  # space before colon
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            run(_ParseCall(read_request, bad))
+
+    def test_obsolete_folding_rejected(self):
+        data = b"GET / HTTP/1.1\r\nA: 1\r\n folded\r\n\r\n"
+        with pytest.raises(ProtocolError):
+            run(_ParseCall(read_request, data))
+
+    def test_conflicting_content_lengths_rejected(self):
+        data = (b"POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                b"Content-Length: 5\r\n\r\nabc")
+        with pytest.raises(ProtocolError):
+            run(_ParseCall(read_request, data))
+
+    def test_te_plus_cl_rejected_smuggling(self):
+        data = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n"
+                b"Content-Length: 3\r\n\r\n0\r\n\r\n")
+        with pytest.raises(ProtocolError):
+            run(_ParseCall(read_request, data))
+
+    def test_chunked_body(self):
+        data = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"3\r\nabc\r\n4\r\ndefg\r\n0\r\n\r\n")
+        parsed = run(_ParseCall(read_request, data))
+        assert parsed.body == b"abcdefg"
+
+    def test_chunked_with_extension_and_trailer(self):
+        data = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"3;ext=1\r\nabc\r\n0\r\nX-Trailer: t\r\n\r\n")
+        parsed = run(_ParseCall(read_request, data))
+        assert parsed.body == b"abc"
+
+    def test_bad_chunk_size_rejected(self):
+        data = (b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+                b"zz\r\nabc\r\n0\r\n\r\n")
+        with pytest.raises(ProtocolError):
+            run(_ParseCall(read_request, data))
+
+
+class TestReadResponse:
+    def test_round_trip(self):
+        original = Response(status=200, body=b"hello",
+                            headers={"ETag": '"v"'})
+        parsed = run(_ParseCall(read_response,
+                                serialize_response(original)))
+        assert parsed.status == 200
+        assert parsed.body == b"hello"
+        assert parsed.headers["etag"] == '"v"'
+
+    def test_304_parsed_without_body(self):
+        wire = serialize_response(Response(
+            status=304, headers={"ETag": '"v"'}))
+        parsed = run(_ParseCall(read_response, wire))
+        assert parsed.status == 304
+        assert parsed.body == b""
+
+    def test_head_response_body_skipped(self):
+        wire = (b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n")
+        parsed = run(_ParseCall(read_response, wire,
+                                request_method="HEAD"))
+        assert parsed.body == b""
+
+    def test_non_numeric_status_rejected(self):
+        with pytest.raises(ProtocolError):
+            run(_ParseCall(read_response, b"HTTP/1.1 abc OK\r\n\r\n"))
+
+    def test_reason_with_spaces(self):
+        wire = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"
+        parsed = run(_ParseCall(read_response, wire))
+        assert parsed.reason == "Not Found"
