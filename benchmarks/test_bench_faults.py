@@ -1,0 +1,61 @@
+"""Fault sweep — resilience of standard vs. Catalyst caching.
+
+Regenerates ``benchmarks/results/fault_sweep.txt``: the fault-rate ×
+mode sweep, the ISSUE acceptance cell (5 % request loss at
+60 Mbps / 40 ms), and the corrupted-``X-Etag-Config`` section.
+
+The claims checked here:
+
+- every page load completes at every swept fault rate (the retry
+  machinery absorbs losses/resets/truncations/stalls),
+- at 5 % request loss the Catalyst warm PLT does not exceed standard's,
+- a damaged map never breaks the page — affected resources fall back to
+  conditional revalidation.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.faults import run_fault_sweep
+
+SITES = int(os.environ.get("REPRO_BENCH_SITES", "4"))
+RATES = (0.0, 0.02, 0.05, 0.10)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_fault_sweep(rates=RATES, sites=SITES, seed=0)
+
+
+@pytest.mark.faults
+def test_fault_sweep(benchmark, sweep, save_result):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    save_result("fault_sweep", result.format())
+    benchmark.extra_info["acceptance_holds"] = result.acceptance_holds
+
+    # every cell completed every load at every swept rate
+    for cell in result.cells:
+        assert cell.all_complete, (cell.rate, cell.mode)
+
+    # the ISSUE acceptance criterion
+    assert result.acceptance_holds
+
+
+@pytest.mark.faults
+def test_corrupted_map_never_breaks_page(sweep):
+    assert sweep.corruption, "corruption section missing"
+    for cell in sweep.corruption:
+        assert cell.complete, cell.corruption
+        # with the map gone or damaged, affected resources must arrive
+        # via the standard conditional-revalidation path
+        assert cell.revalidated > 0, cell.corruption
+
+
+@pytest.mark.faults
+def test_faults_raise_retries_not_failures(sweep):
+    clean = [c for c in sweep.cells if c.rate == 0.0]
+    faulty = [c for c in sweep.cells if c.rate >= 0.05]
+    assert all(c.retries == 0 for c in clean)
+    assert sum(c.retries for c in faulty) > 0
+    assert all(c.failed_resources == 0 for c in faulty)

@@ -29,6 +29,7 @@ request for a pushed URL waits for the push instead of going out.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -42,7 +43,8 @@ from ..netsim.link import Link
 from ..netsim.sim import Event, Simulator
 from ..netsim.tcp import ConnectionPolicy
 from .cache_layer import BrowserCache, CachePlan
-from .fetcher import NetworkClient, OriginHandler, OriginUnreachable
+from .fetcher import (FetchFailed, NetworkClient, OriginHandler,
+                      OriginUnreachable)
 from .js import ScriptModel, extract_js_fetches, kind_from_url
 from .metrics import FetchEvent, FetchSource, PageLoadResult
 from .sw_host import ServiceWorkerHost
@@ -84,6 +86,14 @@ class BrowserConfig:
     #: speculative connections opened at navigation start (browsers'
     #: preconnect); 0 disables
     preconnect: int = 0
+    #: per-request watchdog; ``inf`` disables it (a link-level fault plan
+    #: still arms a generous default so lost requests cannot hang a load)
+    request_timeout_s: float = math.inf
+    #: extra network attempts allowed per resource after the first fails
+    max_retries: int = 3
+    #: capped exponential backoff between attempts (deterministic jitter)
+    retry_backoff_s: float = 0.25
+    retry_backoff_cap_s: float = 4.0
 
     def parse_time(self, nbytes: int) -> float:
         return max(self.min_parse_s, nbytes * self.parse_s_per_byte)
@@ -147,7 +157,11 @@ class PageLoader:
             policy=self.config.connection_policy,
             connections_per_origin=self.config.connections_per_origin,
             server_think_s=self.config.server_think_s,
-            multiplexed=self.config.http2)
+            multiplexed=self.config.http2,
+            request_timeout_s=self.config.request_timeout_s,
+            max_retries=self.config.max_retries,
+            backoff_base_s=self.config.retry_backoff_s,
+            backoff_cap_s=self.config.retry_backoff_cap_s)
         self.events: list[FetchEvent] = []
         #: url -> completion event carrying the usable Response
         self._in_flight: dict[str, Event] = {}
@@ -303,7 +317,8 @@ class PageLoader:
                              bytes_down=0, rtts=0.0)
                 if self.config.use_service_worker:
                     self.session.sw.on_response(request, response,
-                                                self.sim.now)
+                                                self.sim.now,
+                                                is_document=is_document)
                 return response
             outgoing = plan.outgoing
 
@@ -324,6 +339,7 @@ class PageLoader:
         # Layer 3: the network.
         request_time = self.sim.now
         conn_count_before = self.client.connections_opened
+        retries_before = self.client.retries
         try:
             response = yield from self.client.exchange(
                 outgoing,
@@ -347,15 +363,38 @@ class PageLoader:
             self._record(ref, start, failed, FetchSource.NETWORK,
                          bytes_down=0, rtts=0.0, status=504)
             return failed
+        except FetchFailed:
+            # The retry budget ran dry (lossy link, resets, stalls).
+            # Degrade exactly like an unreachable origin: a cached copy
+            # if the SW holds one, an onerror'd subresource otherwise.
+            retries = self.client.retries - retries_before
+            if self.config.use_service_worker:
+                fallback = self.session.sw.offline_fallback(
+                    request, self.sim.now)
+                if fallback is not None:
+                    self._record(ref, start, fallback,
+                                 FetchSource.OFFLINE_CACHE,
+                                 bytes_down=0, rtts=0.0, retries=retries)
+                    return fallback
+            if is_document:
+                raise  # nothing to render at all
+            failed = Response(status=504, body=b"",
+                              reason="Fetch Failed")
+            self._record(ref, start, failed, FetchSource.NETWORK,
+                         bytes_down=0, rtts=0.0, status=504,
+                         retries=retries)
+            return failed
         response_time = self.sim.now
         new_connection = self.client.connections_opened > conn_count_before
+        retries = self.client.retries - retries_before
 
         usable = response
         if plan is not None:
             usable = self.session.http_cache.absorb(
                 plan, request, response, request_time, response_time)
         if self.config.use_service_worker:
-            self.session.sw.on_response(request, usable, self.sim.now)
+            self.session.sw.on_response(request, usable, self.sim.now,
+                                        is_document=is_document)
 
         rtts = 1.0 + (self.config.connection_policy.setup_rtts
                       if new_connection else 0.0)
@@ -364,7 +403,7 @@ class PageLoader:
         bytes_down = (response.transfer_size
                       + response.headers.wire_size())
         self._record(ref, start, usable, source, bytes_down=bytes_down,
-                     rtts=rtts, status=response.status)
+                     rtts=rtts, status=response.status, retries=retries)
         return usable
 
     def _sw_veto(self, request: Request, plan) -> "CachePlan":
@@ -434,11 +473,12 @@ class PageLoader:
     # ------------------------------------------------------------- recording
     def _record(self, ref: ResourceRef, start: float, response: Response,
                 source: FetchSource, bytes_down: int, rtts: float,
-                status: int = 200) -> None:
+                status: int = 200, retries: int = 0) -> None:
         etag = response.etag
         self.events.append(FetchEvent(
             url=ref.url, kind=ref.kind, source=source, start_s=start,
             end_s=self.sim.now, status=status, bytes_down=bytes_down,
             rtts_paid=rtts, blocking=ref.blocking,
             discovered_via=ref.discovered_by or "html",
-            served_etag=etag.opaque if etag else ""))
+            served_etag=etag.opaque if etag else "",
+            retries=retries))

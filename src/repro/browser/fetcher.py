@@ -14,18 +14,27 @@ it would take on the modelled network elapses on the simulator clock.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..http.messages import Request, Response
+from ..netsim.faults import (FaultKind, InjectedFault, InjectedReset,
+                             backoff_delay)
 from ..netsim.link import Link
 from ..netsim.sim import Resource, Simulator
 from ..netsim.tcp import Connection, ConnectionPolicy, slow_start_extra_rtts
 
 __all__ = ["NetworkClient", "OriginHandler", "ExchangeRecord",
-           "CONNECTIONS_PER_ORIGIN", "OriginUnreachable"]
+           "CONNECTIONS_PER_ORIGIN", "OriginUnreachable",
+           "FetchTimeout", "FetchFailed",
+           "DEFAULT_FAULT_GUARD_TIMEOUT_S"]
 
 CONNECTIONS_PER_ORIGIN = 6
+
+#: watchdog used when a fault plan is active but no explicit per-request
+#: timeout was configured — a LOSS would otherwise hang the load forever
+DEFAULT_FAULT_GUARD_TIMEOUT_S = 30.0
 
 
 class OriginUnreachable(Exception):
@@ -35,6 +44,25 @@ class OriginUnreachable(Exception):
     lets the Service Worker answer from cache where it can (paper §3's
     offline capability).
     """
+
+
+class FetchTimeout(Exception):
+    """One attempt's watchdog expired before a response arrived."""
+
+
+class FetchFailed(Exception):
+    """Every attempt within the retry budget failed.
+
+    Carries the URL, how many attempts were made, and the last failure.
+    """
+
+    def __init__(self, url: str, attempts: int, cause: Exception):
+        super().__init__(f"{url} failed after {attempts} attempt(s): "
+                         f"{cause}")
+        self.url = url
+        self.attempts = attempts
+        self.cause = cause
+
 
 OriginHandler = Callable[[Request, float], Response]
 
@@ -50,6 +78,8 @@ class ExchangeRecord:
     response_bytes: int
     new_connection: bool
     queued_s: float = 0.0
+    #: wire attempts this exchange took (1 = no retries)
+    attempts: int = 1
 
     @property
     def elapsed_s(self) -> float:
@@ -85,6 +115,14 @@ class NetworkClient:
     #: HTTP/2-style multiplexing over a single connection
     multiplexed: bool = False
     max_streams: int = H2_MAX_STREAMS
+    #: per-attempt watchdog; ``inf`` disables it (unless a fault plan is
+    #: active, in which case :data:`DEFAULT_FAULT_GUARD_TIMEOUT_S` applies)
+    request_timeout_s: float = math.inf
+    #: extra attempts allowed after the first one fails
+    max_retries: int = 3
+    #: capped-exponential backoff between attempts
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 4.0
 
     def __post_init__(self) -> None:
         capacity = self.max_streams if self.multiplexed \
@@ -95,6 +133,10 @@ class NetworkClient:
         self._h2_ready: "Event | None" = None
         self.exchanges: list[ExchangeRecord] = []
         self.connections_opened = 0
+        #: attempts re-issued after a failure (visible in metrics/traces)
+        self.retries = 0
+        #: attempt failures observed (timeouts + injected faults)
+        self.faults_seen = 0
 
     # -- the fetch process -----------------------------------------------------
     def exchange(self, request: Request,
@@ -104,6 +146,14 @@ class NetworkClient:
         Usage inside another process::
 
             response = yield from client.exchange(request)
+
+        Resilience: each wire attempt is raced against the per-request
+        watchdog and subject to the link's :class:`FaultPlan` (if any).
+        Failed attempts are retried with capped exponential backoff and
+        deterministic jitter until the retry budget runs out, at which
+        point :class:`FetchFailed` is raised.  The fault-free,
+        no-timeout configuration takes the exact code path (and timing)
+        it always did.
         """
         queue_start = self.sim.now
         grant = self._slots.request()
@@ -111,17 +161,93 @@ class NetworkClient:
         try:
             start = self.sim.now
             queued = start - queue_start
-            connection, is_new = self._checkout()
-            # The response size is unknown until the handler runs, so the
-            # exchange is phased: handshake, upstream + server think, run
-            # the handler at arrival time, then downstream sized by the
-            # actual response.
+            plan = getattr(self.link, "fault_plan", None)
+            if plan is not None and not plan.injects_anything:
+                plan = None
+            timeout_s = self.request_timeout_s
+            if plan is not None and math.isinf(timeout_s):
+                timeout_s = DEFAULT_FAULT_GUARD_TIMEOUT_S
+            attempt = 0
+            while True:
+                decision = (plan.decide(request.url, attempt)
+                            if plan is not None else None)
+                try:
+                    if decision is None and math.isinf(timeout_s):
+                        outcome = yield from self._attempt(
+                            request, think_s, None)
+                    else:
+                        outcome = yield from self._guarded_attempt(
+                            request, think_s, decision, timeout_s)
+                    break
+                except (InjectedFault, FetchTimeout) as exc:
+                    self.faults_seen += 1
+                    if attempt >= self.max_retries:
+                        raise FetchFailed(request.url, attempt + 1,
+                                          exc) from exc
+                    seed = plan.seed if plan is not None else 0
+                    yield self.sim.timeout(backoff_delay(
+                        attempt, self.backoff_base_s, self.backoff_cap_s,
+                        seed, request.url))
+                    self.retries += 1
+                    attempt += 1
+            response, response_bytes, is_new = outcome
+            self.exchanges.append(ExchangeRecord(
+                url=request.url, start_s=start, end_s=self.sim.now,
+                status=response.status,
+                response_bytes=response_bytes,
+                new_connection=is_new, queued_s=queued,
+                attempts=attempt + 1))
+            return response
+        finally:
+            self._slots.release()
+
+    def _guarded_attempt(self, request: Request, think_s: Optional[float],
+                         decision, timeout_s: float):
+        """Process: run one attempt as a child, raced against a watchdog.
+
+        A lost request (or a stall that never resumes) produces dead
+        silence; the watchdog converts that silence into a
+        :class:`FetchTimeout` the retry loop can act on.
+        """
+        attempt_proc = self.sim.process(
+            self._attempt(request, think_s, decision),
+            name=f"attempt:{request.url}")
+        waits = [attempt_proc]
+        if not math.isinf(timeout_s):
+            waits.append(self.sim.timeout(timeout_s))
+        yield self.sim.any_of(waits)  # re-raises the attempt's failure
+        if not attempt_proc.triggered:
+            attempt_proc.interrupt("request watchdog")
+            raise FetchTimeout(
+                f"no response for {request.url} within {timeout_s:g}s")
+        if not attempt_proc.ok:
+            raise attempt_proc.value
+        return attempt_proc.value
+
+    def _attempt(self, request: Request, think_s: Optional[float],
+                 decision):
+        """Process: one wire attempt; returns (response, bytes, is_new).
+
+        The response size is unknown until the handler runs, so the
+        exchange is phased: handshake, upstream + server think, run the
+        handler at arrival time, then downstream sized by the actual
+        response.  Any failure (injected fault, watchdog interrupt)
+        discards the connection — a broken exchange's connection is
+        never reused.
+        """
+        connection, is_new = self._checkout()
+        try:
             if not connection.established:
                 yield from self._establish(connection)
             req_extra = max(0, request.wire_size()
                             - self.policy.request_bytes)
             yield from self.link.send_upstream(
                 self.policy.request_bytes + req_extra)
+            if decision is not None and decision.kind is FaultKind.LOSS:
+                # the request (or its response) evaporated: dead silence
+                # until the watchdog interrupts this process
+                yield self.sim.event()
+                raise AssertionError("lost request resumed")  # unreachable
             think = self.server_think_s if think_s is None else think_s
             if think > 0:
                 yield self.sim.timeout(think)
@@ -135,17 +261,18 @@ class NetworkClient:
                 if extra > 0:
                     yield self.sim.timeout(
                         self.link.conditions.rtt_s * extra)
-            yield from self.link.send_downstream(header_bytes + body_bytes)
+            total = header_bytes + body_bytes
+            if decision is None:
+                yield from self.link.send_downstream(total)
+            else:
+                yield from self.link.send_downstream_faulted(total,
+                                                             decision)
             connection.requests_served += 1
             self._checkin(connection)
-            self.exchanges.append(ExchangeRecord(
-                url=request.url, start_s=start, end_s=self.sim.now,
-                status=response.status,
-                response_bytes=header_bytes + body_bytes,
-                new_connection=is_new, queued_s=queued))
-            return response
-        finally:
-            self._slots.release()
+            return response, total, is_new
+        except BaseException:
+            self._discard(connection)
+            raise
 
     def warm_up(self, count: int):
         """Process: pre-establish ``count`` idle connections (preconnect).
@@ -196,6 +323,23 @@ class NetworkClient:
     def _checkin(self, connection: Connection) -> None:
         if not self.multiplexed:
             self._idle.append(connection)
+
+    def _discard(self, connection: Connection) -> None:
+        """Drop a connection whose exchange broke mid-flight.
+
+        HTTP/1.1: simply never checked back into the idle pool.  HTTP/2:
+        the shared connection is torn down so the next attempt
+        re-handshakes; streams still waiting on its handshake see the
+        failure (and retry through their own budgets).
+        """
+        if not self.multiplexed:
+            return
+        if self._h2_connection is connection:
+            self._h2_connection = None
+            ready, self._h2_ready = self._h2_ready, None
+            if ready is not None and not ready.triggered:
+                ready.fail(InjectedReset(
+                    "connection torn down mid-handshake"))
 
     # -- accounting -------------------------------------------------------------
     @property

@@ -48,6 +48,9 @@ class FetchEvent:
     #: opaque ETag of the representation that was actually used (cache
     #: hits included) — lets experiments audit staleness post-hoc
     served_etag: str = ""
+    #: network attempts re-issued after a failure (timeouts, resets,
+    #: truncations); 0 on the happy path and on cache hits
+    retries: int = 0
 
     @property
     def elapsed_s(self) -> float:
@@ -101,6 +104,19 @@ class PageLoadResult:
         return sum(1 for event in self.events
                    if event.source in (FetchSource.NETWORK,
                                        FetchSource.REVALIDATED))
+
+    @property
+    def retries_total(self) -> int:
+        """Network attempts re-issued after a failure, load-wide."""
+        return sum(event.retries for event in self.events)
+
+    @property
+    def failure_count(self) -> int:
+        """Resources that never arrived (5xx/onerror events)."""
+        return sum(1 for event in self.events if event.status >= 500)
+
+    def failed_urls(self) -> list[str]:
+        return [event.url for event in self.events if event.status >= 500]
 
     def count_by_source(self) -> dict[FetchSource, int]:
         counts: dict[FetchSource, int] = {}

@@ -39,6 +39,9 @@ class ServiceWorkerHost:
         self.forwarded = 0
         #: times the server confirmed the held map is still current
         self.map_reuse_confirmations = 0
+        #: document responses whose map was missing or unsalvageable,
+        #: forcing the degradation to standard conditional revalidation
+        self.degraded_documents = 0
 
     # -- registration ------------------------------------------------------------
     def observe_registration(self, markup_has_snippet: bool) -> None:
@@ -73,8 +76,19 @@ class ServiceWorkerHost:
         return self.etag_config.digest()
 
     def on_response(self, request: Request, response: Response,
-                    now: float) -> None:
-        """Learn from a response that went over the network."""
+                    now: float, is_document: bool = False) -> None:
+        """Learn from a response that went over the network.
+
+        Trust model under faults: a *document* response is the moment the
+        map must refresh.  When it arrives with a missing, truncated, or
+        unsalvageable map (and no ``X-Etag-Config-Same`` confirming the
+        held copy), the held map is dropped rather than kept — stale
+        stapled tags must never vouch for resources the server no longer
+        vouches for.  Every intercept then misses and the fetch falls
+        back to standard conditional revalidation, which is exactly the
+        status-quo path.  Salvageable partial maps are applied as-is:
+        surviving URLs keep the zero-RTT path, the rest revalidate.
+        """
         self.forwarded += 1
         same = response.headers.get(ETAG_CONFIG_SAME_HEADER)
         if same is not None and self.etag_config is not None \
@@ -83,12 +97,16 @@ class ServiceWorkerHost:
         else:
             config = EtagConfig.from_headers(response.headers)
             if config is not None:
-                if self.etag_config is None:
+                if self.etag_config is None or is_document:
+                    # Base-HTML maps replace (the server re-vouches from
+                    # scratch each navigation); per-CSS maps extend.
                     self.etag_config = config
                 else:
-                    # Base-HTML maps replace; per-CSS maps extend.  Either
-                    # way newer entries win.
                     self.etag_config = self.etag_config.merged_with(config)
+            elif is_document:
+                if self.etag_config is not None:
+                    self.degraded_documents += 1
+                self.etag_config = None
         if self.registered and response.status == 200:
             self.cache.put(request, response, now)
 
@@ -124,4 +142,5 @@ class ServiceWorkerHost:
             "etag_hits": self.cache.etag_hits,
             "etag_misses": self.cache.etag_misses,
             "entries": self.cache.entry_count,
+            "degraded_documents": self.degraded_documents,
         }

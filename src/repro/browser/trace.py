@@ -69,6 +69,7 @@ def _entry(event: FetchEvent, page_ref: str) -> dict:
         "_blocking": event.blocking,
         "_rttsPaid": event.rtts_paid,
         "_discoveredVia": event.discovered_via,
+        "_retries": event.retries,
     }
 
 
@@ -128,5 +129,7 @@ def render_waterfall(result: PageLoadResult, width: int = 64) -> str:
         end = max(begin + 1, int((event.end_s - t0) / span * width))
         bar = " " * begin + "#" * (end - begin)
         bar = bar.ljust(width)
-        lines.append(f"|{bar}| {event.source.value:<11} {event.url}")
+        suffix = f"  [+{event.retries} retry]" if event.retries else ""
+        lines.append(f"|{bar}| {event.source.value:<11} "
+                     f"{event.url}{suffix}")
     return "\n".join(lines)

@@ -52,7 +52,9 @@ class ServiceWorkerCache:
     def match(self, request: Request, expected: Optional[ETag],
               now: float) -> Optional[Response]:
         """Serve from cache iff the stored ETag weak-matches ``expected``."""
-        if expected is None:
+        if expected is None or not expected.opaque:
+            # An empty stapled tag vouches for nothing (it can appear when
+            # a damaged header is salvaged); treat it as absent.
             return None
         entry = self._store.lookup(request, now)
         if entry is None:

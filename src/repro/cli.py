@@ -7,6 +7,7 @@ writing Python::
     python -m repro figure3 --sites 6 --throughputs 8,60 --latencies 10,40
     python -m repro motivation
     python -m repro crosspage
+    python -m repro faultsweep --sites 4 --rates 0,0.05,0.1
     python -m repro visit --seed 7 --delay 1d --mbps 60 --rtt 40
     python -m repro serve --port 8080 --time-scale 3600
 
@@ -59,6 +60,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="origin request volume per mode (§6)")
     sub.add_parser("userweighted",
                    help="population-weighted revisit benefit")
+
+    faults = sub.add_parser(
+        "faultsweep",
+        help="standard vs catalyst under injected network faults")
+    faults.add_argument("--sites", type=int, default=4,
+                        help="synthetic sites per cell (default 4)")
+    faults.add_argument("--rates", type=_float_list,
+                        default=(0.0, 0.02, 0.05, 0.10),
+                        help="fault rates, e.g. 0,0.05,0.1")
+    faults.add_argument("--mbps", type=float, default=60.0)
+    faults.add_argument("--rtt", type=float, default=40.0)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--timeout", type=float, default=3.0,
+                        help="per-request watchdog seconds (default 3)")
+    faults.add_argument("--retries", type=int, default=4,
+                        help="retry budget per request (default 4)")
+    faults.add_argument("--no-corruption", action="store_true",
+                        help="skip the corrupted-map section")
+    faults.add_argument("--out", default=None,
+                        help="also write the report to this file")
 
     visit = sub.add_parser("visit", help="one cold+warm pair, all modes")
     visit.add_argument("--seed", type=int, default=7)
@@ -129,6 +150,28 @@ def _cmd_userweighted() -> int:
     from .experiments.user_weighted import run_user_weighted
     print(run_user_weighted().format())
     return 0
+
+
+def _cmd_faultsweep(args: argparse.Namespace) -> int:
+    from .experiments.faults import run_fault_sweep
+    try:
+        result = run_fault_sweep(
+            rates=args.rates, mbps=args.mbps, rtt_ms=args.rtt,
+            sites=args.sites, seed=args.seed, timeout_s=args.timeout,
+            max_retries=args.retries,
+            include_corruption=not args.no_corruption)
+    except ValueError as exc:
+        print(f"faultsweep: {exc}", file=sys.stderr)
+        return 2
+    text = result.format()
+    print(text)
+    if args.out:
+        import pathlib
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"\nwrote {path}", file=sys.stderr)
+    return 0 if result.acceptance_holds else 1
 
 
 def _cmd_visit(args: argparse.Namespace) -> int:
@@ -221,6 +264,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serverload()
     if args.command == "userweighted":
         return _cmd_userweighted()
+    if args.command == "faultsweep":
+        return _cmd_faultsweep(args)
     if args.command == "visit":
         return _cmd_visit(args)
     if args.command == "report":

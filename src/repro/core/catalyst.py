@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 from ..browser.engine import BrowserConfig, BrowserSession
 from ..browser.metrics import PageLoadResult
 from ..netsim.clock import parse_duration
+from ..netsim.faults import FaultPlan
 from ..netsim.link import Link, NetworkConditions
 from ..netsim.sim import Simulator
 from ..server.catalyst import CatalystConfig, CatalystServer
@@ -45,12 +46,18 @@ class VisitOutcome:
 
 def run_visit_sequence(setup: ModeSetup, conditions: NetworkConditions,
                        visit_times_s: Sequence[float],
-                       page_url: str = "/index.html") -> list[VisitOutcome]:
+                       page_url: str = "/index.html",
+                       fault_plan: Optional[FaultPlan] = None
+                       ) -> list[VisitOutcome]:
     """Load ``page_url`` at each absolute time, sharing client state.
 
     One simulator carries the whole sequence so cache timestamps, churn
     versions, and session recordings stay on a single consistent timeline
     — exactly like the paper's advance-the-system-clock methodology.
+
+    ``fault_plan`` attaches a :class:`~repro.netsim.faults.FaultPlan` to
+    every visit's link, injecting losses/resets/truncations/stalls that
+    the browser's retry machinery must absorb.
     """
     sim = Simulator()
     outcomes: list[VisitOutcome] = []
@@ -58,7 +65,8 @@ def run_visit_sequence(setup: ModeSetup, conditions: NetworkConditions,
         if at_s < sim.now:
             raise ValueError("visit times must be non-decreasing")
         sim.run(until=at_s)
-        link = Link(sim, conditions)  # connections do not survive the gap
+        # connections do not survive the gap between visits
+        link = Link(sim, conditions, fault_plan=fault_plan)
         result = sim.run_process(
             setup.session.load(sim, link, setup.handler, page_url,
                                mode_label=setup.label,

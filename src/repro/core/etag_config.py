@@ -22,6 +22,7 @@ valuable — render-blocking — entries first when the caller pre-sorts).
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional
 
@@ -29,7 +30,10 @@ from ..http.etag import ETag
 from ..http.headers import Headers
 
 __all__ = ["EtagConfig", "ETAG_CONFIG_HEADER", "ETAG_CONFIG_DIGEST_HEADER",
-           "ETAG_CONFIG_SAME_HEADER", "DEFAULT_MAX_ENTRIES"]
+           "ETAG_CONFIG_SAME_HEADER", "DEFAULT_MAX_ENTRIES",
+           "DEFAULT_MAX_HEADER_BYTES"]
+
+logger = logging.getLogger(__name__)
 
 ETAG_CONFIG_HEADER = "X-Etag-Config"
 
@@ -42,6 +46,13 @@ ETAG_CONFIG_SAME_HEADER = "X-Etag-Config-Same"
 #: Beyond ~8 KB of header the overhead starts to rival a small resource;
 #: 512 entries of typical URL+tag length stay well under that.
 DEFAULT_MAX_ENTRIES = 512
+
+#: Hard byte cap on the emitted header value.  Entry counting alone
+#: cannot bound the header (URLs can be arbitrarily long); past this cap
+#: the map is omitted entirely — the header is advisory, so omission
+#: degrades to standard revalidation instead of shipping an unbounded
+#: header that middleboxes and servers may reject or truncate.
+DEFAULT_MAX_HEADER_BYTES = 32 * 1024
 
 
 @dataclass
@@ -103,27 +114,80 @@ class EtagConfig:
             entries[url] = ETag(opaque=opaque)
         return cls(entries=entries)
 
-    def apply_to(self, headers: Headers) -> None:
-        """Set the header on a response (removed when the map is empty)."""
-        if self.entries:
-            headers.set(ETAG_CONFIG_HEADER, self.to_header_value())
-        else:
+    @classmethod
+    def from_header_value_lenient(
+            cls, value: str) -> tuple[Optional["EtagConfig"], int]:
+        """Salvage whatever valid entries a damaged header still carries.
+
+        Returns ``(config, dropped)``: the entries that survived (or
+        ``None`` when nothing parses at all — truncated JSON, non-object
+        payload) and how many entries were discarded for having non-string
+        keys or values.  A partially-applicable map is still useful: the
+        surviving URLs keep their zero-RTT path while the rest fall back
+        to conditional revalidation.
+        """
+        try:
+            payload = json.loads(value)
+        except json.JSONDecodeError:
+            return None, 0
+        if not isinstance(payload, dict):
+            return None, 0
+        entries: dict[str, ETag] = {}
+        dropped = 0
+        for url, opaque in payload.items():
+            if isinstance(url, str) and isinstance(opaque, str) and opaque:
+                entries[url] = ETag(opaque=opaque)
+            else:
+                dropped += 1
+        if not entries:
+            return None, dropped
+        return cls(entries=entries), dropped
+
+    def apply_to(self, headers: Headers,
+                 max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES) -> bool:
+        """Set the header on a response (removed when the map is empty).
+
+        Returns True when the header was emitted.  Maps whose encoded
+        value exceeds ``max_header_bytes`` are omitted (with a logged
+        warning) instead of shipped: clients that never see the header
+        simply revalidate conditionally, whereas an oversized header can
+        break the whole response at proxies and servers with header-size
+        limits.
+        """
+        if not self.entries:
             headers.remove(ETAG_CONFIG_HEADER)
+            return False
+        value = self.to_header_value()
+        if max_header_bytes is not None \
+                and len(value.encode()) > max_header_bytes:
+            logger.warning(
+                "%s omitted: encoded map is %d bytes (cap %d, %d entries)",
+                ETAG_CONFIG_HEADER, len(value.encode()), max_header_bytes,
+                len(self.entries))
+            headers.remove(ETAG_CONFIG_HEADER)
+            return False
+        headers.set(ETAG_CONFIG_HEADER, value)
+        return True
 
     @classmethod
     def from_headers(cls, headers: Headers) -> Optional["EtagConfig"]:
-        """Extract and parse the header; None when absent or malformed.
+        """Extract and parse the header; None when absent or unsalvageable.
 
-        Malformed maps are treated as absent rather than fatal — a client
-        must degrade to status-quo behaviour, never break the page load.
+        Damaged maps degrade rather than fail: entries that still parse
+        are kept (see :meth:`from_header_value_lenient`), and a header
+        with nothing salvageable is treated as absent — the client must
+        fall back to status-quo behaviour, never break the page load.
         """
         raw = headers.get(ETAG_CONFIG_HEADER)
         if raw is None:
             return None
-        try:
-            return cls.from_header_value(raw)
-        except ValueError:
-            return None
+        config, dropped = cls.from_header_value_lenient(raw)
+        if dropped:
+            logger.warning(
+                "%s partially damaged: %d entr%s dropped, %d kept",
+                ETAG_CONFIG_HEADER, dropped, "y" if dropped == 1 else "ies",
+                0 if config is None else len(config))
+        return config
 
     def digest(self) -> str:
         """Short content digest of the map (for revisit deduplication).

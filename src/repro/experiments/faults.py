@@ -1,0 +1,332 @@
+"""Fault sweep: standard vs. Catalyst caching under injected faults.
+
+The paper's evaluation assumes a clean network; this experiment asks
+what happens on the networks the latency-constrained Internet actually
+has — lossy links, resets, truncated bodies, stalled transfers — and
+whether CacheCatalyst *degrades gracefully* rather than amplifying the
+trouble.
+
+Three sections:
+
+1. **Sweep**: for each fault rate, load each site cold then warm in both
+   STANDARD and CATALYST modes over a link carrying a mixed
+   :class:`~repro.netsim.faults.FaultPlan` (half losses, a quarter
+   resets, a quarter truncations).  Reported per cell: mean warm PLT,
+   retries absorbed, failed resources, and whether every load completed.
+2. **Acceptance**: the ISSUE criterion — at 5 % request loss on
+   60 Mbps / 40 ms, both modes must complete every page load and
+   Catalyst's mean warm PLT must not exceed standard's.
+3. **Corrupted map**: a middlebox damages the ``X-Etag-Config`` header
+   (truncation, garbage, partially-applicable entries, removal); the
+   page must still load with the affected resources served via standard
+   conditional revalidation.
+
+Faults are decided by per-(seed, url, attempt) hashes, so STANDARD and
+CATALYST face *identical* fault sequences for the requests they share —
+paired sampling, not luck.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Callable, Optional, Sequence
+
+from ..browser.engine import BrowserConfig
+from ..browser.metrics import FetchSource
+from ..core.catalyst import run_visit_sequence
+from ..core.etag_config import ETAG_CONFIG_HEADER
+from ..core.modes import CachingMode, ModeSetup, build_mode
+from ..netsim.clock import DAY
+from ..netsim.faults import FaultPlan
+from ..netsim.link import NetworkConditions
+from ..http.messages import Request, Response
+from ..workload.sitegen import SiteSpec, freeze_site, generate_site
+from .report import format_table
+
+__all__ = ["FaultCell", "CorruptionCell", "FaultSweepResult",
+           "HeaderCorruptingMiddlebox", "run_fault_sweep",
+           "DEFAULT_FAULT_RATES", "CORRUPTION_MODES"]
+
+DEFAULT_FAULT_RATES: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10)
+
+#: the ways :class:`HeaderCorruptingMiddlebox` can damage the map header
+CORRUPTION_MODES: tuple[str, ...] = ("truncate", "garbage", "partial",
+                                     "drop")
+
+#: the ISSUE's acceptance condition: 5 % request loss
+ACCEPTANCE_LOSS_RATE = 0.05
+
+
+class HeaderCorruptingMiddlebox:
+    """An origin-handler wrapper that damages ``X-Etag-Config`` headers.
+
+    Models a middlebox (or a fault on the header-carrying packet) that
+    mangles precisely the header CacheCatalyst depends on, leaving the
+    rest of the response intact.  Modes:
+
+    - ``truncate``: keep the first half of the JSON (unparseable),
+    - ``garbage``: replace the value with non-JSON bytes,
+    - ``partial``: keep valid JSON but break half the entries (they
+      parse as non-string values and are dropped by the lenient codec),
+    - ``drop``: remove the header entirely.
+    """
+
+    def __init__(self, handler: Callable[[Request, float], Response],
+                 mode: str = "truncate", start_after: int = 0):
+        if mode not in CORRUPTION_MODES:
+            raise ValueError(f"unknown corruption mode: {mode!r}")
+        self.handler = handler
+        self.mode = mode
+        #: map-bearing responses to let through clean first (0 = corrupt
+        #: from the start; 1 = a clean cold visit, then damage mid-flight)
+        self.start_after = start_after
+        self.passed_clean = 0
+        self.corrupted = 0
+
+    def __call__(self, request: Request, at_time: float) -> Response:
+        response = self.handler(request, at_time)
+        raw = response.headers.get(ETAG_CONFIG_HEADER)
+        if raw is None:
+            return response
+        if self.passed_clean < self.start_after:
+            self.passed_clean += 1
+            return response
+        self.corrupted += 1
+        if self.mode == "truncate":
+            response.headers.set(ETAG_CONFIG_HEADER, raw[:len(raw) // 2])
+        elif self.mode == "garbage":
+            response.headers.set(ETAG_CONFIG_HEADER, "\x00!!not-json!!")
+        elif self.mode == "partial":
+            payload = json.loads(raw)
+            for index, url in enumerate(list(payload)):
+                if index % 2 == 1:
+                    payload[url] = 0  # non-string: lenient codec drops it
+            response.headers.set(
+                ETAG_CONFIG_HEADER,
+                json.dumps(payload, separators=(",", ":")))
+        else:  # drop
+            response.headers.remove(ETAG_CONFIG_HEADER)
+        return response
+
+
+@dataclass(frozen=True)
+class FaultCell:
+    """One (fault-rate, mode) aggregate of the sweep."""
+
+    rate: float
+    mode: str
+    mean_warm_plt_ms: float
+    mean_cold_plt_ms: float
+    retries: int
+    failed_resources: int
+    loads: int
+    crashed_loads: int
+
+    @property
+    def all_complete(self) -> bool:
+        """Every load finished with every resource delivered."""
+        return self.crashed_loads == 0 and self.failed_resources == 0
+
+
+@dataclass(frozen=True)
+class CorruptionCell:
+    """One corrupted-map scenario (always CATALYST mode)."""
+
+    corruption: str
+    warm_plt_ms: float
+    complete: bool
+    sw_hits: int
+    revalidated: int
+    network: int
+
+
+@dataclass
+class FaultSweepResult:
+    """Everything :func:`run_fault_sweep` measured."""
+
+    conditions_label: str
+    sites: int
+    seed: int
+    plan_label: str
+    cells: list[FaultCell] = field(default_factory=list)
+    acceptance: list[FaultCell] = field(default_factory=list)
+    corruption: list[CorruptionCell] = field(default_factory=list)
+
+    def cell(self, rate: float, mode: str) -> FaultCell:
+        for cell in self.cells:
+            if cell.rate == rate and cell.mode == mode:
+                return cell
+        raise KeyError(f"no cell rate={rate} mode={mode}")
+
+    # -- the acceptance criterion -------------------------------------------
+    @property
+    def acceptance_holds(self) -> bool:
+        """ISSUE criterion: at 5 % loss both modes complete every load
+        and Catalyst's warm PLT does not exceed standard's."""
+        if len(self.acceptance) != 2:
+            return False
+        by_mode = {cell.mode: cell for cell in self.acceptance}
+        standard = by_mode[CachingMode.STANDARD.value]
+        catalyst = by_mode[CachingMode.CATALYST.value]
+        return (standard.all_complete and catalyst.all_complete
+                and catalyst.mean_warm_plt_ms
+                <= standard.mean_warm_plt_ms + 1e-9)
+
+    def format(self) -> str:
+        lines = [
+            "Fault sweep: caching under injected network faults",
+            f"conditions {self.conditions_label}, {self.sites} sites, "
+            f"seed {self.seed}, warm visit after 1 day",
+            f"fault mix per rate: {self.plan_label}",
+            "",
+            format_table(
+                ["fault rate", "mode", "cold PLT (ms)", "warm PLT (ms)",
+                 "retries", "failed res", "complete"],
+                [[f"{cell.rate * 100:g}%", cell.mode,
+                  f"{cell.mean_cold_plt_ms:.1f}",
+                  f"{cell.mean_warm_plt_ms:.1f}",
+                  cell.retries, cell.failed_resources,
+                  "yes" if cell.all_complete else "NO"]
+                 for cell in self.cells]),
+        ]
+        if self.acceptance:
+            by_mode = {cell.mode: cell for cell in self.acceptance}
+            standard = by_mode[CachingMode.STANDARD.value]
+            catalyst = by_mode[CachingMode.CATALYST.value]
+            lines += [
+                "",
+                f"Acceptance @ {ACCEPTANCE_LOSS_RATE * 100:g}% request "
+                f"loss ({self.conditions_label}):",
+                f"  standard: warm PLT {standard.mean_warm_plt_ms:.1f}ms, "
+                f"complete={'yes' if standard.all_complete else 'NO'}",
+                f"  catalyst: warm PLT {catalyst.mean_warm_plt_ms:.1f}ms, "
+                f"complete={'yes' if catalyst.all_complete else 'NO'}",
+                f"  catalyst <= standard and all loads complete: "
+                f"{'PASS' if self.acceptance_holds else 'FAIL'}",
+            ]
+        if self.corruption:
+            lines += [
+                "",
+                "Corrupted X-Etag-Config (catalyst warm visit; damaged "
+                "resources fall back to conditional revalidation):",
+                format_table(
+                    ["corruption", "warm PLT (ms)", "complete", "sw-hits",
+                     "revalidated", "network"],
+                    [[cell.corruption, f"{cell.warm_plt_ms:.1f}",
+                      "yes" if cell.complete else "NO", cell.sw_hits,
+                      cell.revalidated, cell.network]
+                     for cell in self.corruption]),
+            ]
+        return "\n".join(lines)
+
+
+def _sweep_sites(count: int, seed: int) -> list[SiteSpec]:
+    """Frozen synthetic sites (content fixed, like the paper's clones)."""
+    return [freeze_site(generate_site(f"https://fault{index}.example",
+                                      seed=seed * 1000 + index,
+                                      median_resources=25))
+            for index in range(count)]
+
+
+def _resilient_config(timeout_s: float, max_retries: int) -> BrowserConfig:
+    return BrowserConfig(request_timeout_s=timeout_s,
+                         max_retries=max_retries)
+
+
+def _run_pair(site_spec: SiteSpec, mode: CachingMode,
+              conditions: NetworkConditions, plan: Optional[FaultPlan],
+              base_config: BrowserConfig, delay_s: float):
+    """(cold, warm) outcomes, or (None, None) when the load crashed."""
+    setup: ModeSetup = build_mode(mode, site_spec, base_config)
+    try:
+        outcomes = run_visit_sequence(setup, conditions, [0.0, delay_s],
+                                      fault_plan=plan)
+    except Exception:
+        return None, None
+    return outcomes[0].result, outcomes[1].result
+
+
+def _aggregate(rate: float, mode: CachingMode,
+               results: list[tuple]) -> FaultCell:
+    colds = [cold for cold, warm in results if cold is not None]
+    warms = [warm for cold, warm in results if warm is not None]
+    crashed = sum(1 for cold, warm in results if warm is None)
+
+    def mean_plt(loads) -> float:
+        return sum(r.plt_ms for r in loads) / len(loads) if loads else 0.0
+
+    return FaultCell(
+        rate=rate, mode=mode.value,
+        mean_warm_plt_ms=mean_plt(warms),
+        mean_cold_plt_ms=mean_plt(colds),
+        retries=sum(r.retries_total for r in colds + warms),
+        failed_resources=sum(r.failure_count for r in colds + warms),
+        loads=len(results) * 2, crashed_loads=crashed)
+
+
+def run_fault_sweep(rates: Sequence[float] = DEFAULT_FAULT_RATES,
+                    mbps: float = 60.0, rtt_ms: float = 40.0,
+                    sites: int = 4, seed: int = 0,
+                    timeout_s: float = 3.0, max_retries: int = 4,
+                    delay_s: float = DAY,
+                    include_corruption: bool = True) -> FaultSweepResult:
+    """Run the full sweep (see module docstring for the sections)."""
+    conditions = NetworkConditions.of(mbps, rtt_ms,
+                                      label=f"{mbps:g}Mbps/{rtt_ms:g}ms")
+    specs = _sweep_sites(sites, seed)
+    base_config = _resilient_config(timeout_s, max_retries)
+    result = FaultSweepResult(
+        conditions_label=conditions.describe(), sites=sites, seed=seed,
+        plan_label="rate r = r/2 loss + r/4 reset + r/4 truncate, "
+                   f"timeout {timeout_s:g}s, {max_retries} retries")
+
+    modes = (CachingMode.STANDARD, CachingMode.CATALYST)
+    for rate in rates:
+        plan = FaultPlan.mixed(rate, seed=seed) if rate > 0 else None
+        for mode in modes:
+            pairs = [_run_pair(spec, mode, conditions, plan, base_config,
+                               delay_s) for spec in specs]
+            result.cells.append(_aggregate(rate, mode, pairs))
+
+    # -- acceptance: pure request loss at the ISSUE's 5 % ------------------
+    loss_plan = FaultPlan.request_loss(ACCEPTANCE_LOSS_RATE, seed=seed)
+    for mode in modes:
+        pairs = [_run_pair(spec, mode, conditions, loss_plan, base_config,
+                           delay_s) for spec in specs]
+        result.acceptance.append(
+            _aggregate(ACCEPTANCE_LOSS_RATE, mode, pairs))
+
+    # -- corrupted-map resilience (fault-free link, damaged header) --------
+    if include_corruption:
+        for corruption in CORRUPTION_MODES:
+            result.corruption.append(_run_corruption(
+                specs[0], conditions, corruption, base_config, delay_s))
+    return result
+
+
+def _run_corruption(site_spec: SiteSpec, conditions: NetworkConditions,
+                    corruption: str, base_config: BrowserConfig,
+                    delay_s: float) -> CorruptionCell:
+    """Warm CATALYST visit with every map header damaged in-flight."""
+    setup = build_mode(CachingMode.CATALYST, site_spec, base_config)
+    middlebox = HeaderCorruptingMiddlebox(setup.handler, mode=corruption)
+    damaged = ModeSetup(mode=setup.mode,
+                        server=SimpleNamespace(handle=middlebox),
+                        session=setup.session)
+    try:
+        outcomes = run_visit_sequence(damaged, conditions, [0.0, delay_s])
+        warm = outcomes[1].result
+        sources = {src.value: count
+                   for src, count in warm.count_by_source().items()}
+        return CorruptionCell(
+            corruption=corruption, warm_plt_ms=warm.plt_ms,
+            complete=warm.failure_count == 0,
+            sw_hits=sources.get(FetchSource.SW_CACHE.value, 0),
+            revalidated=sources.get(FetchSource.REVALIDATED.value, 0),
+            network=sources.get(FetchSource.NETWORK.value, 0))
+    except Exception:
+        return CorruptionCell(corruption=corruption, warm_plt_ms=0.0,
+                              complete=False, sw_hits=0, revalidated=0,
+                              network=0)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 from urllib.parse import urlsplit
 
+from ..netsim.faults import backoff_delay
 from .errors import ConnectionClosed, HttpError, RequestTimeout
 from .headers import Headers
 from .messages import Request, Response
@@ -22,6 +23,11 @@ __all__ = ["AsyncHttpClient", "FetchTiming", "FetchResult"]
 
 #: browsers open at most this many parallel connections per origin
 DEFAULT_CONNECTIONS_PER_ORIGIN = 6
+
+#: failures worth a fresh attempt: silence (timeout) or a broken pipe.
+#: HTTP error *responses* are never retried here — they are answers.
+_RETRYABLE = (RequestTimeout, ConnectionClosed, ConnectionResetError,
+              BrokenPipeError)
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,8 @@ class FetchTiming:
 class FetchResult:
     response: Response
     timing: FetchTiming
+    #: wire attempts this fetch took (1 = no retries)
+    attempts: int = 1
 
 
 @dataclass
@@ -69,12 +77,26 @@ class AsyncHttpClient:
 
     def __init__(self,
                  connections_per_origin: int = DEFAULT_CONNECTIONS_PER_ORIGIN,
-                 timeout_s: float = 30.0):
+                 timeout_s: float = 30.0,
+                 max_retries: int = 2,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 retry_seed: int = 0):
         self.timeout_s = timeout_s
         self.connections_per_origin = connections_per_origin
+        #: extra attempts after the first fails (timeouts, broken pipes);
+        #: the free same-request retry on a stale *pooled* connection
+        #: does not consume this budget
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        #: seeds the deterministic backoff jitter (reproducible timings)
+        self.retry_seed = retry_seed
         self._idle: dict[tuple[str, int], list[_PooledConnection]] = {}
         self._limits: dict[tuple[str, int], asyncio.Semaphore] = {}
         self._closed = False
+        #: attempts re-issued after a retryable failure (diagnostics)
+        self.retries = 0
 
     async def __aenter__(self) -> "AsyncHttpClient":
         return self
@@ -96,8 +118,30 @@ class AsyncHttpClient:
                                           headers=headers or Headers()))
 
     async def request(self, request: Request) -> FetchResult:
+        """One fetch, with a capped-exponential-backoff retry budget.
+
+        Retryable failures (timeouts, connection drops) are re-attempted
+        up to ``max_retries`` times with deterministic jitter; whatever
+        failure survives the budget propagates to the caller.
+        """
         if self._closed:
             raise HttpError("client is closed")
+        attempt = 0
+        while True:
+            try:
+                result = await self._request_once(request)
+                result.attempts = attempt + 1
+                return result
+            except _RETRYABLE:
+                if attempt >= self.max_retries:
+                    raise
+                await asyncio.sleep(backoff_delay(
+                    attempt, self.backoff_base_s, self.backoff_cap_s,
+                    self.retry_seed, request.url))
+                self.retries += 1
+                attempt += 1
+
+    async def _request_once(self, request: Request) -> FetchResult:
         host, port, origin_form = self._split(request.url)
         key = (host, port)
         semaphore = self._limits.setdefault(

@@ -18,7 +18,8 @@ from typing import Awaitable, Callable, Optional, Union
 
 from .errors import HttpError, ProtocolError
 from .messages import Request, Response
-from .wire import read_request, serialize_response
+from .wire import (read_request_start, read_request_tail,
+                   serialize_response)
 
 __all__ = ["AsyncHttpServer", "Handler"]
 
@@ -42,15 +43,22 @@ class AsyncHttpServer:
 
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
                  port: int = 0, latency_s: float = 0.0,
-                 keepalive_timeout_s: float = 15.0):
+                 keepalive_timeout_s: float = 15.0,
+                 header_read_timeout_s: float = 5.0):
         self.handler = handler
         self.host = host
         self.port = port
         self.latency_s = latency_s
         self.keepalive_timeout_s = keepalive_timeout_s
+        #: deadline for the rest of the message once a request line has
+        #: arrived; a peer that trickles headers slower than this is a
+        #: slow-loris and gets a 408 instead of a held connection
+        self.header_read_timeout_s = header_read_timeout_s
         self._server: Optional[asyncio.base_events.Server] = None
         #: total requests served (diagnostics / tests)
         self.requests_served = 0
+        #: connections closed with 408 for stalling mid-message
+        self.timeouts_408 = 0
 
     async def start(self) -> "AsyncHttpServer":
         if self._server is not None:
@@ -82,9 +90,11 @@ class AsyncHttpServer:
                                 writer: asyncio.StreamWriter) -> None:
         try:
             while True:
+                # Idle phase: waiting for a request line.  A keep-alive
+                # connection going quiet is normal; close silently.
                 try:
-                    request = await asyncio.wait_for(
-                        read_request(reader),
+                    line = await asyncio.wait_for(
+                        read_request_start(reader),
                         timeout=self.keepalive_timeout_s)
                 except asyncio.TimeoutError:
                     return
@@ -93,7 +103,26 @@ class AsyncHttpServer:
                         status=400, body=str(exc).encode(),
                         headers={"Connection": "close"}))
                     return
-                if request is None:  # clean EOF
+                if line is None:  # clean EOF
+                    return
+                # Committed phase: a request line arrived, so the rest
+                # of the message must follow promptly.  A stall here is
+                # a slow-loris holding a server slot open: answer 408
+                # and reclaim the connection.
+                try:
+                    request = await asyncio.wait_for(
+                        read_request_tail(reader, line),
+                        timeout=self.header_read_timeout_s)
+                except asyncio.TimeoutError:
+                    self.timeouts_408 += 1
+                    await self._write(writer, Response(
+                        status=408, body=b"request timed out",
+                        headers={"Connection": "close"}))
+                    return
+                except ProtocolError as exc:
+                    await self._write(writer, Response(
+                        status=400, body=str(exc).encode(),
+                        headers={"Connection": "close"}))
                     return
                 response = await self._dispatch(request)
                 if self.latency_s > 0:

@@ -20,7 +20,8 @@ from .messages import Request, Response, status_reason
 
 __all__ = [
     "serialize_request", "serialize_response",
-    "read_request", "read_response",
+    "read_request", "read_request_start", "read_request_tail",
+    "read_response",
     "MAX_START_LINE", "MAX_HEADER_BLOCK", "MAX_BODY",
 ]
 
@@ -170,12 +171,25 @@ async def _read_body(reader: asyncio.StreamReader,
             raise ProtocolError("chunk missing terminating CRLF")
 
 
-async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
-    """Read one request; returns None on clean EOF before any bytes."""
+async def read_request_start(
+        reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read just the request line; None on clean EOF before any bytes.
+
+    Split out from :func:`read_request` so a server can apply *two*
+    deadlines: a long keep-alive timeout while the connection is idle
+    (no bytes yet — closing silently is fine) and a short header-read
+    timeout once a request line has committed the peer to sending a
+    full header block (a stall there is a slow-loris, answered 408).
+    """
     try:
-        line = await _read_line(reader, MAX_START_LINE)
+        return await _read_line(reader, MAX_START_LINE)
     except ConnectionClosed:
         return None
+
+
+async def read_request_tail(reader: asyncio.StreamReader,
+                            line: bytes) -> Request:
+    """Parse the request line and read the rest of the message."""
     parts = line.decode("latin-1").split(" ")
     if len(parts) != 3:
         raise ProtocolError(f"malformed request line: {line[:80]!r}")
@@ -188,6 +202,14 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     body = await _read_body(reader, headers)
     return Request(method=method, url=target, headers=headers, body=body,
                    http_version=version)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Read one request; returns None on clean EOF before any bytes."""
+    line = await read_request_start(reader)
+    if line is None:
+        return None
+    return await read_request_tail(reader, line)
 
 
 async def read_response(reader: asyncio.StreamReader,

@@ -15,6 +15,10 @@ from .clock import (DAY, HOUR, MINUTE, SECOND, WEEK, format_duration, ms,
                     parse_duration)
 from .conditions import (FIGURE3_LATENCIES_MS, FIGURE3_THROUGHPUTS_MBPS,
                          PROFILES, figure3_grid, profile)
+from .faults import (FaultDecision, FaultKind, FaultPlan, InjectedFault,
+                     InjectedReset, InjectedTruncation, backoff_delay,
+                     captive_portal, deterministic_draw, flaky_5g,
+                     lossy_wifi)
 from .link import Link, NetworkConditions, ProcessorSharingPipe
 from .sim import (AllOf, AnyOf, Event, Interrupt, Process, Resource,
                   SimulationError, Simulator, Timeout)
@@ -25,6 +29,10 @@ __all__ = [
     "Simulator", "Event", "Timeout", "Process", "AnyOf", "AllOf", "Resource",
     "Interrupt", "SimulationError",
     "NetworkConditions", "Link", "ProcessorSharingPipe", "VariableLink",
+    "FaultPlan", "FaultKind", "FaultDecision",
+    "InjectedFault", "InjectedReset", "InjectedTruncation",
+    "flaky_5g", "lossy_wifi", "captive_portal",
+    "deterministic_draw", "backoff_delay",
     "Connection", "ConnectionPolicy", "slow_start_extra_rtts",
     "PROFILES", "profile", "figure3_grid",
     "FIGURE3_THROUGHPUTS_MBPS", "FIGURE3_LATENCIES_MS",

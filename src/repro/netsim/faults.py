@@ -1,0 +1,277 @@
+"""Deterministic fault injection for the simulated network.
+
+The happy-path model in :mod:`repro.netsim.link` delivers every byte it
+is asked to deliver.  Real latency-constrained networks — the median-5G
+regime the paper targets — drop requests, stall mid-response, truncate
+bodies, and reset connections.  A reproduction that claims CacheCatalyst
+is *safe to deploy* has to show the mechanism degrades to standard
+caching under those faults, which first requires being able to cause
+them on demand, reproducibly.
+
+:class:`FaultPlan` is that cause.  It is consulted once per network
+*attempt* (a URL plus a retry ordinal) and answers with a
+:class:`FaultDecision` or ``None``.  Decisions are drawn by hashing
+``(seed, url, attempt)``, so:
+
+- the same plan produces the same faults on every run (experiments are
+  exactly reproducible, and a retry/backoff trace can be asserted
+  byte-for-byte), and
+- two caching modes evaluated under the same plan face the *same*
+  faults on the requests they share — paired sampling, which keeps
+  STANDARD-vs-CATALYST comparisons honest.
+
+The four fault kinds mirror what packet loss does to an HTTP exchange:
+
+``LOSS``
+    the request (or its response) vanishes; the client hears nothing and
+    must rely on its own watchdog timeout.
+``RESET``
+    the connection dies visibly (TCP RST); the client learns immediately.
+``TRUNCATE``
+    the body is cut after a fraction of its bytes; the partial bytes
+    still traverse (and bill) the shared pipe.
+``STALL``
+    the response hangs for ``stall_s`` mid-body, then either resumes or
+    dies, modelling bufferbloat spikes and half-dead middleboxes.
+
+Scenario presets (:func:`flaky_5g`, :func:`lossy_wifi`,
+:func:`captive_portal`) bundle rates observed in the motivating
+literature on mobile redundant transfers.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "FaultKind", "FaultDecision", "FaultPlan",
+    "InjectedFault", "InjectedReset", "InjectedTruncation",
+    "flaky_5g", "lossy_wifi", "captive_portal",
+    "deterministic_draw", "backoff_delay", "faulted_downstream",
+]
+
+
+class InjectedFault(Exception):
+    """Base class for failures the fault layer injects into a transfer."""
+
+
+class InjectedReset(InjectedFault):
+    """The connection was reset mid-exchange (TCP RST analogue)."""
+
+
+class InjectedTruncation(InjectedFault):
+    """The response body was cut short; partial bytes were delivered."""
+
+
+class FaultKind(enum.Enum):
+    """What goes wrong with one network attempt."""
+
+    LOSS = "loss"          # silence: the client's watchdog must fire
+    RESET = "reset"        # visible connection death
+    TRUNCATE = "truncate"  # partial body, then death
+    STALL = "stall"        # long pause mid-body, then resume or death
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One attempt's fate, as decided by a :class:`FaultPlan`."""
+
+    kind: FaultKind
+    #: seconds the response hangs (STALL only)
+    stall_s: float = 0.0
+    #: a STALL that never resumes (the connection is dead, silently)
+    dies: bool = False
+    #: fraction of body bytes delivered before the cut (TRUNCATE only)
+    truncate_fraction: float = 0.5
+
+
+def deterministic_draw(seed: int, *parts: object) -> float:
+    """A uniform [0, 1) variate fully determined by ``(seed, *parts)``.
+
+    Independent draws use distinct ``parts``; no global RNG state is
+    involved, so fault decisions are stable under any fetch ordering.
+    """
+    token = "|".join([str(seed), *[str(part) for part in parts]])
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def backoff_delay(attempt: int, base_s: float, cap_s: float,
+                  seed: int, key: str) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempt`` is the zero-based ordinal of the attempt that just
+    failed.  Jitter spans [0.5, 1.0) of the nominal delay ("equal
+    jitter"), derived from ``(seed, key, attempt)`` so identical runs
+    produce identical schedules.
+    """
+    nominal = min(cap_s, base_s * (2.0 ** attempt))
+    jitter = 0.5 + 0.5 * deterministic_draw(seed, "backoff", key, attempt)
+    return nominal * jitter
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, composable description of how a link misbehaves.
+
+    Rates are per-attempt probabilities; they must sum to at most 1.
+    A plan with all-zero rates injects nothing (and costs one hash per
+    attempt).
+    """
+
+    loss_rate: float = 0.0
+    reset_rate: float = 0.0
+    truncate_rate: float = 0.0
+    stall_rate: float = 0.0
+    #: how long a stalled response hangs before resuming or dying
+    stall_s: float = 5.0
+    #: fraction of stalls that never resume (silent connection death)
+    stall_death_fraction: float = 0.5
+    #: fraction of body bytes delivered before a truncation cut
+    truncate_fraction: float = 0.5
+    seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "reset_rate", "truncate_rate",
+                     "stall_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.total_rate > 1.0 + 1e-12:
+            raise ValueError(
+                f"fault rates sum to {self.total_rate:g} > 1")
+        if self.stall_s < 0:
+            raise ValueError(f"negative stall_s: {self.stall_s}")
+        if not 0.0 < self.truncate_fraction < 1.0:
+            raise ValueError("truncate_fraction must be in (0, 1)")
+
+    @property
+    def total_rate(self) -> float:
+        return (self.loss_rate + self.reset_rate + self.truncate_rate
+                + self.stall_rate)
+
+    @property
+    def injects_anything(self) -> bool:
+        return self.total_rate > 0.0
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        if not self.injects_anything:
+            return "no-faults"
+        parts = [f"{name[0]}{getattr(self, name) * 100:g}%"
+                 for name in ("loss_rate", "reset_rate", "truncate_rate",
+                              "stall_rate") if getattr(self, name) > 0]
+        return "+".join(parts)
+
+    # -- the decision ------------------------------------------------------
+    def decide(self, url: str, attempt: int = 0) -> Optional[FaultDecision]:
+        """The fate of fetching ``url`` for the ``attempt``-th time.
+
+        Deterministic: the same ``(plan, url, attempt)`` always answers
+        the same way, regardless of what else the simulation is doing.
+        """
+        if not self.injects_anything:
+            return None
+        u = deterministic_draw(self.seed, "kind", url, attempt)
+        edge = self.loss_rate
+        if u < edge:
+            return FaultDecision(kind=FaultKind.LOSS)
+        edge += self.reset_rate
+        if u < edge:
+            return FaultDecision(kind=FaultKind.RESET)
+        edge += self.truncate_rate
+        if u < edge:
+            return FaultDecision(kind=FaultKind.TRUNCATE,
+                                 truncate_fraction=self.truncate_fraction)
+        edge += self.stall_rate
+        if u < edge:
+            dies = deterministic_draw(
+                self.seed, "stall", url, attempt) < self.stall_death_fraction
+            return FaultDecision(kind=FaultKind.STALL, stall_s=self.stall_s,
+                                 dies=dies)
+        return None
+
+    # -- convenience constructors -----------------------------------------
+    @classmethod
+    def request_loss(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Pure request loss at ``rate`` (the acceptance-criteria shape)."""
+        return cls(loss_rate=rate, seed=seed,
+                   label=f"loss-{rate * 100:g}%")
+
+    @classmethod
+    def mixed(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A realistic mix scaled by one knob: half loss, the rest split
+        between resets and truncations."""
+        return cls(loss_rate=rate / 2.0, reset_rate=rate / 4.0,
+                   truncate_rate=rate / 4.0, seed=seed,
+                   label=f"mixed-{rate * 100:g}%")
+
+
+# -- scenario presets --------------------------------------------------------
+
+def flaky_5g(seed: int = 0) -> FaultPlan:
+    """Median-5G with an unreliable radio leg: occasional loss and
+    resets, short bufferbloat stalls that usually resume."""
+    return FaultPlan(loss_rate=0.02, reset_rate=0.01, truncate_rate=0.01,
+                     stall_rate=0.02, stall_s=1.5,
+                     stall_death_fraction=0.25, seed=seed,
+                     label="flaky_5g")
+
+
+def lossy_wifi(seed: int = 0) -> FaultPlan:
+    """Congested shared WiFi: loss-dominated, frequent truncations."""
+    return FaultPlan(loss_rate=0.05, reset_rate=0.02, truncate_rate=0.03,
+                     stall_rate=0.02, stall_s=0.8,
+                     stall_death_fraction=0.5, seed=seed,
+                     label="lossy_wifi")
+
+
+def captive_portal(seed: int = 0) -> FaultPlan:
+    """A half-broken gateway: most requests stall long and die, many
+    are reset outright.  The regime where only aggressive timeouts keep
+    a page load alive at all."""
+    return FaultPlan(loss_rate=0.05, reset_rate=0.10, stall_rate=0.30,
+                     stall_s=8.0, stall_death_fraction=0.8, seed=seed,
+                     label="captive_portal")
+
+
+def faulted_downstream(sim, link, nbytes: int,
+                       decision: Optional[FaultDecision]):
+    """Process: deliver a response downstream, applying ``decision``.
+
+    The degenerate case (``decision`` is ``None``) is exactly
+    ``link.send_downstream``.  Faulted deliveries still bill the shared
+    pipe for every byte that would genuinely have crossed the link —
+    truncated transfers consume bandwidth, which is part of why loss
+    hurts.  ``LOSS`` is handled by the caller (nothing is delivered at
+    all); this helper covers the response-path kinds.
+    """
+    if decision is None:
+        yield from link.send_downstream(nbytes)
+        return
+    if decision.kind is FaultKind.RESET:
+        # The RST arrives after one propagation delay; no payload lands.
+        yield sim.timeout(link.conditions.one_way_s)
+        raise InjectedReset(f"connection reset ({nbytes} bytes pending)")
+    if decision.kind is FaultKind.TRUNCATE:
+        delivered = max(1, int(nbytes * decision.truncate_fraction))
+        yield from link.send_downstream(delivered)
+        raise InjectedTruncation(
+            f"body cut after {delivered}/{nbytes} bytes")
+    if decision.kind is FaultKind.STALL:
+        first = max(1, nbytes // 2)
+        yield from link.send_downstream(first)
+        yield sim.timeout(decision.stall_s)
+        if decision.dies:
+            raise InjectedReset(
+                f"stalled {decision.stall_s:g}s then died "
+                f"({first}/{nbytes} bytes delivered)")
+        yield from link.send_downstream(nbytes - first)
+        return
+    # FaultKind.LOSS should never reach the downstream path.
+    raise AssertionError(f"unexpected downstream fault {decision.kind}")

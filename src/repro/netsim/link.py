@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from .sim import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from .faults import FaultDecision, FaultPlan
 
 __all__ = ["NetworkConditions", "ProcessorSharingPipe", "Link"]
 
@@ -196,9 +199,13 @@ class Link:
     they do behind a real last-mile connection.
     """
 
-    def __init__(self, sim: Simulator, conditions: NetworkConditions):
+    def __init__(self, sim: Simulator, conditions: NetworkConditions,
+                 fault_plan: "Optional[FaultPlan]" = None):
         self.sim = sim
         self.conditions = conditions
+        #: when set, the client stack consults this plan per attempt and
+        #: routes response bodies through :meth:`send_downstream_faulted`
+        self.fault_plan = fault_plan
         self._down = (None if math.isinf(conditions.downlink_bps)
                       else ProcessorSharingPipe(sim, conditions.downlink_bps))
         self._up = (None if math.isinf(conditions.uplink_bps)
@@ -222,6 +229,17 @@ class Link:
         yield self.sim.timeout(self.conditions.one_way_s)
         if self._down is not None:
             yield self._down.transfer(nbytes)
+
+    def send_downstream_faulted(self, nbytes: int,
+                                decision: "Optional[FaultDecision]"):
+        """Process: downstream delivery subject to an injected fault.
+
+        Partial bytes of truncated/stalled transfers still traverse the
+        shared pipe (and are billed to ``bytes_down``): a faulty network
+        consumes bandwidth even when nothing usable arrives.
+        """
+        from .faults import faulted_downstream
+        yield from faulted_downstream(self.sim, self, nbytes, decision)
 
     def round_trip(self):
         """Process: one full RTT with no payload (e.g. TCP SYN/SYN-ACK)."""

@@ -20,10 +20,13 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_right
-from typing import Sequence
+from typing import Optional, Sequence, TYPE_CHECKING
 
 from .link import NetworkConditions, ProcessorSharingPipe
 from .sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .faults import FaultDecision, FaultPlan
 
 __all__ = ["VariableLink"]
 
@@ -37,7 +40,8 @@ class VariableLink:
     """
 
     def __init__(self, sim: Simulator,
-                 schedule: Sequence[tuple[float, NetworkConditions]]):
+                 schedule: Sequence[tuple[float, NetworkConditions]],
+                 fault_plan: "Optional[FaultPlan]" = None):
         if not schedule:
             raise ValueError("schedule must have at least one entry")
         entries = sorted(schedule, key=lambda item: item[0])
@@ -50,6 +54,7 @@ class VariableLink:
                 raise ValueError(
                     "VariableLink requires finite downlink rates")
         self.sim = sim
+        self.fault_plan = fault_plan
         self._times = [at for at, _ in entries]
         self._entries = [conditions for _, conditions in entries]
         initial = self.conditions
@@ -91,6 +96,11 @@ class VariableLink:
         self.bytes_down += nbytes
         yield self.sim.timeout(self.conditions.one_way_s)
         yield self._down.transfer(nbytes)
+
+    def send_downstream_faulted(self, nbytes: int,
+                                decision: "Optional[FaultDecision]"):
+        from .faults import faulted_downstream
+        yield from faulted_downstream(self.sim, self, nbytes, decision)
 
     def round_trip(self):
         yield self.sim.timeout(self.conditions.rtt_s)

@@ -26,10 +26,12 @@ Two §6 future-work items are implemented behind flags:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..core.etag_config import (DEFAULT_MAX_ENTRIES,
+                                DEFAULT_MAX_HEADER_BYTES,
                                 ETAG_CONFIG_DIGEST_HEADER,
                                 ETAG_CONFIG_SAME_HEADER, EtagConfig)
 from ..html.parser import (ResourceKind, extract_resources, is_same_origin,
@@ -44,6 +46,8 @@ from .static import StaticServer
 from .sessions import SessionRecorder
 
 __all__ = ["CatalystConfig", "CatalystServer", "SERVICE_WORKER_JS"]
+
+logger = logging.getLogger(__name__)
 
 #: The client-side Service Worker source served at CACHE_SW_PATH.  The DES
 #: browser model implements the same logic natively
@@ -102,6 +106,12 @@ class CatalystConfig:
     #: honour X-Etag-Config-Digest: answer with a tiny "-Same" header
     #: instead of re-sending an identical map (this repo's extension)
     use_map_digest: bool = False
+    #: serve the page *without* the map when map construction fails,
+    #: instead of surfacing a 500 — stapling is an optimisation and its
+    #: failure must never take the page down
+    fail_open: bool = True
+    #: byte cap on the emitted map header (oversized maps are omitted)
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES
 
 
 class CatalystServer:
@@ -119,6 +129,8 @@ class CatalystServer:
         self.third_party_oracle = third_party_oracle
         #: total bytes of X-Etag-Config emitted (overhead accounting)
         self.config_bytes_emitted = 0
+        #: times map construction raised and the server failed open
+        self.map_build_failures = 0
         #: entries stapled per HTML response (overhead accounting)
         self.config_entry_counts: list[int] = []
         #: (css_url, version) -> child URLs; stylesheets are parsed once
@@ -149,14 +161,27 @@ class CatalystServer:
             markup = inject_sw_registration(full.body.decode())
             full.body = markup.encode()
             full.headers.set("ETag", str(etag_for_content(full.body)))
-        config = self._build_config_for_html(full.body.decode(), at_time)
-        if self.sessions is not None and session_id:
-            # A base-HTML request marks a new visit: promote the previous
-            # visit's recording, then staple tokens for everything in it.
-            self.sessions.begin_visit(session_id)
-            recorded = self.sessions.urls_for(session_id)
-            config = config.merged_with(
-                self._config_for_urls(recorded, at_time))
+        try:
+            config = self._build_config_for_html(full.body.decode(),
+                                                 at_time)
+            if self.sessions is not None and session_id:
+                # A base-HTML request marks a new visit: promote the
+                # previous visit's recording, then staple tokens for
+                # everything in it.
+                self.sessions.begin_visit(session_id)
+                recorded = self.sessions.urls_for(session_id)
+                config = config.merged_with(
+                    self._config_for_urls(recorded, at_time))
+        except Exception:
+            # Fail open: the map is an optimisation.  A page served
+            # without it revalidates conditionally — a page not served
+            # at all is an outage.
+            if not self.config.fail_open:
+                raise
+            self.map_build_failures += 1
+            logger.warning("X-Etag-Config construction failed for %s; "
+                           "serving page without map", path, exc_info=True)
+            return self.static.finalize(request, full, at_time)
         response = self.static.finalize(request, full, at_time)
         if self.config.use_map_digest:
             client_digest = request.headers.get(ETAG_CONFIG_DIGEST_HEADER)
@@ -167,8 +192,9 @@ class CatalystServer:
                 self.config_bytes_emitted += len(
                     ETAG_CONFIG_SAME_HEADER) + len(digest) + 4
                 return response
-        config.apply_to(response.headers)
-        self.config_bytes_emitted += config.header_size()
+        if config.apply_to(response.headers,
+                           max_header_bytes=self.config.max_header_bytes):
+            self.config_bytes_emitted += config.header_size()
         self.config_entry_counts.append(len(config))
         return response
 
@@ -247,12 +273,22 @@ class CatalystServer:
             return
         if not self.config.include_css_transitive:
             return
-        children = self._css_children(path, at_time)
-        if not children:
+        try:
+            children = self._css_children(path, at_time)
+            if not children:
+                return
+            config = self._config_for_urls(children, at_time)
+        except Exception:
+            if not self.config.fail_open:
+                raise
+            self.map_build_failures += 1
+            logger.warning("X-Etag-Config construction failed for "
+                           "stylesheet %s; serving without map", path,
+                           exc_info=True)
             return
-        config = self._config_for_urls(children, at_time)
-        config.apply_to(response.headers)
-        self.config_bytes_emitted += config.header_size()
+        if config.apply_to(response.headers,
+                           max_header_bytes=self.config.max_header_bytes):
+            self.config_bytes_emitted += config.header_size()
 
     def _peek(self, url: str, at_time: float) -> Optional[Response]:
         """Render a resource without counting a request (server-internal)."""

@@ -83,3 +83,126 @@ class TestNoClientChanges:
         assert setup.session.sw.registered
         warm_sources = outcomes[1].result.count_by_source()
         assert warm_sources.get(FetchSource.SW_CACHE, 0) > 0
+
+
+class TestCorruptedMapDegradation:
+    """ISSUE acceptance: a damaged ``X-Etag-Config`` must degrade to
+    standard conditional revalidation — never an exception, never an
+    unvouched resource served from the SW cache."""
+
+    @pytest.mark.faults
+    @pytest.mark.parametrize("corruption",
+                             ["truncate", "garbage", "partial", "drop"])
+    def test_corrupted_map_midflight_page_still_loads(self, site_spec,
+                                                      corruption):
+        from types import SimpleNamespace
+
+        from repro.experiments.faults import HeaderCorruptingMiddlebox
+
+        setup = build_mode(CachingMode.CATALYST, site_spec)
+        # cold visit sees a clean map; every later map is damaged
+        middlebox = HeaderCorruptingMiddlebox(setup.handler,
+                                              mode=corruption,
+                                              start_after=1)
+        damaged = ModeSetup(mode=setup.mode,
+                            server=SimpleNamespace(handle=middlebox),
+                            session=setup.session)
+        outcomes = run_visit_sequence(damaged, COND, [0.0, DAY, 2 * DAY])
+        assert middlebox.corrupted > 0
+        for outcome in outcomes:
+            result = outcome.result
+            assert result.failure_count == 0, result.failed_urls()
+            assert len(result.events) == len(outcomes[0].result.events)
+
+    @pytest.mark.faults
+    def test_degraded_resources_revalidate_conditionally(self, site_spec):
+        from types import SimpleNamespace
+
+        from repro.experiments.faults import HeaderCorruptingMiddlebox
+
+        setup = build_mode(CachingMode.CATALYST, site_spec)
+        middlebox = HeaderCorruptingMiddlebox(setup.handler,
+                                              mode="truncate",
+                                              start_after=1)
+        damaged = ModeSetup(mode=setup.mode,
+                            server=SimpleNamespace(handle=middlebox),
+                            session=setup.session)
+        warm = run_visit_sequence(damaged, COND, [0.0, DAY])[1].result
+        sources = warm.count_by_source()
+        # no usable map on the warm document: zero SW hits, the cached
+        # resources fall back to the standard conditional path
+        assert sources.get(FetchSource.SW_CACHE, 0) == 0
+        assert sources.get(FetchSource.REVALIDATED, 0) > 0
+        assert setup.session.sw.degraded_documents >= 1
+
+    @pytest.mark.faults
+    def test_partial_map_salvages_surviving_entries(self, site_spec):
+        from types import SimpleNamespace
+
+        from repro.experiments.faults import HeaderCorruptingMiddlebox
+
+        setup = build_mode(CachingMode.CATALYST, site_spec)
+        middlebox = HeaderCorruptingMiddlebox(setup.handler,
+                                              mode="partial",
+                                              start_after=1)
+        damaged = ModeSetup(mode=setup.mode,
+                            server=SimpleNamespace(handle=middlebox),
+                            session=setup.session)
+        warm = run_visit_sequence(damaged, COND, [0.0, DAY])[1].result
+        sources = warm.count_by_source()
+        assert warm.failure_count == 0
+        # surviving entries keep the zero-RTT path; broken ones revalidate
+        assert sources.get(FetchSource.SW_CACHE, 0) > 0
+        assert sources.get(FetchSource.REVALIDATED, 0) > 0
+
+    @pytest.mark.faults
+    def test_server_fail_open_serves_page_without_map(self, site_spec):
+        from repro.core.etag_config import ETAG_CONFIG_HEADER
+        from repro.http.messages import Request
+        from repro.server.catalyst import CatalystConfig
+        from repro.server.site import OriginSite
+
+        site = OriginSite(site_spec)
+        server = CatalystServer(site)
+        server._build_config_for_html = _raises  # map construction breaks
+        response = server.handle(Request(url="/index.html"), 0.0)
+        assert response.status == 200
+        assert response.headers.get(ETAG_CONFIG_HEADER) is None
+        assert server.map_build_failures == 1
+
+        strict = CatalystServer(OriginSite(site_spec),
+                                config=CatalystConfig(fail_open=False))
+        strict._build_config_for_html = _raises
+        with pytest.raises(RuntimeError):
+            strict.handle(Request(url="/index.html"), 0.0)
+
+
+def _raises(*args, **kwargs):
+    raise RuntimeError("synthetic map-construction failure")
+
+
+class TestLossAcceptance:
+    """ISSUE acceptance: 5 % request loss at 60 Mbps / 40 ms — both modes
+    complete every load, and Catalyst's PLT does not exceed standard's."""
+
+    @pytest.mark.faults
+    def test_both_modes_complete_and_catalyst_not_worse(self, site_spec):
+        from repro.browser.engine import BrowserConfig
+        from repro.netsim.faults import FaultPlan
+
+        plan = FaultPlan.request_loss(0.05, seed=0)
+        config = BrowserConfig(request_timeout_s=3.0, max_retries=4)
+        warm = {}
+        for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+            setup = build_mode(mode, site_spec, config)
+            outcomes = run_visit_sequence(setup, COND, [0.0, DAY],
+                                          fault_plan=plan)
+            for outcome in outcomes:
+                result = outcome.result
+                assert result.failure_count == 0, (mode,
+                                                   result.failed_urls())
+            assert len(outcomes[0].result.events) \
+                == len(outcomes[1].result.events)
+            warm[mode] = outcomes[1].result
+        assert warm[CachingMode.CATALYST].plt_s \
+            <= warm[CachingMode.STANDARD].plt_s

@@ -131,3 +131,118 @@ class TestServerBehaviour:
                 async with AsyncHttpClient() as client:
                     return (await client.get(server.base_url + "/")).response
         assert run(scenario()).status == 500
+
+
+class TestSlowLoris:
+    @pytest.mark.faults
+    def test_stalled_headers_get_408(self):
+        """A peer that sends a request line then stalls mid-headers is
+        answered 408 and disconnected, not held open."""
+        async def scenario():
+            handler = lambda req: Response(body=b"ok")
+            async with AsyncHttpServer(handler,
+                                       header_read_timeout_s=0.2) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                writer.write(b"GET /x HTTP/1.1\r\nHost: h\r\n")  # no end
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), timeout=5)
+                writer.close()
+                assert b"408" in data.split(b"\r\n")[0]
+                assert b"Connection: close" in data
+                assert server.timeouts_408 == 1
+                assert server.requests_served == 0
+        run(scenario())
+
+    @pytest.mark.faults
+    def test_idle_keepalive_closed_silently(self):
+        """Between requests (no request line yet) a quiet connection is
+        closed with no status line — idleness is not an offence."""
+        async def scenario():
+            handler = lambda req: Response(body=b"ok")
+            async with AsyncHttpServer(handler,
+                                       keepalive_timeout_s=0.15,
+                                       header_read_timeout_s=5.0) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                data = await asyncio.wait_for(reader.read(), timeout=5)
+                writer.close()
+                assert data == b""  # silent close, no 408
+                assert server.timeouts_408 == 0
+        run(scenario())
+
+    @pytest.mark.faults
+    def test_prompt_request_unaffected_by_header_deadline(self):
+        async def scenario():
+            handler = lambda req: Response(body=b"ok")
+            async with AsyncHttpServer(handler,
+                                       header_read_timeout_s=0.3) as server:
+                async with AsyncHttpClient() as client:
+                    result = await client.get(server.base_url + "/x")
+                    assert result.response.status == 200
+        run(scenario())
+
+
+class TestClientRetryBudget:
+    @pytest.mark.faults
+    def test_connection_drops_retried_until_success(self):
+        """A server that kills the first N connections mid-exchange is
+        absorbed by the retry budget."""
+        drops = 2
+
+        async def flaky(reader, writer):
+            nonlocal drops
+            await reader.readuntil(b"\r\n\r\n")
+            if drops > 0:
+                drops -= 1
+                writer.close()
+                return
+            writer.write(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+            await writer.drain()
+            writer.close()
+
+        async def scenario():
+            server = await asyncio.start_server(flaky, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                async with AsyncHttpClient(max_retries=3,
+                                           backoff_base_s=0.01) as client:
+                    result = await client.get(f"http://127.0.0.1:{port}/r")
+                    assert result.response.status == 200
+                    assert result.attempts == 3
+                    assert client.retries == 2
+            finally:
+                server.close()
+                await server.wait_closed()
+        run(scenario())
+
+    @pytest.mark.faults
+    def test_budget_exhaustion_propagates_failure(self):
+        async def always_drops(reader, writer):
+            await reader.readuntil(b"\r\n\r\n")
+            writer.close()
+
+        async def scenario():
+            server = await asyncio.start_server(always_drops,
+                                                "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                async with AsyncHttpClient(max_retries=1,
+                                           backoff_base_s=0.01) as client:
+                    with pytest.raises(Exception):
+                        await client.get(f"http://127.0.0.1:{port}/r")
+                    assert client.retries == 1
+            finally:
+                server.close()
+                await server.wait_closed()
+        run(scenario())
+
+    @pytest.mark.faults
+    def test_retry_backoff_is_deterministic(self):
+        from repro.netsim.faults import backoff_delay
+        client = AsyncHttpClient(retry_seed=5)
+        a = backoff_delay(0, client.backoff_base_s, client.backoff_cap_s,
+                          client.retry_seed, "/u")
+        b = backoff_delay(0, client.backoff_base_s, client.backoff_cap_s,
+                          client.retry_seed, "/u")
+        assert a == b

@@ -86,3 +86,85 @@ class TestSemantics:
         expected = len(ETAG_CONFIG_HEADER) + 2 \
             + len(config.to_header_value()) + 2
         assert config.header_size() == expected
+
+
+class TestLenientCodec:
+    def test_salvages_valid_entries(self):
+        value = '{"/a.css":"t1","/b.js":7,"/c.png":"t3","/d":null}'
+        config, dropped = EtagConfig.from_header_value_lenient(value)
+        assert dropped == 2
+        assert set(config) == {"/a.css", "/c.png"}
+        assert config.etag_for("/a.css").opaque == "t1"
+
+    def test_unparseable_returns_none(self):
+        for bad in ("{truncated", "[1,2]", "plain text", ""):
+            config, dropped = EtagConfig.from_header_value_lenient(bad)
+            assert config is None
+
+    def test_nothing_salvageable_returns_none(self):
+        config, dropped = EtagConfig.from_header_value_lenient(
+            '{"/a":1,"/b":2}')
+        assert config is None
+        assert dropped == 2
+
+    def test_empty_opaque_dropped(self):
+        config, dropped = EtagConfig.from_header_value_lenient(
+            '{"/a.css":"","/b.js":"t"}')
+        assert set(config) == {"/b.js"}
+        assert dropped == 1
+
+    def test_from_headers_salvages_partial(self, caplog):
+        import logging
+        headers = Headers()
+        headers.set(ETAG_CONFIG_HEADER, '{"/a.css":"t1","/b.js":7}')
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.core.etag_config"):
+            config = EtagConfig.from_headers(headers)
+        assert set(config) == {"/a.css"}
+        assert "partially damaged" in caplog.text
+
+
+class TestHeaderByteCap:
+    def test_oversized_map_omitted_with_warning(self, caplog):
+        import logging
+        config = EtagConfig.from_pairs(
+            [(f"/very/long/resource/path/{i:04d}.css",
+              ETag(opaque="t" * 16)) for i in range(100)],
+            max_entries=100)
+        headers = Headers()
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.core.etag_config"):
+            emitted = config.apply_to(headers, max_header_bytes=1024)
+        assert emitted is False
+        assert headers.get(ETAG_CONFIG_HEADER) is None
+        assert "omitted" in caplog.text
+
+    def test_within_cap_emitted(self):
+        config = config_with(3)
+        headers = Headers()
+        assert config.apply_to(headers, max_header_bytes=32 * 1024)
+        assert headers.get(ETAG_CONFIG_HEADER) is not None
+
+    def test_default_cap_is_32k(self):
+        from repro.core.etag_config import DEFAULT_MAX_HEADER_BYTES
+        assert DEFAULT_MAX_HEADER_BYTES == 32 * 1024
+
+    def test_server_omits_oversized_map(self, caplog):
+        """A CatalystServer with a tiny cap serves pages without the
+        header (and the page still works, per the integration suite)."""
+        import logging
+        from repro.http.messages import Request
+        from repro.server.catalyst import CatalystConfig, CatalystServer
+        from repro.server.site import OriginSite
+        from repro.workload.sitegen import generate_site
+
+        site = OriginSite(generate_site("https://cap.example", seed=3,
+                                        median_resources=30))
+        server = CatalystServer(site, config=CatalystConfig(
+            max_header_bytes=64))
+        with caplog.at_level(logging.WARNING,
+                             logger="repro.core.etag_config"):
+            response = server.handle(Request(url="/index.html"), 0.0)
+        assert response.status == 200
+        assert response.headers.get(ETAG_CONFIG_HEADER) is None
+        assert server.config_bytes_emitted == 0
