@@ -1,0 +1,122 @@
+"""Perf-trajectory gate: diff the two newest ``BENCH_*.json`` artifacts.
+
+Each PR that touches the hot path appends a ``BENCH_PR<N>.json`` to
+``benchmarks/results/`` (via ``python -m repro bench --out ...``).  This
+script compares the newest artifact against its predecessor and fails
+when warm-path throughput regressed by more than the threshold (25 % by
+default) — a cheap, machine-checkable guard that perf never silently
+slides backwards across PRs.
+
+Usage::
+
+    python benchmarks/compare_bench.py            # benchmarks/results
+    python benchmarks/compare_bench.py --dir other/ --threshold 0.10
+
+Exit status: 0 when there is nothing to compare (zero or one artifact)
+or the newest artifact is within the threshold; 1 on a regression or an
+unreadable artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from typing import Optional
+
+DEFAULT_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_THRESHOLD = 0.25
+
+#: dotted paths into the payload that must not regress (higher = better)
+THROUGHPUT_KEYS = ("throughput_rps.cached_warm",)
+
+_PR_RE = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def find_benches(directory: pathlib.Path) -> list[pathlib.Path]:
+    """``BENCH_*.json`` artifacts ordered oldest -> newest by PR number."""
+
+    def order(path: pathlib.Path) -> tuple:
+        match = _PR_RE.search(path.name)
+        # Non-PR-numbered artifacts sort by name after the numbered ones.
+        return (0, int(match.group(1))) if match else (1, path.name)
+
+    return sorted(directory.glob("BENCH_*.json"), key=order)
+
+
+def lookup(payload: dict, dotted: str) -> Optional[float]:
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare(previous: dict, newest: dict,
+            threshold: float = DEFAULT_THRESHOLD) -> tuple[bool, list[str]]:
+    """Check the newest payload against the previous one.
+
+    Returns ``(ok, messages)``; a metric missing from either side is
+    reported but not fatal (schemas may grow across PRs).
+    """
+    ok = True
+    messages: list[str] = []
+    for key in THROUGHPUT_KEYS:
+        old = lookup(previous, key)
+        new = lookup(newest, key)
+        if old is None or new is None:
+            messages.append(f"{key}: not comparable "
+                            f"(old={old!r}, new={new!r})")
+            continue
+        if old <= 0:
+            messages.append(f"{key}: previous value {old} not positive; "
+                            "skipped")
+            continue
+        change = (new - old) / old
+        if change < -threshold:
+            ok = False
+            messages.append(
+                f"REGRESSION {key}: {old:,.1f} -> {new:,.1f} "
+                f"({change:+.1%}, threshold -{threshold:.0%})")
+        else:
+            messages.append(f"{key}: {old:,.1f} -> {new:,.1f} "
+                            f"({change:+.1%}) ok")
+    return ok, messages
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold throughput regression between the "
+                    "two newest BENCH_*.json artifacts")
+    parser.add_argument("--dir", default=str(DEFAULT_DIR),
+                        help="artifact directory (default benchmarks/results)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed fractional drop (default 0.25)")
+    args = parser.parse_args(argv)
+
+    directory = pathlib.Path(args.dir)
+    benches = find_benches(directory) if directory.is_dir() else []
+    if len(benches) < 2:
+        print(f"compare_bench: {len(benches)} artifact(s) in {directory}; "
+              "nothing to compare")
+        return 0
+    previous_path, newest_path = benches[-2], benches[-1]
+    try:
+        previous = json.loads(previous_path.read_text())
+        newest = json.loads(newest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"compare_bench: unreadable artifact: {exc}", file=sys.stderr)
+        return 1
+    print(f"comparing {previous_path.name} -> {newest_path.name}")
+    ok, messages = compare(previous, newest, threshold=args.threshold)
+    for message in messages:
+        print(f"  {message}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Hot-path wall-clock bench — the perf-trajectory baseline (PR 3).
+
+Measures the Catalyst server's ``handle()`` itself: requests/sec and
+p50/p99 latency for cold (cache-miss) vs warm (cache-hit) document
+requests, with the content-addressed caches on vs off.  Writes both the
+human table (``hot_path.txt``) and the machine-readable trajectory
+artifact (``BENCH_PR3.json``) that ``compare_bench.py`` diffs across PRs.
+
+Run with ``pytest -m bench benchmarks/`` (wall-clock assertions live in
+this lane, not in tier-1, so a loaded CI box cannot flake unit runs).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.server_load import (format_hot_path,
+                                           hot_path_bench_payload,
+                                           run_hot_path)
+
+#: acceptance floor for this PR: warm-path throughput at least 3x the
+#: uncached seed path (measured ~20-30x in development)
+MIN_WARM_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def hot_path():
+    return run_hot_path(sites=3, repeats=300, seed=21)
+
+
+@pytest.mark.bench
+def test_hot_path_writes_trajectory(hot_path, results_dir, save_result):
+    save_result("hot_path", format_hot_path(hot_path))
+    payload = hot_path_bench_payload(hot_path)
+    path = results_dir / "BENCH_PR3.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    assert payload["throughput_rps"]["cached_warm"] > 0
+    assert payload["cached"]["latency_us"]["warm_p99"] > 0
+
+
+@pytest.mark.bench
+def test_hot_path_byte_identical(hot_path):
+    assert hot_path.byte_identical
+
+
+@pytest.mark.bench
+def test_hot_path_speedup(hot_path):
+    assert hot_path.warm_speedup >= MIN_WARM_SPEEDUP
+
+
+@pytest.mark.bench
+def test_hot_path_amortizes_parses(hot_path):
+    # cached: one parse + map build per (site, version); uncached: one per
+    # request — the whole point of the content-addressed caches
+    assert hot_path.cached.html_parses <= hot_path.sites
+    assert hot_path.uncached.html_parses >= hot_path.sites * hot_path.repeats
+    assert hot_path.cached.map_builds < hot_path.uncached.map_builds

@@ -7,6 +7,7 @@ writing Python::
     python -m repro figure3 --sites 6 --throughputs 8,60 --latencies 10,40
     python -m repro motivation
     python -m repro crosspage
+    python -m repro bench --repeats 300
     python -m repro faultsweep --sites 4 --rates 0,0.05,0.1
     python -m repro visit --seed 7 --delay 1d --mbps 60 --rtt 40
     python -m repro serve --port 8080 --time-scale 3600
@@ -60,6 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="origin request volume per mode (§6)")
     sub.add_parser("userweighted",
                    help="population-weighted revisit benefit")
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock server hot-path benchmark (writes BENCH_*.json)")
+    bench.add_argument("--sites", type=int, default=3,
+                       help="corpus subsample size (default 3)")
+    bench.add_argument("--repeats", type=int, default=300,
+                       help="warm repeats per site (default 300)")
+    bench.add_argument("--seed", type=int, default=21)
+    bench.add_argument("--out", default="benchmarks/results/BENCH_PR3.json",
+                       help="machine-readable output path")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="exit non-zero when the warm-path speedup "
+                            "falls below this factor")
 
     faults = sub.add_parser(
         "faultsweep",
@@ -143,6 +158,33 @@ def _cmd_serverload() -> int:
     from .experiments.server_load import (format_server_load,
                                           run_server_load)
     print(format_server_load(run_server_load()))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .experiments.server_load import (format_hot_path,
+                                          hot_path_bench_payload,
+                                          run_hot_path)
+    result = run_hot_path(sites=args.sites, repeats=args.repeats,
+                          seed=args.seed)
+    print(format_hot_path(result))
+    path = pathlib.Path(args.out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(hot_path_bench_payload(result), indent=2)
+                    + "\n")
+    print(f"\nwrote {path}", file=sys.stderr)
+    if not result.byte_identical:
+        print("bench: cached and uncached responses diverged",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup is not None \
+            and result.warm_speedup < args.min_speedup:
+        print(f"bench: warm-path speedup {result.warm_speedup:.1f}x "
+              f"below required {args.min_speedup:g}x", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -264,6 +306,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serverload()
     if args.command == "userweighted":
         return _cmd_userweighted()
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "faultsweep":
         return _cmd_faultsweep(args)
     if args.command == "visit":

@@ -57,9 +57,19 @@ DEFAULT_MAX_HEADER_BYTES = 32 * 1024
 
 @dataclass
 class EtagConfig:
-    """An ordered URL -> ETag map."""
+    """An ordered URL -> ETag map.
+
+    ``entries`` is treated as immutable after construction (nothing in
+    the codebase mutates it); the encoded header value and digest are
+    therefore memoized, which turns the per-request ``apply_to`` /
+    ``digest`` calls on a cached map into dictionary reads instead of a
+    JSON encode + SHA-256 per response.
+    """
 
     entries: dict[str, ETag] = field(default_factory=dict)
+    _header_value: Optional[str] = field(default=None, repr=False,
+                                         compare=False)
+    _digest: Optional[str] = field(default=None, repr=False, compare=False)
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -94,8 +104,12 @@ class EtagConfig:
 
     # -- codec ------------------------------------------------------------------
     def to_header_value(self) -> str:
-        payload = {url: etag.opaque for url, etag in self.entries.items()}
-        return json.dumps(payload, separators=(",", ":"), sort_keys=False)
+        if self._header_value is None:
+            payload = {url: etag.opaque
+                       for url, etag in self.entries.items()}
+            self._header_value = json.dumps(payload, separators=(",", ":"),
+                                            sort_keys=False)
+        return self._header_value
 
     @classmethod
     def from_header_value(cls, value: str) -> "EtagConfig":
@@ -198,8 +212,10 @@ class EtagConfig:
         re-sending kilobytes of JSON.
         """
         import hashlib
-        return hashlib.sha256(
-            self.to_header_value().encode()).hexdigest()[:16]
+        if self._digest is None:
+            self._digest = hashlib.sha256(
+                self.to_header_value().encode()).hexdigest()[:16]
+        return self._digest
 
     # -- accounting ----------------------------------------------------------
     def header_size(self) -> int:

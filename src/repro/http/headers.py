@@ -59,6 +59,29 @@ class Headers:
         self.add(name, value)
         return value
 
+    def replace(self, name: str, value: str) -> None:
+        """Set ``name`` to ``value`` *keeping its position* in field order.
+
+        ``set`` removes then appends, which moves the field to the end;
+        on the wire (and for byte-identity checks) order matters.  The
+        first occurrence is rewritten in place, later duplicates are
+        dropped; an absent field is appended like ``set``.
+        """
+        key = name.lower()
+        replaced = False
+        items: list[tuple[str, str]] = []
+        for n, v in self._items:
+            if n.lower() == key:
+                if replaced:
+                    continue
+                items.append((n, self._check_value(value)))
+                replaced = True
+            else:
+                items.append((n, v))
+        self._items = items
+        if not replaced:
+            self.add(name, value)
+
     def remove(self, name: str) -> None:
         """Drop every occurrence of ``name`` (no error if absent)."""
         key = name.lower()

@@ -1,0 +1,13 @@
+"""Micro-profiling for the server hot path (wall clock, not simulated).
+
+Everything in :mod:`repro` measures *simulated* time; this package is the
+one place that touches the *wall* clock.  It exists so the hot-path
+caches in :mod:`repro.server.catalyst` have numbers behind them: cache
+hit/miss counters, parses avoided, ETag-map builds, and nanosecond
+latency per ``handle()`` call.  None of it feeds back into the DES —
+removing every counter changes no simulated result.
+"""
+
+from .counters import PerfCounters, percentile
+
+__all__ = ["PerfCounters", "percentile"]

@@ -1,0 +1,142 @@
+"""Hot-path counters and wall-clock handle timing.
+
+:class:`PerfCounters` is deliberately dumb: integer counters plus a
+bounded ring of per-call latencies.  The server increments counters
+inline (a few attribute adds per request); analysis — percentiles,
+throughput — happens off the hot path in :meth:`PerfCounters.snapshot`.
+
+Latency samples are kept in a fixed-size ring so a long-lived server
+("millions of users") never grows unbounded; once the ring wraps, old
+samples are overwritten and percentiles describe the most recent window.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = ["PerfCounters", "percentile"]
+
+#: default latency-ring capacity (samples)
+DEFAULT_MAX_SAMPLES = 100_000
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    """
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass
+class PerfCounters:
+    """Counters + latency ring for one server instance."""
+
+    #: render cache: SW-injected body + precomputed ETag per version
+    render_hits: int = 0
+    render_misses: int = 0
+    #: parse/ref cache: extracted ResourceRef lists per document version
+    ref_hits: int = 0
+    ref_misses: int = 0
+    #: ETag-map cache: session-independent EtagConfig per version vector
+    map_hits: int = 0
+    map_builds: int = 0
+    #: full DOM parses actually performed (misses only)
+    html_parses: int = 0
+    #: stylesheet parses actually performed (misses only)
+    css_parses: int = 0
+    #: ring buffer of per-``handle()`` wall latencies in nanoseconds
+    max_samples: int = DEFAULT_MAX_SAMPLES
+    _handle_ns: list[int] = field(default_factory=list, repr=False)
+    _ring_pos: int = field(default=0, repr=False)
+    #: total handles timed (may exceed ``len(samples)`` once wrapped)
+    handle_count: int = 0
+    #: total wall nanoseconds spent inside ``handle()``
+    handle_ns_total: int = 0
+
+    # -- recording ----------------------------------------------------------
+    def record_handle_ns(self, ns: int) -> None:
+        self.handle_count += 1
+        self.handle_ns_total += ns
+        if len(self._handle_ns) < self.max_samples:
+            self._handle_ns.append(ns)
+        else:
+            self._handle_ns[self._ring_pos] = ns
+            self._ring_pos = (self._ring_pos + 1) % self.max_samples
+
+    @contextmanager
+    def timed_handle(self) -> Iterator[None]:
+        """Time one ``handle()`` call (wall clock) into the ring."""
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.record_handle_ns(time.perf_counter_ns() - start)
+
+    # -- analysis (off the hot path) ----------------------------------------
+    @property
+    def handle_samples_ns(self) -> list[int]:
+        return list(self._handle_ns)
+
+    @property
+    def parses_avoided(self) -> int:
+        """Document parses the ref cache absorbed."""
+        return self.ref_hits
+
+    def mean_handle_ns(self) -> float:
+        if self.handle_count == 0:
+            return 0.0
+        return self.handle_ns_total / self.handle_count
+
+    def handle_percentile_ns(self, q: float) -> float:
+        return percentile(self._handle_ns, q)
+
+    def snapshot(self) -> dict:
+        """Machine-readable counter dump (feeds server stats + benches)."""
+        out = {
+            "render_hits": self.render_hits,
+            "render_misses": self.render_misses,
+            "ref_hits": self.ref_hits,
+            "ref_misses": self.ref_misses,
+            "map_hits": self.map_hits,
+            "map_builds": self.map_builds,
+            "html_parses": self.html_parses,
+            "css_parses": self.css_parses,
+            "parses_avoided": self.parses_avoided,
+            "handle_count": self.handle_count,
+            "handle_ns_total": self.handle_ns_total,
+            "handle_ns_mean": self.mean_handle_ns(),
+        }
+        if self._handle_ns:
+            out["handle_ns_p50"] = self.handle_percentile_ns(50)
+            out["handle_ns_p90"] = self.handle_percentile_ns(90)
+            out["handle_ns_p99"] = self.handle_percentile_ns(99)
+        return out
+
+    def reset(self) -> None:
+        self.render_hits = self.render_misses = 0
+        self.ref_hits = self.ref_misses = 0
+        self.map_hits = self.map_builds = 0
+        self.html_parses = self.css_parses = 0
+        self.handle_count = 0
+        self.handle_ns_total = 0
+        self._handle_ns.clear()
+        self._ring_pos = 0

@@ -27,6 +27,7 @@ Two §6 future-work items are implemented behind flags:
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -34,14 +35,16 @@ from ..core.etag_config import (DEFAULT_MAX_ENTRIES,
                                 DEFAULT_MAX_HEADER_BYTES,
                                 ETAG_CONFIG_DIGEST_HEADER,
                                 ETAG_CONFIG_SAME_HEADER, EtagConfig)
-from ..html.parser import (ResourceKind, extract_resources, is_same_origin,
-                           parse_html)
+from ..html.parser import (ResourceKind, ResourceRef, extract_resources,
+                           is_same_origin, parse_html)
 from ..html.css import extract_css_refs
 from ..html.rewrite import CACHE_SW_PATH, inject_sw_registration
+from ..http.dates import format_http_date
 from ..http.etag import ETag, etag_for_content
 from ..http.headers import Headers
 from ..http.messages import Request, Response
-from .site import OriginSite
+from ..perf import PerfCounters
+from .site import OriginSite, WALL_EPOCH
 from .static import StaticServer
 from .sessions import SessionRecorder
 
@@ -112,10 +115,35 @@ class CatalystConfig:
     fail_open: bool = True
     #: byte cap on the emitted map header (oversized maps are omitted)
     max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES
+    #: content-addressed hot-path caches (render / parse-ref / ETag map).
+    #: Responses are byte-identical either way; the flag exists so the
+    #: bench can measure the uncached seed path and tests can diff the two.
+    hot_path_cache: bool = True
+    #: entry cap per hot-path cache (FIFO eviction; bounds a long-lived
+    #: server under heavy version churn)
+    max_cache_entries: int = 4096
 
 
 class CatalystServer:
-    """Drop-in replacement for :class:`StaticServer` with stapling."""
+    """Drop-in replacement for :class:`StaticServer` with stapling.
+
+    The request hot path is content-addressed: everything that depends
+    only on *content versions* (not on the clock or the client) is
+    computed once per version and reused until the churn model moves a
+    version forward.
+
+    - **render cache** ``(path, document_version)`` → SW-injected body +
+      its precomputed ETag header set; injection and hashing happen once
+      per document version instead of once per request.
+    - **parse/ref cache** ``(path, document_version)`` → extracted
+      :class:`ResourceRef` list; the DOM parse happens once per version.
+    - **ETag-map cache** ``(scope, version-vector)`` → session-independent
+      :class:`EtagConfig`; invalidated implicitly because the key embeds
+      ``site.version_of`` for every candidate URL, so a churn bump on any
+      stapled resource changes the key.  Per-client session entries are
+      merged *on top* of the cached map per request, so responses stay
+      byte-identical to the uncached path.
+    """
 
     def __init__(self, site: OriginSite,
                  config: CatalystConfig = CatalystConfig(),
@@ -131,14 +159,32 @@ class CatalystServer:
         self.config_bytes_emitted = 0
         #: times map construction raised and the server failed open
         self.map_build_failures = 0
+        #: times SW injection raised and the server served unmodified HTML
+        self.injection_failures = 0
         #: entries stapled per HTML response (overhead accounting)
         self.config_entry_counts: list[int] = []
         #: (css_url, version) -> child URLs; stylesheets are parsed once
-        #: per content version, not once per HTML request
+        #: per content version, not once per HTML request.  Negative
+        #: results (failed peek, non-200) memoize as [] under the same key.
         self._css_children_memo: dict[tuple[str, int], list[str]] = {}
+        #: (path, document_version) -> rendered entry (body + headers)
+        self._render_cache: dict[tuple[str, int], _RenderEntry] = {}
+        #: (path, document_version) -> extracted ResourceRef list
+        self._ref_cache: dict[tuple[str, int], list[ResourceRef]] = {}
+        #: (scope, version-vector) -> session-independent EtagConfig
+        self._map_cache: dict[tuple, EtagConfig] = {}
+        #: hot-path counters + wall-clock handle latency (repro.perf)
+        self.perf = PerfCounters()
 
     # -- request entry point ----------------------------------------------------
     def handle(self, request: Request, at_time: float) -> Response:
+        start_ns = time.perf_counter_ns()
+        try:
+            return self._dispatch(request, at_time)
+        finally:
+            self.perf.record_handle_ns(time.perf_counter_ns() - start_ns)
+
+    def _dispatch(self, request: Request, at_time: float) -> Response:
         path = request.path
         if path == CACHE_SW_PATH:
             return self._serve_sw()
@@ -154,20 +200,37 @@ class CatalystServer:
 
     def _handle_page(self, request: Request, path: str,
                      session_id: Optional[str], at_time: float) -> Response:
-        full = self.site.respond(path, at_time)
-        if full.status != 200:
-            return full
-        if self.config.inject_sw:
-            markup = inject_sw_registration(full.body.decode())
-            full.body = markup.encode()
-            full.headers.set("ETag", str(etag_for_content(full.body)))
+        caching = self.config.hot_path_cache
+        doc_version: Optional[int] = \
+            self.site.version_of(path, at_time) if caching else None
+        full = None
+        if caching and doc_version is not None:
+            entry = self._render_cache.get((path, doc_version))
+            if entry is not None:
+                self.perf.render_hits += 1
+                full = entry.response_at(at_time)
+                self.site.note_request(path)
+        if full is None:
+            if caching:
+                self.perf.render_misses += 1
+            full = self.site.respond(path, at_time)
+            if full.status != 200:
+                return full
+            self._inject_into(full, path)
+            if caching and doc_version is not None:
+                self._render_cache[(path, doc_version)] = _RenderEntry(
+                    body=full.body, headers=full.headers.copy())
+                self._trim(self._render_cache)
         try:
-            config = self._build_config_for_html(full.body.decode(),
-                                                 at_time)
+            body = full.body
+            config = self._build_config_for_html(
+                lambda: body.decode(), at_time, path=path,
+                doc_version=doc_version)
             if self.sessions is not None and session_id:
                 # A base-HTML request marks a new visit: promote the
                 # previous visit's recording, then staple tokens for
-                # everything in it.
+                # everything in it.  The merge builds a *new* map, so the
+                # cached session-independent one is never polluted.
                 self.sessions.begin_visit(session_id)
                 recorded = self.sessions.urls_for(session_id)
                 config = config.merged_with(
@@ -208,10 +271,17 @@ class CatalystServer:
         return Response(status=200, headers=headers, body=body)
 
     # -- config construction -------------------------------------------------
-    def _build_config_for_html(self, markup: str,
-                               at_time: float) -> EtagConfig:
-        document = parse_html(markup)
-        refs = extract_resources(document, base_url="")
+    def _build_config_for_html(self, markup, at_time: float,
+                               path: Optional[str] = None,
+                               doc_version: Optional[int] = None
+                               ) -> EtagConfig:
+        """Build (or fetch from cache) the map for one document version.
+
+        ``markup`` may be the document text or a zero-arg callable
+        returning it — the callable is only invoked on a parse/ref-cache
+        miss, so render-cache hits never pay the decode.
+        """
+        refs = self._refs_for_document(markup, path, doc_version)
         urls: list[str] = []
         for ref in refs:
             if not is_same_origin(self.site.origin, ref.url):
@@ -225,7 +295,70 @@ class CatalystServer:
         # entries whose saved RTTs matter most for PLT.
         blocking_urls = {ref.url for ref in refs if ref.blocking}
         urls.sort(key=lambda u: (u not in blocking_urls))
-        return self._config_for_urls(urls, at_time)
+        return self._cached_config(("doc", path, doc_version), urls,
+                                   at_time)
+
+    def _refs_for_document(self, markup, path: Optional[str],
+                           doc_version: Optional[int]) -> list[ResourceRef]:
+        cacheable = (self.config.hot_path_cache and path is not None
+                     and doc_version is not None)
+        if cacheable:
+            cached = self._ref_cache.get((path, doc_version))
+            if cached is not None:
+                self.perf.ref_hits += 1
+                return cached
+            self.perf.ref_misses += 1
+        text = markup() if callable(markup) else markup
+        self.perf.html_parses += 1
+        refs = extract_resources(parse_html(text), base_url="")
+        if cacheable:
+            self._ref_cache[(path, doc_version)] = refs
+            self._trim(self._ref_cache)
+        return refs
+
+    def _cached_config(self, scope: tuple, urls: list[str],
+                       at_time: float) -> EtagConfig:
+        """Version-keyed cache around :meth:`_config_for_urls`.
+
+        The key embeds ``site.version_of`` for every candidate URL, so
+        any churn bump on a stapled resource changes the key and the
+        stale map is never served.  Bypassed when a third-party oracle is
+        configured (its answers may be time-dependent) and when there is
+        no version context to key on.
+        """
+        cacheable = (self.config.hot_path_cache
+                     and self.third_party_oracle is None
+                     and scope[-1] is not None)
+        if cacheable:
+            key = scope + (self._version_signature(urls, at_time),)
+            cached = self._map_cache.get(key)
+            if cached is not None:
+                self.perf.map_hits += 1
+                return cached
+        self.perf.map_builds += 1
+        config = self._config_for_urls(urls, at_time)
+        if cacheable:
+            self._map_cache[key] = config
+            self._trim(self._map_cache)
+        return config
+
+    def _version_signature(self, urls: list[str],
+                           at_time: float) -> tuple[int, ...]:
+        """Current content-version vector of ``urls`` (the cache key).
+
+        Dynamic resources version per *request* but never yield a stable
+        tag (they are always excluded from the map), so they contribute a
+        constant instead of thrashing the key.
+        """
+        signature: list[int] = []
+        for url in urls:
+            spec = self.site.resource_spec(url)
+            if spec is not None and spec.dynamic:
+                signature.append(-2)
+                continue
+            version = self.site.version_of(url, at_time)
+            signature.append(-1 if version is None else version)
+        return tuple(signature)
 
     def _css_children(self, css_url: str, at_time: float) -> list[str]:
         spec = self.site.resource_spec(css_url)
@@ -238,7 +371,11 @@ class CatalystServer:
             return cached
         response = self._peek(css_url, at_time)
         if response is None or response.status != 200:
+            # Memoize the negative result too: without it a failed peek
+            # re-ran the render + decode on every later document request.
+            self._css_children_memo[memo_key] = []
             return []
+        self.perf.css_parses += 1
         children = [ref.url
                     for ref in extract_css_refs(response.body.decode())]
         self._css_children_memo[memo_key] = children
@@ -277,7 +414,9 @@ class CatalystServer:
             children = self._css_children(path, at_time)
             if not children:
                 return
-            config = self._config_for_urls(children, at_time)
+            version = self.site.version_of(path, at_time)
+            config = self._cached_config(("css", path, version), children,
+                                         at_time)
         except Exception:
             if not self.config.fail_open:
                 raise
@@ -300,3 +439,62 @@ class CatalystServer:
         self.site.request_counts.clear()
         self.site.request_counts.update(counts)
         return response
+
+    # -- hot-path cache plumbing ---------------------------------------------
+    def _inject_into(self, full: Response, path: str) -> None:
+        """Apply SW-registration injection + re-hash, failing open.
+
+        Folded into render-cache population so a later map-build failure
+        neither re-pays nor double-applies injection; an injection
+        failure itself (e.g. undecodable body) degrades to serving the
+        unmodified document instead of a 500.
+        """
+        if not self.config.inject_sw:
+            return
+        try:
+            markup = inject_sw_registration(full.body.decode())
+            full.body = markup.encode()
+            full.headers.set("ETag", str(etag_for_content(full.body)))
+        except Exception:
+            if not self.config.fail_open:
+                raise
+            self.injection_failures += 1
+            logger.warning("SW injection failed for %s; serving "
+                           "unmodified document", path, exc_info=True)
+
+    def _trim(self, cache: dict) -> None:
+        while len(cache) > self.config.max_cache_entries:
+            cache.pop(next(iter(cache)))  # FIFO: oldest version first
+
+    def stats(self) -> dict:
+        """Server-side counters, including the hot-path perf snapshot."""
+        stats = self.perf.snapshot()
+        stats.update({
+            "config_bytes_emitted": self.config_bytes_emitted,
+            "maps_stapled": len(self.config_entry_counts),
+            "map_build_failures": self.map_build_failures,
+            "injection_failures": self.injection_failures,
+            "render_cache_size": len(self._render_cache),
+            "ref_cache_size": len(self._ref_cache),
+            "map_cache_size": len(self._map_cache),
+            "css_memo_size": len(self._css_children_memo),
+        })
+        return stats
+
+
+@dataclass
+class _RenderEntry:
+    """One cached document rendering: injected body + final header set.
+
+    Headers are stored post-injection so field *order* matches the
+    uncached path exactly (``set("ETag", ...)`` moves the field to the
+    end); only ``Date`` varies per request and is rewritten in place.
+    """
+
+    body: bytes
+    headers: Headers
+
+    def response_at(self, at_time: float) -> Response:
+        headers = self.headers.copy()
+        headers.replace("Date", format_http_date(WALL_EPOCH + at_time))
+        return Response(status=200, headers=headers, body=self.body)

@@ -63,6 +63,11 @@ class OriginSite:
     #: version, so tags are computed once — exactly the memoization a
     #: production stapling server needs to keep per-request cost flat
     _etag_memo: dict[tuple[str, int], str] = field(default_factory=dict)
+    #: url -> ResourceSpec index; the SiteSpec is immutable, so the
+    #: per-request page scan in :meth:`resource_spec` collapses to one
+    #: dict lookup after first use
+    _spec_index: Optional[dict[str, ResourceSpec]] = field(default=None,
+                                                           repr=False)
 
     # -- version / etag oracle ------------------------------------------------
     def _churn_for(self, spec: ResourceSpec) -> ResourceChurn:
@@ -80,11 +85,13 @@ class OriginSite:
         return churn
 
     def resource_spec(self, url: str) -> Optional[ResourceSpec]:
-        for page in self.spec.pages.values():
-            spec = page.resources.get(url)
-            if spec is not None:
-                return spec
-        return None
+        if self._spec_index is None:
+            index: dict[str, ResourceSpec] = {}
+            for page in self.spec.pages.values():
+                for resource_url, spec in page.resources.items():
+                    index.setdefault(resource_url, spec)
+            self._spec_index = index
+        return self._spec_index.get(url)
 
     def page_spec(self, url: str) -> Optional[PageSpec]:
         return self.spec.pages.get(url)
@@ -171,6 +178,15 @@ class OriginSite:
 
     def _count(self, url: str) -> None:
         self.request_counts[url] = self.request_counts.get(url, 0) + 1
+
+    def note_request(self, url: str) -> None:
+        """Count a request served from a layer above (e.g. a render cache).
+
+        The Catalyst hot-path cache answers repeat document requests
+        without calling :meth:`respond`; diagnostics (and dynamic-resource
+        versioning) still need the request recorded.
+        """
+        self._count(url)
 
     # -- oracle used by experiments ---------------------------------------------
     def etag_of(self, url: str, at_time: float) -> Optional[str]:

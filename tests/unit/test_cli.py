@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -72,3 +74,18 @@ class TestCommands:
     def test_userweighted_runs(self, capsys):
         assert main(["userweighted"]) == 0
         assert "user-weighted" in capsys.readouterr().out
+
+    def test_bench_runs_and_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_PR3.json"
+        assert main(["bench", "--sites", "1", "--repeats", "2",
+                     "--out", str(out)]) == 0
+        assert "warm-path speedup" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "server_hot_path"
+        assert payload["byte_identical"] is True
+
+    def test_bench_min_speedup_gate(self, capsys, tmp_path):
+        # an absurd floor must trip the gate without crashing
+        out = tmp_path / "BENCH_PR3.json"
+        assert main(["bench", "--sites", "1", "--repeats", "2",
+                     "--out", str(out), "--min-speedup", "1e9"]) == 1

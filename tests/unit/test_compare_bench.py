@@ -1,0 +1,90 @@
+"""Unit tests for the BENCH_*.json perf-trajectory gate."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_MODULE_PATH = (pathlib.Path(__file__).resolve().parents[2]
+                / "benchmarks" / "compare_bench.py")
+_spec = importlib.util.spec_from_file_location("compare_bench",
+                                               _MODULE_PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _payload(cached_warm: float) -> dict:
+    return {"bench": "server_hot_path",
+            "throughput_rps": {"cached_warm": cached_warm}}
+
+
+def _write(directory: pathlib.Path, name: str, payload: dict) -> None:
+    (directory / name).write_text(json.dumps(payload))
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        ok, messages = compare_bench.compare(_payload(1000), _payload(900))
+        assert ok
+        assert any("ok" in m for m in messages)
+
+    def test_improvement_passes(self):
+        ok, _ = compare_bench.compare(_payload(1000), _payload(4000))
+        assert ok
+
+    def test_large_regression_fails(self):
+        ok, messages = compare_bench.compare(_payload(1000), _payload(500))
+        assert not ok
+        assert any("REGRESSION" in m for m in messages)
+
+    def test_custom_threshold(self):
+        ok, _ = compare_bench.compare(_payload(1000), _payload(950),
+                                      threshold=0.01)
+        assert not ok
+
+    def test_missing_metric_not_fatal(self):
+        ok, messages = compare_bench.compare({}, _payload(100))
+        assert ok
+        assert any("not comparable" in m for m in messages)
+
+
+class TestFindBenches:
+    def test_orders_by_pr_number(self, tmp_path):
+        for name in ("BENCH_PR10.json", "BENCH_PR3.json", "BENCH_PR4.json"):
+            _write(tmp_path, name, _payload(1))
+        names = [p.name for p in compare_bench.find_benches(tmp_path)]
+        assert names == ["BENCH_PR3.json", "BENCH_PR4.json",
+                         "BENCH_PR10.json"]
+
+    def test_ignores_non_bench_files(self, tmp_path):
+        _write(tmp_path, "BENCH_PR3.json", _payload(1))
+        (tmp_path / "server_load.txt").write_text("table")
+        assert len(compare_bench.find_benches(tmp_path)) == 1
+
+
+class TestMain:
+    def test_single_artifact_passes(self, tmp_path):
+        _write(tmp_path, "BENCH_PR3.json", _payload(1000))
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 0
+
+    def test_empty_dir_passes(self, tmp_path):
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 0
+
+    def test_regression_fails(self, tmp_path):
+        _write(tmp_path, "BENCH_PR3.json", _payload(1000))
+        _write(tmp_path, "BENCH_PR4.json", _payload(100))
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 1
+
+    def test_newest_vs_previous_only(self, tmp_path):
+        # PR3 -> PR4 regressed, PR4 -> PR5 is fine: gate looks at the
+        # newest pair only
+        _write(tmp_path, "BENCH_PR3.json", _payload(1000))
+        _write(tmp_path, "BENCH_PR4.json", _payload(100))
+        _write(tmp_path, "BENCH_PR5.json", _payload(120))
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 0
+
+    def test_unreadable_artifact_fails(self, tmp_path):
+        _write(tmp_path, "BENCH_PR3.json", _payload(1000))
+        (tmp_path / "BENCH_PR4.json").write_text("{not json")
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 1

@@ -1,0 +1,338 @@
+"""Unit tests for the content-addressed server hot path (PR 3).
+
+Covers the three caches (render / parse-ref / ETag map), churn-keyed
+invalidation, byte-identity with the uncached seed path, session
+isolation, the negative-result stylesheet memo, and the fail-open
+injection fold.
+"""
+
+import pytest
+
+from repro.core.etag_config import ETAG_CONFIG_HEADER, EtagConfig
+from repro.html.parser import ResourceKind
+from repro.html.rewrite import has_sw_registration
+from repro.http.messages import Request, Response
+from repro.server.catalyst import CatalystConfig, CatalystServer
+from repro.server.site import OriginSite
+from repro.workload.headers_model import HeaderPolicy
+from repro.workload.sitegen import (PageSpec, ResourceSpec, SiteSpec,
+                                    generate_site)
+
+ORIGIN = "https://hot.example"
+
+
+def _resource(url, kind, *, via="html", blocking=False, children=(),
+              changes=(), dynamic=False, parent=""):
+    return ResourceSpec(
+        url=url, kind=kind, size_bytes=400,
+        policy=HeaderPolicy(mode="no-cache"), change_period_s=1e9,
+        content_seed=hash(url) & 0xFFFF, discovered_via=via,
+        parent=parent, children=tuple(children), dynamic=dynamic,
+        blocking=blocking, fixed_change_times=tuple(changes))
+
+
+@pytest.fixture
+def scenario_site():
+    """Hand-built site with exact change times: /app.js flips at t=50,
+    /style.css at t=100, the HTML itself at t=200."""
+    resources = {
+        "/style.css": _resource("/style.css", ResourceKind.STYLESHEET,
+                                blocking=True, children=("/bg.png",),
+                                changes=(100.0,)),
+        "/app.js": _resource("/app.js", ResourceKind.SCRIPT, blocking=True,
+                             changes=(50.0,)),
+        "/bg.png": _resource("/bg.png", ResourceKind.IMAGE, via="css",
+                             parent="/style.css"),
+        "/late.js": _resource("/late.js", ResourceKind.SCRIPT, via="js"),
+    }
+    page = PageSpec(url="/index.html", html_size_bytes=900,
+                    html_change_period_s=1e9, html_content_seed=7,
+                    html_refs=("/style.css", "/app.js", "/bg.png"),
+                    resources=resources,
+                    html_fixed_change_times=(200.0,))
+    return OriginSite(SiteSpec(origin=ORIGIN, seed=3,
+                               pages={"/index.html": page}))
+
+
+def config_of(response) -> EtagConfig:
+    config = EtagConfig.from_headers(response.headers)
+    assert config is not None
+    return config
+
+
+def assert_same_response(a: Response, b: Response) -> None:
+    assert a.status == b.status
+    assert a.body == b.body
+    assert list(a.headers.items()) == list(b.headers.items())
+
+
+class TestByteIdentity:
+    """Cached and uncached paths must produce identical bytes."""
+
+    @pytest.fixture
+    def pair(self):
+        spec = generate_site("https://ident.example", seed=11)
+        return (CatalystServer(OriginSite(spec)),
+                CatalystServer(OriginSite(spec),
+                               config=CatalystConfig(hot_path_cache=False)))
+
+    def test_repeat_and_churned_documents(self, pair):
+        cached, plain = pair
+        for at_time in (0.0, 0.0, 1.0, 3600.0, 86400.0, 7 * 86400.0):
+            assert_same_response(
+                cached.handle(Request(url="/index.html"), at_time),
+                plain.handle(Request(url="/index.html"), at_time))
+
+    def test_conditional_304(self, pair):
+        cached, plain = pair
+        etag = cached.handle(Request(url="/index.html"), 0.0).headers["ETag"]
+        plain.handle(Request(url="/index.html"), 0.0)
+        request = Request(url="/index.html",
+                          headers={"If-None-Match": etag})
+        a = cached.handle(request, 5.0)
+        b = plain.handle(request, 5.0)
+        assert a.status == 304
+        assert_same_response(a, b)
+
+    def test_head_request(self, pair):
+        cached, plain = pair
+        cached.handle(Request(url="/index.html"), 0.0)
+        request = Request(method="HEAD", url="/index.html")
+        assert_same_response(cached.handle(request, 1.0),
+                             plain.handle(request, 1.0))
+
+    def test_subresources_untouched(self, pair):
+        cached, plain = pair
+        spec = cached.site.spec.index
+        for url in list(spec.resources)[:4]:
+            assert_same_response(cached.handle(Request(url=url), 0.0),
+                                 plain.handle(Request(url=url), 0.0))
+
+
+class TestRenderCache:
+    def test_repeat_request_hits(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        first = server.handle(Request(url="/index.html"), 0.0)
+        second = server.handle(Request(url="/index.html"), 1.0)
+        assert server.perf.render_misses == 1
+        assert server.perf.render_hits == 1
+        assert server.perf.html_parses == 1
+        assert server.perf.parses_avoided == 1
+        assert first.body == second.body
+        assert has_sw_registration(second.body.decode())
+
+    def test_html_churn_invalidates_render(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        before = server.handle(Request(url="/index.html"), 0.0)
+        after = server.handle(Request(url="/index.html"), 250.0)
+        assert server.perf.render_misses == 2  # new document version
+        assert before.body != after.body
+        assert before.headers["ETag"] != after.headers["ETag"]
+
+    def test_request_counts_still_recorded(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        server.handle(Request(url="/index.html"), 0.0)
+        server.handle(Request(url="/index.html"), 1.0)
+        assert scenario_site.request_counts["/index.html"] == 2
+
+    def test_disabled_cache_keeps_seed_path(self, scenario_site):
+        server = CatalystServer(scenario_site,
+                                config=CatalystConfig(hot_path_cache=False))
+        server.handle(Request(url="/index.html"), 0.0)
+        server.handle(Request(url="/index.html"), 1.0)
+        assert server.perf.render_hits == 0
+        assert not server._render_cache
+        assert server.perf.html_parses == 2
+
+
+class TestChurnInvalidation:
+    """Satellite: after a churn bump, the next document response must
+    carry the new ETag in X-Etag-Config — no stale-map serving."""
+
+    def test_resource_bump_refreshes_map_under_render_hit(
+            self, scenario_site):
+        server = CatalystServer(scenario_site)
+        before = config_of(server.handle(Request(url="/index.html"), 0.0))
+        after = config_of(server.handle(Request(url="/index.html"), 60.0))
+        # Document version unchanged: the render cache answered ...
+        assert server.perf.render_hits == 1
+        # ... but /app.js changed at t=50, so the map was rebuilt fresh.
+        assert before.etag_for("/app.js") != after.etag_for("/app.js")
+        assert after.etag_for("/app.js").opaque == \
+            scenario_site.etag_of("/app.js", 60.0)
+        assert server.perf.map_builds == 2
+
+    def test_unchanged_versions_reuse_map(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        a = config_of(server.handle(Request(url="/index.html"), 0.0))
+        b = config_of(server.handle(Request(url="/index.html"), 10.0))
+        assert server.perf.map_builds == 1
+        assert server.perf.map_hits == 1
+        assert a.entries == b.entries
+
+    def test_css_child_set_tracks_stylesheet_version(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        before = config_of(server.handle(Request(url="/index.html"), 0.0))
+        after = config_of(server.handle(Request(url="/index.html"), 150.0))
+        # /style.css changed at t=100: its own tag must move in the map
+        assert before.etag_for("/style.css") != after.etag_for("/style.css")
+        assert "/bg.png" in after  # transitive child still covered
+
+    def test_css_response_map_refreshes(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        before = config_of(server.handle(Request(url="/style.css"), 0.0))
+        assert "/bg.png" in before
+        server.handle(Request(url="/style.css"), 10.0)  # warm map-cache hit
+        assert server.perf.map_hits >= 1
+
+
+class TestSessionIsolation:
+    """Satellite: a session-recorded URL set must never leak between
+    X-Client-Id values, and must never pollute the shared map cache."""
+
+    @pytest.fixture
+    def server(self, scenario_site):
+        return CatalystServer(scenario_site,
+                              config=CatalystConfig(use_sessions=True))
+
+    def _visit(self, server, client, at_time):
+        headers = {"X-Client-Id": client}
+        response = server.handle(
+            Request(url="/index.html", headers=headers), at_time)
+        server.handle(Request(url="/late.js", headers=headers),
+                      at_time + 0.1)
+        return response
+
+    def test_recorded_urls_stay_per_client(self, server):
+        self._visit(server, "u1", 0.0)
+        revisit = server.handle(
+            Request(url="/index.html", headers={"X-Client-Id": "u1"}), 10.0)
+        assert "/late.js" in config_of(revisit)
+        other = server.handle(
+            Request(url="/index.html", headers={"X-Client-Id": "u2"}), 20.0)
+        assert "/late.js" not in config_of(other)
+
+    def test_shared_map_cache_not_polluted(self, server):
+        self._visit(server, "u1", 0.0)
+        server.handle(Request(url="/index.html",
+                              headers={"X-Client-Id": "u1"}), 10.0)
+        # the cached session-independent maps must not contain u1's URLs
+        for config in server._map_cache.values():
+            assert "/late.js" not in config
+
+    def test_anonymous_after_session_merge(self, server):
+        self._visit(server, "u1", 0.0)
+        server.handle(Request(url="/index.html",
+                              headers={"X-Client-Id": "u1"}), 10.0)
+        anonymous = server.handle(Request(url="/index.html"), 30.0)
+        assert "/late.js" not in config_of(anonymous)
+
+
+class TestCssNegativeMemo:
+    """Satellite: a failed stylesheet peek memoizes as [] instead of
+    re-running the render + decode on every document request."""
+
+    def test_failed_peek_runs_once(self, scenario_site, monkeypatch):
+        server = CatalystServer(scenario_site)
+        original = scenario_site.respond
+        calls = {"css": 0}
+
+        def failing_css(url, at_time):
+            if url == "/style.css":
+                calls["css"] += 1
+                return Response(status=404, body=b"gone")
+            return original(url, at_time)
+
+        monkeypatch.setattr(scenario_site, "respond", failing_css)
+        server.handle(Request(url="/index.html"), 0.0)
+        peeks_after_first = calls["css"]
+        assert peeks_after_first >= 1
+        server.handle(Request(url="/index.html"), 1.0)
+        server.handle(Request(url="/index.html"), 2.0)
+        assert calls["css"] == peeks_after_first  # negative result cached
+
+    def test_negative_entry_keyed_by_version(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        server._css_children_memo[("/style.css", 0)] = []
+        # same version: memoized empty wins, no re-peek
+        assert server._css_children("/style.css", 10.0) == []
+        # new version at t=100: fresh peek repopulates children
+        assert server._css_children("/style.css", 150.0) == ["/bg.png"]
+
+
+class TestInjectionFailOpen:
+    """Satellite: injection lives inside the render-cache fold and fails
+    open — a broken injection serves the unmodified document, and a
+    map-build failure neither re-pays nor double-applies injection."""
+
+    def test_injection_failure_serves_unmodified(self, scenario_site,
+                                                 monkeypatch):
+        import repro.server.catalyst as catalyst_mod
+
+        def broken(markup, *args, **kwargs):
+            raise RuntimeError("synthetic injection failure")
+
+        monkeypatch.setattr(catalyst_mod, "inject_sw_registration", broken)
+        server = CatalystServer(scenario_site)
+        response = server.handle(Request(url="/index.html"), 0.0)
+        assert response.status == 200
+        assert not has_sw_registration(response.body.decode())
+        assert server.injection_failures == 1
+        # the map is still built and stapled: injection and stapling fail
+        # independently
+        assert ETAG_CONFIG_HEADER in response.headers
+
+    def test_injection_failure_raises_when_strict(self, scenario_site,
+                                                  monkeypatch):
+        import repro.server.catalyst as catalyst_mod
+
+        def broken(markup, *args, **kwargs):
+            raise RuntimeError("synthetic injection failure")
+
+        monkeypatch.setattr(catalyst_mod, "inject_sw_registration", broken)
+        server = CatalystServer(scenario_site,
+                                config=CatalystConfig(fail_open=False))
+        with pytest.raises(RuntimeError):
+            server.handle(Request(url="/index.html"), 0.0)
+
+    def test_map_failure_does_not_double_inject(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        server._build_config_for_html = _raises
+        first = server.handle(Request(url="/index.html"), 0.0)
+        second = server.handle(Request(url="/index.html"), 1.0)
+        assert server.map_build_failures == 2
+        assert first.body == second.body
+        assert first.body.decode().count("cache-catalyst-register") == 1
+        # injection + hash ran once (render cache), not once per failure
+        assert server.perf.render_misses == 1
+        assert server.perf.render_hits == 1
+
+
+def _raises(*args, **kwargs):
+    raise RuntimeError("synthetic map-construction failure")
+
+
+class TestStatsSurface:
+    def test_stats_exposes_perf_and_cache_sizes(self, scenario_site):
+        server = CatalystServer(scenario_site)
+        server.handle(Request(url="/index.html"), 0.0)
+        server.handle(Request(url="/index.html"), 1.0)
+        stats = server.stats()
+        assert stats["render_hits"] == 1
+        assert stats["render_cache_size"] == 1
+        assert stats["ref_cache_size"] == 1
+        assert stats["map_cache_size"] >= 1
+        assert stats["maps_stapled"] == 2
+        assert stats["handle_count"] == 2
+        assert stats["handle_ns_p50"] > 0
+
+    def test_cache_cap_trims_fifo(self, scenario_site):
+        server = CatalystServer(scenario_site,
+                                config=CatalystConfig(max_cache_entries=2))
+        # three distinct document versions: t<200 (v0), then forced keys
+        server._render_cache[("/a", 0)] = object()
+        server._render_cache[("/b", 0)] = object()
+        server._render_cache[("/c", 0)] = object()
+        server._trim(server._render_cache)
+        assert len(server._render_cache) == 2
+        assert ("/a", 0) not in server._render_cache

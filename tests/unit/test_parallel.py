@@ -32,6 +32,25 @@ class TestParallelEqualsSequential:
             conditions_list=[COND], delays_s=[HOUR])
         assert len(result.measurements) == 1
 
+    def test_full_grid_canonical_equivalence(self, corpus):
+        """Satellite (PR 3): multi-condition, multi-delay grid — the
+        parallel runner must reproduce the sequential GridResult
+        measurement-for-measurement in canonical order."""
+        kwargs = dict(
+            sites=corpus.sites[:2],
+            modes=(CachingMode.STANDARD, CachingMode.CATALYST),
+            conditions_list=[COND,
+                             NetworkConditions.of(8, 100,
+                                                  label="8Mbps/100ms")],
+            delays_s=[HOUR, 24 * HOUR],
+            audit_staleness=True)
+        sequential = run_grid(**kwargs)
+        parallel = run_grid_parallel(**kwargs, max_workers=2)
+        assert len(parallel.measurements) == 16
+        assert parallel.measurements == sequential.measurements
+        assert parallel.mean_reduction_vs("standard", "catalyst") == \
+            sequential.mean_reduction_vs("standard", "catalyst")
+
     def test_aggregations_work(self, corpus):
         result = run_grid_parallel(
             sites=corpus, modes=(CachingMode.STANDARD,

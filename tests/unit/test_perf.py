@@ -1,0 +1,77 @@
+"""Unit tests for the repro.perf micro-profiling layer."""
+
+import pytest
+
+from repro.perf import PerfCounters, percentile
+
+
+class TestPercentile:
+    def test_midpoint_interpolation(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        samples = [5, 1, 9, 3]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([42], 99) == 42.0
+
+    def test_unsorted_input(self):
+        assert percentile([30, 10, 20], 50) == 20.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestPerfCounters:
+    def test_record_and_snapshot(self):
+        perf = PerfCounters()
+        for ns in (100, 200, 300):
+            perf.record_handle_ns(ns)
+        perf.render_hits = 2
+        perf.html_parses = 1
+        snap = perf.snapshot()
+        assert snap["handle_count"] == 3
+        assert snap["handle_ns_total"] == 600
+        assert snap["handle_ns_mean"] == 200
+        assert snap["handle_ns_p50"] == 200
+        assert snap["render_hits"] == 2
+        assert snap["parses_avoided"] == 0
+
+    def test_timed_handle_context(self):
+        perf = PerfCounters()
+        with perf.timed_handle():
+            pass
+        assert perf.handle_count == 1
+        assert perf.handle_samples_ns[0] >= 0
+
+    def test_ring_bounds_memory(self):
+        perf = PerfCounters(max_samples=4)
+        for ns in range(10):
+            perf.record_handle_ns(ns)
+        assert len(perf.handle_samples_ns) == 4
+        assert perf.handle_count == 10  # total keeps counting
+        assert perf.handle_ns_total == sum(range(10))
+        # ring holds the most recent window
+        assert set(perf.handle_samples_ns) == {6, 7, 8, 9}
+
+    def test_reset(self):
+        perf = PerfCounters()
+        perf.record_handle_ns(5)
+        perf.map_builds = 3
+        perf.reset()
+        assert perf.handle_count == 0
+        assert perf.map_builds == 0
+        assert perf.handle_samples_ns == []
+        assert perf.snapshot()["handle_ns_mean"] == 0.0
+
+    def test_parses_avoided_is_ref_hits(self):
+        perf = PerfCounters()
+        perf.ref_hits = 7
+        assert perf.parses_avoided == 7
