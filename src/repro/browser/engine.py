@@ -163,6 +163,13 @@ class PageLoader:
             backoff_base_s=self.config.retry_backoff_s,
             backoff_cap_s=self.config.retry_backoff_cap_s)
         self.events: list[FetchEvent] = []
+        #: the simulator's tracer (NULL_TRACER unless a trace is active)
+        self.tracer = sim.tracer
+        if self.tracer.enabled:
+            # The SW host outlives visits; point it at the live tracer so
+            # cache verdicts land in this load's trace.
+            self.session.sw.tracer = self.tracer
+        self._page_span = None
         #: url -> completion event carrying the usable Response
         self._in_flight: dict[str, Event] = {}
         #: url -> completion event for pushed resources
@@ -175,6 +182,11 @@ class PageLoader:
     # ------------------------------------------------------------------ run
     def run(self, page_url: str):
         start = self.sim.now
+        tracer = self.tracer
+        if tracer.enabled:
+            self._page_span = tracer.begin(
+                "page.load", "browser",
+                args={"url": page_url, "mode": self.mode_label})
         if self.config.preconnect > 0:
             self.sim.process(
                 self.client.warm_up(self.config.preconnect),
@@ -199,7 +211,13 @@ class PageLoader:
                 self.sim.process(self._fetch_tree(ref),
                                  name=f"hint:{url}")
 
+        pspan = tracer.begin("browser.parse", "browser",
+                             parent=self._page_span,
+                             args={"bytes": len(markup)}) \
+            if tracer.enabled else None
         yield self.sim.timeout(self.config.parse_time(len(markup)))
+        if pspan is not None:
+            pspan.end()
         parse_done = self.sim.now
         self._blocking_done_s = parse_done
 
@@ -218,6 +236,10 @@ class PageLoader:
             onload_s=onload, events=self.events,
             first_render_s=max(self._blocking_done_s, parse_done),
             wasted_push_bytes=wasted)
+        if self._page_span is not None:
+            self._page_span.annotate(
+                plt_ms=result.plt_ms, fetches=len(self.events),
+                bytes_down=result.bytes_down).end()
         return result
 
     # ----------------------------------------------------------- fetch tree
@@ -234,7 +256,12 @@ class PageLoader:
         elif ref.kind is ResourceKind.SCRIPT:
             exec_s = self.config.script_model.execution_time(
                 response.transfer_size)
+            espan = self.tracer.begin(
+                "browser.exec", "browser", parent=self._page_span,
+                args={"url": ref.url}) if self.tracer.enabled else None
             yield self.sim.timeout(exec_s)
+            if espan is not None:
+                espan.end()
             if ref.blocking:
                 self._blocking_done_s = max(self._blocking_done_s,
                                             self.sim.now)
@@ -287,6 +314,11 @@ class PageLoader:
     def _acquire(self, ref: ResourceRef, is_document: bool = False):
         """Process: the three-layer pipeline for one resource."""
         start = self.sim.now
+        tracer = self.tracer
+        fspan = tracer.begin(
+            "browser.fetch", "browser", parent=self._page_span,
+            args={"url": ref.url, "kind": ref.kind.name.lower(),
+                  "blocking": ref.blocking}) if tracer.enabled else None
         request = Request(method="GET", url=ref.url)
         if self.session_id is not None:
             request.headers.set("X-Client-Id", self.session_id)
@@ -297,11 +329,14 @@ class PageLoader:
 
         # Layer 1: Service Worker interception (CacheCatalyst).
         if self.config.use_service_worker and not is_document:
-            hit = self.session.sw.intercept(request, self.sim.now)
+            # intercept() is synchronous; parenting() safely hands the
+            # fetch span to the SW host's verdict instants.
+            with tracer.parenting(fspan):
+                hit = self.session.sw.intercept(request, self.sim.now)
             if hit is not None:
                 yield self.sim.timeout(self.config.sw_lookup_s)
                 self._record(ref, start, hit, FetchSource.SW_CACHE,
-                             bytes_down=0, rtts=0.0)
+                             bytes_down=0, rtts=0.0, span=fspan)
                 return hit
 
         # Layer 2: the HTTP cache.
@@ -314,11 +349,12 @@ class PageLoader:
                 yield self.sim.timeout(self.config.cache_lookup_s)
                 response = plan.local_response
                 self._record(ref, start, response, FetchSource.HTTP_CACHE,
-                             bytes_down=0, rtts=0.0)
+                             bytes_down=0, rtts=0.0, span=fspan)
                 if self.config.use_service_worker:
-                    self.session.sw.on_response(request, response,
-                                                self.sim.now,
-                                                is_document=is_document)
+                    with tracer.parenting(fspan):
+                        self.session.sw.on_response(request, response,
+                                                    self.sim.now,
+                                                    is_document=is_document)
                 return response
             outgoing = plan.outgoing
 
@@ -333,7 +369,7 @@ class PageLoader:
                 nbytes = (response.transfer_size
                           + response.headers.wire_size())
                 self._record(ref, start, response, FetchSource.PUSHED,
-                             bytes_down=nbytes, rtts=0.0)
+                             bytes_down=nbytes, rtts=0.0, span=fspan)
                 return response
 
         # Layer 3: the network.
@@ -343,7 +379,8 @@ class PageLoader:
         try:
             response = yield from self.client.exchange(
                 outgoing,
-                think_s=self.config.think_for(ref.url, is_document))
+                think_s=self.config.think_for(ref.url, is_document),
+                span=fspan)
         except OriginUnreachable:
             # Offline: the SW may still hold a usable (possibly stale)
             # copy — the paper's §3 offline capability.
@@ -353,15 +390,17 @@ class PageLoader:
                 if fallback is not None:
                     self._record(ref, start, fallback,
                                  FetchSource.OFFLINE_CACHE,
-                                 bytes_down=0, rtts=0.0)
+                                 bytes_down=0, rtts=0.0, span=fspan)
                     return fallback
             if is_document:
+                if fspan is not None:
+                    fspan.set("error", "OriginUnreachable").end()
                 raise  # nothing to render at all
             # a failed subresource fires onerror; the page load goes on
             failed = Response(status=504, body=b"",
                               reason="Origin Unreachable")
             self._record(ref, start, failed, FetchSource.NETWORK,
-                         bytes_down=0, rtts=0.0, status=504)
+                         bytes_down=0, rtts=0.0, status=504, span=fspan)
             return failed
         except FetchFailed:
             # The retry budget ran dry (lossy link, resets, stalls).
@@ -374,15 +413,18 @@ class PageLoader:
                 if fallback is not None:
                     self._record(ref, start, fallback,
                                  FetchSource.OFFLINE_CACHE,
-                                 bytes_down=0, rtts=0.0, retries=retries)
+                                 bytes_down=0, rtts=0.0, retries=retries,
+                                 span=fspan)
                     return fallback
             if is_document:
+                if fspan is not None:
+                    fspan.set("error", "FetchFailed").end()
                 raise  # nothing to render at all
             failed = Response(status=504, body=b"",
                               reason="Fetch Failed")
             self._record(ref, start, failed, FetchSource.NETWORK,
                          bytes_down=0, rtts=0.0, status=504,
-                         retries=retries)
+                         retries=retries, span=fspan)
             return failed
         response_time = self.sim.now
         new_connection = self.client.connections_opened > conn_count_before
@@ -393,8 +435,9 @@ class PageLoader:
             usable = self.session.http_cache.absorb(
                 plan, request, response, request_time, response_time)
         if self.config.use_service_worker:
-            self.session.sw.on_response(request, usable, self.sim.now,
-                                        is_document=is_document)
+            with tracer.parenting(fspan):
+                self.session.sw.on_response(request, usable, self.sim.now,
+                                            is_document=is_document)
 
         rtts = 1.0 + (self.config.connection_policy.setup_rtts
                       if new_connection else 0.0)
@@ -403,7 +446,8 @@ class PageLoader:
         bytes_down = (response.transfer_size
                       + response.headers.wire_size())
         self._record(ref, start, usable, source, bytes_down=bytes_down,
-                     rtts=rtts, status=response.status, retries=retries)
+                     rtts=rtts, status=response.status, retries=retries,
+                     span=fspan)
         return usable
 
     def _sw_veto(self, request: Request, plan) -> "CachePlan":
@@ -473,7 +517,7 @@ class PageLoader:
     # ------------------------------------------------------------- recording
     def _record(self, ref: ResourceRef, start: float, response: Response,
                 source: FetchSource, bytes_down: int, rtts: float,
-                status: int = 200, retries: int = 0) -> None:
+                status: int = 200, retries: int = 0, span=None) -> None:
         etag = response.etag
         self.events.append(FetchEvent(
             url=ref.url, kind=ref.kind, source=source, start_s=start,
@@ -482,3 +526,6 @@ class PageLoader:
             discovered_via=ref.discovered_by or "html",
             served_etag=etag.opaque if etag else "",
             retries=retries))
+        if span is not None:
+            span.annotate(source=source.value, status=status,
+                          bytes_down=bytes_down, retries=retries).end()

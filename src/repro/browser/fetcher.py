@@ -140,7 +140,7 @@ class NetworkClient:
 
     # -- the fetch process -----------------------------------------------------
     def exchange(self, request: Request,
-                 think_s: Optional[float] = None):
+                 think_s: Optional[float] = None, span=None):
         """DES process: perform one HTTP exchange, return the Response.
 
         Usage inside another process::
@@ -154,13 +154,23 @@ class NetworkClient:
         point :class:`FetchFailed` is raised.  The fault-free,
         no-timeout configuration takes the exact code path (and timing)
         it always did.
+
+        ``span`` parents the exchange in a trace; each wire attempt gets
+        a child span, each retry backoff an instant, so a Perfetto view
+        shows exactly where a lossy link spent the load's time.
         """
+        tracer = self.sim.tracer
         queue_start = self.sim.now
         grant = self._slots.request()
         yield grant
+        xspan = tracer.begin("net.exchange", "net", parent=span,
+                             args={"url": request.url}) \
+            if tracer.enabled else None
         try:
             start = self.sim.now
             queued = start - queue_start
+            if xspan is not None and queued > 0:
+                xspan.set("queued_s", queued)
             plan = getattr(self.link, "fault_plan", None)
             if plan is not None and not plan.injects_anything:
                 plan = None
@@ -171,23 +181,35 @@ class NetworkClient:
             while True:
                 decision = (plan.decide(request.url, attempt)
                             if plan is not None else None)
+                aspan = tracer.begin(
+                    "net.attempt", "net", parent=xspan,
+                    args={"attempt": attempt}) if tracer.enabled else None
                 try:
                     if decision is None and math.isinf(timeout_s):
                         outcome = yield from self._attempt(
-                            request, think_s, None)
+                            request, think_s, None, aspan)
                     else:
                         outcome = yield from self._guarded_attempt(
-                            request, think_s, decision, timeout_s)
+                            request, think_s, decision, timeout_s, aspan)
+                    if aspan is not None:
+                        aspan.end()
                     break
                 except (InjectedFault, FetchTimeout) as exc:
                     self.faults_seen += 1
+                    if aspan is not None:
+                        aspan.set("error", type(exc).__name__).end()
                     if attempt >= self.max_retries:
                         raise FetchFailed(request.url, attempt + 1,
                                           exc) from exc
                     seed = plan.seed if plan is not None else 0
-                    yield self.sim.timeout(backoff_delay(
+                    delay = backoff_delay(
                         attempt, self.backoff_base_s, self.backoff_cap_s,
-                        seed, request.url))
+                        seed, request.url)
+                    if tracer.enabled:
+                        tracer.instant("net.retry", "net", parent=xspan,
+                                       args={"attempt": attempt,
+                                             "backoff_s": delay})
+                    yield self.sim.timeout(delay)
                     self.retries += 1
                     attempt += 1
             response, response_bytes, is_new = outcome
@@ -197,12 +219,20 @@ class NetworkClient:
                 response_bytes=response_bytes,
                 new_connection=is_new, queued_s=queued,
                 attempts=attempt + 1))
+            if xspan is not None:
+                xspan.annotate(status=response.status,
+                               attempts=attempt + 1,
+                               new_connection=is_new).end()
             return response
+        except BaseException as exc:
+            if xspan is not None:
+                xspan.set("error", type(exc).__name__).end()
+            raise
         finally:
             self._slots.release()
 
     def _guarded_attempt(self, request: Request, think_s: Optional[float],
-                         decision, timeout_s: float):
+                         decision, timeout_s: float, span=None):
         """Process: run one attempt as a child, raced against a watchdog.
 
         A lost request (or a stall that never resumes) produces dead
@@ -210,7 +240,7 @@ class NetworkClient:
         :class:`FetchTimeout` the retry loop can act on.
         """
         attempt_proc = self.sim.process(
-            self._attempt(request, think_s, decision),
+            self._attempt(request, think_s, decision, span),
             name=f"attempt:{request.url}")
         waits = [attempt_proc]
         if not math.isinf(timeout_s):
@@ -225,7 +255,7 @@ class NetworkClient:
         return attempt_proc.value
 
     def _attempt(self, request: Request, think_s: Optional[float],
-                 decision):
+                 decision, span=None):
         """Process: one wire attempt; returns (response, bytes, is_new).
 
         The response size is unknown until the handler runs, so the
@@ -235,23 +265,38 @@ class NetworkClient:
         discards the connection — a broken exchange's connection is
         never reused.
         """
+        tracer = self.sim.tracer
         connection, is_new = self._checkout()
         try:
             if not connection.established:
+                cspan = tracer.begin("net.connect", "net", parent=span) \
+                    if tracer.enabled else None
                 yield from self._establish(connection)
+                if cspan is not None:
+                    cspan.end()
             req_extra = max(0, request.wire_size()
                             - self.policy.request_bytes)
             yield from self.link.send_upstream(
-                self.policy.request_bytes + req_extra)
+                self.policy.request_bytes + req_extra, span=span)
             if decision is not None and decision.kind is FaultKind.LOSS:
                 # the request (or its response) evaporated: dead silence
                 # until the watchdog interrupts this process
+                if tracer.enabled:
+                    tracer.instant("fault.loss", "netsim", parent=span,
+                                   args={"url": request.url})
                 yield self.sim.event()
                 raise AssertionError("lost request resumed")  # unreachable
             think = self.server_think_s if think_s is None else think_s
             if think > 0:
                 yield self.sim.timeout(think)
-            response = self.handler(request, self.sim.now)
+            # The handler runs synchronously at arrival time; hand the
+            # attempt span across the call boundary so a traced origin
+            # (CatalystServer) parents its server span correctly.
+            if tracer.enabled:
+                with tracer.parenting(span):
+                    response = self.handler(request, self.sim.now)
+            else:
+                response = self.handler(request, self.sim.now)
             body_bytes = response.transfer_size
             header_bytes = self.policy.response_header_bytes + max(
                 0, response.headers.wire_size()
@@ -263,10 +308,10 @@ class NetworkClient:
                         self.link.conditions.rtt_s * extra)
             total = header_bytes + body_bytes
             if decision is None:
-                yield from self.link.send_downstream(total)
+                yield from self.link.send_downstream(total, span=span)
             else:
-                yield from self.link.send_downstream_faulted(total,
-                                                             decision)
+                yield from self.link.send_downstream_faulted(
+                    total, decision, span=span)
             connection.requests_served += 1
             self._checkin(connection)
             return response, total, is_new

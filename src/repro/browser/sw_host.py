@@ -22,6 +22,7 @@ from typing import Optional
 from ..cache.service_worker import ServiceWorkerCache
 from ..core.etag_config import ETAG_CONFIG_SAME_HEADER, EtagConfig
 from ..http.messages import Request, Response
+from ..obs.trace import NULL_TRACER
 
 __all__ = ["ServiceWorkerHost"]
 
@@ -30,6 +31,7 @@ class ServiceWorkerHost:
     """One origin's cache Service Worker state inside the browser."""
 
     def __init__(self, max_bytes: float = math.inf):
+        self._tracer = NULL_TRACER
         self.cache = ServiceWorkerCache(max_bytes=max_bytes)
         #: the most recent stapled map; None before any catalyst response
         self.etag_config: Optional[EtagConfig] = None
@@ -42,6 +44,18 @@ class ServiceWorkerHost:
         #: document responses whose map was missing or unsalvageable,
         #: forcing the degradation to standard conditional revalidation
         self.degraded_documents = 0
+
+    # The host outlives individual traced visits; a PageLoader rebinds
+    # this per load.  The cache shares the same tracer so its ETag
+    # verdicts land in the same trace.
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer
+        self.cache.tracer = tracer
 
     # -- registration ------------------------------------------------------------
     def observe_registration(self, markup_has_snippet: bool) -> None:
@@ -63,10 +77,23 @@ class ServiceWorkerHost:
             return None
         expected = self.etag_config.etag_for(request.path)
         if expected is None:
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "sw.intercept", "sw",
+                    parent=self._tracer.current_parent,
+                    args={"url": request.path, "verdict": "unvouched"},
+                    at=now)
             return None
         response = self.cache.match(request, expected, now)
         if response is not None:
             self.intercepted_hits += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "sw.intercept", "sw",
+                parent=self._tracer.current_parent,
+                args={"url": request.path,
+                      "verdict": "hit" if response is not None else "miss"},
+                at=now)
         return response
 
     def config_digest(self) -> Optional[str]:
@@ -90,10 +117,12 @@ class ServiceWorkerHost:
         surviving URLs keep the zero-RTT path, the rest revalidate.
         """
         self.forwarded += 1
+        verdict = "no_map"
         same = response.headers.get(ETAG_CONFIG_SAME_HEADER)
         if same is not None and self.etag_config is not None \
                 and same == self.etag_config.digest():
             self.map_reuse_confirmations += 1
+            verdict = "map_confirmed"
         else:
             config = EtagConfig.from_headers(response.headers)
             if config is not None:
@@ -101,12 +130,20 @@ class ServiceWorkerHost:
                     # Base-HTML maps replace (the server re-vouches from
                     # scratch each navigation); per-CSS maps extend.
                     self.etag_config = config
+                    verdict = "map_replaced"
                 else:
                     self.etag_config = self.etag_config.merged_with(config)
+                    verdict = "map_merged"
             elif is_document:
                 if self.etag_config is not None:
                     self.degraded_documents += 1
                 self.etag_config = None
+                verdict = "map_dropped"
+        if self._tracer.enabled and verdict != "no_map":
+            self._tracer.instant(
+                "sw.update", "sw", parent=self._tracer.current_parent,
+                args={"url": request.path, "verdict": verdict,
+                      "known_urls": self.knows}, at=now)
         if self.registered and response.status == 200:
             self.cache.put(request, response, now)
 

@@ -14,6 +14,7 @@ Also includes a plain-text waterfall renderer for terminals.
 
 from __future__ import annotations
 
+import datetime
 import json
 from typing import Optional
 
@@ -25,6 +26,8 @@ __all__ = ["to_har", "to_har_json", "render_waterfall"]
 _HAR_VERSION = "1.2"
 _CREATOR = {"name": "repro-cachecatalyst", "version": "0.1.0"}
 
+_UTC = datetime.timezone.utc
+
 
 def _iso8601(sim_seconds: float) -> str:
     """Simulated seconds -> ISO-8601 wall time (anchored at WALL_EPOCH).
@@ -32,9 +35,8 @@ def _iso8601(sim_seconds: float) -> str:
     Always emits microseconds so the strings sort chronologically
     (variable-precision ISO strings do not).
     """
-    import datetime
-    moment = datetime.datetime.fromtimestamp(
-        WALL_EPOCH + sim_seconds, tz=datetime.timezone.utc)
+    moment = datetime.datetime.fromtimestamp(WALL_EPOCH + sim_seconds,
+                                             tz=_UTC)
     return moment.strftime("%Y-%m-%dT%H:%M:%S.%f") + "Z"
 
 
@@ -70,6 +72,9 @@ def _entry(event: FetchEvent, page_ref: str) -> dict:
         "_rttsPaid": event.rtts_paid,
         "_discoveredVia": event.discovered_via,
         "_retries": event.retries,
+        # sim-clock start: lets repro.obs.export.enrich_har line entries
+        # up with trace spans without re-parsing startedDateTime
+        "_startS": event.start_s,
     }
 
 

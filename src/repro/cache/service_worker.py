@@ -18,6 +18,7 @@ from typing import Optional
 
 from ..http.etag import ETag
 from ..http.messages import Request, Response
+from ..obs.trace import NULL_TRACER
 from .entry import CacheEntry
 from .store import CacheStore
 
@@ -33,6 +34,8 @@ class ServiceWorkerCache:
         self.etag_hits = 0
         #: lookups that had a cached body but a stale ETag
         self.etag_misses = 0
+        #: rebound by the SW host when a trace is active
+        self.tracer = NULL_TRACER
 
     # -- write path --------------------------------------------------------
     def put(self, request: Request, response: Response, now: float) -> bool:
@@ -62,8 +65,22 @@ class ServiceWorkerCache:
         stored = entry.etag
         if stored is not None and stored.weak_compare(expected):
             self.etag_hits += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "sw.etag_hit", "sw",
+                    parent=self.tracer.current_parent,
+                    args={"url": request.path, "etag": expected.opaque},
+                    at=now)
             return entry.response.copy()
         self.etag_misses += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "sw.etag_miss", "sw",
+                parent=self.tracer.current_parent,
+                args={"url": request.path,
+                      "stored": stored.opaque if stored else "",
+                      "expected": expected.opaque},
+                at=now)
         return None
 
     def peek(self, url: str) -> Optional[CacheEntry]:

@@ -10,9 +10,12 @@ writing Python::
     python -m repro bench --repeats 300
     python -m repro faultsweep --sites 4 --rates 0,0.05,0.1
     python -m repro visit --seed 7 --delay 1d --mbps 60 --rtt 40
+    python -m repro trace /index.html --trace-out trace.json
     python -m repro serve --port 8080 --time-scale 3600
 
-Every command prints to stdout; ``figure3`` accepts the same knobs as
+Results print to stdout; status lines (progress, artifact paths) go to
+stderr through :mod:`repro.obs.log`, silenced by ``--quiet`` or
+``REPRO_LOG_LEVEL=quiet``.  ``figure3`` accepts the same knobs as
 :func:`repro.experiments.figure3.run_figure3`.
 """
 
@@ -22,7 +25,11 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from .obs.log import get_logger, set_level
+
 __all__ = ["main", "build_parser"]
+
+log = get_logger("cli")
 
 
 def _float_list(text: str) -> tuple[float, ...]:
@@ -36,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CacheCatalyst reproduction (HotNets '24)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress status lines on stderr "
+                             "(results still print to stdout)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("figure1", help="the worked example's three timelines")
@@ -103,6 +113,33 @@ def build_parser() -> argparse.ArgumentParser:
     visit.add_argument("--rtt", type=float, default=40.0)
     visit.add_argument("--waterfall", action="store_true",
                        help="print the warm catalyst waterfall")
+    visit.add_argument("--trace-out", default=None,
+                       help="also capture the catalyst pair as a Chrome "
+                            "trace (Perfetto-loadable JSON) at this path")
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one cold+warm pair across all layers")
+    trace.add_argument("url", nargs="?", default="/index.html",
+                       help="page path on the synthetic site "
+                            "(default /index.html)")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--delay", default="1d")
+    trace.add_argument("--mbps", type=float, default=60.0)
+    trace.add_argument("--rtt", type=float, default=40.0)
+    trace.add_argument("--mode", default="catalyst",
+                       choices=("no-cache", "standard", "catalyst"))
+    trace.add_argument("--fault-rate", type=float, default=0.0,
+                       help="mixed fault rate injected on the link "
+                            "(makes retries visible in the trace)")
+    trace.add_argument("--trace-out", default="trace.json",
+                       help="Chrome trace JSON output path "
+                            "(load in Perfetto / chrome://tracing)")
+    trace.add_argument("--jsonl-out", default=None,
+                       help="also write the span log as JSONL here")
+    trace.add_argument("--har-out", default=None,
+                       help="also write the warm visit's trace-enriched "
+                            "HAR here")
 
     report = sub.add_parser("report",
                             help="bundle benchmark artifacts into HTML")
@@ -136,8 +173,8 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
                          delays_s=delays,
                          content_churn=args.churn,
                          parallel=args.parallel,
-                         progress=lambda msg: print(f"  .. {msg}",
-                                                    file=sys.stderr))
+                         progress=lambda msg: log.info("progress",
+                                                       step=msg))
     print(result.format())
     return 0
 
@@ -175,15 +212,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(hot_path_bench_payload(result), indent=2)
                     + "\n")
-    print(f"\nwrote {path}", file=sys.stderr)
+    log.info("wrote-artifact", path=path)
     if not result.byte_identical:
-        print("bench: cached and uncached responses diverged",
-              file=sys.stderr)
+        log.error("bench-divergence",
+                  detail="cached and uncached responses diverged")
         return 1
     if args.min_speedup is not None \
             and result.warm_speedup < args.min_speedup:
-        print(f"bench: warm-path speedup {result.warm_speedup:.1f}x "
-              f"below required {args.min_speedup:g}x", file=sys.stderr)
+        log.error("bench-speedup-below-threshold",
+                  speedup=f"{result.warm_speedup:.1f}x",
+                  required=f"{args.min_speedup:g}x")
         return 1
     return 0
 
@@ -203,7 +241,7 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
             max_retries=args.retries,
             include_corruption=not args.no_corruption)
     except ValueError as exc:
-        print(f"faultsweep: {exc}", file=sys.stderr)
+        log.error("faultsweep-invalid", detail=str(exc))
         return 2
     text = result.format()
     print(text)
@@ -212,7 +250,7 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
         path = pathlib.Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text + "\n")
-        print(f"\nwrote {path}", file=sys.stderr)
+        log.info("wrote-artifact", path=path)
     return 0 if result.acceptance_holds else 1
 
 
@@ -222,6 +260,7 @@ def _cmd_visit(args: argparse.Namespace) -> int:
     from .core.modes import CachingMode, build_mode
     from .netsim.clock import parse_duration
     from .netsim.link import NetworkConditions
+    from .obs import Tracer, to_chrome_trace_json
     from .workload.sitegen import generate_site
 
     site = generate_site(f"https://cli{args.seed}.example", seed=args.seed)
@@ -230,10 +269,13 @@ def _cmd_visit(args: argparse.Namespace) -> int:
     print(f"site seed {args.seed}: {site.index.resource_count} resources; "
           f"{conditions.describe()}; revisit after {args.delay}\n")
     warm_catalyst = None
+    tracer = Tracer() if args.trace_out else None
     for mode in (CachingMode.NO_CACHE, CachingMode.STANDARD,
                  CachingMode.CATALYST):
         setup = build_mode(mode, site)
-        outcomes = run_visit_sequence(setup, conditions, [0.0, delay_s])
+        outcomes = run_visit_sequence(
+            setup, conditions, [0.0, delay_s],
+            tracer=tracer if mode is CachingMode.CATALYST else None)
         cold, warm = outcomes[0].result, outcomes[1].result
         print(f"{mode.value:>9}: cold {cold.plt_ms:7.1f} ms   "
               f"warm {warm.plt_ms:7.1f} ms   "
@@ -243,6 +285,56 @@ def _cmd_visit(args: argparse.Namespace) -> int:
     if args.waterfall and warm_catalyst is not None:
         print()
         print(render_waterfall(warm_catalyst))
+    if tracer is not None:
+        import pathlib
+        path = pathlib.Path(args.trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(to_chrome_trace_json(tracer) + "\n")
+        log.info("wrote-trace", path=path, spans=len(tracer),
+                 trace_id=tracer.trace_id)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .core.modes import CachingMode
+    from .experiments.tracing import capture_visit_trace
+    from .netsim.clock import parse_duration
+    from .netsim.faults import FaultPlan
+    from .netsim.link import NetworkConditions
+
+    fault_plan = (FaultPlan.mixed(args.fault_rate, seed=args.seed)
+                  if args.fault_rate > 0 else None)
+    capture = capture_visit_trace(
+        page_url=args.url,
+        mode=CachingMode(args.mode),
+        seed=args.seed,
+        conditions=NetworkConditions.of(args.mbps, args.rtt),
+        visit_times_s=[0.0, parse_duration(args.delay)],
+        fault_plan=fault_plan)
+    summary = capture.summary()
+    print(f"trace {summary['trace_id']}: {summary['spans_retained']} "
+          f"spans across {len(summary['categories'])} layers "
+          f"({', '.join(summary['categories'])})")
+    print(f"visits: cold {summary['plt_ms'][0]} ms, "
+          + ", ".join(f"warm {plt} ms" for plt in summary['plt_ms'][1:]))
+    path = pathlib.Path(args.trace_out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(capture.chrome_trace_json() + "\n")
+    log.info("wrote-trace", path=path, spans=summary["spans_retained"],
+             trace_id=summary["trace_id"])
+    if args.jsonl_out:
+        jsonl_path = pathlib.Path(args.jsonl_out)
+        jsonl_path.parent.mkdir(parents=True, exist_ok=True)
+        jsonl_path.write_text(capture.jsonl())
+        log.info("wrote-jsonl", path=jsonl_path)
+    if args.har_out:
+        import json
+        har_path = pathlib.Path(args.har_out)
+        har_path.parent.mkdir(parents=True, exist_ok=True)
+        har_path.write_text(json.dumps(capture.har(), indent=2) + "\n")
+        log.info("wrote-har", path=har_path)
     return 0
 
 
@@ -252,9 +344,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report_html import write_report
     results = pathlib.Path(args.results)
     if not results.is_dir():
-        print(f"no artifact directory at {results} — run "
-              "`pytest benchmarks/ --benchmark-only` first",
-              file=sys.stderr)
+        log.error("missing-artifact-dir", path=results,
+                  hint="run `pytest benchmarks/ --benchmark-only` first")
         return 1
     out = write_report(results, pathlib.Path(args.out))
     print(f"wrote {out}")
@@ -294,6 +385,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.quiet:
+        set_level("quiet")
     if args.command == "figure1":
         return _cmd_figure1()
     if args.command == "figure3":
@@ -312,6 +405,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_faultsweep(args)
     if args.command == "visit":
         return _cmd_visit(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "serve":

@@ -47,8 +47,8 @@ class VisitOutcome:
 def run_visit_sequence(setup: ModeSetup, conditions: NetworkConditions,
                        visit_times_s: Sequence[float],
                        page_url: str = "/index.html",
-                       fault_plan: Optional[FaultPlan] = None
-                       ) -> list[VisitOutcome]:
+                       fault_plan: Optional[FaultPlan] = None,
+                       tracer=None) -> list[VisitOutcome]:
     """Load ``page_url`` at each absolute time, sharing client state.
 
     One simulator carries the whole sequence so cache timestamps, churn
@@ -58,8 +58,16 @@ def run_visit_sequence(setup: ModeSetup, conditions: NetworkConditions,
     ``fault_plan`` attaches a :class:`~repro.netsim.faults.FaultPlan` to
     every visit's link, injecting losses/resets/truncations/stalls that
     the browser's retry machinery must absorb.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records spans from every
+    layer of the sequence on the sim clock; its clock is rebound here
+    because the simulator does not exist before this call.
     """
-    sim = Simulator()
+    sim = Simulator(tracer=tracer)
+    if tracer is not None and tracer.enabled:
+        tracer.bind_clock(lambda: sim.now)
+        if hasattr(setup.server, "tracer"):
+            setup.server.tracer = tracer
     outcomes: list[VisitOutcome] = []
     for at_s in visit_times_s:
         if at_s < sim.now:

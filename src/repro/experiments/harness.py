@@ -73,10 +73,16 @@ def _stale_hits(result: PageLoadResult, site_spec: SiteSpec,
 def measure_pair(site_spec: SiteSpec, mode: CachingMode,
                  conditions: NetworkConditions, delay_s: float,
                  base_config: BrowserConfig = BrowserConfig(),
-                 audit_staleness: bool = False) -> PairMeasurement:
-    """Run one cold+warm pair and summarize it."""
+                 audit_staleness: bool = False,
+                 tracer=None) -> PairMeasurement:
+    """Run one cold+warm pair and summarize it.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records both visits'
+    spans — one trace covering cold and warm, on the sim clock.
+    """
     setup = build_mode(mode, site_spec, base_config)
-    outcomes = run_visit_sequence(setup, conditions, [0.0, delay_s])
+    outcomes = run_visit_sequence(setup, conditions, [0.0, delay_s],
+                                  tracer=tracer)
     cold, warm = outcomes[0].result, outcomes[1].result
     return PairMeasurement(
         origin=site_spec.origin,
@@ -164,8 +170,13 @@ def run_grid(sites: Corpus | Sequence[SiteSpec],
              delays_s: Iterable[float],
              base_config: BrowserConfig = BrowserConfig(),
              audit_staleness: bool = False,
-             progress: Optional[Callable[[str], None]] = None) -> GridResult:
-    """Sweep the full cross product; deterministic output order."""
+             progress: Optional[Callable[[str], None]] = None,
+             tracer=None) -> GridResult:
+    """Sweep the full cross product; deterministic output order.
+
+    A ``tracer`` accumulates spans across every cell of the sweep (each
+    pair rebinds it to that pair's sim clock); the ring bounds retention.
+    """
     measurements: list[PairMeasurement] = []
     site_list = list(sites)
     for conditions in conditions_list:
@@ -175,7 +186,8 @@ def run_grid(sites: Corpus | Sequence[SiteSpec],
                     measurements.append(measure_pair(
                         site_spec, mode, conditions, delay_s,
                         base_config=base_config,
-                        audit_staleness=audit_staleness))
+                        audit_staleness=audit_staleness,
+                        tracer=tracer))
                 if progress is not None:
                     progress(f"{conditions.describe()} {mode.value} "
                              f"delay={delay_s:g}s done")

@@ -1,0 +1,86 @@
+"""Traced visit capture: one call, one cross-layer trace.
+
+The glue between the experiment harness and :mod:`repro.obs` — run a
+cold+warm visit sequence with a live tracer and hand back every export
+shape (Chrome trace JSON for Perfetto, JSONL event log, trace-enriched
+HAR).  Used by ``python -m repro trace`` and the end-to-end
+observability tests, so both exercise exactly the same path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..browser.engine import BrowserConfig
+from ..browser.trace import to_har
+from ..core.catalyst import VisitOutcome, run_visit_sequence
+from ..core.modes import CachingMode, build_mode
+from ..netsim.faults import FaultPlan
+from ..netsim.link import NetworkConditions
+from ..obs import (Tracer, enrich_har, to_chrome_trace,
+                   to_chrome_trace_json, to_jsonl)
+from ..workload.sitegen import generate_site
+
+__all__ = ["TraceCapture", "capture_visit_trace"]
+
+
+@dataclass
+class TraceCapture:
+    """A completed traced run plus its exporters."""
+
+    outcomes: list[VisitOutcome]
+    tracer: Tracer
+
+    @property
+    def trace_id(self) -> str:
+        return self.tracer.trace_id
+
+    def chrome_trace(self) -> dict:
+        """Trace Event Format dict (Perfetto / chrome://tracing)."""
+        return to_chrome_trace(self.tracer)
+
+    def chrome_trace_json(self, indent: Optional[int] = None) -> str:
+        return to_chrome_trace_json(self.tracer, indent=indent)
+
+    def jsonl(self) -> str:
+        """One JSON object per finished span (structured event log)."""
+        return to_jsonl(self.tracer)
+
+    def har(self, visit: int = -1) -> dict:
+        """HAR of one visit (default: the last), trace-enriched."""
+        har = to_har(self.outcomes[visit].result)
+        return enrich_har(har, self.tracer, trace_id=self.trace_id)
+
+    def summary(self) -> dict:
+        plts = [round(outcome.plt_ms, 1) for outcome in self.outcomes]
+        return dict(self.tracer.summary(), visits=len(self.outcomes),
+                    plt_ms=plts)
+
+
+def capture_visit_trace(page_url: str = "/index.html",
+                        mode: CachingMode = CachingMode.CATALYST,
+                        seed: int = 7,
+                        conditions: Optional[NetworkConditions] = None,
+                        visit_times_s: Sequence[float] = (0.0, 86_400.0),
+                        fault_plan: Optional[FaultPlan] = None,
+                        browser_config: Optional[BrowserConfig] = None,
+                        tracer: Optional[Tracer] = None) -> TraceCapture:
+    """Run a traced visit sequence against a synthetic site.
+
+    Defaults mirror ``python -m repro visit``: a seed-7 site on
+    median-5G-ish conditions, cold visit plus a one-day-later revisit,
+    CacheCatalyst mode.  Every layer the sequence touches (netsim link,
+    browser engine, SW cache, origin server) lands in one trace.
+    """
+    if conditions is None:
+        conditions = NetworkConditions.of(60, 40)
+    if tracer is None:
+        tracer = Tracer()
+    site = generate_site(f"https://trace{seed}.example", seed=seed)
+    setup = build_mode(mode, site, browser_config) \
+        if browser_config is not None else build_mode(mode, site)
+    outcomes = run_visit_sequence(setup, conditions, list(visit_times_s),
+                                  page_url=page_url,
+                                  fault_plan=fault_plan, tracer=tracer)
+    return TraceCapture(outcomes=outcomes, tracer=tracer)

@@ -14,6 +14,7 @@ from typing import Optional
 from urllib.parse import urlsplit
 
 from ..netsim.faults import backoff_delay
+from ..obs.trace import NULL_TRACER
 from .errors import ConnectionClosed, HttpError, RequestTimeout
 from .headers import Headers
 from .messages import Request, Response
@@ -81,8 +82,11 @@ class AsyncHttpClient:
                  max_retries: int = 2,
                  backoff_base_s: float = 0.05,
                  backoff_cap_s: float = 2.0,
-                 retry_seed: int = 0):
+                 retry_seed: int = 0,
+                 tracer=None):
         self.timeout_s = timeout_s
+        #: spans land on the wall clock ("http" category)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.connections_per_origin = connections_per_origin
         #: extra attempts after the first fails (timeouts, broken pipes);
         #: the free same-request retry on a stale *pooled* connection
@@ -126,18 +130,37 @@ class AsyncHttpClient:
         """
         if self._closed:
             raise HttpError("client is closed")
+        tracer = self.tracer
+        rspan = tracer.begin(
+            "http.request", "http",
+            args={"url": request.url, "method": request.method}) \
+            if tracer.enabled else None
         attempt = 0
         while True:
             try:
                 result = await self._request_once(request)
                 result.attempts = attempt + 1
+                if rspan is not None:
+                    rspan.annotate(
+                        status=result.response.status,
+                        attempts=result.attempts,
+                        reused_connection=result.timing.reused_connection,
+                        connect_s=result.timing.connect_s).end()
                 return result
-            except _RETRYABLE:
+            except _RETRYABLE as exc:
                 if attempt >= self.max_retries:
+                    if rspan is not None:
+                        rspan.set("error", type(exc).__name__).end()
                     raise
-                await asyncio.sleep(backoff_delay(
+                backoff_s = backoff_delay(
                     attempt, self.backoff_base_s, self.backoff_cap_s,
-                    self.retry_seed, request.url))
+                    self.retry_seed, request.url)
+                if rspan is not None:
+                    tracer.instant("http.retry", "http", parent=rspan,
+                                   args={"attempt": attempt,
+                                         "error": type(exc).__name__,
+                                         "backoff_s": backoff_s})
+                await asyncio.sleep(backoff_s)
                 self.retries += 1
                 attempt += 1
 

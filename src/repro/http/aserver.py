@@ -13,19 +13,25 @@ from __future__ import annotations
 
 import asyncio
 import inspect
-import logging
+import json
 from typing import Awaitable, Callable, Optional, Union
 
+from ..obs.log import get_logger
+from ..obs.trace import NULL_TRACER
 from .errors import HttpError, ProtocolError
+from .headers import Headers
 from .messages import Request, Response
 from .wire import (read_request_start, read_request_tail,
                    serialize_response)
 
-__all__ = ["AsyncHttpServer", "Handler"]
+__all__ = ["AsyncHttpServer", "Handler", "STATS_PATH"]
 
-logger = logging.getLogger(__name__)
+logger = get_logger("http.aserver")
 
 Handler = Callable[[Request], Union[Response, Awaitable[Response]]]
+
+#: built-in debug endpoint exposing counters, tracer state, and metrics
+STATS_PATH = "/__repro/stats"
 
 
 class AsyncHttpServer:
@@ -44,7 +50,8 @@ class AsyncHttpServer:
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
                  port: int = 0, latency_s: float = 0.0,
                  keepalive_timeout_s: float = 15.0,
-                 header_read_timeout_s: float = 5.0):
+                 header_read_timeout_s: float = 5.0,
+                 tracer=None, metrics=None, stats_source=None):
         self.handler = handler
         self.host = host
         self.port = port
@@ -54,6 +61,14 @@ class AsyncHttpServer:
         #: arrived; a peer that trickles headers slower than this is a
         #: slow-loris and gets a 408 instead of a held connection
         self.header_read_timeout_s = header_read_timeout_s
+        #: wall-clock request spans (category "http")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: a :class:`repro.obs.MetricsRegistry`; surfaced by the stats
+        #: endpoint when provided
+        self.metrics = metrics
+        #: zero-arg callable returning extra stats (e.g. the wrapped
+        #: application server's ``stats()``) merged into the endpoint
+        self.stats_source = stats_source
         self._server: Optional[asyncio.base_events.Server] = None
         #: total requests served (diagnostics / tests)
         self.requests_served = 0
@@ -149,18 +164,54 @@ class AsyncHttpServer:
                 pass
 
     async def _dispatch(self, request: Request) -> Response:
+        if request.method == "GET" and request.path == STATS_PATH:
+            return self._serve_stats()
+        tracer = self.tracer
+        rspan = tracer.begin(
+            "server.request", "http",
+            args={"method": request.method, "path": request.path}) \
+            if tracer.enabled else None
         try:
             result = self.handler(request)
             if inspect.isawaitable(result):
                 result = await result
-        except Exception:
-            logger.exception("handler raised for %s %s",
-                             request.method, request.url)
+        except Exception as exc:
+            logger.error("handler-raised", method=request.method,
+                         url=request.url, error=type(exc).__name__)
+            if rspan is not None:
+                rspan.set("error", type(exc).__name__).end()
             return Response(status=500, body=b"internal server error")
         if not isinstance(result, Response):
-            logger.error("handler returned %r, not Response", type(result))
+            logger.error("bad-handler-result", got=type(result).__name__)
+            if rspan is not None:
+                rspan.set("error", "bad-handler-result").end()
             return Response(status=500, body=b"bad handler result")
+        if rspan is not None:
+            rspan.set("status", result.status).end()
         return result
+
+    def _serve_stats(self) -> Response:
+        """``GET /__repro/stats``: one JSON snapshot of everything known.
+
+        Always available (the counters cost nothing); tracer and metrics
+        sections appear only as informative as what was wired in.
+        """
+        payload: dict = {
+            "requests_served": self.requests_served,
+            "timeouts_408": self.timeouts_408,
+            "tracer": self.tracer.summary(),
+        }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics.snapshot()
+        if self.stats_source is not None:
+            try:
+                payload["app"] = self.stats_source()
+            except Exception as exc:
+                payload["app_error"] = type(exc).__name__
+        body = json.dumps(payload, sort_keys=True).encode()
+        return Response(status=200, body=body, headers=Headers({
+            "Content-Type": "application/json",
+            "Cache-Control": "no-store"}))
 
     @staticmethod
     def _keep_alive(request: Request) -> bool:

@@ -241,7 +241,7 @@ def captive_portal(seed: int = 0) -> FaultPlan:
 
 
 def faulted_downstream(sim, link, nbytes: int,
-                       decision: Optional[FaultDecision]):
+                       decision: Optional[FaultDecision], span=None):
     """Process: deliver a response downstream, applying ``decision``.
 
     The degenerate case (``decision`` is ``None``) is exactly
@@ -250,28 +250,43 @@ def faulted_downstream(sim, link, nbytes: int,
     truncated transfers consume bandwidth, which is part of why loss
     hurts.  ``LOSS`` is handled by the caller (nothing is delivered at
     all); this helper covers the response-path kinds.
+
+    ``span`` parents the transmission spans; each injected fault is also
+    emitted as an instant event on the trace, so retries and the faults
+    that caused them line up in one timeline.
     """
     if decision is None:
-        yield from link.send_downstream(nbytes)
+        yield from link.send_downstream(nbytes, span=span)
         return
+    tracer = sim.tracer
     if decision.kind is FaultKind.RESET:
         # The RST arrives after one propagation delay; no payload lands.
         yield sim.timeout(link.conditions.one_way_s)
+        if tracer.enabled:
+            tracer.instant("fault.reset", "netsim", parent=span,
+                           args={"pending_bytes": nbytes})
         raise InjectedReset(f"connection reset ({nbytes} bytes pending)")
     if decision.kind is FaultKind.TRUNCATE:
         delivered = max(1, int(nbytes * decision.truncate_fraction))
-        yield from link.send_downstream(delivered)
+        yield from link.send_downstream(delivered, span=span)
+        if tracer.enabled:
+            tracer.instant("fault.truncate", "netsim", parent=span,
+                           args={"delivered": delivered, "total": nbytes})
         raise InjectedTruncation(
             f"body cut after {delivered}/{nbytes} bytes")
     if decision.kind is FaultKind.STALL:
         first = max(1, nbytes // 2)
-        yield from link.send_downstream(first)
+        yield from link.send_downstream(first, span=span)
+        if tracer.enabled:
+            tracer.instant("fault.stall", "netsim", parent=span,
+                           args={"stall_s": decision.stall_s,
+                                 "dies": decision.dies})
         yield sim.timeout(decision.stall_s)
         if decision.dies:
             raise InjectedReset(
                 f"stalled {decision.stall_s:g}s then died "
                 f"({first}/{nbytes} bytes delivered)")
-        yield from link.send_downstream(nbytes - first)
+        yield from link.send_downstream(nbytes - first, span=span)
         return
     # FaultKind.LOSS should never reach the downstream path.
     raise AssertionError(f"unexpected downstream fault {decision.kind}")

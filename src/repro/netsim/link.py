@@ -216,22 +216,37 @@ class Link:
 
     # Each direction: one-way propagation, then serialization through the
     # shared pipe.  Exposed as generator-coroutines for use in processes.
-    def send_upstream(self, nbytes: int):
+    # ``span`` (optional) parents the transmission span in a trace; the
+    # untraced path costs one attribute read and a branch.
+    def send_upstream(self, nbytes: int, span=None):
         """Process: deliver ``nbytes`` from client to server."""
         self.bytes_up += nbytes
+        tracer = self.sim.tracer
+        tspan = tracer.begin("link.up", "netsim", parent=span,
+                             args={"bytes": nbytes}) if tracer.enabled \
+            else None
         yield self.sim.timeout(self.conditions.one_way_s)
         if self._up is not None:
             yield self._up.transfer(nbytes)
+        if tspan is not None:
+            tspan.end()
 
-    def send_downstream(self, nbytes: int):
+    def send_downstream(self, nbytes: int, span=None):
         """Process: deliver ``nbytes`` from server to client."""
         self.bytes_down += nbytes
+        tracer = self.sim.tracer
+        tspan = tracer.begin("link.down", "netsim", parent=span,
+                             args={"bytes": nbytes}) if tracer.enabled \
+            else None
         yield self.sim.timeout(self.conditions.one_way_s)
         if self._down is not None:
             yield self._down.transfer(nbytes)
+        if tspan is not None:
+            tspan.end()
 
     def send_downstream_faulted(self, nbytes: int,
-                                decision: "Optional[FaultDecision]"):
+                                decision: "Optional[FaultDecision]",
+                                span=None):
         """Process: downstream delivery subject to an injected fault.
 
         Partial bytes of truncated/stalled transfers still traverse the
@@ -239,7 +254,8 @@ class Link:
         consumes bandwidth even when nothing usable arrives.
         """
         from .faults import faulted_downstream
-        yield from faulted_downstream(self.sim, self, nbytes, decision)
+        yield from faulted_downstream(self.sim, self, nbytes, decision,
+                                      span=span)
 
     def round_trip(self):
         """Process: one full RTT with no payload (e.g. TCP SYN/SYN-ACK)."""

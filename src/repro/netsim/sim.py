@@ -348,11 +348,19 @@ class Simulator:
         event (and propagate to waiters) instead of unwinding ``run()``.
     """
 
-    def __init__(self, strict: bool = True):
+    def __init__(self, strict: bool = True, tracer=None):
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self.strict = strict
+        # The tracer rides the simulator so every layer holding a ``sim``
+        # reference (links, fetchers, loaders) shares one trace without
+        # constructor plumbing.  NULL_TRACER's no-op fast path keeps the
+        # untraced kernel exactly as fast as before.
+        if tracer is None:
+            from ..obs.trace import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     @property
     def now(self) -> float:

@@ -86,21 +86,35 @@ class VariableLink:
             self._up.set_capacity(conditions.uplink_bps)
 
     # -- the Link surface -----------------------------------------------------
-    def send_upstream(self, nbytes: int):
+    def send_upstream(self, nbytes: int, span=None):
         self.bytes_up += nbytes
+        tracer = self.sim.tracer
+        tspan = tracer.begin("link.up", "netsim", parent=span,
+                             args={"bytes": nbytes}) if tracer.enabled \
+            else None
         yield self.sim.timeout(self.conditions.one_way_s)
         if self._up is not None:
             yield self._up.transfer(nbytes)
+        if tspan is not None:
+            tspan.end()
 
-    def send_downstream(self, nbytes: int):
+    def send_downstream(self, nbytes: int, span=None):
         self.bytes_down += nbytes
+        tracer = self.sim.tracer
+        tspan = tracer.begin("link.down", "netsim", parent=span,
+                             args={"bytes": nbytes}) if tracer.enabled \
+            else None
         yield self.sim.timeout(self.conditions.one_way_s)
         yield self._down.transfer(nbytes)
+        if tspan is not None:
+            tspan.end()
 
     def send_downstream_faulted(self, nbytes: int,
-                                decision: "Optional[FaultDecision]"):
+                                decision: "Optional[FaultDecision]",
+                                span=None):
         from .faults import faulted_downstream
-        yield from faulted_downstream(self.sim, self, nbytes, decision)
+        yield from faulted_downstream(self.sim, self, nbytes, decision,
+                                      span=span)
 
     def round_trip(self):
         yield self.sim.timeout(self.conditions.rtt_s)

@@ -1,0 +1,36 @@
+"""repro.obs — the unified observability spine.
+
+One subsystem, three capabilities, zero dependencies:
+
+- **Tracing** (:mod:`repro.obs.trace`): :class:`Tracer`/:class:`Span`
+  with trace-/parent-ID propagation, sim- or wall-clock timestamps, and
+  ring-buffered retention.  Disabled by default through
+  :data:`NULL_TRACER`'s no-op fast path, so the hot paths this package
+  benchmarks are unaffected until a trace is explicitly requested.
+- **Metrics** (:mod:`repro.obs.metrics`): a named-series registry
+  (counters / gauges / histograms) generalizing
+  :class:`repro.perf.PerfCounters` so any layer can register series
+  without new plumbing.
+- **Exporters** (:mod:`repro.obs.export`): Chrome trace-event JSON
+  (Perfetto / ``chrome://tracing``), JSONL structured event logs, and
+  HAR enrichment (``_traceId`` per entry).
+
+Plus :mod:`repro.obs.log`, the structured stderr logger behind the CLI's
+``--quiet`` and ``REPRO_LOG_LEVEL``.
+"""
+
+from .export import enrich_har, to_chrome_trace, to_chrome_trace_json, \
+    to_jsonl
+from .log import Logger, get_logger, set_level
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      registry)
+from .trace import (DEFAULT_MAX_SPANS, NULL_SPAN, NULL_TRACER, NullTracer,
+                    Span, Tracer)
+
+__all__ = [
+    "Tracer", "Span", "NullTracer", "NULL_TRACER", "NULL_SPAN",
+    "DEFAULT_MAX_SPANS",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "registry",
+    "to_chrome_trace", "to_chrome_trace_json", "to_jsonl", "enrich_har",
+    "Logger", "get_logger", "set_level",
+]

@@ -1,0 +1,153 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, HAR enrichment.
+
+Three consumers, three shapes:
+
+- :func:`to_chrome_trace` emits the Trace Event Format that Perfetto and
+  ``chrome://tracing`` load directly — complete (``"ph": "X"``) events
+  for spans, instant (``"ph": "i"``) events for verdicts/faults, and
+  thread-name metadata so each layer (browser, netsim, server, Service
+  Worker, asyncio HTTP) renders as its own lane.
+- :func:`to_jsonl` emits one JSON object per finished span — the
+  greppable structured event log.
+- :func:`enrich_har` staples ``_traceId``/``_spanId`` onto HAR entries
+  so a waterfall viewer and a Perfetto trace of the same load can be
+  cross-referenced entry-by-entry.
+
+Timestamps: span times are seconds on the tracer's clock; Chrome events
+use integer microseconds.  Both exporters clamp ``dur`` at >= 0 so the
+output is always monotonically consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Union
+
+from .trace import Span, Tracer
+
+__all__ = ["to_chrome_trace", "to_chrome_trace_json", "to_jsonl",
+           "enrich_har", "LAYER_LANES"]
+
+#: category -> (tid, lane label); unknown categories land on lane 0
+LAYER_LANES = {
+    "browser": (1, "browser"),
+    "net": (2, "browser net"),
+    "netsim": (3, "netsim link"),
+    "sw": (4, "service worker"),
+    "server": (5, "origin server"),
+    "http": (6, "asyncio http"),
+}
+
+_PID = 1
+
+
+def _spans_of(source: Union[Tracer, Iterable[Span]]) -> list[Span]:
+    if isinstance(source, Tracer):
+        return source.spans()
+    return list(source)
+
+
+def _lane(category: str) -> int:
+    entry = LAYER_LANES.get(category)
+    return entry[0] if entry is not None else 0
+
+
+def to_chrome_trace(source: Union[Tracer, Iterable[Span]]) -> dict:
+    """Spans -> a Trace Event Format dict (Perfetto-loadable).
+
+    >>> tracer = Tracer(clock=lambda: 0.0, trace_id="t1")
+    >>> tracer.add_span("x", "browser", 0.0, 0.5) and None
+    >>> to_chrome_trace(tracer)["traceEvents"][-1]["ph"]
+    'X'
+    """
+    events: list[dict] = []
+    for tid, label in sorted(set(LAYER_LANES.values())):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": label},
+        })
+    for span in _spans_of(source):
+        ts = max(0, round(span.start_s * 1e6))
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        dur = max(0, round(end_s * 1e6) - ts)
+        args = {"trace_id": span.trace_id, "span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        args.update(span.args)
+        event = {
+            "name": span.name,
+            "cat": span.category or "misc",
+            "pid": _PID,
+            "tid": _lane(span.category),
+            "ts": ts,
+            "args": args,
+        }
+        if dur == 0:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant
+        else:
+            event["ph"] = "X"
+            event["dur"] = dur
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_chrome_trace_json(source: Union[Tracer, Iterable[Span]],
+                         indent: int | None = None) -> str:
+    return json.dumps(to_chrome_trace(source), indent=indent)
+
+
+def to_jsonl(source: Union[Tracer, Iterable[Span]]) -> str:
+    """One JSON object per span, oldest first (structured event log)."""
+    lines = []
+    for span in _spans_of(source):
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        lines.append(json.dumps({
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "category": span.category,
+            "start_s": span.start_s,
+            "end_s": end_s,
+            "duration_s": max(0.0, end_s - span.start_s),
+            "args": span.args,
+        }, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def enrich_har(har: dict, source: Union[Tracer, Iterable[Span]],
+               trace_id: str | None = None) -> dict:
+    """Annotate HAR entries with ``_traceId`` (and ``_spanId`` matches).
+
+    Mutates and returns ``har``.  Entries are matched to spans carrying
+    a ``url`` arg by URL and closest start time, so a URL fetched twice
+    across visits maps each entry to its own span.
+    """
+    spans = _spans_of(source)
+    if trace_id is None:
+        trace_id = next((span.trace_id for span in spans), "")
+    # Prefer the browser-side fetch span (the one a HAR entry *is*);
+    # fall back to any span carrying the URL when none exists.
+    fetch_spans = [s for s in spans if s.name == "browser.fetch"]
+    by_url: dict[str, list[Span]] = {}
+    for span in (fetch_spans or spans):
+        url = span.args.get("url")
+        if url:
+            by_url.setdefault(url, []).append(span)
+    for entry in har.get("log", {}).get("entries", []):
+        entry["_traceId"] = trace_id
+        candidates = by_url.get(entry.get("request", {}).get("url", ""))
+        if candidates:
+            entry["_spanId"] = min(
+                candidates,
+                key=lambda span: abs(span.start_s
+                                     - _entry_start_s(entry))).span_id
+    har.setdefault("log", {})["_traceId"] = trace_id
+    return har
+
+
+def _entry_start_s(entry: dict) -> float:
+    """Best-effort sim-seconds of one HAR entry (via ``_startS`` if set)."""
+    value = entry.get("_startS")
+    return float(value) if isinstance(value, (int, float)) else 0.0

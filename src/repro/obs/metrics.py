@@ -1,0 +1,203 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Generalizes what :class:`repro.perf.PerfCounters` does for the Catalyst
+hot path so *any* layer can register series without new plumbing: get or
+create an instrument by name, bump it inline, read everything back in
+one :meth:`MetricsRegistry.snapshot`.  Analysis (percentiles, means)
+happens off the hot path, exactly like ``PerfCounters``.
+
+Histograms keep a bounded ring of samples (same discipline as the perf
+latency ring): a long-lived server's percentiles describe the most
+recent window instead of growing without bound.
+
+A process-wide default registry is available through :func:`registry`
+for code with no natural injection point; experiments that need
+isolation construct their own.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Optional, Union
+
+from ..perf.counters import percentile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "registry", "DEFAULT_HISTOGRAM_SAMPLES"]
+
+#: default histogram ring capacity (samples)
+DEFAULT_HISTOGRAM_SAMPLES = 8_192
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (pool sizes, cache entry counts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Bounded-ring sample distribution with off-path percentiles."""
+
+    __slots__ = ("name", "max_samples", "count", "total",
+                 "_samples", "_ring_pos")
+
+    def __init__(self, name: str,
+                 max_samples: int = DEFAULT_HISTOGRAM_SAMPLES):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self._samples: list[float] = []
+        self._ring_pos = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            self._samples[self._ring_pos] = value
+            self._ring_pos = (self._ring_pos + 1) % self.max_samples
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile of the retained window; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        return percentile(self._samples, q)
+
+    def snapshot(self) -> dict:
+        out = {"count": self.count, "total": self.total,
+               "mean": self.mean()}
+        if self._samples:
+            out["p50"] = self.percentile(50)
+            out["p90"] = self.percentile(90)
+            out["p99"] = self.percentile(99)
+        return out
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create accessors."""
+
+    def __init__(self):
+        self._instruments: dict[str, Instrument] = {}
+
+    # -- get-or-create ------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  max_samples: int = DEFAULT_HISTOGRAM_SAMPLES) -> Histogram:
+        existing = self._instruments.get(name)
+        if existing is None:
+            created = Histogram(name, max_samples=max_samples)
+            self._instruments[name] = created
+            return created
+        if not isinstance(existing, Histogram):
+            raise TypeError(f"metric {name!r} is a "
+                            f"{type(existing).__name__}, not a Histogram")
+        return existing
+
+    def _get(self, name: str, kind: type) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is None:
+            created = kind(name)
+            self._instruments[name] = created
+            return created
+        if not isinstance(existing, kind):
+            raise TypeError(f"metric {name!r} is a "
+                            f"{type(existing).__name__}, not a "
+                            f"{kind.__name__}")
+        return existing
+
+    # -- bulk ---------------------------------------------------------------
+    def absorb(self, prefix: str,
+               values: Mapping[str, Union[int, float]]) -> None:
+        """Fold a plain numeric dump into gauges under ``prefix``.
+
+        Built for legacy snapshot dicts — ``PerfCounters.snapshot()``,
+        ``CatalystServer.stats()``, ``ServiceWorkerHost.stats()`` — so
+        existing per-layer accounting surfaces through one registry
+        without rewriting the layers.
+        """
+        for key, value in values.items():
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                self.gauge(f"{prefix}.{key}").set(value)
+
+    def snapshot(self) -> dict:
+        """All instruments, by name, machine-readable."""
+        return {name: instrument.snapshot()
+                for name, instrument in sorted(self._instruments.items())}
+
+    def get(self, name: str) -> Optional[Instrument]:
+        return self._instruments.get(name)
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self._instruments.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT

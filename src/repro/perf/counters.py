@@ -107,6 +107,13 @@ class PerfCounters:
         return self.handle_ns_total / self.handle_count
 
     def handle_percentile_ns(self, q: float) -> float:
+        """Percentile of the retained ring; 0.0 when no samples yet.
+
+        Mirrors :meth:`mean_handle_ns` — a server that has not timed a
+        handle yet reports zeros rather than raising mid-stats.
+        """
+        if not self._handle_ns:
+            return 0.0
         return percentile(self._handle_ns, q)
 
     def snapshot(self) -> dict:

@@ -1,0 +1,144 @@
+"""End-to-end observability: one visit, one trace, every layer.
+
+Acceptance for the repro.obs subsystem: a traced cold+warm visit must
+produce spans from at least four layers sharing a single trace ID, the
+Chrome trace export must be Perfetto-loadable (monotonic, non-negative
+timestamps), faults and retries must be visible in the tree, and —
+critically — tracing must cost nothing when disabled (identical PLTs
+with and without a live tracer).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.modes import CachingMode
+from repro.experiments.tracing import capture_visit_trace
+from repro.netsim.faults import FaultPlan
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(scope="module")
+def capture():
+    """One traced cold+warm Catalyst visit, shared across tests."""
+    return capture_visit_trace(seed=7, mode=CachingMode.CATALYST)
+
+
+@pytest.fixture(scope="module")
+def faulty_capture():
+    """A traced visit over a lossy link so retries land in the trace."""
+    return capture_visit_trace(seed=7, mode=CachingMode.CATALYST,
+                               fault_plan=FaultPlan.mixed(0.3, seed=11))
+
+
+class TestCrossLayerTrace:
+    def test_spans_cover_at_least_four_layers(self, capture):
+        categories = capture.tracer.categories()
+        assert {"browser", "netsim", "sw", "server"} <= categories
+
+    def test_single_trace_id_everywhere(self, capture):
+        ids = {span.trace_id for span in capture.tracer.spans()}
+        assert ids == {capture.trace_id}
+
+    def test_parent_links_resolve(self, capture):
+        spans = capture.tracer.spans()
+        known = {span.span_id for span in spans}
+        orphans = [s for s in spans
+                   if s.parent_id is not None and s.parent_id not in known]
+        assert orphans == []
+
+    def test_server_spans_nest_under_network_attempts(self, capture):
+        by_id = {s.span_id: s for s in capture.tracer.spans()}
+        handles = capture.tracer.spans_named("server.handle")
+        assert handles
+        for span in handles:
+            assert by_id[span.parent_id].name == "net.attempt"
+
+    def test_warm_visit_shows_sw_hits(self, capture):
+        hits = capture.tracer.spans_named("sw.etag_hit")
+        assert hits, "warm Catalyst visit should be served from the SW"
+
+
+class TestFaultVisibility:
+    def test_faults_and_retries_land_in_trace(self, faulty_capture):
+        names = {s.name for s in faulty_capture.tracer.spans()}
+        assert names & {"fault.loss", "fault.reset", "fault.truncate"}
+        assert "net.retry" in names
+
+    def test_retry_instants_point_at_their_attempt_tree(self, faulty_capture):
+        known = {s.span_id for s in faulty_capture.tracer.spans()}
+        for retry in faulty_capture.tracer.spans_named("net.retry"):
+            assert retry.parent_id in known
+
+
+class TestChromeTraceExport:
+    def test_schema_is_perfetto_valid(self, capture):
+        trace = json.loads(capture.chrome_trace_json())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in {"M", "X", "i"}
+            if event["ph"] == "M":
+                continue  # metadata events carry no timestamp
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert event.get("dur", 0) >= 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_har_entries_link_back_to_spans(self, capture):
+        har = capture.har()
+        entries = har["log"]["entries"]
+        assert entries
+        linked = [e for e in entries if "_spanId" in e]
+        assert len(linked) == len(entries)
+        assert all(e["_traceId"] == capture.trace_id for e in linked)
+
+    def test_jsonl_rows_parse(self, capture):
+        rows = [json.loads(line) for line in capture.jsonl().splitlines()]
+        assert len(rows) == len(capture.tracer.spans())
+
+
+class TestZeroOverheadWhenDisabled:
+    def test_null_tracer_allocates_nothing(self):
+        assert NULL_TRACER.begin("x", "cat") is NULL_SPAN
+        assert NULL_TRACER.instant("x") is NULL_SPAN
+
+    def test_plt_identical_traced_vs_untraced(self):
+        # The DES is deterministic, so tracing must not perturb a
+        # single timestamp: identical PLTs, byte-for-byte.
+        untraced = capture_visit_trace(seed=21, tracer=NULL_TRACER)
+        traced = capture_visit_trace(seed=21, tracer=Tracer())
+        assert traced.tracer.spans(), "traced run must record spans"
+        plts = lambda cap: [o.plt_ms for o in cap.outcomes]  # noqa: E731
+        assert plts(traced) == plts(untraced)
+
+
+class TestStatsEndpoint:
+    def test_stats_route_reports_tracer_and_app(self):
+        from repro.http.aclient import AsyncHttpClient
+        from repro.http.aserver import STATS_PATH, AsyncHttpServer
+        from repro.http.messages import Response
+
+        tracer = Tracer()
+
+        async def scenario():
+            server = AsyncHttpServer(lambda req: Response(body=b"ok"),
+                                     tracer=tracer,
+                                     stats_source=lambda: {"hits": 4})
+            async with server:
+                async with AsyncHttpClient() as client:
+                    await client.get(server.base_url + "/warm")
+                    stats = await client.get(server.base_url + STATS_PATH)
+                    return stats.response
+
+        response = asyncio.run(scenario())
+        assert response.status == 200
+        payload = json.loads(response.body)
+        assert payload["requests_served"] >= 1
+        assert payload["app"] == {"hits": 4}
+        assert payload["tracer"]["trace_id"] == tracer.trace_id
+        assert tracer.spans_named("server.request")

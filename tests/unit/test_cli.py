@@ -33,6 +33,17 @@ class TestParser:
         assert args.delay == "6h"
         assert args.rtt == 80.0
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.url == "/index.html"
+        assert args.mode == "catalyst"
+        assert args.trace_out == "trace.json"
+        assert args.fault_rate == 0.0
+
+    def test_quiet_is_global(self):
+        args = build_parser().parse_args(["--quiet", "figure1"])
+        assert args.quiet is True
+
 
 class TestCommands:
     def test_figure1_runs(self, capsys):
@@ -83,6 +94,20 @@ class TestCommands:
         payload = json.loads(out.read_text())
         assert payload["bench"] == "server_hot_path"
         assert payload["byte_identical"] is True
+
+    def test_trace_writes_perfetto_artifact(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        har = tmp_path / "warm.har"
+        assert main(["trace", "--seed", "3", "--trace-out", str(out),
+                     "--har-out", str(har)]) == 0
+        stdout = capsys.readouterr().out
+        assert "spans across" in stdout
+        assert "cold" in stdout and "warm" in stdout
+        trace = json.loads(out.read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert events and all(e["ts"] >= 0 for e in events)
+        entries = json.loads(har.read_text())["log"]["entries"]
+        assert entries and all("_traceId" in e for e in entries)
 
     def test_bench_min_speedup_gate(self, capsys, tmp_path):
         # an absurd floor must trip the gate without crashing

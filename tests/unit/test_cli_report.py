@@ -22,4 +22,6 @@ class TestReportCommand:
     def test_report_missing_dir_fails_cleanly(self, tmp_path, capsys):
         assert main(["report", "--results", str(tmp_path / "nope"),
                      "--out", str(tmp_path / "o.html")]) == 1
-        assert "no artifact directory" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "repro cli error missing-artifact-dir" in err
+        assert "nope" in err

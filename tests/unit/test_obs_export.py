@@ -1,0 +1,121 @@
+"""Unit tests for the trace exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.obs import (Tracer, enrich_har, to_chrome_trace,
+                       to_chrome_trace_json, to_jsonl)
+from repro.obs.export import LAYER_LANES
+
+pytestmark = pytest.mark.obs
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer(clock=FakeClock(), trace_id="trace1")
+    page = tracer.add_span("page.load", "browser", 0.0, 1.0,
+                           args={"url": "/index.html"})
+    tracer.add_span("link.down", "netsim", 0.1, 0.4, parent=page,
+                    args={"bytes": 1000})
+    tracer.instant("sw.etag_hit", "sw", parent=page,
+                   args={"url": "/a.css"}, at=0.5)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_structure_and_phases(self):
+        trace = to_chrome_trace(sample_tracer())
+        events = trace["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(metadata) == len(LAYER_LANES)
+        assert {e["name"] for e in spans} == {"page.load", "link.down"}
+        assert instants[0]["s"] == "t"
+
+    def test_timestamps_micros_and_nonnegative(self):
+        events = [e for e in to_chrome_trace(sample_tracer())["traceEvents"]
+                  if e["ph"] != "M"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["link.down"]["ts"] == 100_000
+        assert by_name["link.down"]["dur"] == 300_000
+        assert all(e["ts"] >= 0 for e in events)
+        assert all(e.get("dur", 0) >= 0 for e in events)
+
+    def test_layers_land_on_distinct_lanes(self):
+        events = [e for e in to_chrome_trace(sample_tracer())["traceEvents"]
+                  if e["ph"] != "M"]
+        tids = {e["cat"]: e["tid"] for e in events}
+        assert len(set(tids.values())) == 3
+
+    def test_args_carry_tree_links(self):
+        events = to_chrome_trace(sample_tracer())["traceEvents"]
+        down = next(e for e in events if e["name"] == "link.down")
+        assert down["args"]["trace_id"] == "trace1"
+        assert down["args"]["parent_id"] == 1
+        assert down["args"]["bytes"] == 1000
+
+    def test_json_round_trips(self):
+        text = to_chrome_trace_json(sample_tracer(), indent=1)
+        assert json.loads(text)["displayTimeUnit"] == "ms"
+
+
+class TestJsonl:
+    def test_one_object_per_span(self):
+        lines = to_jsonl(sample_tracer()).splitlines()
+        assert len(lines) == 3
+        rows = [json.loads(line) for line in lines]
+        assert all(row["trace_id"] == "trace1" for row in rows)
+        assert rows[1]["duration_s"] == pytest.approx(0.3)
+
+    def test_empty_tracer_yields_empty_string(self):
+        assert to_jsonl(Tracer(clock=FakeClock())) == ""
+
+
+class TestEnrichHar:
+    def har(self) -> dict:
+        return {"log": {"entries": [
+            {"request": {"url": "/index.html"}, "_startS": 0.0},
+            {"request": {"url": "/missing.js"}, "_startS": 0.2},
+        ]}}
+
+    def test_trace_and_span_ids_attached(self):
+        tracer = Tracer(clock=FakeClock(), trace_id="trace1")
+        span = tracer.add_span("browser.fetch", "browser", 0.0, 0.4,
+                               args={"url": "/index.html"})
+        har = enrich_har(self.har(), tracer)
+        first, second = har["log"]["entries"]
+        assert har["log"]["_traceId"] == "trace1"
+        assert first["_traceId"] == "trace1"
+        assert first["_spanId"] == span.span_id
+        assert "_spanId" not in second  # no span carried that URL
+
+    def test_repeated_url_matches_nearest_start(self):
+        tracer = Tracer(clock=FakeClock(), trace_id="trace1")
+        cold = tracer.add_span("browser.fetch", "browser", 0.0, 0.4,
+                               args={"url": "/a.css"})
+        warm = tracer.add_span("browser.fetch", "browser", 10.0, 10.1,
+                               args={"url": "/a.css"})
+        har = {"log": {"entries": [
+            {"request": {"url": "/a.css"}, "_startS": 10.02},
+        ]}}
+        enrich_har(har, tracer)
+        assert har["log"]["entries"][0]["_spanId"] == warm.span_id
+        assert warm.span_id != cold.span_id
+
+    def test_prefers_fetch_spans_over_instants(self):
+        tracer = Tracer(clock=FakeClock(), trace_id="trace1")
+        fetch = tracer.add_span("browser.fetch", "browser", 0.0, 0.4,
+                                args={"url": "/index.html"})
+        tracer.instant("sw.etag_hit", "sw",
+                       args={"url": "/index.html"}, at=0.0)
+        har = enrich_har(self.har(), tracer)
+        assert har["log"]["entries"][0]["_spanId"] == fetch.span_id

@@ -1,0 +1,71 @@
+"""Unit tests for the structured logger (repro.obs.log)."""
+
+import pytest
+
+from repro.obs.log import (LEVELS, Logger, get_level, get_logger,
+                           set_level)
+
+pytestmark = pytest.mark.obs
+
+
+@pytest.fixture(autouse=True)
+def info_level():
+    """Pin the threshold per test; restore the lazy default after."""
+    set_level("info")
+    yield
+    import repro.obs.log as log_module
+    log_module._level = None
+
+
+class TestLogger:
+    def test_line_shape(self, capsys):
+        Logger("cli").info("wrote-artifact", path="out.json", count=3)
+        err = capsys.readouterr().err
+        assert err == "repro cli info wrote-artifact " \
+                      "path=out.json count=3\n"
+
+    def test_stdout_untouched(self, capsys):
+        Logger("cli").info("event")
+        assert capsys.readouterr().out == ""
+
+    def test_values_with_spaces_quoted(self, capsys):
+        Logger("x").warning("w", msg="two words", eq="a=b")
+        err = capsys.readouterr().err
+        assert 'msg="two words"' in err
+        assert 'eq="a=b"' in err
+
+    def test_floats_render_compactly(self, capsys):
+        Logger("x").info("e", ratio=0.25)
+        assert "ratio=0.25" in capsys.readouterr().err
+
+    def test_threshold_filters(self, capsys):
+        logger = Logger("x")
+        logger.debug("hidden")
+        assert capsys.readouterr().err == ""
+        set_level("quiet")
+        logger.error("also-hidden")
+        assert capsys.readouterr().err == ""
+
+    def test_set_level_validates(self):
+        with pytest.raises(ValueError):
+            set_level("loud")
+
+    def test_get_level_names_current(self):
+        set_level("warning")
+        assert get_level() == "warning"
+
+    def test_env_resolution(self, monkeypatch, capsys):
+        import repro.obs.log as log_module
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        log_module._level = None
+        Logger("x").warning("hidden")
+        assert capsys.readouterr().err == ""
+        Logger("x").error("shown")
+        assert "shown" in capsys.readouterr().err
+
+    def test_get_logger_cached(self):
+        assert get_logger("same") is get_logger("same")
+
+    def test_levels_ordered(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] \
+            < LEVELS["error"] < LEVELS["quiet"]

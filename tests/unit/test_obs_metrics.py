@@ -1,0 +1,101 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import registry
+
+pytestmark = pytest.mark.obs
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.snapshot() == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("pool")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.snapshot() == 2
+
+    def test_histogram_stats(self):
+        hist = Histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.mean() == pytest.approx(2.5)
+        assert hist.percentile(50) == pytest.approx(2.5)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert "p99" in snap
+
+    def test_histogram_empty_percentile_is_zero(self):
+        hist = Histogram("empty")
+        assert hist.percentile(99) == 0.0
+        assert hist.mean() == 0.0
+        assert "p50" not in hist.snapshot()
+
+    def test_histogram_ring_bounds_window(self):
+        hist = Histogram("ring", max_samples=3)
+        for value in (10.0, 20.0, 30.0, 40.0):
+            hist.observe(value)
+        # count/total track everything; the window holds the newest 3
+        assert hist.count == 4
+        assert sorted(hist.samples) == [20.0, 30.0, 40.0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_absorb_legacy_snapshot(self):
+        reg = MetricsRegistry()
+        reg.absorb("server", {"render_hits": 7, "mean_ns": 1.5,
+                              "label": "ignored", "flag": True})
+        snap = reg.snapshot()
+        assert snap["server.render_hits"] == 7
+        assert snap["server.mean_ns"] == 1.5
+        assert "server.label" not in snap
+        assert "server.flag" not in snap  # bools are not metrics
+
+    def test_absorb_perf_counters_snapshot(self):
+        from repro.perf import PerfCounters
+        perf = PerfCounters()
+        perf.record_handle_ns(100)
+        perf.render_hits = 3
+        reg = MetricsRegistry()
+        reg.absorb("catalyst", perf.snapshot())
+        assert reg.snapshot()["catalyst.render_hits"] == 3
+        assert "catalyst" not in reg  # only prefixed keys exist
+
+    def test_snapshot_sorted_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(1)
+        assert list(reg.snapshot()) == ["a", "b"]
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_contains_and_iter(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("x")
+        assert "x" in reg and "y" not in reg
+        assert list(reg) == [counter]
+
+    def test_default_registry_is_shared(self):
+        assert registry() is registry()

@@ -1,0 +1,149 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Span, Tracer
+from repro.obs.trace import DEFAULT_MAX_SPANS, NullTracer
+
+pytestmark = pytest.mark.obs
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanLifecycle:
+    def test_begin_end_records_interval(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.begin("work", "browser")
+        clock.now = 0.25
+        span.end()
+        assert span.finished
+        assert span.duration_s == pytest.approx(0.25)
+        assert tracer.spans() == [span]
+
+    def test_end_is_idempotent(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        span = tracer.begin("work")
+        clock.now = 1.0
+        span.end()
+        clock.now = 2.0
+        span.end()
+        assert span.end_s == 1.0
+        assert len(tracer) == 1
+
+    def test_end_never_precedes_start(self):
+        tracer = Tracer(clock=FakeClock(5.0))
+        span = tracer.begin("work")
+        span.end(at=1.0)
+        assert span.end_s == span.start_s
+
+    def test_unfinished_spans_not_retained(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin("open-forever")
+        assert tracer.spans() == []
+        assert tracer.spans_started == 1
+
+    def test_annotations_chain(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.begin("work").set("k", 1).annotate(a="b")
+        assert span.args == {"k": 1, "a": "b"}
+
+    def test_context_manager_records_errors(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.begin("work") as span:
+                raise RuntimeError("boom")
+        assert span.args["error"] == "RuntimeError"
+        assert span.finished
+
+
+class TestTracer:
+    def test_ids_propagate(self):
+        tracer = Tracer(clock=FakeClock(), trace_id="abc")
+        parent = tracer.begin("parent")
+        child = tracer.begin("child", parent=parent)
+        assert child.trace_id == parent.trace_id == "abc"
+        assert child.parent_id == parent.span_id
+        assert child.span_id != parent.span_id
+
+    def test_null_span_parent_means_root(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.begin("root", parent=NULL_SPAN)
+        assert span.parent_id is None
+
+    def test_instant_has_zero_duration(self):
+        tracer = Tracer(clock=FakeClock(3.0))
+        span = tracer.instant("verdict", "sw", args={"hit": True})
+        assert span.finished
+        assert span.duration_s == 0.0
+        assert span.start_s == 3.0
+
+    def test_explicit_at_overrides_clock(self):
+        tracer = Tracer(clock=FakeClock(99.0))
+        span = tracer.add_span("measured", "server", 1.0, 2.0)
+        assert (span.start_s, span.end_s) == (1.0, 2.0)
+
+    def test_ring_bounds_retention(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=3)
+        for i in range(5):
+            tracer.begin(f"s{i}").end()
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+        assert tracer.spans_started == 5
+
+    def test_bind_clock_rebinds(self):
+        tracer = Tracer(clock=FakeClock(1.0))
+        late = FakeClock(7.0)
+        tracer.bind_clock(late)
+        assert tracer.begin("x").start_s == 7.0
+
+    def test_parenting_context(self):
+        tracer = Tracer(clock=FakeClock())
+        span = tracer.begin("outer")
+        assert tracer.current_parent is None
+        with tracer.parenting(span):
+            assert tracer.current_parent is span
+        assert tracer.current_parent is None
+
+    def test_summary(self):
+        tracer = Tracer(clock=FakeClock(), trace_id="t")
+        tracer.begin("a", "browser").end()
+        tracer.begin("b", "netsim").end()
+        summary = tracer.summary()
+        assert summary["trace_id"] == "t"
+        assert summary["spans_retained"] == 2
+        assert summary["categories"] == ["browser", "netsim"]
+
+    def test_default_ring_capacity(self):
+        assert Tracer()._finished.maxlen == DEFAULT_MAX_SPANS
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_singleton(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.begin("x", "cat") is NULL_SPAN
+        assert NULL_TRACER.instant("x") is NULL_SPAN
+        assert NULL_TRACER.add_span("x", "c", 0.0, 1.0) is NULL_SPAN
+
+    def test_null_span_is_inert_and_falsy(self):
+        assert not NULL_SPAN
+        assert NULL_SPAN.set("k", 1) is NULL_SPAN
+        assert NULL_SPAN.annotate(a=2) is NULL_SPAN
+        assert NULL_SPAN.end() is NULL_SPAN
+        assert NULL_SPAN.args == {}
+
+    def test_null_parenting_is_noop(self):
+        with NULL_TRACER.parenting(NULL_SPAN):
+            assert NULL_TRACER.current_parent is None
+
+    def test_collections_empty(self):
+        tracer = NullTracer()
+        assert tracer.spans() == []
+        assert len(tracer) == 0
+        assert tracer.summary()["enabled"] is False

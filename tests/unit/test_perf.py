@@ -75,3 +75,15 @@ class TestPerfCounters:
         perf = PerfCounters()
         perf.ref_hits = 7
         assert perf.parses_avoided == 7
+
+    def test_empty_percentile_is_zero(self):
+        # Regression: used to raise ValueError (percentile([]) on an
+        # empty ring) when a snapshot was taken before any request —
+        # e.g. the stats endpoint of a freshly started server.
+        perf = PerfCounters()
+        assert perf.handle_percentile_ns(50) == 0.0
+        assert perf.handle_percentile_ns(99) == 0.0
+        assert perf.mean_handle_ns() == 0.0  # the behaviour it mirrors
+        snap = perf.snapshot()  # must not raise mid-stats
+        assert snap["handle_ns_mean"] == 0.0
+        assert "handle_ns_p50" not in snap  # empty ring emits no p-keys

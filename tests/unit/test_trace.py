@@ -56,6 +56,14 @@ class TestHar:
         assert by_url["/d.jpg"]["response"]["bodySize"] == 40_000
         assert by_url["/a.css"]["response"]["bodySize"] == 0
 
+    def test_entries_carry_sim_start_for_correlation(self):
+        # _startS is what repro.obs.export.enrich_har keys on to match
+        # HAR entries against browser.fetch spans.
+        entries = to_har(sample_result())["log"]["entries"]
+        by_url = {e["request"]["url"]: e for e in entries}
+        assert by_url["/index.html"]["_startS"] == pytest.approx(0.0)
+        assert by_url["/a.css"]["_startS"] == pytest.approx(0.15)
+
     def test_json_round_trip(self):
         text = to_har_json(sample_result())
         assert json.loads(text)["log"]["entries"]
