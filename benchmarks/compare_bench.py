@@ -1,20 +1,23 @@
-"""Perf-trajectory gate: diff the two newest ``BENCH_*.json`` artifacts.
+"""Perf-trajectory gate: diff the newest ``BENCH_*.json`` artifacts.
 
-Each PR that touches the hot path appends a ``BENCH_PR<N>.json`` to
-``benchmarks/results/`` (via ``python -m repro bench --out ...``).  This
-script compares the newest artifact against its predecessor and fails
-when warm-path throughput regressed by more than the threshold (25 % by
-default) — a cheap, machine-checkable guard that perf never silently
-slides backwards across PRs.
+Each PR that touches a hot path appends a ``BENCH_PR<N>.json`` to
+``benchmarks/results/`` (via ``python -m repro bench --out ...``).
+Artifacts belong to a *bench family* (the payload's ``"bench"`` field —
+``server_hot_path``, ``simcore``, ...); within each family this script
+compares the newest artifact against its predecessor and fails when
+throughput regressed by more than the threshold (25 % by default) — a
+cheap, machine-checkable guard that perf never silently slides
+backwards across PRs.  Families are independent: a new simcore artifact
+is never diffed against a server hot-path one.
 
 Usage::
 
-    python benchmarks/compare_bench.py            # benchmarks/results
-    python benchmarks/compare_bench.py --dir other/ --threshold 0.10
+    python benchmarks/compare_bench.py            # all families
+    python benchmarks/compare_bench.py --bench simcore --threshold 0.10
 
-Exit status: 0 when there is nothing to compare (zero or one artifact)
-or the newest artifact is within the threshold; 1 on a regression or an
-unreadable artifact.
+Exit status: 0 when there is nothing to compare (zero or one artifact
+per family) or every family is within the threshold; 1 on a regression
+or an unreadable artifact.
 """
 
 from __future__ import annotations
@@ -29,7 +32,15 @@ from typing import Optional
 DEFAULT_DIR = pathlib.Path(__file__).parent / "results"
 DEFAULT_THRESHOLD = 0.25
 
-#: dotted paths into the payload that must not regress (higher = better)
+#: dotted payload paths that must not regress (higher = better), per
+#: bench family; families absent here fall back to THROUGHPUT_KEYS
+BENCH_KEYS: dict[str, tuple[str, ...]] = {
+    "server_hot_path": ("throughput_rps.cached_warm",),
+    "simcore": ("simcore.events_per_s", "simcore.transfers_per_s",
+                "simcore.visits_per_s"),
+}
+
+#: fallback key set for payloads without a recognized ``"bench"`` field
 THROUGHPUT_KEYS = ("throughput_rps.cached_warm",)
 
 _PR_RE = re.compile(r"BENCH_PR(\d+)\.json$")
@@ -55,6 +66,11 @@ def lookup(payload: dict, dotted: str) -> Optional[float]:
     return float(node) if isinstance(node, (int, float)) else None
 
 
+def keys_for(payload: dict) -> tuple[str, ...]:
+    """The gated metric paths for a payload's bench family."""
+    return BENCH_KEYS.get(payload.get("bench", ""), THROUGHPUT_KEYS)
+
+
 def compare(previous: dict, newest: dict,
             threshold: float = DEFAULT_THRESHOLD) -> tuple[bool, list[str]]:
     """Check the newest payload against the previous one.
@@ -64,7 +80,7 @@ def compare(previous: dict, newest: dict,
     """
     ok = True
     messages: list[str] = []
-    for key in THROUGHPUT_KEYS:
+    for key in keys_for(newest):
         old = lookup(previous, key)
         new = lookup(newest, key)
         if old is None or new is None:
@@ -90,31 +106,56 @@ def compare(previous: dict, newest: dict,
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="fail on >threshold throughput regression between the "
-                    "two newest BENCH_*.json artifacts")
+                    "two newest BENCH_*.json artifacts of each bench family")
     parser.add_argument("--dir", default=str(DEFAULT_DIR),
                         help="artifact directory (default benchmarks/results)")
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="allowed fractional drop (default 0.25)")
+    parser.add_argument("--bench", default=None,
+                        help="gate only this bench family "
+                             "(e.g. simcore, server_hot_path)")
     args = parser.parse_args(argv)
 
     directory = pathlib.Path(args.dir)
     benches = find_benches(directory) if directory.is_dir() else []
-    if len(benches) < 2:
-        print(f"compare_bench: {len(benches)} artifact(s) in {directory}; "
+
+    # Load every artifact once, bucketing by bench family in trajectory
+    # order; any unreadable artifact fails the gate outright.
+    families: dict[str, list[tuple[pathlib.Path, dict]]] = {}
+    for path in benches:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"compare_bench: unreadable artifact: {exc}",
+                  file=sys.stderr)
+            return 1
+        family = payload.get("bench", "server_hot_path") \
+            if isinstance(payload, dict) else "server_hot_path"
+        families.setdefault(family, []).append((path, payload))
+    if args.bench is not None:
+        families = {name: runs for name, runs in families.items()
+                    if name == args.bench}
+
+    comparable = {name: runs for name, runs in families.items()
+                  if len(runs) >= 2}
+    if not comparable:
+        total = sum(len(runs) for runs in families.values())
+        print(f"compare_bench: {total} artifact(s) in {directory}; "
               "nothing to compare")
         return 0
-    previous_path, newest_path = benches[-2], benches[-1]
-    try:
-        previous = json.loads(previous_path.read_text())
-        newest = json.loads(newest_path.read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"compare_bench: unreadable artifact: {exc}", file=sys.stderr)
-        return 1
-    print(f"comparing {previous_path.name} -> {newest_path.name}")
-    ok, messages = compare(previous, newest, threshold=args.threshold)
-    for message in messages:
-        print(f"  {message}")
+
+    ok = True
+    for name in sorted(comparable):
+        (previous_path, previous), (newest_path, newest) = \
+            comparable[name][-2:]
+        print(f"[{name}] comparing {previous_path.name} "
+              f"-> {newest_path.name}")
+        family_ok, messages = compare(previous, newest,
+                                      threshold=args.threshold)
+        ok = ok and family_ok
+        for message in messages:
+            print(f"  {message}")
     return 0 if ok else 1
 
 

@@ -1,0 +1,52 @@
+"""Simulation-core wall-clock bench — the perf-trajectory artifact (PR 5).
+
+Measures the three layers the fast-path work touched: raw DES event
+dispatch (events/sec), processor-sharing transfer completion
+(transfers/sec), and full ``measure_pair`` visits (visits/sec) — the
+grid's actual unit of work.  Writes both the human table
+(``simcore.txt``) and the machine-readable trajectory artifact
+(``BENCH_PR5.json``) that ``compare_bench.py`` diffs across PRs.
+
+Run with ``pytest -m bench benchmarks/`` (wall-clock assertions live in
+this lane, not in tier-1, so a loaded CI box cannot flake unit runs).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.simcore import (format_simcore, run_simcore,
+                                       simcore_bench_payload)
+
+#: acceptance floor for this PR: end-to-end visit throughput at least
+#: 3x the pre-fast-path kernel (measured ~5x in development)
+MIN_VISITS_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def simcore():
+    return run_simcore()
+
+
+@pytest.mark.bench
+def test_simcore_writes_trajectory(simcore, results_dir, save_result):
+    save_result("simcore", format_simcore(simcore))
+    payload = simcore_bench_payload(simcore)
+    path = results_dir / "BENCH_PR5.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    assert payload["simcore"]["events_per_s"] > 0
+    assert payload["simcore"]["transfers_per_s"] > 0
+    assert payload["simcore"]["visits_per_s"] > 0
+
+
+@pytest.mark.bench
+def test_simcore_visits_speedup(simcore):
+    assert simcore.speedup_vs_pre_pr5("visits_per_s") >= MIN_VISITS_SPEEDUP
+
+
+@pytest.mark.bench
+def test_simcore_kernel_not_regressed(simcore):
+    # The kernel probes are noisier than visits/sec; a generous floor
+    # still catches a fast path accidentally reverted to the seed.
+    assert simcore.speedup_vs_pre_pr5("events_per_s") >= 1.2
+    assert simcore.speedup_vs_pre_pr5("transfers_per_s") >= 1.2

@@ -74,17 +74,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="wall-clock server hot-path benchmark (writes BENCH_*.json)")
+        help="wall-clock benchmarks (writes BENCH_*.json): server "
+             "hot path by default, simulation core with --simcore")
+    bench.add_argument("--simcore", action="store_true",
+                       help="benchmark the simulation core (DES kernel, "
+                            "PS pipe, measure_pair) instead of the "
+                            "server hot path")
     bench.add_argument("--sites", type=int, default=3,
                        help="corpus subsample size (default 3)")
     bench.add_argument("--repeats", type=int, default=300,
-                       help="warm repeats per site (default 300)")
+                       help="warm repeats per site (default 300); with "
+                            "--simcore, measure_pair iterations "
+                            "(default then 30)")
     bench.add_argument("--seed", type=int, default=21)
-    bench.add_argument("--out", default="benchmarks/results/BENCH_PR3.json",
-                       help="machine-readable output path")
+    bench.add_argument("--out", default=None,
+                       help="machine-readable output path (default "
+                            "benchmarks/results/BENCH_PR3.json, or "
+                            "BENCH_PR5.json with --simcore)")
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="exit non-zero when the warm-path speedup "
-                            "falls below this factor")
+                            "(or, with --simcore, the visits/s speedup "
+                            "vs the pre-PR5 baseline) falls below this "
+                            "factor")
 
     faults = sub.add_parser(
         "faultsweep",
@@ -199,6 +210,8 @@ def _cmd_serverload() -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.simcore:
+        return _cmd_bench_simcore(args)
     import json
     import pathlib
 
@@ -208,7 +221,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     result = run_hot_path(sites=args.sites, repeats=args.repeats,
                           seed=args.seed)
     print(format_hot_path(result))
-    path = pathlib.Path(args.out)
+    path = pathlib.Path(args.out or "benchmarks/results/BENCH_PR3.json")
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(hot_path_bench_payload(result), indent=2)
                     + "\n")
@@ -223,6 +236,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   speedup=f"{result.warm_speedup:.1f}x",
                   required=f"{args.min_speedup:g}x")
         return 1
+    return 0
+
+
+def _cmd_bench_simcore(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .experiments.simcore import (format_simcore, run_simcore,
+                                      simcore_bench_payload)
+    # --repeats keeps its CLI meaning of "iterations of the unit of
+    # work": here that's measure_pair pairs (300 would take minutes, so
+    # the hot-path default is scaled down when the user didn't override).
+    pairs = args.repeats if args.repeats != 300 else 30
+    result = run_simcore(pairs=pairs, seed=args.seed)
+    print(format_simcore(result))
+    path = pathlib.Path(args.out or "benchmarks/results/BENCH_PR5.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(simcore_bench_payload(result), indent=2)
+                    + "\n")
+    log.info("wrote-artifact", path=path)
+    if args.min_speedup is not None:
+        speedup = result.speedup_vs_pre_pr5("visits_per_s")
+        if speedup < args.min_speedup:
+            log.error("bench-speedup-below-threshold",
+                      speedup=f"{speedup:.1f}x",
+                      required=f"{args.min_speedup:g}x")
+            return 1
     return 0
 
 

@@ -24,9 +24,15 @@ from ..workload.sitegen import SiteSpec
 __all__ = ["PairMeasurement", "measure_pair", "run_grid", "GridResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PairMeasurement:
-    """Cold + warm load of one site in one mode under one condition."""
+    """Cold + warm load of one site in one mode under one condition.
+
+    ``slots=True`` matters at grid scale: a full sweep materializes tens
+    of thousands of these (and pickles each across the process-pool
+    boundary), so dropping the per-instance ``__dict__`` shrinks both
+    resident size and pickle payloads.
+    """
 
     origin: str
     mode: str
@@ -101,7 +107,7 @@ def measure_pair(site_spec: SiteSpec, mode: CachingMode,
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class GridResult:
     """All measurements of a sweep plus slicing helpers."""
 

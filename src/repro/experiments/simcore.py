@@ -1,0 +1,167 @@
+"""Simulation-core throughput benchmark (the BENCH_PR5 artifact).
+
+Three wall-clock probes, one per layer of the fast path:
+
+- **events/sec** — pure timeout churn through the DES kernel: four
+  processes racing ``sim.timeout()`` loops.  Exercises the heap loop,
+  the lazy callback lists and the timeout free-list, nothing else.
+- **transfers/sec** — processor-sharing pipe churn: eight feeders
+  pushing back-to-back transfers through one
+  :class:`~repro.netsim.link.ProcessorSharingPipe`, so every arrival and
+  departure re-divides the bottleneck.  Exercises the lazy-invalidation
+  reschedule.
+- **visits/sec** — :func:`~repro.experiments.harness.measure_pair`
+  cold+warm pairs in both modes: the grid's actual unit of work,
+  end-to-end through browser model, servers and parse/render caches.
+
+The pre-PR baselines below were measured on the seed kernel with this
+exact methodology (same workloads, counts and seeds) immediately before
+the fast-path work landed, so ``speedup_vs_pre_pr5`` in the payload is a
+like-for-like in-repo trajectory, not a cross-machine guess.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.modes import CachingMode
+from ..netsim.link import NetworkConditions, ProcessorSharingPipe
+from ..netsim.sim import Simulator
+from ..workload.sitegen import generate_site
+from .harness import measure_pair
+
+__all__ = ["SimCoreResult", "run_simcore", "format_simcore",
+           "simcore_bench_payload", "PRE_PR5_BASELINE"]
+
+#: Seed-kernel throughput measured with this module's exact workloads
+#: before the PR-5 fast path (same machine class the gate runs on keeps
+#: these honest; the regression gate compares artifacts, not these).
+PRE_PR5_BASELINE = {
+    "events_per_s": 393_189.0,
+    "transfers_per_s": 132_431.0,
+    "visits_per_s": 26.5,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SimCoreResult:
+    """Wall-clock throughput of the three simulation-core layers."""
+
+    events: int
+    events_per_s: float
+    transfers: int
+    transfers_per_s: float
+    visits: int
+    visits_per_s: float
+
+    def speedup_vs_pre_pr5(self, metric: str) -> float:
+        baseline = PRE_PR5_BASELINE[metric]
+        return getattr(self, metric) / baseline if baseline > 0 else 0.0
+
+
+def _bench_events(n_events: int) -> float:
+    """Timeout churn: events dispatched per wall-clock second."""
+
+    def ping(sim: Simulator, n: int):
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    sim = Simulator()
+    for _ in range(4):
+        sim.process(ping(sim, n_events // 4))
+    start = time.perf_counter()
+    sim.run()
+    return n_events / (time.perf_counter() - start)
+
+
+def _bench_transfers(n_transfers: int) -> float:
+    """Pipe churn: completed shared-bottleneck transfers per second."""
+
+    def feeder(sim: Simulator, pipe: ProcessorSharingPipe, n: int):
+        for i in range(n):
+            yield pipe.transfer(2000 + (i % 7) * 501)
+
+    sim = Simulator()
+    pipe = ProcessorSharingPipe(sim, 8e6)
+    for _ in range(8):
+        sim.process(feeder(sim, pipe, n_transfers // 8))
+    start = time.perf_counter()
+    sim.run()
+    return n_transfers / (time.perf_counter() - start)
+
+
+def _bench_visits(n_pairs: int, seed: int) -> tuple[int, float]:
+    """Full measure_pair loops: simulated page visits per second."""
+    site = generate_site("https://bench0.example", seed=seed)
+    conditions = NetworkConditions.of(8, 100)
+    measure_pair(site, CachingMode.CATALYST, conditions, 3600.0)  # warm-up
+    start = time.perf_counter()
+    for _ in range(n_pairs):
+        for mode in (CachingMode.STANDARD, CachingMode.CATALYST):
+            measure_pair(site, mode, conditions, 3600.0)
+    visits = n_pairs * 2 * 2  # two modes, cold+warm each
+    return visits, visits / (time.perf_counter() - start)
+
+
+def run_simcore(events: int = 200_000, transfers: int = 20_000,
+                pairs: int = 30, seed: int = 21,
+                rounds: int = 3) -> SimCoreResult:
+    """Run all three probes and fold the throughputs.
+
+    Each probe runs ``rounds`` times and keeps its best; scheduler
+    jitter only ever slows a run down, so best-of-N measures the code
+    rather than the CI box's load and keeps the 10 % regression gate
+    from tripping on noise.
+    """
+    events_per_s = max(_bench_events(events) for _ in range(rounds))
+    transfers_per_s = max(_bench_transfers(transfers)
+                          for _ in range(rounds))
+    visits = 0
+    visits_per_s = 0.0
+    for _ in range(rounds):
+        visits, rate = _bench_visits(pairs, seed)
+        visits_per_s = max(visits_per_s, rate)
+    return SimCoreResult(
+        events=events, events_per_s=events_per_s,
+        transfers=transfers, transfers_per_s=transfers_per_s,
+        visits=visits, visits_per_s=visits_per_s,
+    )
+
+
+def format_simcore(result: SimCoreResult) -> str:
+    from .report import format_table
+    rows = []
+    for label, key, count in (
+            ("events/s (DES kernel)", "events_per_s", result.events),
+            ("transfers/s (PS pipe)", "transfers_per_s", result.transfers),
+            ("visits/s (measure_pair)", "visits_per_s", result.visits)):
+        rows.append([label, f"{getattr(result, key):,.1f}",
+                     f"{PRE_PR5_BASELINE[key]:,.1f}",
+                     f"{result.speedup_vs_pre_pr5(key):.2f}x",
+                     f"{count:,}"])
+    return format_table(
+        ["probe", "throughput", "pre-PR5 baseline", "speedup", "n"], rows)
+
+
+def simcore_bench_payload(result: SimCoreResult) -> dict:
+    """Machine-readable record for the ``BENCH_*.json`` trajectory."""
+    return {
+        "bench": "simcore",
+        "schema_version": 1,
+        "params": {
+            "events": result.events,
+            "transfers": result.transfers,
+            "visits": result.visits,
+        },
+        "simcore": {
+            "events_per_s": round(result.events_per_s, 1),
+            "transfers_per_s": round(result.transfers_per_s, 1),
+            "visits_per_s": round(result.visits_per_s, 2),
+        },
+        "baseline_pre_pr5": dict(PRE_PR5_BASELINE),
+        "speedup_vs_pre_pr5": {
+            key: round(result.speedup_vs_pre_pr5(key), 2)
+            for key in PRE_PR5_BASELINE
+        },
+    }

@@ -12,10 +12,12 @@ quoting, escapes and comments.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass
 
-__all__ = ["CssRef", "extract_css_urls", "extract_css_refs"]
+__all__ = ["CssRef", "extract_css_urls", "extract_css_refs",
+           "extract_css_refs_cached"]
 
 _COMMENT_RE = re.compile(r"/\*.*?\*/", re.S)
 _URL_RE = re.compile(
@@ -84,3 +86,23 @@ def extract_css_refs(css_text: str) -> list[CssRef]:
 def extract_css_urls(css_text: str) -> list[str]:
     """Just the URLs (order preserved, de-duplicated)."""
     return [ref.url for ref in extract_css_refs(css_text)]
+
+
+# Content-digest-keyed memo of :func:`extract_css_refs` — the browser
+# model tokenizes the same stylesheet on every one of thousands of
+# identical visits; the refs are frozen, so one shared tuple serves all.
+_REFS_CACHE: dict[bytes, tuple[CssRef, ...]] = {}
+_REFS_CACHE_MAX = 512
+
+
+def extract_css_refs_cached(css_text: str) -> tuple[CssRef, ...]:
+    """Memoized :func:`extract_css_refs`; returns an immutable tuple."""
+    key = hashlib.sha256(
+        css_text.encode("utf-8", "backslashreplace")).digest()
+    cached = _REFS_CACHE.get(key)
+    if cached is None:
+        cached = tuple(extract_css_refs(css_text))
+        if len(_REFS_CACHE) >= _REFS_CACHE_MAX:
+            _REFS_CACHE.pop(next(iter(_REFS_CACHE)))
+        _REFS_CACHE[key] = cached
+    return cached

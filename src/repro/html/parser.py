@@ -13,6 +13,7 @@ loading the page — with the metadata that decides scheduling:
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass
 from html.parser import HTMLParser
 from typing import Optional
@@ -22,7 +23,8 @@ from .dom import Document, Element, Text, VOID_ELEMENTS
 from .css import extract_css_urls
 
 __all__ = ["ResourceKind", "ResourceRef", "parse_html",
-           "extract_resources", "resolve_url", "is_same_origin"]
+           "extract_resources", "extract_resources_cached",
+           "resolve_url", "is_same_origin"]
 
 
 class ResourceKind(enum.Enum):
@@ -223,3 +225,45 @@ def extract_resources(document: Document, base_url: str = "",
                 url=prior.url, kind=prior.kind, blocking=True,
                 discovered_by=prior.discovered_by, deferred=False)
     return list(seen.values())
+
+
+# ---------------------------------------------------------------------------
+# Content-digest-keyed extraction cache
+# ---------------------------------------------------------------------------
+# A grid revisits the same body thousands of times (every warm visit of an
+# unchanged page, every mode, every network condition re-parses identical
+# markup).  Extraction is pure — same bytes in, same refs out — so the
+# dependency graph is derived once per process per distinct content and
+# shared from then on.  Values are tuples of frozen ResourceRefs: safe to
+# hand to any number of concurrent page loads.  Mirrors the server-side
+# render cache (PR 3), keyed the same way: by a digest of the content.
+
+_EXTRACT_CACHE: dict[tuple[bytes, str, bool], tuple[ResourceRef, ...]] = {}
+_EXTRACT_CACHE_MAX = 256
+
+
+def content_digest(text: str) -> bytes:
+    """Collision-safe digest of a body used as a parse-cache key."""
+    return hashlib.sha256(text.encode("utf-8", "backslashreplace")).digest()
+
+
+def extract_resources_cached(markup: str, base_url: str = "",
+                             include_inline_css: bool = True
+                             ) -> tuple[ResourceRef, ...]:
+    """Memoized ``extract_resources(parse_html(markup), ...)``.
+
+    Returns an immutable tuple (callers must not mutate the shared
+    result).  The cache is process-wide and FIFO-bounded; entries are
+    keyed by content digest so identical bodies served under different
+    URLs still share one parse.
+    """
+    key = (content_digest(markup), base_url, include_inline_css)
+    cached = _EXTRACT_CACHE.get(key)
+    if cached is None:
+        cached = tuple(extract_resources(
+            parse_html(markup), base_url=base_url,
+            include_inline_css=include_inline_css))
+        if len(_EXTRACT_CACHE) >= _EXTRACT_CACHE_MAX:
+            _EXTRACT_CACHE.pop(next(iter(_EXTRACT_CACHE)))
+        _EXTRACT_CACHE[key] = cached
+    return cached

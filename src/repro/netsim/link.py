@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, TYPE_CHECKING
 
 from .sim import Event, Simulator
@@ -58,16 +59,20 @@ class NetworkConditions:
         if self.downlink_bps <= 0 or self.uplink_bps <= 0:
             raise ValueError("throughput must be positive")
 
-    @property
+    # Derived values are memoized (cached_property writes straight into
+    # the instance dict, so it composes with frozen dataclasses): the
+    # link model reads ``one_way_s`` twice per HTTP message, millions of
+    # times per grid.
+    @cached_property
     def one_way_s(self) -> float:
         """One-way propagation delay."""
         return self.rtt_s / 2.0
 
-    @property
+    @cached_property
     def rtt_ms(self) -> float:
         return self.rtt_s * 1000.0
 
-    @property
+    @cached_property
     def downlink_mbps(self) -> float:
         return self.downlink_bps / 1e6
 
@@ -99,7 +104,19 @@ class _Transfer:
 
 
 class ProcessorSharingPipe:
-    """A bandwidth pipe shared equally among in-flight transfers."""
+    """A bandwidth pipe shared equally among in-flight transfers.
+
+    Scheduling is lazily invalidated: one timer is armed for the next
+    completion, stamped with a wakeup token.  Any arrival, departure or
+    capacity change advances every in-flight transfer once (the O(n)
+    work the exact discipline requires), bumps the token — which strands
+    the armed timer without touching the event heap — and re-arms.  A
+    capacity "change" to the identical rate is a no-op, so back-to-back
+    handovers between equal-rate conditions cost nothing.
+    """
+
+    __slots__ = ("sim", "capacity_bps", "_active", "_last_update",
+                 "_wakeup_token", "total_bits")
 
     def __init__(self, sim: Simulator, capacity_bps: float):
         if capacity_bps <= 0:
@@ -120,10 +137,15 @@ class ProcessorSharingPipe:
         """Change the pipe's rate mid-flight (mobility / handover).
 
         In-flight transfers are advanced at the old rate up to now, then
-        continue at the new rate — work done is conserved.
+        continue at the new rate — work done is conserved.  Setting the
+        capacity the pipe already has is free: nothing about any
+        transfer's finish time could change, so neither the transfers
+        nor the armed wakeup are touched.
         """
         if capacity_bps <= 0:
             raise ValueError("capacity must be positive")
+        if capacity_bps == self.capacity_bps:
+            return
         self._advance()
         self.capacity_bps = capacity_bps
         self._reschedule()
@@ -153,35 +175,52 @@ class ProcessorSharingPipe:
         now = self.sim.now
         elapsed = now - self._last_update
         self._last_update = now
-        if elapsed <= 0 or not self._active:
+        active = self._active
+        if elapsed <= 0 or not active:
             return
-        progressed = elapsed * self._rate_per_transfer()
-        for t in self._active:
+        progressed = elapsed * (self.capacity_bps / len(active))
+        for t in active:
             t.remaining_bits -= progressed
 
     def _reschedule(self) -> None:
         """Complete any finished transfers and arm the next wakeup.
 
-        The wakeup carries its target transfer and force-completes it:
-        float drift could otherwise leave a sub-bit residue whose
-        completion delay underflows to a zero time step, livelocking the
-        queue.
+        One fused pass both collects finished transfers and finds the
+        next finisher among the survivors (first-minimum, matching the
+        pre-fusion ``min()`` tie-break); the active list is only rebuilt
+        when something actually finished.  The wakeup carries its target
+        transfer and force-completes it: float drift could otherwise
+        leave a sub-bit residue whose completion delay underflows to a
+        zero time step, livelocking the queue.
         """
-        finished = [t for t in self._active if t.remaining_bits <= 1e-6]
-        if finished:
-            self._active = [t for t in self._active
-                            if t.remaining_bits > 1e-6]
+        active = self._active
+        finished = None
+        target = None
+        min_bits = math.inf
+        for t in active:
+            remaining = t.remaining_bits
+            if remaining <= 1e-6:
+                if finished is None:
+                    finished = [t]
+                else:
+                    finished.append(t)
+            elif remaining < min_bits:
+                min_bits = remaining
+                target = t
+        if finished is not None:
+            self._active = active = [t for t in active
+                                     if t.remaining_bits > 1e-6]
             for t in finished:
                 t.event.succeed()
         self._wakeup_token += 1
-        if not self._active:
+        if target is None:
             return
-        rate = self._rate_per_transfer()
-        target = min(self._active, key=lambda t: t.remaining_bits)
-        delay = target.remaining_bits / rate
+        delay = target.remaining_bits / (self.capacity_bps / len(active))
         token = self._wakeup_token
         timer = self.sim.timeout(delay)
-        timer.add_callback(lambda _ev: self._on_wakeup(token, target))
+        timer.add_callback(
+            lambda _ev, _token=token, _target=target:
+            self._on_wakeup(_token, _target))
 
     def _on_wakeup(self, token: int, target: _Transfer) -> None:
         if token != self._wakeup_token:

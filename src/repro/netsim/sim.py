@@ -33,8 +33,10 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import sys
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -48,6 +50,11 @@ __all__ = [
     "Interrupt",
     "SimulationError",
 ]
+
+
+#: CPython refcount probe used by the timeout free-list; absent on
+#: runtimes without refcounts, which simply disables recycling.
+_getrefcount = getattr(sys, "getrefcount", None)
 
 
 class SimulationError(Exception):
@@ -71,15 +78,26 @@ class Event:
 
     Lifecycle: *pending* -> *triggered* (value decided, scheduled on the
     queue) -> *processed* (callbacks ran).  Callbacks added after processing
-    are invoked immediately.
+    are deferred through the queue.
+
+    ``callbacks`` is lazily allocated: most events (every timeout, every
+    pipe completion) collect exactly zero or one waiter, so the common
+    case never pays for an empty list.  ``None`` means "no callbacks yet"
+    while the event is live, and "already dispatched" once ``_processed``
+    is set — always register through :meth:`add_callback`, never by
+    appending to ``callbacks`` directly.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered",
+                 "_processed")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._ok: bool = True
         self._triggered = False
+        self._processed = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -90,7 +108,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
@@ -133,14 +151,19 @@ class Event:
         queue (same simulated time, later step) instead of invoking it
         synchronously — this keeps resumption order deterministic and
         bounds recursion when long chains of completed events are awaited.
+
+        This is the single registration point for waiters; it owns the
+        lazy allocation of ``callbacks``.
         """
-        if self.callbacks is None:
+        if self._processed:
             relay = Event(self.sim)
             relay._triggered = True
             relay._ok = self._ok
             relay._value = self._value
-            relay.callbacks.append(fn)
+            relay.callbacks = [fn]
             self.sim._schedule(relay, 0.0)
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
             self.callbacks.append(fn)
 
@@ -151,7 +174,14 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    Instances are recycled through the simulator's free-list (see
+    :meth:`Simulator.timeout`): grids schedule millions of timeouts, and
+    reusing the objects keeps the dispatch loop off the allocator.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
@@ -163,6 +193,8 @@ class Timeout(Event):
 
 class Process(Event):
     """Drives a generator coroutine; itself an event (fires on return)."""
+
+    __slots__ = ("_gen", "name", "_waiting_on")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
@@ -185,8 +217,11 @@ class Process(Event):
         if self._triggered:
             return
         target = self._waiting_on
-        if target is not None and self._resume in (target.callbacks or []):
-            target.callbacks.remove(self._resume)
+        if target is not None and target.callbacks:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
         self._waiting_on = None
         wake = Event(self.sim)
         wake.fail(Interrupt(cause))
@@ -230,6 +265,8 @@ class AnyOf(Event):
     were processed earlier are included).
     """
 
+    __slots__ = ("events",)
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -251,6 +288,8 @@ class AnyOf(Event):
 
 class AllOf(Event):
     """Fires when every one of ``events`` has fired; value maps event->value."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -281,13 +320,15 @@ class Resource:
     deterministic.
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_queue")
+
     def __init__(self, sim: "Simulator", capacity: int):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self._in_use = 0
-        self._queue: list[Event] = []
+        self._queue: deque[Event] = deque()
 
     @property
     def in_use(self) -> int:
@@ -310,7 +351,7 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError("release() without matching request()")
         if self._queue:
-            nxt = self._queue.pop(0)
+            nxt = self._queue.popleft()
             nxt.succeed(self)
         else:
             self._in_use -= 1
@@ -327,6 +368,8 @@ class Resource:
 
 
 class _ResourceUsage:
+    __slots__ = ("resource", "grant")
+
     def __init__(self, resource: Resource):
         self.resource = resource
         self.grant = resource.request()
@@ -348,10 +391,15 @@ class Simulator:
         event (and propagate to waiters) instead of unwinding ``run()``.
     """
 
+    #: recycled Timeout instances kept per simulator (bounds memory while
+    #: still absorbing the bursts a page load schedules)
+    _TIMEOUT_POOL_MAX = 256
+
     def __init__(self, strict: bool = True, tracer=None):
         self._now = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
+        self._timeout_pool: list[Timeout] = []
         self.strict = strict
         # The tracer rides the simulator so every layer holding a ``sim``
         # reference (links, fetchers, loaders) shares one trace without
@@ -372,6 +420,22 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            # Reuse a retired instance; the dispatch loop only pools
+            # timeouts that nothing else references, so the reset is
+            # externally unobservable.
+            timer = pool.pop()
+            timer.delay = delay
+            timer._value = value
+            timer._ok = True
+            timer._triggered = True
+            timer._processed = False
+            timer.callbacks = None
+            self._schedule(timer, delay)
+            return timer
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator, name: str = "") -> Process:
@@ -390,31 +454,55 @@ class Simulator:
     def _schedule(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter),
-                                     event))
+        heappush(self._queue, (self._now + delay, next(self._counter),
+                               event))
 
     def step(self) -> None:
         """Process the single next event."""
-        when, _, event = heapq.heappop(self._queue)
+        when, _, event = heappop(self._queue)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for fn in callbacks:
-            fn(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks is not None:
+            for fn in callbacks:
+                fn(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or the clock would pass ``until``.
 
         When stopped by ``until`` the clock is advanced exactly to
         ``until``.
+
+        This loop is the simulator's hottest code: everything is bound to
+        locals, dispatch is inlined rather than delegated to
+        :meth:`step`, and retired timeouts are returned to the free-list.
+        A timeout is recycled only when this frame holds the last
+        reference (``getrefcount == 2``: the local plus the call
+        argument), which makes reuse invisible to any code that kept the
+        event — e.g. an :class:`AnyOf` still reading ``.value``.
         """
         if until is not None and until < self._now:
             raise SimulationError("until lies in the past")
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
+        queue = self._queue
+        pool = self._timeout_pool
+        pool_max = self._TIMEOUT_POOL_MAX
+        getrefcount = _getrefcount
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 return
-            self.step()
+            when, _, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if callbacks is not None:
+                for fn in callbacks:
+                    fn(event)
+            if (type(event) is Timeout and getrefcount is not None
+                    and getrefcount(event) == 2 and len(pool) < pool_max):
+                pool.append(event)
         if until is not None:
             self._now = until
 

@@ -63,6 +63,11 @@ class OriginSite:
     #: version, so tags are computed once — exactly the memoization a
     #: production stapling server needs to keep per-request cost flat
     _etag_memo: dict[tuple[str, int], str] = field(default_factory=dict)
+    #: (url, version) -> encoded base-HTML body; rendering the markup is
+    #: the priciest part of a document response and versions churn far
+    #: more slowly than requests arrive
+    _html_body_memo: dict[tuple[str, int], bytes] = field(
+        default_factory=dict, repr=False)
     #: url -> ResourceSpec index; the SiteSpec is immutable, so the
     #: per-request page scan in :meth:`resource_spec` collapses to one
     #: dict lookup after first use
@@ -141,8 +146,11 @@ class OriginSite:
 
     def _respond_page(self, page: PageSpec, at_time: float) -> Response:
         version = self._html_churn_for(page).version_at(at_time)
-        markup = render_html(page, version)
-        body = markup.encode()
+        memo_key = (page.url, version)
+        body = self._html_body_memo.get(memo_key)
+        if body is None:
+            body = render_html(page, version).encode()
+            self._html_body_memo[memo_key] = body
         headers = self._common_headers(page.url, at_time, HTML_CONTENT_TYPE,
                                        body)
         # Base documents ship no-cache in the wild and in the paper's

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Iterator, Optional
 
 from ..html.parser import ResourceKind
@@ -417,16 +418,28 @@ def freeze_site(site: SiteSpec) -> SiteSpec:
 # Content rendering
 # ---------------------------------------------------------------------------
 
+@lru_cache(maxsize=1024)
 def _filler(seed: int, nbytes: int) -> str:
-    """Deterministic pseudo-text of roughly ``nbytes`` characters."""
-    rng = random.Random(seed)
-    words = []
+    """Deterministic pseudo-text of roughly ``nbytes`` characters.
+
+    This is the single hottest function of an unmemoized grid run: every
+    CSS/JS response regenerates its filler word-by-word.  Content is a
+    pure function of ``(seed, nbytes)``, so the cache is byte-exact; the
+    loop body inlines ``random.Random.choice`` (same underlying
+    ``_randbelow`` draws, so the text is unchanged) to halve the cost of
+    the cold generation that remains.
+    """
+    randbelow = random.Random(seed)._randbelow
+    words = _FILLER_WORDS
+    nwords = len(words)
+    chosen = []
+    append = chosen.append
     size = 0
     while size < nbytes:
-        word = rng.choice(_FILLER_WORDS)
-        words.append(word)
+        word = words[randbelow(nwords)]
+        append(word)
         size += len(word) + 1
-    return " ".join(words)[:nbytes]
+    return " ".join(chosen)[:nbytes]
 
 
 def render_html(page: PageSpec, version: int) -> str:
@@ -464,8 +477,13 @@ def render_html(page: PageSpec, version: int) -> str:
     return skeleton + f"<p>{filler}</p></body></html>"
 
 
+@lru_cache(maxsize=1024)
 def render_css(spec: ResourceSpec, version: int) -> str:
-    """Materialize a stylesheet; its children appear as url() tokens."""
+    """Materialize a stylesheet; its children appear as url() tokens.
+
+    Memoized: a spec is frozen and content is deterministic per version,
+    so re-rendering for every request of every visit is pure waste.
+    """
     rules = [f"/* v{version} */"]
     for index, child in enumerate(spec.children):
         rules.append(f".bg{index} {{ background: url({child}); }}")
@@ -474,14 +492,28 @@ def render_css(spec: ResourceSpec, version: int) -> str:
     return skeleton + f"\n/* {_filler(spec.content_seed ^ version, pad)} */"
 
 
+@lru_cache(maxsize=1024)
 def render_js(spec: ResourceSpec, version: int) -> str:
-    """Materialize a script; dynamic fetches hide in directive comments."""
+    """Materialize a script; dynamic fetches hide in directive comments.
+
+    Memoized for the same reason as :func:`render_css`.
+    """
     lines = [f"// build {version}"]
     for child in spec.children:
         lines.append(f"{JS_FETCH_DIRECTIVE}{child}*/")
     skeleton = "\n".join(lines)
     pad = max(0, spec.size_bytes - len(skeleton) - 30)
     return skeleton + f"\n/* {_filler(spec.content_seed ^ version, pad)} */"
+
+
+@lru_cache(maxsize=1024)
+def _encoded_asset(spec: ResourceSpec, version: int) -> tuple[bytes, int]:
+    """Encoded CSS/JS body plus wire size, cached alongside the text."""
+    text = (render_css(spec, version)
+            if spec.kind is ResourceKind.STYLESHEET
+            else render_js(spec, version))
+    body = text.encode()
+    return body, max(len(body), spec.size_bytes)
 
 
 def render_resource_body(spec: ResourceSpec, version: int,
@@ -494,11 +526,9 @@ def render_resource_body(spec: ResourceSpec, version: int,
     real-socket integration path, where actual bytes must flow).
     """
     if spec.kind is ResourceKind.STYLESHEET:
-        text = render_css(spec, version)
-        return text.encode(), max(len(text.encode()), spec.size_bytes)
+        return _encoded_asset(spec, version)
     if spec.kind is ResourceKind.SCRIPT:
-        text = render_js(spec, version)
-        return text.encode(), max(len(text.encode()), spec.size_bytes)
+        return _encoded_asset(spec, version)
     marker = f"{spec.url}|v{version}|seed{spec.content_seed}".encode()
     if materialize_fully:
         body = (marker * (spec.size_bytes // len(marker) + 1))[
