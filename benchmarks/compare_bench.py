@@ -10,14 +10,23 @@ cheap, machine-checkable guard that perf never silently slides
 backwards across PRs.  Families are independent: a new simcore artifact
 is never diffed against a server hot-path one.
 
+Every artifact must carry a **run manifest** (``"manifest"`` key, see
+:mod:`repro.obs.manifest`): provenance for the numbers — config, seeds,
+git rev, interpreter, workers, wall time.  A missing or schema-invalid
+manifest fails the gate loudly (a provenance-free artifact proves
+nothing), and two artifacts whose manifest ``config`` identities differ
+are *refused* rather than compared — a 3-site run diffed against an
+8-site run is not a regression, it is a category error.
+
 Usage::
 
     python benchmarks/compare_bench.py            # all families
     python benchmarks/compare_bench.py --bench simcore --threshold 0.10
 
 Exit status: 0 when there is nothing to compare (zero or one artifact
-per family) or every family is within the threshold; 1 on a regression
-or an unreadable artifact.
+per family) or every family is within the threshold; 1 on a regression,
+an unreadable artifact, a missing/invalid manifest, or a refused
+cross-config comparison.
 """
 
 from __future__ import annotations
@@ -28,6 +37,12 @@ import pathlib
 import re
 import sys
 from typing import Optional
+
+# Standalone script: make repro.obs importable without PYTHONPATH.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                       / "src"))
+
+from repro.obs.manifest import comparable, validate_manifest  # noqa: E402
 
 DEFAULT_DIR = pathlib.Path(__file__).parent / "results"
 DEFAULT_THRESHOLD = 0.25
@@ -69,6 +84,16 @@ def lookup(payload: dict, dotted: str) -> Optional[float]:
 def keys_for(payload: dict) -> tuple[str, ...]:
     """The gated metric paths for a payload's bench family."""
     return BENCH_KEYS.get(payload.get("bench", ""), THROUGHPUT_KEYS)
+
+
+def manifest_errors(path: pathlib.Path, payload: dict) -> list[str]:
+    """Provenance problems for one artifact, prefixed with its name."""
+    manifest = payload.get("manifest")
+    if manifest is None:
+        return [f"{path.name}: missing run manifest "
+                "(regenerate with `python -m repro bench`)"]
+    return [f"{path.name}: {error}"
+            for error in validate_manifest(manifest)]
 
 
 def compare(previous: dict, newest: dict,
@@ -121,8 +146,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     benches = find_benches(directory) if directory.is_dir() else []
 
     # Load every artifact once, bucketing by bench family in trajectory
-    # order; any unreadable artifact fails the gate outright.
+    # order; any unreadable artifact fails the gate outright, and so
+    # does any artifact shipped without a (valid) run manifest — an
+    # unattributed number cannot gate anything.
     families: dict[str, list[tuple[pathlib.Path, dict]]] = {}
+    provenance_problems: list[str] = []
     for path in benches:
         try:
             payload = json.loads(path.read_text())
@@ -130,25 +158,41 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"compare_bench: unreadable artifact: {exc}",
                   file=sys.stderr)
             return 1
-        family = payload.get("bench", "server_hot_path") \
-            if isinstance(payload, dict) else "server_hot_path"
+        if not isinstance(payload, dict):
+            payload = {}
+        provenance_problems.extend(manifest_errors(path, payload))
+        family = payload.get("bench", "server_hot_path")
         families.setdefault(family, []).append((path, payload))
     if args.bench is not None:
         families = {name: runs for name, runs in families.items()
                     if name == args.bench}
+        scoped = {path.name for runs in families.values()
+                  for path, _ in runs}
+        provenance_problems = [
+            problem for problem in provenance_problems
+            if problem.split(":", 1)[0] in scoped]
+    if provenance_problems:
+        for problem in provenance_problems:
+            print(f"compare_bench: PROVENANCE {problem}", file=sys.stderr)
+        return 1
 
-    comparable = {name: runs for name, runs in families.items()
-                  if len(runs) >= 2}
-    if not comparable:
+    pairs = {name: runs for name, runs in families.items()
+             if len(runs) >= 2}
+    if not pairs:
         total = sum(len(runs) for runs in families.values())
         print(f"compare_bench: {total} artifact(s) in {directory}; "
               "nothing to compare")
         return 0
 
     ok = True
-    for name in sorted(comparable):
-        (previous_path, previous), (newest_path, newest) = \
-            comparable[name][-2:]
+    for name in sorted(pairs):
+        (previous_path, previous), (newest_path, newest) = pairs[name][-2:]
+        same, reason = comparable(previous["manifest"], newest["manifest"])
+        if not same:
+            print(f"[{name}] REFUSED {previous_path.name} "
+                  f"-> {newest_path.name}: {reason}", file=sys.stderr)
+            ok = False
+            continue
         print(f"[{name}] comparing {previous_path.name} "
               f"-> {newest_path.name}")
         family_ok, messages = compare(previous, newest,

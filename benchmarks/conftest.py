@@ -4,15 +4,38 @@ Every bench regenerates one of the paper's figures/claims.  Because
 pytest captures stdout, each bench also writes its table to
 ``benchmarks/results/<name>.txt`` so the regenerated figures survive the
 run as artifacts (referenced from EXPERIMENTS.md).
+
+Each ``save_result`` call also records a run-manifest entry in
+``benchmarks/results/RUN_MANIFEST.json`` — one provenance stamp per
+artifact name (git rev, interpreter, platform, time) — so a directory
+of ``.txt`` tables is attributable to the code that produced it.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import sys
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SIDECAR = RESULTS_DIR / "RUN_MANIFEST.json"
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+
+def _record_manifest(name: str) -> None:
+    from repro.obs.manifest import build_manifest
+
+    try:
+        index = json.loads(SIDECAR.read_text())
+    except (OSError, json.JSONDecodeError):
+        index = {}
+    if not isinstance(index, dict):
+        index = {}
+    index[name] = build_manifest(config={"artifact": name})
+    SIDECAR.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")
@@ -28,6 +51,7 @@ def save_result(results_dir):
     def _save(name: str, text: str) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
+        _record_manifest(name)
         print(f"\n=== {name} ===\n{text}\n")
 
     return _save

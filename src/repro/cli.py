@@ -151,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--har-out", default=None,
                        help="also write the warm visit's trace-enriched "
                             "HAR here")
+    trace.add_argument("--flame-out", default=None,
+                       help="also write a collapsed-stack self-time "
+                            "flamegraph here (load in speedscope / "
+                            "inferno / flamegraph.pl) and print the "
+                            "self-time table")
 
     report = sub.add_parser("report",
                             help="bundle benchmark artifacts into HTML")
@@ -175,9 +180,12 @@ def _cmd_figure1() -> int:
 
 def _cmd_figure3(args: argparse.Namespace) -> int:
     from .experiments.figure3 import run_figure3
+    from .experiments.harness import fleet_summary
     from .netsim.clock import parse_duration
+    from .obs import MetricsRegistry
     delays = tuple(parse_duration(part)
                    for part in args.delays.split(","))
+    metrics = MetricsRegistry()
     result = run_figure3(sites=args.sites,
                          throughputs_mbps=args.throughputs,
                          latencies_ms=args.latencies,
@@ -185,8 +193,17 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
                          content_churn=args.churn,
                          parallel=args.parallel,
                          progress=lambda msg: log.info("progress",
-                                                       step=msg))
+                                                       step=msg),
+                         metrics=metrics)
     print(result.format())
+    fleet = fleet_summary(metrics)
+    warm = fleet["plt_ms"].get("warm_ms", {})
+    log.info("fleet-summary", pairs=fleet["pairs"],
+             warm_p50_ms=round(warm.get("p50", 0.0), 1),
+             warm_p90_ms=round(warm.get("p90", 0.0), 1),
+             warm_p99_ms=round(warm.get("p99", 0.0), 1),
+             cache_hit_ratio=round(fleet["cache_hit_ratio"], 3),
+             warm_retries=fleet["warm_retries"])
     return 0
 
 
@@ -375,6 +392,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         har_path.parent.mkdir(parents=True, exist_ok=True)
         har_path.write_text(json.dumps(capture.har(), indent=2) + "\n")
         log.info("wrote-har", path=har_path)
+    if args.flame_out:
+        flame_path = pathlib.Path(args.flame_out)
+        flame_path.parent.mkdir(parents=True, exist_ok=True)
+        flame = capture.flamegraph()
+        flame_path.write_text(flame)
+        log.info("wrote-flame", path=flame_path,
+                 stacks=len(flame.splitlines()))
+        print()
+        print("self time by span (sim clock):")
+        print(capture.self_time_table())
     return 0
 
 
@@ -395,7 +422,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .http.aserver import AsyncHttpServer
+    from .http.aserver import STATS_PATH, AsyncHttpServer
+    from .obs import MetricsRegistry, Tracer
     from .server.adapter import as_async_handler
     from .server.catalyst import CatalystServer
     from .server.site import OriginSite
@@ -408,9 +436,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     handler = as_async_handler(catalyst, time_scale=args.time_scale)
 
     async def serve() -> None:
-        async with AsyncHttpServer(handler, port=args.port) as server:
+        async with AsyncHttpServer(handler, port=args.port,
+                                   tracer=Tracer(),
+                                   metrics=MetricsRegistry(),
+                                   stats_source=catalyst.stats) as server:
             print(f"Catalyst origin on {server.base_url} "
-                  f"(x{args.time_scale:g} time; Ctrl-C to stop)")
+                  f"(x{args.time_scale:g} time; Ctrl-C to stop; "
+                  f"stats at {STATS_PATH})")
             try:
                 await asyncio.Event().wait()
             except asyncio.CancelledError:

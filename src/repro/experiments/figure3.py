@@ -110,7 +110,7 @@ def run_figure3(corpus: Optional[Corpus] = None,
                 base_config: BrowserConfig = BrowserConfig(),
                 content_churn: bool = False,
                 parallel: bool = False,
-                progress=None) -> Figure3Result:
+                progress=None, metrics=None) -> Figure3Result:
     """Regenerate Figure 3.
 
     ``sites`` subsamples the corpus for quicker runs; the full corpus is
@@ -140,7 +140,8 @@ def run_figure3(corpus: Optional[Corpus] = None,
             modes=(CachingMode.STANDARD, CachingMode.CATALYST),
             conditions_list=conditions_list,
             delays_s=delays_s,
-            base_config=base_config)
+            base_config=base_config,
+            metrics=metrics)
     else:
         grid = run_grid(
             sites=corpus,
@@ -148,7 +149,8 @@ def run_figure3(corpus: Optional[Corpus] = None,
             conditions_list=conditions_list,
             delays_s=delays_s,
             base_config=base_config,
-            progress=progress)
+            progress=progress,
+            metrics=metrics)
     cells = []
     for conditions in conditions_list:
         label = conditions.describe()

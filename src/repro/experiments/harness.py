@@ -21,7 +21,11 @@ from ..server.site import OriginSite
 from ..workload.corpus import Corpus
 from ..workload.sitegen import SiteSpec
 
-__all__ = ["PairMeasurement", "measure_pair", "run_grid", "GridResult"]
+__all__ = ["PairMeasurement", "measure_pair", "run_grid", "GridResult",
+           "record_fleet_metrics", "fleet_summary", "CACHE_SOURCES"]
+
+#: warm-visit sources that count as cache hits in the fleet hit ratio
+CACHE_SOURCES = ("http-cache", "sw-cache", "offline-cache")
 
 
 @dataclass(frozen=True, slots=True)
@@ -47,6 +51,8 @@ class PairMeasurement:
     warm_sources: dict[str, int] = field(default_factory=dict, hash=False)
     #: cache hits whose content no longer matched the origin (staleness)
     warm_stale_hits: int = 0
+    #: network retries the warm visit burned (fault-injection runs)
+    warm_retries: int = 0
 
     @property
     def reduction(self) -> float:
@@ -104,7 +110,66 @@ def measure_pair(site_spec: SiteSpec, mode: CachingMode,
                       in warm.count_by_source().items()},
         warm_stale_hits=(_stale_hits(warm, site_spec, delay_s)
                          if audit_staleness else 0),
+        warm_retries=warm.retries_total,
     )
+
+
+def record_fleet_metrics(measurements: Sequence[PairMeasurement],
+                         metrics) -> None:
+    """Fold finished measurements into ``fleet.*`` series.
+
+    Strictly post-hoc: runs after the DES produced its (deterministic)
+    measurements, so recording can never perturb a simulated timestamp.
+    The same folding runs serially in :func:`run_grid` and per-worker
+    in :func:`~repro.experiments.parallel.run_grid_parallel`; because
+    counters and sketch merges are associative, the merged fleet view
+    equals the serial one.
+    """
+    for m in measurements:
+        metrics.counter("fleet.pairs").inc()
+        metrics.histogram("fleet.plt_cold_ms").observe(m.cold_plt_ms)
+        metrics.histogram("fleet.plt_warm_ms").observe(m.warm_plt_ms)
+        metrics.histogram(f"fleet.plt_warm_ms.{m.mode}") \
+            .observe(m.warm_plt_ms)
+        metrics.counter("fleet.warm_requests").inc(m.warm_requests)
+        metrics.counter("fleet.warm_retries").inc(m.warm_retries)
+        metrics.counter("fleet.warm_stale_hits").inc(m.warm_stale_hits)
+        for source, n in sorted(m.warm_sources.items()):
+            metrics.counter(f"fleet.warm_source.{source}").inc(n)
+
+
+def fleet_summary(metrics) -> dict:
+    """One dict answering "how did the fleet do": PLT percentiles by
+    cold/warm (and per mode), the cache-hit ratio, retries."""
+    out: dict = {"pairs": 0, "plt_ms": {}, "cache_hit_ratio": 0.0,
+                 "warm_retries": 0, "warm_stale_hits": 0}
+    pairs = metrics.get("fleet.pairs")
+    if pairs is not None:
+        out["pairs"] = pairs.value
+    for instrument in metrics:
+        name = getattr(instrument, "name", "")
+        if name.startswith("fleet.plt_") and hasattr(instrument,
+                                                     "percentile"):
+            out["plt_ms"][name[len("fleet.plt_"):]] = {
+                "p50": instrument.percentile(50),
+                "p90": instrument.percentile(90),
+                "p99": instrument.percentile(99),
+            }
+    hits = sum(metrics.get(f"fleet.warm_source.{source}").value
+               for source in CACHE_SOURCES
+               if metrics.get(f"fleet.warm_source.{source}") is not None)
+    total = sum(instrument.value for instrument in metrics
+                if getattr(instrument, "name", "")
+                .startswith("fleet.warm_source."))
+    if total:
+        out["cache_hit_ratio"] = hits / total
+    retries = metrics.get("fleet.warm_retries")
+    if retries is not None:
+        out["warm_retries"] = retries.value
+    stale = metrics.get("fleet.warm_stale_hits")
+    if stale is not None:
+        out["warm_stale_hits"] = stale.value
+    return out
 
 
 @dataclass(slots=True)
@@ -177,11 +242,14 @@ def run_grid(sites: Corpus | Sequence[SiteSpec],
              base_config: BrowserConfig = BrowserConfig(),
              audit_staleness: bool = False,
              progress: Optional[Callable[[str], None]] = None,
-             tracer=None) -> GridResult:
+             tracer=None, metrics=None) -> GridResult:
     """Sweep the full cross product; deterministic output order.
 
     A ``tracer`` accumulates spans across every cell of the sweep (each
     pair rebinds it to that pair's sim clock); the ring bounds retention.
+    A ``metrics`` registry (:class:`repro.obs.MetricsRegistry`) receives
+    the ``fleet.*`` series after the sweep — post-hoc, so measurements
+    are byte-identical with or without it.
     """
     measurements: list[PairMeasurement] = []
     site_list = list(sites)
@@ -197,4 +265,6 @@ def run_grid(sites: Corpus | Sequence[SiteSpec],
                 if progress is not None:
                     progress(f"{conditions.describe()} {mode.value} "
                              f"delay={delay_s:g}s done")
+    if metrics is not None:
+        record_fleet_metrics(measurements, metrics)
     return GridResult(measurements=measurements)

@@ -6,6 +6,17 @@ fans :func:`~repro.experiments.harness.measure_pair` out over a process
 pool while keeping the output *identical* to the sequential runner
 (work is deterministic and results are re-ordered canonically).
 
+Fleet observability: pass a :class:`repro.obs.MetricsRegistry` and each
+worker folds its chunk's measurements into a private registry
+(``fleet.*`` PLT histograms, hit-source counters, retry counts), whose
+portable dump rides back with the chunk results and merges into the
+caller's registry — so a parallel sweep reports aggregate percentiles
+instead of discarding every worker's distribution.  Histogram merging
+is exact while the pooled sample count fits the raw-sample cap, and
+within the sketch's documented relative-error bound beyond it.  The
+parent logs one heartbeat per finished chunk (worker pid, pairs done,
+chunk wall time), visible during long fan-outs at the debug level.
+
 Used by the CLI for full-corpus runs; the benches stay sequential so
 their timings mean something.
 """
@@ -13,17 +24,23 @@ their timings mean something.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Optional, Sequence
 
 from ..browser.engine import BrowserConfig
 from ..core.modes import CachingMode
 from ..netsim.link import NetworkConditions
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
 from ..workload.corpus import Corpus
 from ..workload.sitegen import SiteSpec
-from .harness import GridResult, PairMeasurement, measure_pair
+from .harness import (GridResult, PairMeasurement, measure_pair,
+                      record_fleet_metrics)
 
 __all__ = ["run_grid_parallel"]
+
+log = get_logger("experiments.parallel")
 
 
 def _warm_worker() -> None:
@@ -56,17 +73,39 @@ def _measure_one(args: tuple) -> PairMeasurement:
                         audit_staleness=audit)
 
 
+def _measure_chunk(args: tuple) -> tuple:
+    """One worker batch: measurements plus (optionally) a metrics dump.
+
+    Returns ``(measurements, metrics_dump_or_None, pid, chunk_wall_s)``.
+    The dump is the worker-side registry's portable state — plain
+    dicts, cheap to pickle — never live instruments.
+    """
+    want_metrics, tasks = args
+    start = time.perf_counter()
+    measurements = [_measure_one(task) for task in tasks]
+    dump = None
+    if want_metrics:
+        shard = MetricsRegistry()
+        record_fleet_metrics(measurements, shard)
+        dump = shard.dump()
+    return measurements, dump, os.getpid(), time.perf_counter() - start
+
+
 def run_grid_parallel(sites: Corpus | Sequence[SiteSpec],
                       modes: Iterable[CachingMode],
                       conditions_list: Iterable[NetworkConditions],
                       delays_s: Iterable[float],
                       base_config: BrowserConfig = BrowserConfig(),
                       audit_staleness: bool = False,
-                      max_workers: Optional[int] = None) -> GridResult:
+                      max_workers: Optional[int] = None,
+                      metrics: Optional[MetricsRegistry] = None
+                      ) -> GridResult:
     """Parallel drop-in for :func:`~repro.experiments.harness.run_grid`.
 
     Produces the same measurements in the same canonical order; only the
-    wall time differs.
+    wall time differs.  With ``metrics``, worker-shard registries merge
+    into it as chunks finish (plus per-worker heartbeat gauges:
+    ``fleet.workers``, ``fleet.worker.<pid>.pairs``).
     """
     site_list = list(sites)
     conditions = list(conditions_list)
@@ -82,10 +121,33 @@ def run_grid_parallel(sites: Corpus | Sequence[SiteSpec],
                                   cond.describe(), delay_s, base_config,
                                   audit_staleness))
     if len(tasks) <= 1:
-        return GridResult(measurements=[_measure_one(t) for t in tasks])
+        measurements = [_measure_one(task) for task in tasks]
+        if metrics is not None:
+            record_fleet_metrics(measurements, metrics)
+        return GridResult(measurements=measurements)
+    size = _chunksize(len(tasks), max_workers)
+    chunks = [(metrics is not None, tasks[i:i + size])
+              for i in range(0, len(tasks), size)]
+    measurements: list[PairMeasurement] = []
+    worker_pairs: dict[int, int] = {}
     with ProcessPoolExecutor(max_workers=max_workers,
                              initializer=_warm_worker) as pool:
-        measurements = list(pool.map(_measure_one, tasks,
-                                     chunksize=_chunksize(len(tasks),
-                                                          max_workers)))
+        # map() yields chunk results in canonical order as they finish,
+        # so measurement order matches run_grid exactly while heartbeat
+        # and merge bookkeeping happen incrementally.
+        for chunk_result in pool.map(_measure_chunk, chunks):
+            chunk_measurements, dump, pid, chunk_s = chunk_result
+            measurements.extend(chunk_measurements)
+            if metrics is None:
+                continue
+            metrics.merge(dump)
+            worker_pairs[pid] = (worker_pairs.get(pid, 0)
+                                 + len(chunk_measurements))
+            metrics.gauge("fleet.workers").set(len(worker_pairs))
+            metrics.gauge(f"fleet.worker.{pid}.pairs") \
+                .set(worker_pairs[pid])
+            log.debug("worker-heartbeat", pid=pid,
+                      pairs=worker_pairs[pid],
+                      chunk_s=round(chunk_s, 3),
+                      done=len(measurements), total=len(tasks))
     return GridResult(measurements=measurements)

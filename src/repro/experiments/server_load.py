@@ -22,6 +22,7 @@ Two experiments live here:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -31,6 +32,7 @@ from ..core.modes import CachingMode, build_mode
 from ..http.messages import Request
 from ..netsim.clock import DAY, HOUR, MINUTE
 from ..netsim.link import NetworkConditions
+from ..obs.manifest import build_manifest, stamp
 from ..perf import percentile
 from ..server.catalyst import CatalystConfig, CatalystServer
 from ..server.site import OriginSite
@@ -152,6 +154,10 @@ class HotPathResult:
     #: cached and uncached variants produced byte-identical responses
     #: (status + header fields in order + body) on every compared request
     byte_identical: bool
+    #: corpus-subsample seed (part of the run's manifest identity)
+    seed: int = 21
+    #: wall seconds the whole profile took (manifest provenance)
+    elapsed_s: float = 0.0
 
     @property
     def warm_speedup(self) -> float:
@@ -209,6 +215,7 @@ def run_hot_path(corpus: Optional[Corpus] = None, sites: int = 3,
     once with the content-addressed caches on, once with the seed's
     uncached path — plus a byte-identity cross-check between the two.
     """
+    started = time.perf_counter()
     if corpus is None:
         corpus = make_corpus()
     subset = corpus.sample(sites, seed=seed).frozen()
@@ -243,6 +250,8 @@ def run_hot_path(corpus: Optional[Corpus] = None, sites: int = 3,
         cached=_profile_servers(cached_pairs, "cached", repeats),
         uncached=_profile_servers(uncached_pairs, "uncached", repeats),
         byte_identical=identical,
+        seed=seed,
+        elapsed_s=time.perf_counter() - started,
     )
 
 
@@ -284,7 +293,7 @@ def hot_path_bench_payload(result: HotPathResult) -> dict:
             },
         }
 
-    return {
+    payload = {
         "bench": "server_hot_path",
         "schema_version": 1,
         "params": {"sites": result.sites, "repeats": result.repeats},
@@ -297,3 +306,12 @@ def hot_path_bench_payload(result: HotPathResult) -> dict:
         "uncached": side_payload(result.uncached),
         "byte_identical": result.byte_identical,
     }
+    # Identity = the workload (which sites); sampling = how long we
+    # hammered it (repeats) — runs differing only in repeats compare.
+    return stamp(payload, build_manifest(
+        config={"bench": "server_hot_path", "sites": result.sites,
+                "seed": result.seed},
+        sampling={"repeats": result.repeats},
+        seeds=[result.seed],
+        wall_time_s=result.elapsed_s or None,
+    ))

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from ..core.modes import CachingMode
 from ..netsim.link import NetworkConditions, ProcessorSharingPipe
 from ..netsim.sim import Simulator
+from ..obs.manifest import build_manifest, stamp
 from ..workload.sitegen import generate_site
 from .harness import measure_pair
 
@@ -54,6 +55,9 @@ class SimCoreResult:
     transfers_per_s: float
     visits: int
     visits_per_s: float
+    #: workload seed (manifest identity) and total probe wall seconds
+    seed: int = 21
+    elapsed_s: float = 0.0
 
     def speedup_vs_pre_pr5(self, metric: str) -> float:
         baseline = PRE_PR5_BASELINE[metric]
@@ -114,6 +118,7 @@ def run_simcore(events: int = 200_000, transfers: int = 20_000,
     rather than the CI box's load and keeps the 10 % regression gate
     from tripping on noise.
     """
+    started = time.perf_counter()
     events_per_s = max(_bench_events(events) for _ in range(rounds))
     transfers_per_s = max(_bench_transfers(transfers)
                           for _ in range(rounds))
@@ -126,6 +131,7 @@ def run_simcore(events: int = 200_000, transfers: int = 20_000,
         events=events, events_per_s=events_per_s,
         transfers=transfers, transfers_per_s=transfers_per_s,
         visits=visits, visits_per_s=visits_per_s,
+        seed=seed, elapsed_s=time.perf_counter() - started,
     )
 
 
@@ -146,7 +152,7 @@ def format_simcore(result: SimCoreResult) -> str:
 
 def simcore_bench_payload(result: SimCoreResult) -> dict:
     """Machine-readable record for the ``BENCH_*.json`` trajectory."""
-    return {
+    payload = {
         "bench": "simcore",
         "schema_version": 1,
         "params": {
@@ -165,3 +171,12 @@ def simcore_bench_payload(result: SimCoreResult) -> dict:
             for key in PRE_PR5_BASELINE
         },
     }
+    # The probe sizes define the workload identity; best-of-N rounds
+    # are sampling effort and may differ between comparable runs.
+    return stamp(payload, build_manifest(
+        config={"bench": "simcore", "events": result.events,
+                "transfers": result.transfers, "visits": result.visits,
+                "seed": result.seed},
+        seeds=[result.seed],
+        wall_time_s=result.elapsed_s or None,
+    ))

@@ -18,8 +18,8 @@ from ..core.catalyst import VisitOutcome, run_visit_sequence
 from ..core.modes import CachingMode, build_mode
 from ..netsim.faults import FaultPlan
 from ..netsim.link import NetworkConditions
-from ..obs import (Tracer, enrich_har, to_chrome_trace,
-                   to_chrome_trace_json, to_jsonl)
+from ..obs import (Tracer, enrich_har, format_self_times, to_chrome_trace,
+                   to_chrome_trace_json, to_collapsed, to_jsonl)
 from ..workload.sitegen import generate_site
 
 __all__ = ["TraceCapture", "capture_visit_trace"]
@@ -51,6 +51,15 @@ class TraceCapture:
         """HAR of one visit (default: the last), trace-enriched."""
         har = to_har(self.outcomes[visit].result)
         return enrich_har(har, self.tracer, trace_id=self.trace_id)
+
+    def flamegraph(self) -> str:
+        """Collapsed-stack self-time profile (speedscope / inferno /
+        flamegraph.pl input), weights in sim-microseconds."""
+        return to_collapsed(self.tracer)
+
+    def self_time_table(self, top: int = 12) -> str:
+        """Human table of the heaviest spans by exclusive time."""
+        return format_self_times(self.tracer, top=top)
 
     def summary(self) -> dict:
         plts = [round(outcome.plt_ms, 1) for outcome in self.outcomes]

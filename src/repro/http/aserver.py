@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 import json
+import time
 from typing import Awaitable, Callable, Optional, Union
 
 from ..obs.log import get_logger
@@ -171,6 +172,8 @@ class AsyncHttpServer:
             "server.request", "http",
             args={"method": request.method, "path": request.path}) \
             if tracer.enabled else None
+        metrics = self.metrics
+        started = time.perf_counter() if metrics is not None else 0.0
         try:
             result = self.handler(request)
             if inspect.isawaitable(result):
@@ -180,21 +183,39 @@ class AsyncHttpServer:
                          url=request.url, error=type(exc).__name__)
             if rspan is not None:
                 rspan.set("error", type(exc).__name__).end()
-            return Response(status=500, body=b"internal server error")
+            result = Response(status=500, body=b"internal server error")
+            self._observe(metrics, started, result.status)
+            return result
         if not isinstance(result, Response):
             logger.error("bad-handler-result", got=type(result).__name__)
             if rspan is not None:
                 rspan.set("error", "bad-handler-result").end()
-            return Response(status=500, body=b"bad handler result")
+            result = Response(status=500, body=b"bad handler result")
+            self._observe(metrics, started, result.status)
+            return result
         if rspan is not None:
             rspan.set("status", result.status).end()
+        self._observe(metrics, started, result.status)
         return result
+
+    @staticmethod
+    def _observe(metrics, started: float, status: int) -> None:
+        """Time one dispatch into the registry (no-op without one)."""
+        if metrics is None:
+            return
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        metrics.histogram("http.request_ms").observe(elapsed_ms)
+        metrics.counter("http.requests").inc()
+        metrics.counter(f"http.status.{status // 100}xx").inc()
 
     def _serve_stats(self) -> Response:
         """``GET /__repro/stats``: one JSON snapshot of everything known.
 
         Always available (the counters cost nothing); tracer and metrics
-        sections appear only as informative as what was wired in.
+        sections appear only as informative as what was wired in.  When
+        a registry is wired, every histogram snapshot carries
+        p50/p90/p99 (sketch-backed once past the raw-sample cap), so
+        the endpoint reports distributions, not just counts.
         """
         payload: dict = {
             "requests_served": self.requests_served,

@@ -15,6 +15,20 @@ One subsystem, three capabilities, zero dependencies:
   (Perfetto / ``chrome://tracing``), JSONL structured event logs, and
   HAR enrichment (``_traceId`` per entry).
 
+Fleet-scale additions:
+
+- **Sketches** (:mod:`repro.obs.sketch`): :class:`LogHistogram`, a
+  fixed-memory log-bucketed quantile sketch with bounded relative
+  error whose ``merge()`` is lossless — the registry's histograms ride
+  on it, and worker-pool registries merge back into one fleet view.
+- **Profiling** (:mod:`repro.obs.profile`): per-span *self time*
+  (exclusive of children) computed from the tracer ring, exported as
+  collapsed-stack flamegraphs (``repro trace --flame-out``).
+- **Manifests** (:mod:`repro.obs.manifest`): provenance stamps
+  (config, seeds, git rev, interpreter, workers, wall time) for every
+  ``BENCH_*.json`` artifact; the bench-compare gate validates them and
+  refuses cross-config comparisons.
+
 Plus :mod:`repro.obs.log`, the structured stderr logger behind the CLI's
 ``--quiet`` and ``REPRO_LOG_LEVEL``.
 """
@@ -22,8 +36,13 @@ Plus :mod:`repro.obs.log`, the structured stderr logger behind the CLI's
 from .export import enrich_har, to_chrome_trace, to_chrome_trace_json, \
     to_jsonl
 from .log import Logger, get_logger, set_level
+from .manifest import (build_manifest, comparable, stamp,
+                       validate_manifest)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       registry)
+from .profile import (collapsed_stacks, format_self_times, self_times,
+                      to_collapsed)
+from .sketch import LogHistogram
 from .trace import (DEFAULT_MAX_SPANS, NULL_SPAN, NULL_TRACER, NullTracer,
                     Span, Tracer)
 
@@ -31,6 +50,9 @@ __all__ = [
     "Tracer", "Span", "NullTracer", "NULL_TRACER", "NULL_SPAN",
     "DEFAULT_MAX_SPANS",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "registry",
+    "LogHistogram",
+    "self_times", "collapsed_stacks", "to_collapsed", "format_self_times",
+    "build_manifest", "stamp", "validate_manifest", "comparable",
     "to_chrome_trace", "to_chrome_trace_json", "to_jsonl", "enrich_har",
     "Logger", "get_logger", "set_level",
 ]

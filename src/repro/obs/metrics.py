@@ -6,9 +6,20 @@ create an instrument by name, bump it inline, read everything back in
 one :meth:`MetricsRegistry.snapshot`.  Analysis (percentiles, means)
 happens off the hot path, exactly like ``PerfCounters``.
 
-Histograms keep a bounded ring of samples (same discipline as the perf
-latency ring): a long-lived server's percentiles describe the most
-recent window instead of growing without bound.
+Histograms are two-tier.  A bounded ring of raw samples (same
+discipline as the perf latency ring) gives *exact* percentiles while it
+still covers every observation; once the cap is exceeded a
+:class:`~repro.obs.sketch.LogHistogram` — fed on every observe, fixed
+memory, bounded relative error — takes over, so a long-lived server or
+a million-visit sweep reports all-time percentiles instead of either
+growing without bound or silently narrowing to a recent window.
+
+Every instrument **merges**: :meth:`MetricsRegistry.dump` produces a
+portable (pickle- and JSON-safe) state and
+:meth:`MetricsRegistry.merge` folds such a dump — or another live
+registry — back in.  That is what lets a process-pool fan-out ship each
+worker's registry back to the parent and report fleet-wide aggregates
+(see :func:`repro.experiments.parallel.run_grid_parallel`).
 
 A process-wide default registry is available through :func:`registry`
 for code with no natural injection point; experiments that need
@@ -20,11 +31,12 @@ from __future__ import annotations
 from typing import Iterator, Mapping, Optional, Union
 
 from ..perf.counters import percentile
+from .sketch import DEFAULT_RELATIVE_ERROR, LogHistogram
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "registry", "DEFAULT_HISTOGRAM_SAMPLES"]
 
-#: default histogram ring capacity (samples)
+#: default histogram raw-sample cap (exact percentiles below this)
 DEFAULT_HISTOGRAM_SAMPLES = 8_192
 
 
@@ -42,8 +54,15 @@ class Counter:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
 
+    def merge(self, other: Union["Counter", int]) -> None:
+        """Counts from disjoint shards add."""
+        self.inc(other.value if isinstance(other, Counter) else int(other))
+
     def snapshot(self) -> int:
         return self.value
+
+    def dump(self) -> dict:
+        return {"kind": "counter", "value": self.value}
 
 
 class Gauge:
@@ -64,18 +83,34 @@ class Gauge:
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
 
+    def merge(self, other: Union["Gauge", float]) -> None:
+        """Gauges sum across shards (each worker owns a disjoint part
+        of the fleet, so "entries per worker" merge to "entries")."""
+        self.value += other.value if isinstance(other, Gauge) \
+            else float(other)
+
     def snapshot(self) -> float:
         return self.value
 
+    def dump(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
 
 class Histogram:
-    """Bounded-ring sample distribution with off-path percentiles."""
+    """Capped raw-sample window backed by a mergeable log sketch.
+
+    Exact percentiles while ``count <= max_samples`` (nothing dropped
+    yet); beyond the cap, :meth:`percentile` routes through the sketch,
+    which has seen *every* observation at fixed memory and bounded
+    relative error — not just the newest window.
+    """
 
     __slots__ = ("name", "max_samples", "count", "total",
-                 "_samples", "_ring_pos")
+                 "_samples", "_ring_pos", "_sketch")
 
     def __init__(self, name: str,
-                 max_samples: int = DEFAULT_HISTOGRAM_SAMPLES):
+                 max_samples: int = DEFAULT_HISTOGRAM_SAMPLES,
+                 relative_error: float = DEFAULT_RELATIVE_ERROR):
         if max_samples < 1:
             raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
@@ -84,10 +119,12 @@ class Histogram:
         self.total = 0.0
         self._samples: list[float] = []
         self._ring_pos = 0
+        self._sketch = LogHistogram(relative_error=relative_error)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        self._sketch.observe(value)
         if len(self._samples) < self.max_samples:
             self._samples.append(value)
         else:
@@ -96,7 +133,18 @@ class Histogram:
 
     @property
     def samples(self) -> list[float]:
+        """The retained raw window — capped at ``max_samples``."""
         return list(self._samples)
+
+    @property
+    def sketch(self) -> LogHistogram:
+        """The all-time sketch (read-only use, please)."""
+        return self._sketch
+
+    @property
+    def exact(self) -> bool:
+        """True while the raw window still covers every observation."""
+        return self.count <= len(self._samples)
 
     def mean(self) -> float:
         if self.count == 0:
@@ -104,22 +152,48 @@ class Histogram:
         return self.total / self.count
 
     def percentile(self, q: float) -> float:
-        """The q-th percentile of the retained window; 0.0 when empty."""
-        if not self._samples:
+        """Exact below the cap, sketch-estimated beyond; 0.0 when empty."""
+        if self.count == 0:
             return 0.0
-        return percentile(self._samples, q)
+        if self.exact:
+            return percentile(self._samples, q)
+        return self._sketch.percentile(q)
+
+    def merge(self, other: Union["Histogram", Mapping]) -> None:
+        """Fold another histogram (or its :meth:`dump`) into this one.
+
+        Raw windows concatenate up to the cap — so small merged
+        histograms stay exact — and the sketches merge losslessly.
+        """
+        if isinstance(other, Histogram):
+            state = other.dump()
+        else:
+            state = dict(other)
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        self._sketch.merge(state["sketch"])
+        room = self.max_samples - len(self._samples)
+        if room > 0:
+            self._samples.extend(state["samples"][:room])
 
     def snapshot(self) -> dict:
-        out = {"count": self.count, "total": self.total,
-               "mean": self.mean()}
-        if self._samples:
-            out["p50"] = self.percentile(50)
-            out["p90"] = self.percentile(90)
-            out["p99"] = self.percentile(99)
-        return out
+        """Stats shape; p50/p90/p99 always present (0.0 when empty)."""
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean(),
+                "p50": self.percentile(50),
+                "p90": self.percentile(90),
+                "p99": self.percentile(99)}
+
+    def dump(self) -> dict:
+        return {"kind": "histogram", "count": self.count,
+                "total": self.total, "max_samples": self.max_samples,
+                "samples": list(self._samples),
+                "sketch": self._sketch.to_dict()}
 
 
 Instrument = Union[Counter, Gauge, Histogram]
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
 class MetricsRegistry:
@@ -178,6 +252,43 @@ class MetricsRegistry:
         """All instruments, by name, machine-readable."""
         return {name: instrument.snapshot()
                 for name, instrument in sorted(self._instruments.items())}
+
+    # -- fleet merge --------------------------------------------------------
+    def dump(self) -> dict:
+        """Portable mergeable state: plain dicts, pickle- and JSON-safe.
+
+        This — not pickled instruments — is what crosses the process-
+        pool boundary, so the wire format stays inspectable and version-
+        tolerant.
+        """
+        return {name: instrument.dump()
+                for name, instrument in sorted(self._instruments.items())}
+
+    def merge(self, other: Union["MetricsRegistry", Mapping[str, Mapping]]
+              ) -> "MetricsRegistry":
+        """Fold another registry's state (live or :meth:`dump`) into this.
+
+        Instruments are created on first sight; kind mismatches raise —
+        a worker disagreeing with the parent about what ``fleet.x`` *is*
+        should fail loudly, not average nonsense.
+        """
+        entries = other.dump() if isinstance(other, MetricsRegistry) \
+            else other
+        for name, state in entries.items():
+            kind = _KINDS.get(state.get("kind", ""))
+            if kind is None:
+                raise ValueError(f"metric {name!r}: unknown kind "
+                                 f"{state.get('kind')!r}")
+            if kind is Histogram:
+                instrument = self.histogram(
+                    name, max_samples=state.get("max_samples",
+                                                DEFAULT_HISTOGRAM_SAMPLES))
+                instrument.merge(state)
+            elif kind is Counter:
+                self.counter(name).merge(state["value"])
+            else:
+                self.gauge(name).merge(state["value"])
+        return self
 
     def get(self, name: str) -> Optional[Instrument]:
         return self._instruments.get(name)

@@ -1,0 +1,168 @@
+"""Span self-time profiling and flamegraph export.
+
+The tracer answers "what happened, when"; this module answers "where
+did the time actually go".  *Self time* is a span's duration minus the
+time covered by its direct children — the share of a ``page.load`` that
+was genuinely the browser's, rather than nested network attempts or
+server handling.  Computed entirely from the finished-span ring, after
+the run: profiling a deterministic DES run perturbs nothing (the paired
+test in ``tests/integration/test_observability.py`` proves PLTs stay
+byte-identical).
+
+Two export shapes:
+
+- :func:`self_times` — per ``(category, name)`` totals, the basis for
+  the CLI's "where did the milliseconds go" table
+  (:func:`format_self_times`).
+- :func:`collapsed_stacks` — Brendan Gregg's collapsed-stack format
+  (one ``root;child;leaf <weight>`` line per unique path, weights in
+  integer microseconds of self time), loadable by speedscope
+  (https://speedscope.app), inferno, and ``flamegraph.pl``.  Written by
+  ``python -m repro trace --flame-out``.
+
+Spans whose parent fell out of the bounded ring are treated as roots;
+open (unfinished) spans are skipped.  Time is whatever clock the tracer
+ran on — simulated seconds for DES traces, wall seconds for asyncio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .trace import Span, Tracer
+
+__all__ = ["self_times", "collapsed_stacks", "to_collapsed",
+           "format_self_times"]
+
+SpanSource = Union[Tracer, Iterable[Span]]
+
+
+def _finished_spans(source: SpanSource) -> List[Span]:
+    spans = source.spans() if isinstance(source, Tracer) else list(source)
+    return [span for span in spans if span.finished]
+
+
+def _child_time(span: Span, children: List[Span]) -> float:
+    """Time within ``span`` covered by its direct children.
+
+    Children of one parent may themselves overlap (concurrent fetches
+    under one ``page.load``), so intervals are merged before summing —
+    self time must never go negative just because two children ran at
+    the same simulated instant.
+    """
+    intervals = []
+    for child in children:
+        start = max(child.start_s, span.start_s)
+        end = min(child.end_s, span.end_s)
+        if end > start:
+            intervals.append((start, end))
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            covered += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    covered += cur_end - cur_start
+    return covered
+
+
+def _self_time_of(spans: List[Span]) -> Dict[int, float]:
+    """span_id -> self seconds for every finished span."""
+    by_parent: Dict[int, List[Span]] = {}
+    known = {span.span_id for span in spans}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in known:
+            by_parent.setdefault(span.parent_id, []).append(span)
+    out: Dict[int, float] = {}
+    for span in spans:
+        children = by_parent.get(span.span_id, [])
+        out[span.span_id] = max(
+            0.0, span.duration_s - _child_time(span, children))
+    return out
+
+
+def self_times(source: SpanSource) -> Dict[Tuple[str, str], dict]:
+    """Per ``(category, name)``: exclusive-time totals over the ring.
+
+    Returns ``{(category, name): {"self_s", "total_s", "count"}}``,
+    where ``total_s`` is inclusive (with-children) time.
+    """
+    spans = _finished_spans(source)
+    per_span = _self_time_of(spans)
+    out: Dict[Tuple[str, str], dict] = {}
+    for span in spans:
+        entry = out.setdefault((span.category, span.name),
+                               {"self_s": 0.0, "total_s": 0.0, "count": 0})
+        entry["self_s"] += per_span[span.span_id]
+        entry["total_s"] += span.duration_s
+        entry["count"] += 1
+    return out
+
+
+def _frame(span: Span) -> str:
+    """One stack-frame label; collapsed format reserves ';' and ' '."""
+    label = f"{span.category}:{span.name}" if span.category else span.name
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def collapsed_stacks(source: SpanSource,
+                     scale: float = 1e6) -> Dict[str, int]:
+    """Unique root->leaf paths weighted by integer self time.
+
+    ``scale`` converts clock seconds to the emitted unit (default
+    microseconds).  Zero-weight paths (instants, fully-covered parents)
+    are dropped — they carry no area on a flamegraph.
+    """
+    spans = _finished_spans(source)
+    per_span = _self_time_of(spans)
+    by_id = {span.span_id: span for span in spans}
+    stacks: Dict[str, int] = {}
+    for span in spans:
+        weight = round(per_span[span.span_id] * scale)
+        if weight <= 0:
+            continue
+        frames = [_frame(span)]
+        seen = {span.span_id}
+        parent_id = span.parent_id
+        while parent_id is not None and parent_id in by_id \
+                and parent_id not in seen:
+            parent = by_id[parent_id]
+            frames.append(_frame(parent))
+            seen.add(parent_id)
+            parent_id = parent.parent_id
+        path = ";".join(reversed(frames))
+        stacks[path] = stacks.get(path, 0) + weight
+    return stacks
+
+
+def to_collapsed(source: SpanSource, scale: float = 1e6) -> str:
+    """The collapsed-stack file: one ``path weight`` line, sorted."""
+    stacks = collapsed_stacks(source, scale=scale)
+    lines = [f"{path} {weight}" for path, weight in sorted(stacks.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def format_self_times(source: SpanSource, top: int = 12) -> str:
+    """Human table of the heaviest ``(category, name)`` self times."""
+    totals = self_times(source)
+    entries = sorted(totals.items(),
+                     key=lambda item: -item[1]["self_s"])[:top]
+    if not entries:
+        return "(no finished spans)"
+    total_self = sum(entry["self_s"] for entry in totals.values()) or 1.0
+    width = max(len(f"{category}:{name}")
+                for (category, name), _ in entries)
+    lines = [f"{'span':<{width}}  {'self ms':>10}  {'total ms':>10}  "
+             f"{'count':>6}  share"]
+    for (category, name), entry in entries:
+        label = f"{category}:{name}"
+        lines.append(
+            f"{label:<{width}}  {entry['self_s'] * 1e3:>10.2f}  "
+            f"{entry['total_s'] * 1e3:>10.2f}  {entry['count']:>6}  "
+            f"{entry['self_s'] / total_self:>5.1%}")
+    return "\n".join(lines)

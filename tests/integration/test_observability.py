@@ -16,7 +16,8 @@ import pytest
 from repro.core.modes import CachingMode
 from repro.experiments.tracing import capture_visit_trace
 from repro.netsim.faults import FaultPlan
-from repro.obs import NULL_SPAN, NULL_TRACER, Tracer
+from repro.obs import (NULL_SPAN, NULL_TRACER, MetricsRegistry, Tracer,
+                       collapsed_stacks, self_times)
 
 pytestmark = pytest.mark.obs
 
@@ -142,3 +143,86 @@ class TestStatsEndpoint:
         assert payload["app"] == {"hits": 4}
         assert payload["tracer"]["trace_id"] == tracer.trace_id
         assert tracer.spans_named("server.request")
+
+    def test_stats_route_reports_histogram_percentiles(self):
+        # The satellite fix: with a registry wired in, the endpoint must
+        # report request-latency *distributions* (p50/p90/p99), not just
+        # counts.
+        from repro.http.aclient import AsyncHttpClient
+        from repro.http.aserver import STATS_PATH, AsyncHttpServer
+        from repro.http.messages import Response
+
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            server = AsyncHttpServer(lambda req: Response(body=b"ok"),
+                                     metrics=metrics)
+            async with server:
+                async with AsyncHttpClient() as client:
+                    for _ in range(5):
+                        await client.get(server.base_url + "/page")
+                    stats = await client.get(server.base_url + STATS_PATH)
+                    return stats.response
+
+        response = asyncio.run(scenario())
+        payload = json.loads(response.body)
+        latency = payload["metrics"]["http.request_ms"]
+        assert latency["count"] == 5
+        assert 0.0 < latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert payload["metrics"]["http.requests"] == 5
+        assert payload["metrics"]["http.status.2xx"] == 5
+
+    def test_stats_request_itself_not_metered(self):
+        # /__repro/stats short-circuits before dispatch metering, so
+        # probing the endpoint does not pollute the latency series.
+        from repro.http.aclient import AsyncHttpClient
+        from repro.http.aserver import STATS_PATH, AsyncHttpServer
+        from repro.http.messages import Response
+
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            server = AsyncHttpServer(lambda req: Response(body=b"ok"),
+                                     metrics=metrics)
+            async with server:
+                async with AsyncHttpClient() as client:
+                    await client.get(server.base_url + STATS_PATH)
+                    await client.get(server.base_url + STATS_PATH)
+
+        asyncio.run(scenario())
+        assert metrics.get("http.requests") is None
+
+
+class TestProfilerZeroOverhead:
+    def test_plt_identical_profiled_vs_unprofiled(self):
+        # Paired-run satellite: profiling is a post-hoc read of the span
+        # ring, so a run without it must produce byte-identical PLTs.
+        unprofiled = capture_visit_trace(seed=33, tracer=NULL_TRACER)
+        profiled = capture_visit_trace(seed=33, tracer=Tracer())
+        stacks = collapsed_stacks(profiled.tracer)  # the actual profile
+        assert stacks, "profiled run must yield weighted stacks"
+        plts = lambda cap: [o.plt_ms for o in cap.outcomes]  # noqa: E731
+        assert plts(profiled) == plts(unprofiled)
+
+    def test_self_times_cover_every_layer(self, capture):
+        totals = self_times(capture.tracer)
+        categories = {category for category, _ in totals}
+        assert {"browser", "netsim", "server"} <= categories
+        # self time never exceeds inclusive time
+        for entry in totals.values():
+            assert 0.0 <= entry["self_s"] <= entry["total_s"] + 1e-9
+
+    def test_flamegraph_export_shape(self, capture):
+        text = capture.flamegraph()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            path, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+            assert path  # frames survive sanitization
+        # root frames must include the page load
+        assert any(line.startswith("browser:page.load")
+                   for line in text.splitlines())
+
+    def test_self_time_table_renders(self, capture):
+        table = capture.self_time_table(top=5)
+        assert "self ms" in table and "share" in table

@@ -6,6 +6,8 @@ import pathlib
 
 import pytest
 
+from repro.obs.manifest import build_manifest
+
 _MODULE_PATH = (pathlib.Path(__file__).resolve().parents[2]
                 / "benchmarks" / "compare_bench.py")
 _spec = importlib.util.spec_from_file_location("compare_bench",
@@ -14,9 +16,16 @@ compare_bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(compare_bench)
 
 
-def _payload(cached_warm: float) -> dict:
-    return {"bench": "server_hot_path",
-            "throughput_rps": {"cached_warm": cached_warm}}
+def _payload(cached_warm: float, config: dict = None,
+             manifest: bool = True) -> dict:
+    payload = {"bench": "server_hot_path",
+               "throughput_rps": {"cached_warm": cached_warm}}
+    if manifest:
+        payload["manifest"] = build_manifest(
+            config=config or {"bench": "server_hot_path", "sites": 3,
+                              "seed": 21},
+            sampling={"repeats": 300}, seeds=[21])
+    return payload
 
 
 def _write(directory: pathlib.Path, name: str, payload: dict) -> None:
@@ -88,3 +97,75 @@ class TestMain:
         _write(tmp_path, "BENCH_PR3.json", _payload(1000))
         (tmp_path / "BENCH_PR4.json").write_text("{not json")
         assert compare_bench.main(["--dir", str(tmp_path)]) == 1
+
+
+class TestProvenance:
+    """Manifest validation + cross-config refusal (the loud gate)."""
+
+    def test_missing_manifest_fails_loudly(self, tmp_path, capsys):
+        _write(tmp_path, "BENCH_PR3.json", _payload(1000, manifest=False))
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 1
+        assert "missing run manifest" in capsys.readouterr().err
+
+    def test_missing_manifest_fails_even_alone(self, tmp_path):
+        # A single provenance-free artifact is itself a failure — the
+        # gate must not silently pass on "nothing to compare".
+        _write(tmp_path, "BENCH_CI.json", _payload(1000, manifest=False))
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 1
+
+    def test_invalid_manifest_fails(self, tmp_path, capsys):
+        payload = _payload(1000)
+        del payload["manifest"]["git_rev"]
+        payload["manifest"]["workers"] = 0
+        _write(tmp_path, "BENCH_PR3.json", payload)
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "git_rev" in err
+
+    def test_cross_config_comparison_refused(self, tmp_path, capsys):
+        _write(tmp_path, "BENCH_PR3.json", _payload(
+            1000, config={"bench": "server_hot_path", "sites": 3,
+                          "seed": 21}))
+        _write(tmp_path, "BENCH_PR4.json", _payload(
+            100, config={"bench": "server_hot_path", "sites": 8,
+                         "seed": 21}))
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "REFUSED" in err
+        assert "sites" in err
+
+    def test_sampling_difference_still_compared(self, tmp_path):
+        # Same config, different repeats: comparable by design (CI runs
+        # fewer repeats than the committed artifacts).
+        old = _payload(1000)
+        new = _payload(990)
+        old["manifest"]["sampling"] = {"repeats": 300}
+        new["manifest"]["sampling"] = {"repeats": 120}
+        _write(tmp_path, "BENCH_PR3.json", old)
+        _write(tmp_path, "BENCH_PR4.json", new)
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 0
+
+    def test_bench_filter_scopes_provenance(self, tmp_path):
+        # --bench simcore must not trip over an unrelated family's
+        # missing manifest...
+        _write(tmp_path, "BENCH_PR3.json", _payload(1000, manifest=False))
+        simcore = {"bench": "simcore",
+                   "simcore": {"events_per_s": 1.0, "transfers_per_s": 1.0,
+                               "visits_per_s": 1.0},
+                   "manifest": build_manifest(config={"bench": "simcore"})}
+        _write(tmp_path, "BENCH_PR5.json", simcore)
+        assert compare_bench.main(
+            ["--dir", str(tmp_path), "--bench", "simcore"]) == 0
+        # ...but the unscoped run still fails on it.
+        assert compare_bench.main(["--dir", str(tmp_path)]) == 1
+
+    def test_committed_artifacts_carry_valid_manifests(self):
+        # The in-repo trajectory itself must satisfy the gate it feeds.
+        assert compare_bench.main([]) == 0
+
+    def test_manifest_errors_helper(self, tmp_path):
+        path = tmp_path / "BENCH_X.json"
+        errors = compare_bench.manifest_errors(path, {})
+        assert errors and "missing run manifest" in errors[0]
+        assert compare_bench.manifest_errors(
+            path, _payload(1.0)) == []

@@ -38,7 +38,10 @@ class TestInstruments:
         hist = Histogram("empty")
         assert hist.percentile(99) == 0.0
         assert hist.mean() == 0.0
-        assert "p50" not in hist.snapshot()
+        # snapshots always carry percentile keys (0.0 when empty) so
+        # downstream consumers (/__repro/stats) see a stable shape
+        snap = hist.snapshot()
+        assert snap["p50"] == snap["p90"] == snap["p99"] == 0.0
 
     def test_histogram_ring_bounds_window(self):
         hist = Histogram("ring", max_samples=3)
@@ -47,6 +50,61 @@ class TestInstruments:
         # count/total track everything; the window holds the newest 3
         assert hist.count == 4
         assert sorted(hist.samples) == [20.0, 30.0, 40.0]
+
+    def test_histogram_exact_until_ring_wraps(self):
+        hist = Histogram("two-tier", max_samples=4)
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.exact
+        assert hist.percentile(50) == pytest.approx(2.0)
+
+    def test_histogram_memory_stays_bounded_past_cap(self):
+        # The satellite regression: unbounded sample retention is gone.
+        # Past the cap, percentiles route through the sketch and stay
+        # within its documented relative error of the true value.
+        hist = Histogram("bounded", max_samples=100)
+        n = 10_000
+        for i in range(n):
+            hist.observe(float(i + 1))
+        assert len(hist.samples) == 100
+        assert not hist.exact
+        assert hist.count == n
+        error = hist.sketch.relative_error
+        for q, truth in ((50, n * 0.50), (90, n * 0.90), (99, n * 0.99)):
+            assert hist.percentile(q) == pytest.approx(
+                truth, rel=2 * error + 0.01)
+
+    def test_histogram_merge_matches_pooled(self):
+        pooled = Histogram("pooled")
+        a, b = Histogram("a"), Histogram("b")
+        for i in range(50):
+            value = float(1 + (i * 37) % 100)
+            pooled.observe(value)
+            (a if i % 2 else b).observe(value)
+        a.merge(b)
+        assert a.count == pooled.count
+        # both still inside the raw ring -> exactly equal percentiles
+        for q in (50, 90, 99):
+            assert a.percentile(q) == pooled.percentile(q)
+
+    def test_histogram_merge_accepts_dump(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.observe(1.0)
+        b.observe(3.0)
+        a.merge(b.dump())
+        assert a.count == 2
+        assert a.percentile(100) == 3.0
+
+    def test_histogram_dump_roundtrip_is_portable(self):
+        import json
+        hist = Histogram("h", max_samples=8)
+        for i in range(20):
+            hist.observe(float(i + 1))
+        dump = json.loads(json.dumps(hist.dump()))  # JSON-safe
+        other = Histogram("other")
+        other.merge(dump)
+        assert other.count == 20
+        assert other.percentile(99) == pytest.approx(20.0, rel=0.03)
 
 
 class TestRegistry:

@@ -1,0 +1,114 @@
+"""Unit tests for self-time profiling + flamegraph export."""
+
+import pytest
+
+from repro.obs import (Tracer, collapsed_stacks, format_self_times,
+                       self_times, to_collapsed)
+
+pytestmark = pytest.mark.obs
+
+
+def _tree_tracer():
+    """root(0..10) -> [child_a(1..4), child_b(3..8)], leaf under a."""
+    tracer = Tracer(clock=lambda: 0.0)
+    root = tracer.add_span("load", "page", 0.0, 10.0)
+    child_a = tracer.add_span("fetch", "net", 1.0, 4.0, parent=root)
+    tracer.add_span("parse", "browser", 1.5, 2.0, parent=child_a)
+    tracer.add_span("fetch", "net", 3.0, 8.0, parent=root)
+    return tracer
+
+
+class TestSelfTimes:
+    def test_overlapping_children_merge(self):
+        # children cover [1,4] U [3,8] = 7s -> root self = 3s, never
+        # double-subtracted
+        totals = self_times(_tree_tracer())
+        assert totals[("page", "load")]["self_s"] == pytest.approx(3.0)
+        assert totals[("page", "load")]["total_s"] == pytest.approx(10.0)
+
+    def test_child_self_excludes_grandchild(self):
+        totals = self_times(_tree_tracer())
+        # net:fetch spans: (4-1-0.5) + (8-3) = 7.5 self across count 2
+        assert totals[("net", "fetch")]["self_s"] == pytest.approx(7.5)
+        assert totals[("net", "fetch")]["count"] == 2
+
+    def test_child_clamped_to_parent(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        parent = tracer.add_span("p", "c", 0.0, 5.0)
+        tracer.add_span("runaway", "c", 4.0, 50.0, parent=parent)
+        totals = self_times(tracer)
+        assert totals[("c", "p")]["self_s"] == pytest.approx(4.0)
+
+    def test_open_spans_skipped(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.begin("open", "cat")  # never ended
+        assert self_times(tracer) == {}
+
+    def test_orphan_parent_treated_as_root(self):
+        tracer = Tracer(clock=lambda: 0.0, max_spans=1)
+        root = tracer.add_span("evicted", "cat", 0.0, 10.0)
+        tracer.add_span("kept", "cat", 2.0, 5.0, parent=root)
+        # ring holds only the child; its parent id dangles
+        totals = self_times(tracer)
+        assert totals == {("cat", "kept"):
+                          {"self_s": 3.0, "total_s": 3.0, "count": 1}}
+        stacks = collapsed_stacks(tracer)
+        assert list(stacks) == ["cat:kept"]
+
+
+class TestCollapsed:
+    def test_paths_and_weights(self):
+        stacks = collapsed_stacks(_tree_tracer())
+        assert stacks["page:load"] == 3_000_000
+        assert stacks["page:load;net:fetch"] == 7_500_000
+        assert stacks["page:load;net:fetch;browser:parse"] == 500_000
+
+    def test_zero_weight_paths_dropped(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        parent = tracer.add_span("covered", "c", 0.0, 2.0)
+        tracer.instant("tick", "c", parent=parent, at=1.0)
+        tracer.add_span("child", "c", 0.0, 2.0, parent=parent)
+        stacks = collapsed_stacks(tracer)
+        assert "c:covered" not in stacks  # fully covered by child
+        assert "c:covered;c:tick" not in stacks  # instants weigh nothing
+
+    def test_reserved_characters_sanitized(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.add_span("do thing;now", "my cat", 0.0, 1.0)
+        (path,) = collapsed_stacks(tracer)
+        assert path == "my_cat:do_thing,now"
+
+    def test_to_collapsed_format(self):
+        text = to_collapsed(_tree_tracer())
+        lines = text.splitlines()
+        assert text.endswith("\n")
+        assert lines == sorted(lines)
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+
+    def test_empty_tracer(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        assert to_collapsed(tracer) == ""
+        assert format_self_times(tracer) == "(no finished spans)"
+
+
+class TestFormat:
+    def test_table_shape(self):
+        table = format_self_times(_tree_tracer())
+        lines = table.splitlines()
+        assert "self ms" in lines[0] and "share" in lines[0]
+        # heaviest first: net:fetch (7.5s self) above page:load (3s)
+        assert lines[1].startswith("net:fetch")
+        assert "%" in lines[1]
+
+    def test_top_limits_rows(self):
+        table = format_self_times(_tree_tracer(), top=1)
+        assert len(table.splitlines()) == 2
+
+
+class TestSpanListSource:
+    def test_accepts_plain_span_iterable(self):
+        tracer = _tree_tracer()
+        from_list = self_times(tracer.spans())
+        assert from_list == self_times(tracer)

@@ -1,0 +1,158 @@
+"""Unit tests for the mergeable log-bucketed sketch (repro.obs.sketch)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import LogHistogram
+
+pytestmark = pytest.mark.obs
+
+
+class TestObserve:
+    def test_exact_aggregates(self):
+        sketch = LogHistogram()
+        for value in (1.0, 2.0, 3.0):
+            sketch.observe(value)
+        assert sketch.count == 3
+        assert sketch.total == pytest.approx(6.0)
+        assert sketch.min == 1.0
+        assert sketch.max == 3.0
+        assert sketch.mean() == pytest.approx(2.0)
+
+    def test_weighted_observe(self):
+        sketch = LogHistogram()
+        sketch.observe(5.0, n=10)
+        assert sketch.count == 10
+        assert sketch.total == pytest.approx(50.0)
+        sketch.observe(5.0, n=0)  # no-op
+        assert sketch.count == 10
+
+    def test_zero_and_subtrackable_values(self):
+        sketch = LogHistogram()
+        sketch.observe(0.0)
+        sketch.observe(1e-12)
+        assert sketch.zero_count == 2
+        assert sketch.percentile(50) == 0.0
+
+    def test_empty_percentile_is_zero(self):
+        assert LogHistogram().percentile(99) == 0.0
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ValueError):
+            LogHistogram().percentile(101)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(relative_error=0.0)
+        with pytest.raises(ValueError):
+            LogHistogram(relative_error=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(max_buckets=1)
+
+
+class TestAccuracy:
+    def test_relative_error_bound_uniform(self):
+        error = 0.01
+        sketch = LogHistogram(relative_error=error)
+        values = [float(i + 1) for i in range(5_000)]
+        for value in values:
+            sketch.observe(value)
+        values.sort()
+        for q in (1, 10, 25, 50, 75, 90, 99, 100):
+            rank = max(1, math.ceil(q / 100.0 * len(values)))
+            truth = values[rank - 1]
+            assert abs(sketch.percentile(q) - truth) <= error * truth
+
+    def test_single_sample(self):
+        sketch = LogHistogram()
+        sketch.observe(42.0)
+        for q in (0, 50, 100):
+            # clamped to the observed min == max -> exact
+            assert sketch.percentile(q) == 42.0
+
+    def test_wide_dynamic_range(self):
+        error = 0.01
+        sketch = LogHistogram(relative_error=error)
+        values = [10.0 ** exp for exp in range(-6, 7)]
+        for value in values:
+            sketch.observe(value)
+        for q in (50, 100):
+            rank = max(1, math.ceil(q / 100.0 * len(values)))
+            truth = values[rank - 1]  # already sorted
+            assert abs(sketch.percentile(q) - truth) <= error * truth
+
+    def test_bucket_collapse_keeps_tail_accurate(self):
+        sketch = LogHistogram(relative_error=0.01, max_buckets=16)
+        values = [1.001 ** i for i in range(2_000)]
+        for value in values:
+            sketch.observe(value)
+        assert len(sketch) <= 17
+        truth = sorted(values)[math.ceil(0.99 * len(values)) - 1]
+        assert sketch.percentile(99) == pytest.approx(truth, rel=0.02)
+
+
+class TestMerge:
+    def test_merge_is_lossless(self):
+        # The tentpole property: merged shards == one sketch over the
+        # pooled samples, bucket for bucket.
+        pooled = LogHistogram()
+        shards = [LogHistogram() for _ in range(4)]
+        for i in range(1_000):
+            value = 0.5 + (i * 13 % 997)
+            pooled.observe(value)
+            shards[i % 4].observe(value)
+        merged = LogHistogram()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.count == pooled.count
+        assert merged._buckets == pooled._buckets
+        for q in (50, 90, 99):
+            assert merged.percentile(q) == pooled.percentile(q)
+
+    def test_merge_empty_shard_is_identity(self):
+        sketch = LogHistogram()
+        sketch.observe(7.0)
+        before = sketch.to_dict()
+        sketch.merge(LogHistogram())
+        assert sketch.to_dict() == before
+
+    def test_merge_accepts_dump(self):
+        a, b = LogHistogram(), LogHistogram()
+        a.observe(1.0)
+        b.observe(100.0)
+        a.merge(b.to_dict())
+        assert a.count == 2
+        assert a.max == 100.0
+
+    def test_merge_geometry_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LogHistogram(relative_error=0.01).merge(
+                LogHistogram(relative_error=0.05))
+
+
+class TestPortability:
+    def test_dict_roundtrip_through_json(self):
+        sketch = LogHistogram()
+        for value in (0.0, 0.001, 1.0, 250.0, 1e6):
+            sketch.observe(value)
+        restored = LogHistogram.from_dict(
+            json.loads(json.dumps(sketch.to_dict())))
+        assert restored.count == sketch.count
+        assert restored.zero_count == sketch.zero_count
+        assert restored._buckets == sketch._buckets
+        for q in (50, 99):
+            assert restored.percentile(q) == sketch.percentile(q)
+
+    def test_empty_roundtrip(self):
+        restored = LogHistogram.from_dict(LogHistogram().to_dict())
+        assert restored.count == 0
+        assert restored.percentile(50) == 0.0
+
+    def test_snapshot_shape(self):
+        snap = LogHistogram().snapshot()
+        for key in ("count", "total", "mean", "min", "max",
+                    "p50", "p90", "p99"):
+            assert key in snap
+        assert snap["min"] == snap["max"] == 0.0

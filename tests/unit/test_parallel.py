@@ -3,10 +3,11 @@
 import pytest
 
 from repro.core.modes import CachingMode
-from repro.experiments.harness import run_grid
+from repro.experiments.harness import fleet_summary, run_grid
 from repro.experiments.parallel import run_grid_parallel
 from repro.netsim.clock import HOUR
 from repro.netsim.link import NetworkConditions
+from repro.obs import MetricsRegistry
 from repro.workload.corpus import make_corpus
 
 COND = NetworkConditions.of(60, 40, label="60Mbps/40ms")
@@ -58,3 +59,76 @@ class TestParallelEqualsSequential:
             conditions_list=[COND], delays_s=[HOUR], max_workers=2)
         reduction = result.mean_reduction_vs("standard", "catalyst")
         assert -0.5 < reduction < 1.0
+
+
+class TestFleetMetrics:
+    """The PR's acceptance criterion: merged worker registries report
+    the same fleet aggregates a serial run pools from raw samples."""
+
+    GRID = dict(modes=(CachingMode.STANDARD, CachingMode.CATALYST),
+                conditions_list=[COND,
+                                 NetworkConditions.of(8, 100,
+                                                      label="8Mbps/100ms")],
+                delays_s=[HOUR, 24 * HOUR])
+
+    def test_parallel_fleet_matches_serial(self, corpus):
+        serial_metrics = MetricsRegistry()
+        fleet_metrics = MetricsRegistry()
+        serial = run_grid(sites=corpus, metrics=serial_metrics,
+                          **self.GRID)
+        parallel = run_grid_parallel(sites=corpus, metrics=fleet_metrics,
+                                     max_workers=3, **self.GRID)
+        assert parallel.measurements == serial.measurements
+
+        serial_fleet = fleet_summary(serial_metrics)
+        merged_fleet = fleet_summary(fleet_metrics)
+        assert merged_fleet["pairs"] == serial_fleet["pairs"] == \
+            len(serial.measurements)
+        # Exact counter equality (retries, stale hits, hit ratio) —
+        # counts merge losslessly.
+        assert merged_fleet["warm_retries"] == serial_fleet["warm_retries"]
+        assert merged_fleet["warm_stale_hits"] == \
+            serial_fleet["warm_stale_hits"]
+        assert merged_fleet["cache_hit_ratio"] == pytest.approx(
+            serial_fleet["cache_hit_ratio"])
+        assert merged_fleet["cache_hit_ratio"] > 0.0
+        # PLT percentiles: both sides are below the raw-sample cap here,
+        # so pooled-vs-merged percentiles must agree *exactly*; the
+        # sketch's documented relative error is the bound that would
+        # apply beyond the cap.
+        assert set(merged_fleet["plt_ms"]) == set(serial_fleet["plt_ms"])
+        for series, stats in serial_fleet["plt_ms"].items():
+            merged_hist = fleet_metrics.get(f"fleet.plt_{series}")
+            bound = merged_hist.sketch.relative_error \
+                if not merged_hist.exact else 0.0
+            for key, truth in stats.items():
+                got = merged_fleet["plt_ms"][series][key]
+                assert abs(got - truth) <= bound * truth, \
+                    (series, key, got, truth)
+
+    def test_measurements_identical_with_and_without_metrics(self, corpus):
+        # Byte-identical simulated timestamps: metrics recording is
+        # post-hoc and must never perturb the DES.
+        bare = run_grid_parallel(sites=corpus, max_workers=2, **self.GRID)
+        metered = run_grid_parallel(sites=corpus, max_workers=2,
+                                    metrics=MetricsRegistry(), **self.GRID)
+        assert bare.measurements == metered.measurements
+
+    def test_worker_heartbeat_gauges_recorded(self, corpus):
+        metrics = MetricsRegistry()
+        run_grid_parallel(sites=corpus, metrics=metrics, max_workers=2,
+                          **self.GRID)
+        snap = metrics.snapshot()
+        assert snap["fleet.workers"] >= 1
+        per_worker = [value for name, value in snap.items()
+                      if name.startswith("fleet.worker.")
+                      and name.endswith(".pairs")]
+        assert per_worker and sum(per_worker) == snap["fleet.pairs"]
+
+    def test_serial_grid_records_fleet_metrics_too(self, corpus):
+        metrics = MetricsRegistry()
+        run_grid(sites=corpus.sites[:1], modes=(CachingMode.CATALYST,),
+                 conditions_list=[COND], delays_s=[HOUR], metrics=metrics)
+        fleet = fleet_summary(metrics)
+        assert fleet["pairs"] == 1
+        assert fleet["plt_ms"]["warm_ms"]["p50"] > 0.0
