@@ -53,6 +53,8 @@ BENCH_KEYS: dict[str, tuple[str, ...]] = {
     "server_hot_path": ("throughput_rps.cached_warm",),
     "simcore": ("simcore.events_per_s", "simcore.transfers_per_s",
                 "simcore.visits_per_s"),
+    "serving_tier": ("sustained_rps.shards_1", "sustained_rps.shards_4",
+                     "sustained_rps.scaling_x"),
 }
 
 #: fallback key set for payloads without a recognized ``"bench"`` field

@@ -12,6 +12,7 @@ writing Python::
     python -m repro visit --seed 7 --delay 1d --mbps 60 --rtt 40
     python -m repro trace /index.html --trace-out trace.json
     python -m repro serve --port 8080 --time-scale 3600
+    python -m repro loadtest --clients 64 --duration 5 --preset flaky_5g
 
 Results print to stdout; status lines (progress, artifact paths) go to
 stderr through :mod:`repro.obs.log`, silenced by ``--quiet`` or
@@ -169,6 +170,56 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=42)
     serve.add_argument("--time-scale", type=float, default=3600.0,
                        help="simulated seconds per wall second")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="SO_REUSEPORT worker processes (default 1: "
+                            "in-process, no fork)")
+    serve.add_argument("--drain", type=float, default=5.0,
+                       help="graceful-drain window on SIGTERM/SIGINT "
+                            "seconds (default 5)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="per-shard inflight cap; above it requests "
+                            "are shed 503 + Retry-After")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="per-shard open-connection cap")
+
+    load = sub.add_parser(
+        "loadtest",
+        help="sustained-load chaos harness against the serving tier")
+    load.add_argument("--shards", type=int, default=1,
+                      help="SO_REUSEPORT worker processes (default 1)")
+    load.add_argument("--clients", type=int, default=32,
+                      help="concurrent asyncio clients (default 32)")
+    load.add_argument("--duration", type=float, default=5.0,
+                      help="measured seconds (default 5)")
+    load.add_argument("--warmup", type=float, default=0.5,
+                      help="unmeasured ramp seconds (default 0.5)")
+    load.add_argument("--latency", type=float, default=0.02,
+                      help="injected per-request service seconds "
+                           "(default 0.02)")
+    load.add_argument("--inflight-cap", type=int, default=8,
+                      help="per-shard inflight cap (default 8)")
+    load.add_argument("--max-connections", type=int, default=None,
+                      help="per-shard open-connection cap")
+    load.add_argument("--app", default="static",
+                      choices=("static", "catalyst"),
+                      help="origin app (default static: isolates the "
+                           "serving tier from cache logic)")
+    load.add_argument("--preset", default="none",
+                      choices=("none", "flaky_5g", "lossy_wifi",
+                               "captive_portal"),
+                      help="client-side fault preset (default none)")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--out", default=None,
+                      help="write the manifest-stamped run JSON here")
+    load.add_argument("--scaling", action="store_true",
+                      help="run the 1-vs-4-shard sustained-rps bench "
+                           "lane instead of a single run")
+    load.add_argument("--bench-out", default=None,
+                      help="with --scaling: artifact path (default "
+                           "benchmarks/results/BENCH_PR7.json)")
+    load.add_argument("--min-scaling", type=float, default=None,
+                      help="with --scaling: exit non-zero when the "
+                           "N-shard speedup falls below this factor")
     return parser
 
 
@@ -420,7 +471,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        return _cmd_serve_fleet(args)
     import asyncio
+    import signal
 
     from .http.aserver import STATS_PATH, AsyncHttpServer
     from .obs import MetricsRegistry, Tracer
@@ -436,23 +490,107 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     handler = as_async_handler(catalyst, time_scale=args.time_scale)
 
     async def serve() -> None:
-        async with AsyncHttpServer(handler, port=args.port,
-                                   tracer=Tracer(),
-                                   metrics=MetricsRegistry(),
-                                   stats_source=catalyst.stats) as server:
-            print(f"Catalyst origin on {server.base_url} "
-                  f"(x{args.time_scale:g} time; Ctrl-C to stop; "
-                  f"stats at {STATS_PATH})")
-            try:
-                await asyncio.Event().wait()
-            except asyncio.CancelledError:
-                pass
+        server = AsyncHttpServer(
+            handler, port=args.port, tracer=Tracer(),
+            metrics=MetricsRegistry(),
+            max_inflight=args.max_inflight,
+            max_connections=args.max_connections,
+            shed_seed=args.seed,
+            stats_source=catalyst.stats)
+        await server.start()
+        print(f"Catalyst origin on {server.base_url} "
+              f"(x{args.time_scale:g} time; Ctrl-C to stop; "
+              f"stats at {STATS_PATH})")
+        loop = asyncio.get_running_loop()
+        stopping = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, stopping.set)
+        await stopping.wait()
+        report = await server.stop(drain_s=args.drain)
+        log.info("drained", **report)
 
-    try:
-        asyncio.run(serve())
-    except KeyboardInterrupt:
-        print("\nbye")
+    asyncio.run(serve())
+    print("\nbye")
     return 0
+
+
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import signal
+    import time
+
+    from .http.aserver import STATS_PATH
+    from .http.fleet import FleetConfig, ServerFleet
+
+    config = FleetConfig(
+        port=args.port, shards=args.shards, seed=args.seed,
+        app="catalyst", time_scale=args.time_scale,
+        max_inflight=args.max_inflight,
+        max_connections=args.max_connections)
+    fleet = ServerFleet(config).start()
+    print(f"Catalyst origin on {fleet.base_url} "
+          f"({args.shards} SO_REUSEPORT shards; Ctrl-C to stop; "
+          f"per-shard stats at {STATS_PATH})")
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _interrupt)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        reports = fleet.stop(drain_s=args.drain)
+        log.info("fleet-drained", workers=len(reports))
+    print("\nbye")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .experiments.load_test import (format_load_test, format_scaling,
+                                        load_test_payload, run_load_test,
+                                        run_scaling_bench,
+                                        scaling_bench_payload)
+    if args.scaling:
+        result = run_scaling_bench(
+            (1, max(2, args.shards)) if args.shards > 1 else (1, 4),
+            clients=args.clients, duration_s=args.duration,
+            warmup_s=args.warmup, seed=args.seed, app=args.app,
+            latency_s=args.latency, max_inflight=args.inflight_cap)
+        print(format_scaling(result))
+        path = pathlib.Path(args.bench_out
+                            or "benchmarks/results/BENCH_PR7.json")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(scaling_bench_payload(result),
+                                   indent=2) + "\n")
+        log.info("wrote-artifact", path=path)
+        if args.min_scaling is not None \
+                and result.scaling_x < args.min_scaling:
+            log.error("scaling-below-threshold",
+                      scaling=f"{result.scaling_x:.2f}x",
+                      required=f"{args.min_scaling:g}x")
+            return 1
+        return 0
+    result = run_load_test(
+        shards=args.shards, clients=args.clients,
+        duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,
+        app=args.app, latency_s=args.latency,
+        max_inflight=args.inflight_cap,
+        max_connections=args.max_connections,
+        preset=None if args.preset == "none" else args.preset,
+        inprocess=args.shards == 1)
+    print(format_load_test(result))
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(load_test_payload(result), indent=2)
+                        + "\n")
+        log.info("wrote-artifact", path=path)
+    return 0 if result.errors == 0 else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -483,6 +621,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,598 @@
+"""Sustained-load chaos harness for the hardened serving tier.
+
+Drives a swarm of concurrent asyncio clients — each its own
+:class:`~repro.http.aclient.AsyncHttpClient` with one keep-alive
+connection, a retry budget, ``Retry-After`` honouring, and a circuit
+breaker — against a sharded :class:`~repro.http.fleet.ServerFleet`
+origin (or an in-process :class:`~repro.http.aserver.AsyncHttpServer`
+for fast unit runs), optionally misbehaving per a seeded
+:class:`~repro.netsim.faults.FaultPlan`.
+
+What it measures (the *serving-tier* questions, not the cache ones):
+
+- **sustained rps** — completed ``200`` responses per measured second;
+  with an inflight cap ``K`` and per-request service latency ``L`` the
+  admission ceiling is ``shards * K / L``, and the harness reports how
+  close the tier gets under honest overload;
+- **shed behaviour** — how many requests were answered ``503 +
+  Retry-After`` rather than queued, and what fraction of offered load
+  that was (server-side counters are authoritative; client-side retries
+  consume the hints);
+- **drain** — how long the final graceful stop took and whether any
+  connection had to be hard-cancelled;
+- **tail latency** — p50/p90/p99 of successful responses, through the
+  two-tier :class:`~repro.obs.metrics.Histogram` so arbitrarily long
+  runs stay bounded in memory.
+
+Fault presets map onto client-observable misbehaviour: ``LOSS`` skips
+the send and burns a watchdog wait, ``STALL`` delays the send,
+``RESET``/``TRUNCATE`` kill the client's pooled connection so the next
+exchange pays a reconnect.  All decisions come from the deterministic
+``(seed, url, attempt)`` hash, so chaos runs replay exactly.
+
+Per-interval series (sent/ok/shed per ``interval_s`` bucket) land in the
+result *and* in the metrics registry, next to the fleet's merged
+``http.*`` instruments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..http.aclient import AsyncHttpClient
+from ..http.aserver import AsyncHttpServer
+from ..http.errors import CircuitOpen, HttpError
+from ..http.fleet import FleetConfig, ServerFleet, build_app
+from ..http.messages import Request
+from ..netsim.faults import (FaultKind, FaultPlan, captive_portal,
+                             flaky_5g, lossy_wifi)
+from ..obs.log import get_logger
+from ..obs.manifest import build_manifest, stamp
+from ..obs.metrics import MetricsRegistry
+from .report import format_table
+
+__all__ = ["LoadTestResult", "ScalingResult", "run_load_test",
+           "run_scaling_bench", "format_load_test", "format_scaling",
+           "load_test_payload", "scaling_bench_payload", "FAULT_PRESETS"]
+
+logger = get_logger("experiments.load_test")
+
+#: name -> FaultPlan factory (seeded) for the chaos presets
+FAULT_PRESETS = {"flaky_5g": flaky_5g, "lossy_wifi": lossy_wifi,
+                 "captive_portal": captive_portal}
+
+#: client-side wait standing in for a lost request's watchdog timeout
+_LOSS_WAIT_S = 0.1
+
+#: cap on client-side stall emulation, so short runs stay short
+_STALL_CAP_S = 0.25
+
+
+@dataclass
+class LoadTestResult:
+    """One sustained-load run, client- and server-side views combined."""
+
+    shards: int
+    clients: int
+    duration_s: float
+    warmup_s: float
+    seed: int
+    app: str
+    latency_s: float
+    max_inflight: Optional[int]
+    preset: str
+    # client-side, measured window only
+    sent: int = 0
+    ok: int = 0
+    client_shed: int = 0          # 503s that survived the retry budget
+    errors: int = 0
+    circuit_open: int = 0
+    faults_injected: int = 0
+    retries_after_hint: int = 0
+    latency_ms_p50: float = 0.0
+    latency_ms_p90: float = 0.0
+    latency_ms_p99: float = 0.0
+    # server-side, whole run (authoritative shed accounting)
+    served_total: int = 0
+    shed_503: int = 0
+    shed_connections: int = 0
+    timeouts_408: int = 0
+    # drain report from the final graceful stop
+    drain_s: float = 0.0
+    hard_cancelled: int = 0
+    #: per-interval {"t_s", "sent", "ok", "shed"} buckets
+    series: list = field(default_factory=list)
+    metrics_snapshot: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def sustained_rps(self) -> float:
+        """Completed 200s per measured second."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.ok / self.duration_s
+
+    @property
+    def offered_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.sent / self.duration_s
+
+    @property
+    def shed_rate(self) -> float:
+        """Server-side: shed / (shed + served) over the whole run."""
+        offered = self.shed_503 + self.shed_connections + self.served_total
+        if offered == 0:
+            return 0.0
+        return (self.shed_503 + self.shed_connections) / offered
+
+
+class _Tallies:
+    """Shared mutable counters for the client swarm (single loop — no
+    locking needed)."""
+
+    def __init__(self, interval_s: float):
+        self.interval_s = interval_s
+        self.sent = 0
+        self.ok = 0
+        self.shed = 0
+        self.errors = 0
+        self.circuit_open = 0
+        self.faults = 0
+        self.bins: dict[int, dict] = {}
+
+    def record(self, t_s: float, column: str) -> None:
+        bucket = self.bins.setdefault(
+            int(t_s / self.interval_s),
+            {"sent": 0, "ok": 0, "shed": 0})
+        bucket[column] += 1
+
+    def series(self) -> list[dict]:
+        return [{"t_s": round(index * self.interval_s, 3), **bucket}
+                for index, bucket in sorted(self.bins.items())]
+
+
+async def _apply_fault(plan: Optional[FaultPlan], url: str, attempt: int,
+                       client: AsyncHttpClient,
+                       tallies: _Tallies) -> bool:
+    """Client-side chaos for one attempt; True = skip the request."""
+    if plan is None:
+        return False
+    decision = plan.decide(url, attempt)
+    if decision is None:
+        return False
+    tallies.faults += 1
+    if decision.kind is FaultKind.LOSS:
+        await asyncio.sleep(_LOSS_WAIT_S)
+        return True
+    if decision.kind is FaultKind.STALL:
+        await asyncio.sleep(min(decision.stall_s, _STALL_CAP_S))
+        return False
+    # RESET / TRUNCATE: the connection dies visibly — drop the pooled
+    # connection so the next exchange reconnects from scratch.
+    for conns in client._idle.values():
+        for conn in conns:
+            conn.close()
+    client._idle.clear()
+    return False
+
+
+async def _client_loop(index: int, base_url: str, paths: Sequence[str],
+                       stop_at: float, measure_from: float,
+                       plan: Optional[FaultPlan],
+                       client_kwargs: dict, latency_hist,
+                       tallies: _Tallies) -> AsyncHttpClient:
+    loop = asyncio.get_running_loop()
+    client = AsyncHttpClient(**client_kwargs)
+    attempt = 0
+    rotation = 0
+    try:
+        while loop.time() < stop_at:
+            path = paths[(index + rotation) % len(paths)]
+            rotation += 1
+            url = base_url + path
+            skip = await _apply_fault(plan, f"client{index}{url}",
+                                      attempt, client, tallies)
+            attempt += 1
+            if skip:
+                continue
+            started = loop.time()
+            try:
+                result = await client.request(Request(url=url))
+            except CircuitOpen:
+                tallies.circuit_open += 1
+                await asyncio.sleep(0.05)
+                continue
+            except (HttpError, OSError, asyncio.TimeoutError):
+                tallies.errors += 1
+                continue
+            now = loop.time()
+            if now < measure_from:
+                continue
+            tallies.sent += 1
+            tallies.record(now - measure_from, "sent")
+            if result.response.status == 200:
+                tallies.ok += 1
+                tallies.record(now - measure_from, "ok")
+                latency_hist.observe((now - started) * 1e3)
+            elif result.response.status == 503:
+                tallies.shed += 1
+                tallies.record(now - measure_from, "shed")
+            else:
+                tallies.errors += 1
+    finally:
+        await client.close()
+    return client
+
+
+def _resolve_plan(preset: Union[None, str, FaultPlan],
+                  seed: int) -> tuple[Optional[FaultPlan], str]:
+    if preset is None or preset == "none":
+        return None, "none"
+    if isinstance(preset, FaultPlan):
+        return preset, preset.describe()
+    factory = FAULT_PRESETS.get(preset)
+    if factory is None:
+        raise ValueError(f"unknown fault preset {preset!r} "
+                         f"(have {sorted(FAULT_PRESETS)})")
+    plan = factory(seed=seed)
+    return plan, preset
+
+
+def run_load_test(*, shards: int = 1, clients: int = 32,
+                  duration_s: float = 1.5, warmup_s: float = 0.3,
+                  seed: int = 0, app: str = "static",
+                  latency_s: float = 0.02,
+                  max_inflight: Optional[int] = 8,
+                  max_connections: Optional[int] = None,
+                  max_requests_per_connection: Optional[int] = None,
+                  retry_after_s: float = 0.5,
+                  preset: Union[None, str, FaultPlan] = None,
+                  drain_s: float = 2.0,
+                  honor_retry_after: bool = True, max_retries: int = 2,
+                  timeout_s: float = 5.0,
+                  paths: Optional[Sequence[str]] = None,
+                  interval_s: float = 0.25,
+                  metrics: Optional[MetricsRegistry] = None,
+                  inprocess: bool = False,
+                  time_scale: float = 1.0) -> LoadTestResult:
+    """One sustained-load run against a (possibly sharded) origin.
+
+    ``inprocess=True`` serves shard 1 inside the driving event loop —
+    no worker processes, for fast deterministic unit tests; otherwise a
+    :class:`ServerFleet` of ``shards`` worker processes is spawned.
+    """
+    if inprocess and shards != 1:
+        raise ValueError("inprocess mode supports exactly one shard")
+    plan, preset_name = _resolve_plan(preset, seed)
+    registry = metrics if metrics is not None else MetricsRegistry()
+    config = FleetConfig(
+        shards=shards, seed=seed, app=app, latency_s=latency_s,
+        time_scale=time_scale, max_inflight=max_inflight,
+        max_connections=max_connections,
+        max_requests_per_connection=max_requests_per_connection,
+        retry_after_s=retry_after_s)
+    if paths is None:
+        paths = ["/index.html"] if app == "catalyst" else ["/"]
+    result = LoadTestResult(
+        shards=shards, clients=clients, duration_s=duration_s,
+        warmup_s=warmup_s, seed=seed, app=app, latency_s=latency_s,
+        max_inflight=max_inflight, preset=preset_name)
+    started = time.perf_counter()
+    if inprocess:
+        asyncio.run(_run_inprocess(config, paths, result, plan,
+                                   clients, duration_s, warmup_s,
+                                   honor_retry_after, max_retries,
+                                   timeout_s, interval_s, seed, drain_s,
+                                   registry))
+    else:
+        _run_against_fleet(config, paths, result, plan, clients,
+                           duration_s, warmup_s, honor_retry_after,
+                           max_retries, timeout_s, interval_s, seed,
+                           drain_s, registry)
+    result.elapsed_s = time.perf_counter() - started
+    _emit_metrics(registry, result, interval_s)
+    result.metrics_snapshot = registry.snapshot()
+    return result
+
+
+def _client_kwargs(honor_retry_after: bool, max_retries: int,
+                   timeout_s: float, seed: int, index: int) -> dict:
+    return {
+        "connections_per_origin": 1,
+        "timeout_s": timeout_s,
+        "max_retries": max_retries,
+        "backoff_base_s": 0.02,
+        "retry_seed": seed * 10_000 + index,
+        "honor_retry_after": honor_retry_after,
+        # overload 503s are expected here; don't let the breaker turn a
+        # load test into a self-DoS of the measurement
+        "breaker_threshold": 50,
+        "breaker_open_s": 0.2,
+    }
+
+
+async def _drive(base_url: str, paths: Sequence[str],
+                 result: LoadTestResult, plan: Optional[FaultPlan],
+                 clients: int, duration_s: float, warmup_s: float,
+                 honor_retry_after: bool, max_retries: int,
+                 timeout_s: float, interval_s: float, seed: int,
+                 registry: MetricsRegistry) -> _Tallies:
+    loop = asyncio.get_running_loop()
+    tallies = _Tallies(interval_s)
+    latency_hist = registry.histogram("load.latency_ms")
+    t0 = loop.time()
+    swarm = [
+        _client_loop(i, base_url, paths, t0 + warmup_s + duration_s,
+                     t0 + warmup_s, plan,
+                     _client_kwargs(honor_retry_after, max_retries,
+                                    timeout_s, seed, i),
+                     latency_hist, tallies)
+        for i in range(clients)]
+    finished = await asyncio.gather(*swarm)
+    result.sent = tallies.sent
+    result.ok = tallies.ok
+    result.client_shed = tallies.shed
+    result.errors = tallies.errors
+    result.circuit_open = tallies.circuit_open
+    result.faults_injected = tallies.faults
+    result.retries_after_hint = sum(c.retries_after_hint
+                                    for c in finished)
+    result.series = tallies.series()
+    result.latency_ms_p50 = latency_hist.percentile(50)
+    result.latency_ms_p90 = latency_hist.percentile(90)
+    result.latency_ms_p99 = latency_hist.percentile(99)
+    return tallies
+
+
+def _run_against_fleet(config: FleetConfig, paths, result, plan, clients,
+                       duration_s, warmup_s, honor_retry_after,
+                       max_retries, timeout_s, interval_s, seed,
+                       drain_s, registry: MetricsRegistry) -> None:
+    fleet = ServerFleet(config).start()
+    try:
+        asyncio.run(_drive(fleet.base_url, paths, result, plan, clients,
+                           duration_s, warmup_s, honor_retry_after,
+                           max_retries, timeout_s, interval_s, seed,
+                           registry))
+        stats = fleet.stats()
+        totals = stats["totals"]
+        result.served_total = totals["requests_served"]
+        result.shed_503 = totals["shed_503"]
+        result.shed_connections = totals["shed_connections"]
+        result.timeouts_408 = totals["timeouts_408"]
+        registry.merge(fleet.merged_metrics().dump())
+    finally:
+        reports = fleet.stop(drain_s=drain_s)
+        if reports:
+            result.drain_s = max(r.get("drain_s", 0.0) for r in reports)
+            result.hard_cancelled = sum(r.get("hard_cancelled", 0)
+                                        for r in reports)
+
+
+async def _run_inprocess(config: FleetConfig, paths, result, plan,
+                         clients, duration_s, warmup_s,
+                         honor_retry_after, max_retries, timeout_s,
+                         interval_s, seed, drain_s,
+                         registry: MetricsRegistry) -> None:
+    handler, stats_source = build_app(config)
+    server = AsyncHttpServer(
+        handler, latency_s=config.latency_s,
+        max_inflight=config.max_inflight,
+        max_connections=config.max_connections,
+        max_requests_per_connection=config.max_requests_per_connection,
+        retry_after_s=config.retry_after_s, shed_seed=config.seed,
+        metrics=MetricsRegistry(), stats_source=stats_source)
+    await server.start()
+    try:
+        await _drive(server.base_url, paths, result, plan, clients,
+                     duration_s, warmup_s, honor_retry_after,
+                     max_retries, timeout_s, interval_s, seed, registry)
+        result.served_total = server.requests_served
+        result.shed_503 = server.shed_503
+        result.shed_connections = server.shed_connections
+        result.timeouts_408 = server.timeouts_408
+        registry.merge(server.metrics.dump())
+    finally:
+        report = await server.stop(drain_s=drain_s)
+        result.drain_s = report["drain_s"]
+        result.hard_cancelled = report["hard_cancelled"]
+
+
+def _emit_metrics(registry: MetricsRegistry, result: LoadTestResult,
+                  interval_s: float) -> None:
+    """Fold the run's headline series into the registry."""
+    registry.counter("load.sent").inc(result.sent)
+    registry.counter("load.ok").inc(result.ok)
+    registry.counter("load.shed").inc(result.shed_503
+                                      + result.shed_connections)
+    registry.counter("load.errors").inc(result.errors)
+    registry.counter("load.circuit_open").inc(result.circuit_open)
+    registry.counter("load.faults_injected").inc(result.faults_injected)
+    registry.gauge("load.clients").set(result.clients)
+    registry.gauge("load.shards").set(result.shards)
+    registry.gauge("load.sustained_rps").set(result.sustained_rps)
+    registry.gauge("load.shed_rate").set(result.shed_rate)
+    registry.gauge("load.drain_s").set(result.drain_s)
+    registry.gauge("load.hard_cancelled").set(result.hard_cancelled)
+    interval_rps = registry.histogram("load.interval_rps")
+    for bucket in result.series:
+        interval_rps.observe(bucket["ok"] / interval_s)
+
+
+def format_load_test(result: LoadTestResult) -> str:
+    rows = [
+        ["shards", str(result.shards)],
+        ["clients", str(result.clients)],
+        ["app / preset", f"{result.app} / {result.preset}"],
+        ["inflight cap / shard", str(result.max_inflight)],
+        ["service latency", f"{result.latency_s * 1e3:.0f} ms"],
+        ["measured window", f"{result.duration_s:.1f} s "
+                            f"(+{result.warmup_s:.1f} s warmup)"],
+        ["sustained 200 rps", f"{result.sustained_rps:,.0f}"],
+        ["offered rps", f"{result.offered_rps:,.0f}"],
+        ["shed rate (server)", f"{result.shed_rate:.1%}"],
+        ["shed 503 / conn", f"{result.shed_503} / "
+                            f"{result.shed_connections}"],
+        ["timeouts 408", str(result.timeouts_408)],
+        ["latency p50/p90/p99", f"{result.latency_ms_p50:.1f} / "
+                                f"{result.latency_ms_p90:.1f} / "
+                                f"{result.latency_ms_p99:.1f} ms"],
+        ["retry-after honoured", str(result.retries_after_hint)],
+        ["circuit-open rejections", str(result.circuit_open)],
+        ["faults injected", str(result.faults_injected)],
+        ["client errors", str(result.errors)],
+        ["drain", f"{result.drain_s * 1e3:.0f} ms, "
+                  f"{result.hard_cancelled} hard-cancelled"],
+    ]
+    return format_table(["load test", "value"], rows)
+
+
+def load_test_payload(result: LoadTestResult) -> dict:
+    """Machine-readable single-run artifact (manifest-stamped)."""
+    payload = {
+        "bench": "load_test",
+        "schema_version": 1,
+        "params": {
+            "shards": result.shards, "clients": result.clients,
+            "app": result.app, "preset": result.preset,
+            "latency_s": result.latency_s,
+            "max_inflight": result.max_inflight,
+            "duration_s": result.duration_s,
+        },
+        "sustained_rps": round(result.sustained_rps, 1),
+        "offered_rps": round(result.offered_rps, 1),
+        "shed": {"rate": round(result.shed_rate, 4),
+                 "shed_503": result.shed_503,
+                 "shed_connections": result.shed_connections,
+                 "timeouts_408": result.timeouts_408},
+        "latency_ms": {"p50": round(result.latency_ms_p50, 2),
+                       "p90": round(result.latency_ms_p90, 2),
+                       "p99": round(result.latency_ms_p99, 2)},
+        "drain": {"drain_s": round(result.drain_s, 4),
+                  "hard_cancelled": result.hard_cancelled},
+        "client": {"sent": result.sent, "ok": result.ok,
+                   "errors": result.errors,
+                   "circuit_open": result.circuit_open,
+                   "retries_after_hint": result.retries_after_hint,
+                   "faults_injected": result.faults_injected},
+        "series": result.series,
+    }
+    return stamp(payload, build_manifest(
+        config={"bench": "load_test", "shards": result.shards,
+                "clients": result.clients, "app": result.app,
+                "preset": result.preset, "seed": result.seed,
+                "latency_s": result.latency_s,
+                "max_inflight": result.max_inflight},
+        sampling={"duration_s": result.duration_s,
+                  "warmup_s": result.warmup_s},
+        seeds=[result.seed], workers=result.shards,
+        wall_time_s=result.elapsed_s or None))
+
+
+# -- the sharding bench (BENCH_PR7 lane) ---------------------------------
+
+
+@dataclass
+class ScalingResult:
+    """Single-shard ceiling vs N-shard SO_REUSEPORT scaling."""
+
+    runs: dict  # shard count -> LoadTestResult
+    seed: int
+    elapsed_s: float = 0.0
+
+    @property
+    def shard_counts(self) -> list[int]:
+        return sorted(self.runs)
+
+    @property
+    def scaling_x(self) -> float:
+        counts = self.shard_counts
+        base = self.runs[counts[0]].sustained_rps
+        top = self.runs[counts[-1]].sustained_rps
+        return top / base if base > 0 else 0.0
+
+
+def run_scaling_bench(shard_counts: Sequence[int] = (1, 4), *,
+                      clients: int = 64, duration_s: float = 2.0,
+                      warmup_s: float = 0.4, seed: int = 0,
+                      app: str = "static", latency_s: float = 0.02,
+                      max_inflight: int = 8,
+                      retry_after_s: float = 0.5) -> ScalingResult:
+    """The sustained-rps lane: one config per shard count.
+
+    The workload is deliberately admission-bound (per-request service
+    time dominated by ``latency_s``, an I/O wait), so the ceiling is
+    ``shards * max_inflight / latency_s`` and the scaling factor
+    reflects the sharded front — not the host's core count.
+    """
+    started = time.perf_counter()
+    runs: dict[int, LoadTestResult] = {}
+    for shards in shard_counts:
+        logger.info("scaling-bench-run", shards=shards, clients=clients)
+        runs[shards] = run_load_test(
+            shards=shards, clients=clients, duration_s=duration_s,
+            warmup_s=warmup_s, seed=seed, app=app, latency_s=latency_s,
+            max_inflight=max_inflight, retry_after_s=retry_after_s)
+    return ScalingResult(runs=runs, seed=seed,
+                         elapsed_s=time.perf_counter() - started)
+
+
+def format_scaling(result: ScalingResult) -> str:
+    rows = []
+    for shards in result.shard_counts:
+        run = result.runs[shards]
+        ceiling = (shards * (run.max_inflight or 0) / run.latency_s
+                   if run.latency_s > 0 and run.max_inflight else 0.0)
+        rows.append([
+            str(shards), f"{run.sustained_rps:,.0f}",
+            f"{ceiling:,.0f}", f"{run.shed_rate:.1%}",
+            f"{run.latency_ms_p99:.1f}",
+            f"{run.drain_s * 1e3:.0f}"])
+    table = format_table(
+        ["shards", "sustained rps", "admission ceiling", "shed rate",
+         "p99 ms", "drain ms"], rows)
+    return (table + f"\n\nSO_REUSEPORT scaling: {result.scaling_x:.2f}x "
+            f"({result.shard_counts[0]} -> {result.shard_counts[-1]} "
+            f"shards)")
+
+
+def scaling_bench_payload(result: ScalingResult) -> dict:
+    """The ``BENCH_PR7.json`` serving-tier payload (manifest-stamped)."""
+    first = result.runs[result.shard_counts[0]]
+    sustained = {f"shards_{shards}":
+                 round(result.runs[shards].sustained_rps, 1)
+                 for shards in result.shard_counts}
+    sustained["scaling_x"] = round(result.scaling_x, 3)
+    payload = {
+        "bench": "serving_tier",
+        "schema_version": 1,
+        "params": {"shard_counts": result.shard_counts,
+                   "clients": first.clients, "app": first.app,
+                   "latency_s": first.latency_s,
+                   "max_inflight": first.max_inflight},
+        "sustained_rps": sustained,
+        "per_shard_count": {
+            str(shards): {
+                "sustained_rps": round(run.sustained_rps, 1),
+                "offered_rps": round(run.offered_rps, 1),
+                "shed_rate": round(run.shed_rate, 4),
+                "latency_ms_p99": round(run.latency_ms_p99, 2),
+                "drain_s": round(run.drain_s, 4),
+                "hard_cancelled": run.hard_cancelled,
+            } for shards, run in sorted(result.runs.items())},
+    }
+    return stamp(payload, build_manifest(
+        config={"bench": "serving_tier",
+                "shard_counts": list(result.shard_counts),
+                "clients": first.clients, "app": first.app,
+                "seed": result.seed, "latency_s": first.latency_s,
+                "max_inflight": first.max_inflight},
+        sampling={"duration_s": first.duration_s,
+                  "warmup_s": first.warmup_s},
+        seeds=[result.seed],
+        workers=max(result.shard_counts),
+        wall_time_s=result.elapsed_s or None))

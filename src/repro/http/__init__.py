@@ -15,14 +15,16 @@ the offline environment):
 
 from .cache_control import CacheControl, parse_cache_control
 from .dates import format_http_date, parse_http_date
-from .errors import (ConnectionClosed, HttpError, MessageTooLarge,
-                     ProtocolError, RequestTimeout)
+from .errors import (CircuitOpen, ConnectionClosed, HttpError,
+                     MessageTooLarge, ProtocolError, RequestTimeout)
 from .etag import (ETag, etag_for_content, if_none_match_matches, parse_etag,
                    parse_etag_list)
 from .headers import Headers
 from .messages import Request, Response, status_reason
-from .aclient import AsyncHttpClient, FetchResult, FetchTiming
+from .aclient import (AsyncHttpClient, CircuitBreaker, FetchResult,
+                      FetchTiming)
 from .aserver import AsyncHttpServer
+from .fleet import FleetConfig, ServerFleet
 
 __all__ = [
     "Headers", "Request", "Response", "status_reason",
@@ -31,6 +33,8 @@ __all__ = [
     "CacheControl", "parse_cache_control",
     "format_http_date", "parse_http_date",
     "HttpError", "ProtocolError", "MessageTooLarge", "ConnectionClosed",
-    "RequestTimeout",
-    "AsyncHttpServer", "AsyncHttpClient", "FetchResult", "FetchTiming",
+    "RequestTimeout", "CircuitOpen",
+    "AsyncHttpServer", "AsyncHttpClient", "CircuitBreaker",
+    "FetchResult", "FetchTiming",
+    "FleetConfig", "ServerFleet",
 ]

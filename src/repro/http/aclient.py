@@ -3,6 +3,25 @@
 Mirrors what a browser's network stack gives a page: persistent
 connections, a per-origin concurrency cap, and timing for each exchange —
 enough to measure request latency in the real-socket integration path.
+
+Two overload-symmetry features pair with the server's admission control
+(:mod:`repro.http.aserver`):
+
+``Retry-After`` honouring
+    A ``503``/``408`` response carrying a parseable ``Retry-After``
+    header is the server *telling* the client when to come back; the
+    client sleeps exactly that hint (capped) and retries, ahead of the
+    generic capped-exponential backoff schedule.  Without the header
+    the response is an answer and is returned as-is.
+
+per-origin circuit breaker
+    Consecutive failures (transport errors, shed ``503``s, ``408``s)
+    trip a :class:`CircuitBreaker` from *closed* to *open*: further
+    requests to that origin raise :class:`~repro.http.errors.CircuitOpen`
+    without touching the wire, so a retry storm cannot amplify an
+    overload.  After a deterministic, seeded-jitter open interval one
+    probe is allowed through (*half-open*); success closes the breaker,
+    failure re-opens it.
 """
 
 from __future__ import annotations
@@ -10,25 +29,94 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 from urllib.parse import urlsplit
 
-from ..netsim.faults import backoff_delay
+from ..netsim.faults import backoff_delay, deterministic_draw
 from ..obs.trace import NULL_TRACER
-from .errors import ConnectionClosed, HttpError, RequestTimeout
+from .errors import (CircuitOpen, ConnectionClosed, HttpError,
+                     RequestTimeout)
 from .headers import Headers
 from .messages import Request, Response
 from .wire import read_response, serialize_request
 
-__all__ = ["AsyncHttpClient", "FetchTiming", "FetchResult"]
+__all__ = ["AsyncHttpClient", "CircuitBreaker", "FetchTiming",
+           "FetchResult"]
 
 #: browsers open at most this many parallel connections per origin
 DEFAULT_CONNECTIONS_PER_ORIGIN = 6
 
 #: failures worth a fresh attempt: silence (timeout) or a broken pipe.
-#: HTTP error *responses* are never retried here — they are answers.
+#: HTTP error *responses* are never retried here — they are answers —
+#: except 503/408 bearing an explicit Retry-After hint (see above).
 _RETRYABLE = (RequestTimeout, ConnectionClosed, ConnectionResetError,
               BrokenPipeError)
+
+#: statuses that count as overload signals for the breaker and that may
+#: carry an honourable Retry-After hint
+_OVERLOAD_STATUSES = (503, 408)
+
+
+class CircuitBreaker:
+    """Per-origin three-state breaker: closed -> open -> half-open.
+
+    ``threshold`` consecutive failures trip it open; :meth:`allow` then
+    refuses until ``open_s`` (jittered deterministically from ``seed``
+    and the trip ordinal, span [1x, 2x)) has elapsed on ``clock``, at
+    which point exactly one probe passes (half-open).  The probe's
+    success closes the breaker; its failure re-opens it with a fresh
+    jitter draw.  Everything is deterministic given (seed, key, trip
+    ordinal), so retry-storm experiments replay exactly.
+    """
+
+    __slots__ = ("threshold", "open_s", "seed", "key", "clock",
+                 "state", "failures", "opens", "_opened_at", "_open_for")
+
+    def __init__(self, threshold: int = 5, open_s: float = 1.0,
+                 seed: int = 0, key: str = "",
+                 clock: Callable[[], float] = time.monotonic):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.open_s = open_s
+        self.seed = seed
+        self.key = key
+        self.clock = clock
+        self.state = "closed"
+        #: consecutive failures since the last success
+        self.failures = 0
+        #: times the breaker tripped open (jitter ordinal)
+        self.opens = 0
+        self._opened_at = 0.0
+        self._open_for = 0.0
+
+    def allow(self) -> bool:
+        """May a request go to the wire right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.clock() - self._opened_at >= self._open_for:
+                self.state = "half_open"  # this caller is the probe
+                return True
+            return False
+        return False  # half_open: the single probe is already out
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.state == "half_open" or self.failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = "open"
+        self.opens += 1
+        self._opened_at = self.clock()
+        self._open_for = self.open_s * (
+            1.0 + deterministic_draw(self.seed, "breaker", self.key,
+                                     self.opens))
 
 
 @dataclass(frozen=True)
@@ -83,6 +171,11 @@ class AsyncHttpClient:
                  backoff_base_s: float = 0.05,
                  backoff_cap_s: float = 2.0,
                  retry_seed: int = 0,
+                 honor_retry_after: bool = True,
+                 retry_after_cap_s: float = 30.0,
+                 breaker_threshold: Optional[int] = 5,
+                 breaker_open_s: float = 1.0,
+                 breaker_clock: Callable[[], float] = time.monotonic,
                  tracer=None):
         self.timeout_s = timeout_s
         #: spans land on the wall clock ("http" category)
@@ -94,13 +187,29 @@ class AsyncHttpClient:
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
-        #: seeds the deterministic backoff jitter (reproducible timings)
+        #: seeds the deterministic backoff and breaker jitter
+        #: (reproducible timings)
         self.retry_seed = retry_seed
+        #: sleep a shed response's Retry-After hint (capped) and retry,
+        #: instead of returning the 503/408 straight away
+        self.honor_retry_after = honor_retry_after
+        self.retry_after_cap_s = retry_after_cap_s
+        #: consecutive per-origin failures before the breaker opens;
+        #: ``None`` disables the breaker entirely
+        self.breaker_threshold = breaker_threshold
+        self.breaker_open_s = breaker_open_s
+        self.breaker_clock = breaker_clock
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
         self._idle: dict[tuple[str, int], list[_PooledConnection]] = {}
         self._limits: dict[tuple[str, int], asyncio.Semaphore] = {}
         self._closed = False
         #: attempts re-issued after a retryable failure (diagnostics)
         self.retries = 0
+        #: retries that slept a server Retry-After hint instead of the
+        #: generic backoff schedule
+        self.retries_after_hint = 0
+        #: requests refused locally because a breaker was open
+        self.circuit_open_rejections = 0
 
     async def __aenter__(self) -> "AsyncHttpClient":
         return self
@@ -115,6 +224,25 @@ class AsyncHttpClient:
                 conn.close()
         self._idle.clear()
 
+    def breaker_for(self, url: str) -> Optional[CircuitBreaker]:
+        """The breaker guarding ``url``'s origin (None when disabled)."""
+        if self.breaker_threshold is None:
+            return None
+        host, port, _ = self._split(url)
+        return self._breaker((host, port))
+
+    def _breaker(self, key: tuple[str, int]) -> Optional[CircuitBreaker]:
+        if self.breaker_threshold is None:
+            return None
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.breaker_threshold,
+                open_s=self.breaker_open_s, seed=self.retry_seed,
+                key=f"{key[0]}:{key[1]}", clock=self.breaker_clock)
+            self._breakers[key] = breaker
+        return breaker
+
     # -- public API -----------------------------------------------------------
     async def get(self, url: str,
                   headers: Optional[Headers] = None) -> FetchResult:
@@ -125,11 +253,17 @@ class AsyncHttpClient:
         """One fetch, with a capped-exponential-backoff retry budget.
 
         Retryable failures (timeouts, connection drops) are re-attempted
-        up to ``max_retries`` times with deterministic jitter; whatever
-        failure survives the budget propagates to the caller.
+        up to ``max_retries`` times with deterministic jitter; a 503/408
+        carrying ``Retry-After`` sleeps the server's hint instead.
+        Whatever failure survives the budget propagates to the caller;
+        an un-hinted error response is returned as the answer it is.
+        Raises :class:`CircuitOpen` without touching the wire while the
+        origin's breaker is open.
         """
         if self._closed:
             raise HttpError("client is closed")
+        host, port, _ = self._split(request.url)
+        breaker = self._breaker((host, port))
         tracer = self.tracer
         rspan = tracer.begin(
             "http.request", "http",
@@ -137,17 +271,18 @@ class AsyncHttpClient:
             if tracer.enabled else None
         attempt = 0
         while True:
+            if breaker is not None and not breaker.allow():
+                self.circuit_open_rejections += 1
+                if rspan is not None:
+                    rspan.set("error", "CircuitOpen").end()
+                raise CircuitOpen(
+                    f"circuit open for {host}:{port} "
+                    f"({breaker.failures} consecutive failures)")
             try:
                 result = await self._request_once(request)
-                result.attempts = attempt + 1
-                if rspan is not None:
-                    rspan.annotate(
-                        status=result.response.status,
-                        attempts=result.attempts,
-                        reused_connection=result.timing.reused_connection,
-                        connect_s=result.timing.connect_s).end()
-                return result
             except _RETRYABLE as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 if attempt >= self.max_retries:
                     if rspan is not None:
                         rspan.set("error", type(exc).__name__).end()
@@ -163,6 +298,51 @@ class AsyncHttpClient:
                 await asyncio.sleep(backoff_s)
                 self.retries += 1
                 attempt += 1
+                continue
+            status = result.response.status
+            if status in _OVERLOAD_STATUSES:
+                if breaker is not None:
+                    breaker.record_failure()
+                hint_s = self._retry_after_s(result.response)
+                if self.honor_retry_after and hint_s is not None \
+                        and attempt < self.max_retries:
+                    if rspan is not None:
+                        tracer.instant("http.retry", "http", parent=rspan,
+                                       args={"attempt": attempt,
+                                             "status": status,
+                                             "retry_after_s": hint_s})
+                    await asyncio.sleep(hint_s)
+                    self.retries += 1
+                    self.retries_after_hint += 1
+                    attempt += 1
+                    continue
+            elif breaker is not None:
+                breaker.record_success()
+            result.attempts = attempt + 1
+            if rspan is not None:
+                rspan.annotate(
+                    status=status,
+                    attempts=result.attempts,
+                    reused_connection=result.timing.reused_connection,
+                    connect_s=result.timing.connect_s).end()
+            return result
+
+    def _retry_after_s(self, response: Response) -> Optional[float]:
+        """The capped Retry-After hint in seconds, or None.
+
+        Only the delta-seconds form is honoured (the HTTP-date form is
+        treated as absent — the generic answer path applies).
+        """
+        raw = response.headers.get("Retry-After")
+        if raw is None:
+            return None
+        try:
+            seconds = float(raw.strip())
+        except ValueError:
+            return None
+        if seconds < 0:
+            return None
+        return min(seconds, self.retry_after_cap_s)
 
     async def _request_once(self, request: Request) -> FetchResult:
         host, port, origin_form = self._split(request.url)

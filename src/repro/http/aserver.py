@@ -1,4 +1,4 @@
-"""Real asyncio HTTP/1.1 server.
+"""Real asyncio HTTP/1.1 server with overload protection.
 
 Serves the same handler objects the discrete-event stack uses
 (``handler(request) -> Response``, sync or async), over actual TCP sockets
@@ -7,6 +7,36 @@ to demonstrate the system end-to-end outside the simulator.
 
 An optional ``latency_s`` injects a one-way artificial delay before each
 response, emulating a distant origin on localhost.
+
+Beyond the basic request loop, the server is *overload-safe*:
+
+admission control
+    ``max_connections`` caps concurrent connections (excess connections
+    are answered ``503`` and closed before entering the serve loop), and
+    ``max_inflight`` caps concurrently *dispatched* requests — the
+    high-water mark past which further requests are **load-shed** with
+    ``503 + Retry-After`` instead of queueing without bound.  The
+    ``Retry-After`` hint is deterministic (seeded by ``shed_seed``) but
+    jittered per shed ordinal, so a thundering herd that retries on the
+    hint re-arrives spread out instead of in lockstep.
+    ``max_requests_per_connection`` guards against a single keep-alive
+    peer pipelining forever: after N responses the connection is closed
+    (``Connection: close``), recycling the slot.
+
+graceful drain
+    :meth:`stop` accepts ``drain_s``.  The listener closes immediately,
+    idle keep-alive connections are reclaimed at once, in-flight
+    requests get up to ``drain_s`` seconds to finish (their responses
+    carry ``Connection: close``), and stragglers are hard-cancelled at
+    the deadline.  ``stop`` returns only once every connection task has
+    completed — no lingering tasks survive it.
+
+The debug endpoint ``GET /__repro/stats`` is answered ahead of
+admission-level request shedding (an overloaded server must still be
+observable); it reports the admission gauges and shed counters alongside
+the tracer/metrics snapshots, and ``?dump=1`` adds the mergeable
+:meth:`~repro.obs.metrics.MetricsRegistry.dump` wire format so a scraper
+can fold many shards into one fleet view.
 """
 
 from __future__ import annotations
@@ -14,9 +44,11 @@ from __future__ import annotations
 import asyncio
 import inspect
 import json
+import socket as socket_module
 import time
 from typing import Awaitable, Callable, Optional, Union
 
+from ..netsim.faults import deterministic_draw
 from ..obs.log import get_logger
 from ..obs.trace import NULL_TRACER
 from .errors import HttpError, ProtocolError
@@ -35,6 +67,21 @@ Handler = Callable[[Request], Union[Response, Awaitable[Response]]]
 STATS_PATH = "/__repro/stats"
 
 
+class _Connection:
+    """Book-keeping for one live connection task (drain needs it)."""
+
+    __slots__ = ("task", "writer", "busy", "served")
+
+    def __init__(self, task: asyncio.Task, writer: asyncio.StreamWriter):
+        self.task = task
+        self.writer = writer
+        #: True from "request line arrived" to "response written" — the
+        #: window the drain phase must respect
+        self.busy = False
+        #: responses written on this connection (pipelining guard)
+        self.served = 0
+
+
 class AsyncHttpServer:
     """A minimal but correct HTTP/1.1 origin server.
 
@@ -43,15 +90,24 @@ class AsyncHttpServer:
         server = AsyncHttpServer(handler)
         await server.start()          # binds 127.0.0.1 on a free port
         ... use server.port ...
-        await server.stop()
+        await server.stop()           # or stop(drain_s=5.0) to drain
 
-    Also usable as an async context manager.
+    Also usable as an async context manager.  Admission caps
+    (``max_connections``, ``max_inflight``,
+    ``max_requests_per_connection``) default to ``None`` — unlimited,
+    the pre-hardening behaviour.
     """
 
     def __init__(self, handler: Handler, host: str = "127.0.0.1",
                  port: int = 0, latency_s: float = 0.0,
                  keepalive_timeout_s: float = 15.0,
                  header_read_timeout_s: float = 5.0,
+                 max_connections: Optional[int] = None,
+                 max_inflight: Optional[int] = None,
+                 max_requests_per_connection: Optional[int] = None,
+                 retry_after_s: float = 1.0,
+                 shed_seed: int = 0,
+                 backlog: int = 100,
                  tracer=None, metrics=None, stats_source=None):
         self.handler = handler
         self.host = host
@@ -62,6 +118,21 @@ class AsyncHttpServer:
         #: arrived; a peer that trickles headers slower than this is a
         #: slow-loris and gets a 408 instead of a held connection
         self.header_read_timeout_s = header_read_timeout_s
+        #: concurrent-connection cap; excess connections are shed with
+        #: ``503 + Retry-After`` and closed without entering the loop
+        self.max_connections = max_connections
+        #: concurrently dispatched requests past which further requests
+        #: are shed ``503 + Retry-After`` (the inflight high-water mark)
+        self.max_inflight = max_inflight
+        #: keep-alive responses per connection before a forced
+        #: ``Connection: close`` (pipelining guard); ``None`` = unlimited
+        self.max_requests_per_connection = max_requests_per_connection
+        #: base Retry-After hint; actual hints span [base, 2*base),
+        #: jittered deterministically from ``shed_seed`` per shed ordinal
+        self.retry_after_s = retry_after_s
+        self.shed_seed = shed_seed
+        #: listen(2) backlog — the bounded accept queue
+        self.backlog = backlog
         #: wall-clock request spans (category "http")
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: a :class:`repro.obs.MetricsRegistry`; surfaced by the stats
@@ -71,25 +142,83 @@ class AsyncHttpServer:
         #: application server's ``stats()``) merged into the endpoint
         self.stats_source = stats_source
         self._server: Optional[asyncio.base_events.Server] = None
-        #: total requests served (diagnostics / tests)
+        self._conns: set[_Connection] = set()
+        #: requests answered by the handler or stats endpoint (sheds and
+        #: 408s are counted separately, so shed + served sums to offered)
         self.requests_served = 0
         #: connections closed with 408 for stalling mid-message
         self.timeouts_408 = 0
+        #: requests shed 503 at the inflight high-water mark
+        self.shed_503 = 0
+        #: connections shed 503 at the connection cap
+        self.shed_connections = 0
+        #: currently dispatched requests (the gauge the cap watches)
+        self.inflight = 0
+        #: True from stop() until the next start(); new work is refused
+        self.draining = False
+        #: wall seconds the last stop() took (0.0 before any stop)
+        self.last_drain_s = 0.0
 
-    async def start(self) -> "AsyncHttpServer":
+    async def start(self, sock: Optional[socket_module.socket] = None
+                    ) -> "AsyncHttpServer":
+        """Bind and serve.  ``sock`` overrides host/port with an already
+        bound socket (how the SO_REUSEPORT fleet shares one port)."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self.port)
+        self.draining = False
+        if sock is not None:
+            sock.listen(self.backlog)
+            self._server = await asyncio.start_server(
+                self._serve_connection, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, self.host, self.port,
+                backlog=self.backlog)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
-    async def stop(self) -> None:
+    async def stop(self, drain_s: float = 0.0) -> dict:
+        """Stop accepting and tear down, gracefully when ``drain_s > 0``.
+
+        Sequence: close the listener; reclaim idle keep-alive
+        connections immediately; give busy connections up to ``drain_s``
+        seconds to write their in-flight response (which carries
+        ``Connection: close``); hard-cancel whatever remains; await
+        every connection task.  Returns a report dict —
+        ``{"connections", "hard_cancelled", "drain_s"}`` — and leaves
+        zero lingering tasks behind.
+        """
         if self._server is None:
-            return
+            return {"connections": 0, "hard_cancelled": 0, "drain_s": 0.0}
+        started = time.perf_counter()
+        self.draining = True
         self._server.close()
+        # Idle connections are parked waiting for a request line that
+        # must never be answered now — reclaim them without ceremony.
+        for conn in list(self._conns):
+            if not conn.busy:
+                conn.task.cancel()
+        tasks = {conn.task for conn in self._conns}
+        hard_cancelled = 0
+        if tasks:
+            if drain_s > 0:
+                _done, pending = await asyncio.wait(tasks, timeout=drain_s)
+            else:
+                pending = {task for task in tasks if not task.done()}
+            hard_cancelled = sum(1 for conn in self._conns
+                                 if conn.busy and conn.task in pending)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        # Only now: on Python >= 3.12 wait_closed() also waits for
+        # connection handlers, so it must come after they are dealt with.
         await self._server.wait_closed()
         self._server = None
+        self.last_drain_s = time.perf_counter() - started
+        self._gauge_set("http.drain_s", self.last_drain_s)
+        return {"connections": len(tasks),
+                "hard_cancelled": hard_cancelled,
+                "drain_s": self.last_drain_s}
 
     async def __aenter__(self) -> "AsyncHttpServer":
         return await self.start()
@@ -101,72 +230,159 @@ class AsyncHttpServer:
     def base_url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    @property
+    def connections(self) -> int:
+        """Live connections (admitted, not yet torn down)."""
+        return len(self._conns)
+
     # -- connection loop -----------------------------------------------------
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(asyncio.current_task(), writer)
+        if self.draining or (
+                self.max_connections is not None
+                and len(self._conns) >= self.max_connections):
+            # Connection-level admission: refuse before the serve loop,
+            # so a connection storm cannot exhaust tasks or memory.
+            self.shed_connections += 1
+            self._counter_inc("http.shed_connections")
+            try:
+                await self._write(writer, self._shed_response(close=True))
+                # Drain whatever request bytes the peer already sent:
+                # closing with unread data makes the kernel RST the
+                # connection, discarding our buffered 503.
+                writer.write_eof()
+                await asyncio.wait_for(reader.read(65536), timeout=0.25)
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.TimeoutError):
+                pass
+            finally:
+                await self._close_writer(writer)
+            return
+        self._conns.add(conn)
+        self._gauge_set("http.connections", len(self._conns))
         try:
-            while True:
-                # Idle phase: waiting for a request line.  A keep-alive
-                # connection going quiet is normal; close silently.
-                try:
-                    line = await asyncio.wait_for(
-                        read_request_start(reader),
-                        timeout=self.keepalive_timeout_s)
-                except asyncio.TimeoutError:
-                    return
-                except ProtocolError as exc:
-                    await self._write(writer, Response(
-                        status=400, body=str(exc).encode(),
-                        headers={"Connection": "close"}))
-                    return
-                if line is None:  # clean EOF
-                    return
-                # Committed phase: a request line arrived, so the rest
-                # of the message must follow promptly.  A stall here is
-                # a slow-loris holding a server slot open: answer 408
-                # and reclaim the connection.
-                try:
-                    request = await asyncio.wait_for(
-                        read_request_tail(reader, line),
-                        timeout=self.header_read_timeout_s)
-                except asyncio.TimeoutError:
-                    self.timeouts_408 += 1
-                    await self._write(writer, Response(
-                        status=408, body=b"request timed out",
-                        headers={"Connection": "close"}))
-                    return
-                except ProtocolError as exc:
-                    await self._write(writer, Response(
-                        status=400, body=str(exc).encode(),
-                        headers={"Connection": "close"}))
-                    return
-                response = await self._dispatch(request)
-                if self.latency_s > 0:
-                    await asyncio.sleep(self.latency_s)
-                keep_alive = self._keep_alive(request)
-                if not keep_alive:
-                    response.headers.set("Connection", "close")
-                await self._write(writer, response)
-                self.requests_served += 1
-                if not keep_alive:
-                    return
+            await self._connection_loop(conn, reader, writer)
         except (ConnectionResetError, BrokenPipeError, HttpError):
             return
         except asyncio.CancelledError:
-            # loop teardown while parked on keep-alive: close quietly
-            # (returning, not re-raising, keeps task.exception() clean)
+            # loop teardown or drain while parked on keep-alive: close
+            # quietly (returning, not re-raising, keeps task.exception()
+            # clean)
             return
         finally:
-            writer.close()
+            self._conns.discard(conn)
+            self._gauge_set("http.connections", len(self._conns))
+            await self._close_writer(writer)
+
+    async def _connection_loop(self, conn: _Connection,
+                               reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        while True:
+            # Idle phase: waiting for a request line.  A keep-alive
+            # connection going quiet is normal; close silently.
+            conn.busy = False
             try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError,
-                    asyncio.CancelledError):
-                pass
+                line = await asyncio.wait_for(
+                    read_request_start(reader),
+                    timeout=self.keepalive_timeout_s)
+            except asyncio.TimeoutError:
+                return
+            except ProtocolError as exc:
+                await self._write(writer, Response(
+                    status=400, body=str(exc).encode(),
+                    headers={"Connection": "close"}))
+                return
+            if line is None:  # clean EOF
+                return
+            # Committed phase: a request line arrived, so the rest
+            # of the message must follow promptly.  A stall here is
+            # a slow-loris holding a server slot open: answer 408
+            # and reclaim the connection.
+            conn.busy = True
+            try:
+                request = await asyncio.wait_for(
+                    read_request_tail(reader, line),
+                    timeout=self.header_read_timeout_s)
+            except asyncio.TimeoutError:
+                self.timeouts_408 += 1
+                self._counter_inc("http.timeouts_408")
+                await self._write(writer, Response(
+                    status=408, body=b"request timed out",
+                    headers={"Connection": "close"}))
+                return
+            except ProtocolError as exc:
+                await self._write(writer, Response(
+                    status=400, body=str(exc).encode(),
+                    headers={"Connection": "close"}))
+                return
+            shed = False
+            if request.method == "GET" and request.path == STATS_PATH:
+                # The ops endpoint answers even under overload —
+                # an unobservable saturated server cannot be debugged.
+                response = self._serve_stats(request)
+            elif self.max_inflight is not None \
+                    and self.inflight >= self.max_inflight:
+                # Request-level load shedding at the high-water mark:
+                # a bounded, fast 503 beats an unbounded queue.
+                shed = True
+                self.shed_503 += 1
+                self._counter_inc("http.shed_503")
+                response = self._shed_response(close=False)
+            else:
+                self.inflight += 1
+                self._gauge_set("http.inflight", self.inflight)
+                try:
+                    response = await self._dispatch(request)
+                    if self.latency_s > 0:
+                        # injected service time occupies an inflight
+                        # slot — it is the request being worked on, so
+                        # it must count against the admission ceiling
+                        await asyncio.sleep(self.latency_s)
+                finally:
+                    self.inflight -= 1
+                    self._gauge_set("http.inflight", self.inflight)
+            conn.served += 1
+            keep_alive = (self._keep_alive(request)
+                          and not self.draining
+                          and (self.max_requests_per_connection is None
+                               or conn.served
+                               < self.max_requests_per_connection))
+            if not keep_alive:
+                response.headers.set("Connection", "close")
+            await self._write(writer, response)
+            if not shed:
+                self.requests_served += 1
+            conn.busy = False
+            if not keep_alive:
+                return
+
+    def _shed_response(self, close: bool) -> Response:
+        headers = Headers({"Retry-After": str(self._retry_after_hint()),
+                           "Cache-Control": "no-store"})
+        if close:
+            headers.set("Connection", "close")
+        return Response(status=503, body=b"overloaded; retry later",
+                        headers=headers)
+
+    def _retry_after_hint(self) -> int:
+        """Whole seconds in [retry_after_s, 2*retry_after_s), jittered
+        deterministically per shed ordinal so herd retries de-sync but
+        runs stay reproducible."""
+        ordinal = self.shed_503 + self.shed_connections
+        draw = deterministic_draw(self.shed_seed, "retry-after", ordinal)
+        return max(1, round(self.retry_after_s * (1.0 + draw)))
+
+    # -- metrics glue --------------------------------------------------------
+    def _counter_inc(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _gauge_set(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
 
     async def _dispatch(self, request: Request) -> Response:
-        if request.method == "GET" and request.path == STATS_PATH:
-            return self._serve_stats()
         tracer = self.tracer
         rspan = tracer.begin(
             "server.request", "http",
@@ -208,22 +424,42 @@ class AsyncHttpServer:
         metrics.counter("http.requests").inc()
         metrics.counter(f"http.status.{status // 100}xx").inc()
 
-    def _serve_stats(self) -> Response:
+    def admission_stats(self) -> dict:
+        """The admission/shedding state in one plain dict."""
+        return {
+            "inflight": self.inflight,
+            "connections": len(self._conns),
+            "max_inflight": self.max_inflight,
+            "max_connections": self.max_connections,
+            "max_requests_per_connection":
+                self.max_requests_per_connection,
+            "shed_503": self.shed_503,
+            "shed_connections": self.shed_connections,
+            "timeouts_408": self.timeouts_408,
+            "draining": self.draining,
+        }
+
+    def _serve_stats(self, request: Optional[Request] = None) -> Response:
         """``GET /__repro/stats``: one JSON snapshot of everything known.
 
         Always available (the counters cost nothing); tracer and metrics
         sections appear only as informative as what was wired in.  When
         a registry is wired, every histogram snapshot carries
         p50/p90/p99 (sketch-backed once past the raw-sample cap), so
-        the endpoint reports distributions, not just counts.
+        the endpoint reports distributions, not just counts.  With
+        ``?dump=1`` the payload adds ``metrics_dump`` — the mergeable
+        registry wire format for fleet aggregation.
         """
         payload: dict = {
             "requests_served": self.requests_served,
             "timeouts_408": self.timeouts_408,
+            "admission": self.admission_stats(),
             "tracer": self.tracer.summary(),
         }
         if self.metrics is not None:
             payload["metrics"] = self.metrics.snapshot()
+            if request is not None and "dump=1" in request.query:
+                payload["metrics_dump"] = self.metrics.dump()
         if self.stats_source is not None:
             try:
                 payload["app"] = self.stats_source()
@@ -246,3 +482,12 @@ class AsyncHttpServer:
                      response: Response) -> None:
         writer.write(serialize_response(response))
         await writer.drain()
+
+    @staticmethod
+    async def _close_writer(writer: asyncio.StreamWriter) -> None:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass

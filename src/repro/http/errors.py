@@ -8,6 +8,7 @@ __all__ = [
     "MessageTooLarge",
     "ConnectionClosed",
     "RequestTimeout",
+    "CircuitOpen",
 ]
 
 
@@ -29,3 +30,8 @@ class ConnectionClosed(HttpError):
 
 class RequestTimeout(HttpError):
     """The client gave up waiting for a response."""
+
+
+class CircuitOpen(HttpError):
+    """The per-origin circuit breaker refused the request without
+    touching the wire (the origin has been failing; back off)."""

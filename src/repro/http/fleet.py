@@ -1,0 +1,392 @@
+"""Multi-process ``SO_REUSEPORT``-sharded serving front.
+
+One :class:`AsyncHttpServer` process tops out at whatever a single
+event loop can admit; production origins scale past that by running N
+worker processes that all ``bind()`` the same ``(host, port)`` with
+``SO_REUSEPORT``, letting the kernel spread incoming connections across
+them.  :class:`ServerFleet` is that front:
+
+- the parent reserves a port (binding it with ``SO_REUSEPORT`` itself,
+  so the workers can join the group), spawns N workers, and waits for
+  each to report ready over a control pipe;
+- every worker builds the *same* deterministic application (same seed →
+  byte-identical site) behind its own hardened ``AsyncHttpServer``
+  (admission caps, shedding, slow-loris guard — see
+  :mod:`repro.http.aserver`) and its own
+  :class:`~repro.obs.metrics.MetricsRegistry`;
+- :meth:`ServerFleet.stats` polls each worker for its counters plus its
+  registry ``dump()`` and folds the dumps together through
+  :meth:`MetricsRegistry.merge` — the same mergeable wire format the
+  process-pool experiment fan-out ships, so fleet-wide
+  p50/p90/p99 and shed totals come out of one snapshot;
+- :meth:`ServerFleet.stop` drains every worker gracefully
+  (``stop(drain_s=...)`` inside the worker) and reaps the processes.
+
+Workers also install SIGTERM/SIGINT handlers that trigger the same
+graceful drain, so a Ctrl-C or a supervisor's TERM lands as a drain,
+not an abort.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import socket
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["FleetConfig", "ServerFleet", "build_app", "reuseport_socket",
+           "HAVE_REUSEPORT"]
+
+logger = get_logger("http.fleet")
+
+#: whether this platform can shard one port across processes
+HAVE_REUSEPORT = hasattr(socket, "SO_REUSEPORT")
+
+#: worker-side drain used for signal-initiated stops
+_SIGNAL_DRAIN_S = 5.0
+
+
+def reuseport_socket(host: str, port: int) -> socket.socket:
+    """A bound (not yet listening) TCP socket with ``SO_REUSEPORT`` set.
+
+    Every member of a reuseport group must set the flag before
+    ``bind()``; the parent uses one of these to reserve the port and
+    each worker uses one to join the group.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if HAVE_REUSEPORT:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything a worker needs to build and serve its shard.
+
+    Must stay picklable: it crosses the ``spawn`` boundary verbatim.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    shards: int = 2
+    seed: int = 42
+    #: which application the shards serve: "catalyst" (the full origin)
+    #: or "static" (a fixed small body — isolates the serving tier)
+    app: str = "catalyst"
+    latency_s: float = 0.0
+    time_scale: float = 1.0
+    max_inflight: Optional[int] = None
+    max_connections: Optional[int] = None
+    max_requests_per_connection: Optional[int] = None
+    keepalive_timeout_s: float = 15.0
+    header_read_timeout_s: float = 5.0
+    retry_after_s: float = 1.0
+    backlog: int = 100
+    median_resources: int = 15
+
+
+def build_app(config: FleetConfig):
+    """``(handler, stats_source)`` for one shard of ``config.app``.
+
+    Deterministic in ``config.seed``: every shard serves byte-identical
+    content, which is what makes the kernel's connection spreading
+    invisible to clients.
+    """
+    if config.app == "static":
+        body = bytes((config.seed + i) % 256 for i in range(2048))
+
+        def handler(request):
+            from .messages import Response
+            return Response(body=body, headers={
+                "Content-Type": "application/octet-stream",
+                "Cache-Control": "no-store"})
+
+        return handler, None
+    if config.app == "catalyst":
+        # Imported lazily: repro.server imports repro.http, so a
+        # module-level import here would be circular.
+        from ..server.adapter import as_async_handler
+        from ..server.catalyst import CatalystServer
+        from ..server.site import OriginSite
+        from ..workload.sitegen import generate_site
+        site = OriginSite(
+            generate_site(f"https://fleet{config.seed}.example",
+                          seed=config.seed,
+                          median_resources=config.median_resources),
+            materialize_fully=True)
+        catalyst = CatalystServer(site)
+        return (as_async_handler(catalyst, time_scale=config.time_scale),
+                catalyst.stats)
+    raise ValueError(f"unknown fleet app {config.app!r}")
+
+
+def _worker_server(config: FleetConfig, metrics: MetricsRegistry):
+    """The hardened per-shard server (not yet started)."""
+    from .aserver import AsyncHttpServer
+    handler, stats_source = build_app(config)
+    return AsyncHttpServer(
+        handler, host=config.host, latency_s=config.latency_s,
+        keepalive_timeout_s=config.keepalive_timeout_s,
+        header_read_timeout_s=config.header_read_timeout_s,
+        max_connections=config.max_connections,
+        max_inflight=config.max_inflight,
+        max_requests_per_connection=config.max_requests_per_connection,
+        retry_after_s=config.retry_after_s,
+        shed_seed=config.seed, backlog=config.backlog,
+        metrics=metrics, stats_source=stats_source)
+
+
+def _worker_stats(server, metrics: MetricsRegistry) -> dict:
+    """One worker's snapshot in the mergeable wire format."""
+    return {
+        "pid": os.getpid(),
+        "requests_served": server.requests_served,
+        "admission": server.admission_stats(),
+        "metrics": metrics.dump(),
+    }
+
+
+async def _worker_serve(conn, config: FleetConfig) -> None:
+    loop = asyncio.get_running_loop()
+    metrics = MetricsRegistry()
+    server = _worker_server(config, metrics)
+    sock = reuseport_socket(config.host, config.port)
+    await server.start(sock=sock)
+
+    stop_requested = asyncio.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop_requested.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    readable = asyncio.Event()
+    loop.add_reader(conn.fileno(), readable.set)
+    conn.send({"ready": True, "pid": os.getpid(), "port": server.port})
+    try:
+        while True:
+            read_wait = asyncio.ensure_future(readable.wait())
+            stop_wait = asyncio.ensure_future(stop_requested.wait())
+            await asyncio.wait({read_wait, stop_wait},
+                               return_when=asyncio.FIRST_COMPLETED)
+            for waiter in (read_wait, stop_wait):
+                waiter.cancel()
+            if stop_requested.is_set():
+                # Signal-initiated drain (Ctrl-C / supervisor TERM).
+                report = await server.stop(drain_s=_SIGNAL_DRAIN_S)
+                _try_send(conn, {"stopped": True, "pid": os.getpid(),
+                                 **report})
+                return
+            readable.clear()
+            while conn.poll():
+                message = conn.recv()
+                command = message.get("cmd")
+                if command == "stats":
+                    _try_send(conn, _worker_stats(server, metrics))
+                elif command == "stop":
+                    report = await server.stop(
+                        drain_s=message.get("drain_s", 0.0))
+                    _try_send(conn, {"stopped": True, "pid": os.getpid(),
+                                     **report})
+                    return
+                else:
+                    _try_send(conn, {"error": f"unknown cmd {command!r}"})
+    finally:
+        loop.remove_reader(conn.fileno())
+        if server._server is not None:
+            await server.stop()
+
+
+def _try_send(conn, payload: dict) -> None:
+    try:
+        conn.send(payload)
+    except (BrokenPipeError, OSError):  # parent went away
+        pass
+
+
+def _worker_main(conn, config: FleetConfig) -> None:
+    """Entry point of one spawned shard process."""
+    try:
+        asyncio.run(_worker_serve(conn, config))
+    except (KeyboardInterrupt, EOFError):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+class _Worker:
+    __slots__ = ("process", "conn", "pid", "port")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.pid: Optional[int] = None
+        self.port: Optional[int] = None
+
+
+class ServerFleet:
+    """N ``SO_REUSEPORT`` worker processes behind one (host, port).
+
+    Usage::
+
+        with ServerFleet(FleetConfig(shards=4, app="static")) as fleet:
+            ... drive fleet.base_url ...
+            stats = fleet.stats()      # merged across shards
+        # __exit__ drains and reaps the workers
+
+    ``start``/``stop`` are synchronous (process management); the traffic
+    they serve is handled inside each worker's own event loop.
+    """
+
+    def __init__(self, config: Optional[FleetConfig] = None, **overrides):
+        base = config if config is not None else FleetConfig()
+        self.config = replace(base, **overrides) if overrides else base
+        if self.config.shards < 1:
+            raise ValueError(f"shards must be >= 1, "
+                             f"got {self.config.shards}")
+        if self.config.shards > 1 and not HAVE_REUSEPORT:
+            raise RuntimeError(
+                "SO_REUSEPORT unavailable on this platform; "
+                "only shards=1 is possible")
+        self.port: Optional[int] = None
+        self._workers: list[_Worker] = []
+        #: drain used when __exit__ stops the fleet
+        self.drain_s = 1.0
+
+    @property
+    def base_url(self) -> str:
+        if self.port is None:
+            raise RuntimeError("fleet not started")
+        return f"http://{self.config.host}:{self.port}"
+
+    @property
+    def shards(self) -> int:
+        return self.config.shards
+
+    def start(self, ready_timeout_s: float = 30.0) -> "ServerFleet":
+        if self._workers:
+            raise RuntimeError("fleet already started")
+        context = multiprocessing.get_context("spawn")
+        # Reserve the port: parent binds (never listens) with
+        # SO_REUSEPORT, workers join the same group.  The placeholder
+        # stays open until every worker is ready so the port cannot be
+        # lost to another process in between.
+        placeholder = reuseport_socket(self.config.host, self.config.port)
+        self.port = placeholder.getsockname()[1]
+        worker_config = replace(self.config, port=self.port)
+        try:
+            for _ in range(self.config.shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main, args=(child_conn, worker_config),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._workers.append(_Worker(process, parent_conn))
+            for worker in self._workers:
+                if not worker.conn.poll(ready_timeout_s):
+                    raise RuntimeError(
+                        f"fleet worker pid={worker.process.pid} not "
+                        f"ready within {ready_timeout_s}s")
+                message = worker.conn.recv()
+                if not message.get("ready"):
+                    raise RuntimeError(
+                        f"fleet worker reported {message!r}")
+                worker.pid = message["pid"]
+                worker.port = message["port"]
+            logger.info("fleet-started", shards=self.config.shards,
+                        port=self.port, app=self.config.app)
+        except BaseException:
+            self._reap(terminate=True)
+            raise
+        finally:
+            placeholder.close()
+        return self
+
+    def stats(self, timeout_s: float = 10.0) -> dict:
+        """Merged fleet snapshot: per-worker counters + one registry.
+
+        Worker metric dumps fold through
+        :meth:`MetricsRegistry.merge`, so histograms (request latency)
+        aggregate exactly like the experiment fan-out's fleet metrics.
+        """
+        merged = self.merged_metrics(timeout_s=timeout_s)
+        per_worker = self._last_worker_stats
+        totals = {"requests_served": 0, "shed_503": 0,
+                  "shed_connections": 0, "timeouts_408": 0,
+                  "inflight": 0, "connections": 0}
+        for stats in per_worker:
+            totals["requests_served"] += stats["requests_served"]
+            admission = stats["admission"]
+            for key in ("shed_503", "shed_connections", "timeouts_408",
+                        "inflight", "connections"):
+                totals[key] += admission[key]
+        return {"shards": len(per_worker), "totals": totals,
+                "workers": per_worker, "metrics": merged.snapshot()}
+
+    def merged_metrics(self, timeout_s: float = 10.0) -> MetricsRegistry:
+        """One registry holding every worker's dump, merged."""
+        merged = MetricsRegistry()
+        self._last_worker_stats: list[dict] = []
+        for worker in self._workers:
+            worker.conn.send({"cmd": "stats"})
+        for worker in self._workers:
+            if not worker.conn.poll(timeout_s):
+                raise RuntimeError(
+                    f"fleet worker pid={worker.pid} did not answer "
+                    f"stats within {timeout_s}s")
+            stats = worker.conn.recv()
+            self._last_worker_stats.append(stats)
+            merged.merge(stats["metrics"])
+        return merged
+
+    def stop(self, drain_s: Optional[float] = None,
+             reap_timeout_s: float = 10.0) -> list[dict]:
+        """Gracefully drain every worker; returns their drain reports."""
+        if not self._workers:
+            return []
+        drain = self.drain_s if drain_s is None else drain_s
+        reports: list[dict] = []
+        for worker in self._workers:
+            try:
+                worker.conn.send({"cmd": "stop", "drain_s": drain})
+            except (BrokenPipeError, OSError):
+                pass  # already stopping (signal) or dead; reap below
+        deadline = drain + reap_timeout_s
+        for worker in self._workers:
+            try:
+                if worker.conn.poll(deadline):
+                    reports.append(worker.conn.recv())
+            except (EOFError, OSError):
+                pass
+        self._reap(terminate=False, timeout_s=reap_timeout_s)
+        logger.info("fleet-stopped", reports=len(reports))
+        return reports
+
+    def _reap(self, terminate: bool, timeout_s: float = 5.0) -> None:
+        for worker in self._workers:
+            if terminate and worker.process.is_alive():
+                worker.process.terminate()
+            worker.process.join(timeout=timeout_s)
+            if worker.process.is_alive():  # pragma: no cover
+                worker.process.kill()
+                worker.process.join(timeout=timeout_s)
+            worker.conn.close()
+        self._workers.clear()
+
+    def __enter__(self) -> "ServerFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

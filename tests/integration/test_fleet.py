@@ -1,0 +1,111 @@
+"""Multi-process SO_REUSEPORT fleet: start, serve, merge stats, drain.
+
+Worker processes are real (spawn), so these tests are seconds-scale;
+they skip wholesale on platforms without ``SO_REUSEPORT``.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.http.aclient import AsyncHttpClient
+from repro.http.fleet import (HAVE_REUSEPORT, FleetConfig, ServerFleet,
+                              build_app, reuseport_socket)
+from repro.http.messages import Response
+
+needs_reuseport = pytest.mark.skipif(
+    not HAVE_REUSEPORT, reason="platform lacks SO_REUSEPORT")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestReuseportSocket:
+    @needs_reuseport
+    def test_two_sockets_share_one_port(self):
+        first = reuseport_socket("127.0.0.1", 0)
+        port = first.getsockname()[1]
+        second = reuseport_socket("127.0.0.1", port)  # no EADDRINUSE
+        assert second.getsockname()[1] == port
+        first.close()
+        second.close()
+
+    def test_sockets_bound_but_not_listening(self):
+        sock = reuseport_socket("127.0.0.1", 0)
+        try:
+            with pytest.raises(OSError):
+                socket.create_connection(sock.getsockname(), timeout=0.5)
+        finally:
+            sock.close()
+
+
+class TestBuildApp:
+    def test_static_app_deterministic_for_seed(self):
+        handler_a, _ = build_app(FleetConfig(app="static", seed=5))
+        handler_b, _ = build_app(FleetConfig(app="static", seed=5))
+        handler_c, _ = build_app(FleetConfig(app="static", seed=6))
+        a = handler_a(None).body
+        assert a == handler_b(None).body
+        assert a != handler_c(None).body
+        assert len(a) == 2048
+
+    def test_catalyst_app_serves_site(self):
+        handler, stats_source = build_app(
+            FleetConfig(app="catalyst", seed=1, median_resources=8))
+        from repro.http.messages import Request
+        response = handler(Request(url="/index.html"))
+        assert isinstance(response, Response)
+        assert response.status == 200
+        assert callable(stats_source)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            build_app(FleetConfig(app="nope"))
+
+
+@needs_reuseport
+class TestServerFleet:
+    def test_two_shards_serve_and_drain(self):
+        config = FleetConfig(shards=2, seed=3, app="static",
+                             max_inflight=16)
+        fleet = ServerFleet(config).start()
+        try:
+            async def drive():
+                async with AsyncHttpClient() as client:
+                    bodies = set()
+                    for _ in range(12):
+                        result = await client.get(fleet.base_url + "/")
+                        assert result.response.status == 200
+                        bodies.add(result.response.body)
+                    return bodies
+
+            bodies = run(drive())
+            assert len(bodies) == 1  # same seed -> identical shards
+            stats = fleet.stats()
+            assert stats["shards"] == 2
+            assert stats["totals"]["requests_served"] == 12
+            assert stats["totals"]["shed_503"] == 0
+            # the merged registry folded per-worker dumps: the request
+            # counter matches the summed per-worker counters
+            assert stats["metrics"]["http.requests"] == 12
+            per_worker = [w["requests_served"] for w in stats["workers"]]
+            assert sum(per_worker) == 12
+        finally:
+            reports = fleet.stop(drain_s=2.0)
+        assert len(reports) == 2
+        assert all(r["hard_cancelled"] == 0 for r in reports)
+
+    def test_fleet_context_manager(self):
+        with ServerFleet(FleetConfig(shards=2, seed=1,
+                                     app="static")) as fleet:
+            async def one():
+                async with AsyncHttpClient() as client:
+                    return (await client.get(fleet.base_url + "/")).response
+            assert run(one()).status == 200
+
+    def test_multi_shard_without_reuseport_raises(self, monkeypatch):
+        monkeypatch.setattr("repro.http.fleet.HAVE_REUSEPORT", False)
+        with pytest.raises(RuntimeError, match="SO_REUSEPORT"):
+            ServerFleet(FleetConfig(shards=2)).start()

@@ -1,0 +1,273 @@
+"""Client-side overload symmetry: Retry-After honouring and the
+per-origin circuit breaker.
+
+The breaker is tested as a pure state machine with an injectable clock,
+then end-to-end through :class:`AsyncHttpClient` against a live origin.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.http.aclient import AsyncHttpClient, CircuitBreaker
+from repro.http.aserver import AsyncHttpServer
+from repro.http.errors import CircuitOpen
+from repro.http.messages import Response
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBreakerStateMachine:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, open_s=1.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken, not cumulative
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, open_s=1.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(2.1)  # past the jittered open window [1, 2)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # second caller refused
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, open_s=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_jitter(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=5, open_s=1.0, clock=clock,
+                                 seed=3, key="o")
+        for _ in range(5):
+            breaker.record_failure()
+        first_window = breaker._open_for
+        clock.advance(2.1)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe fails: instant re-trip
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+        assert breaker._open_for != first_window  # new ordinal, new draw
+        assert not breaker.allow()
+
+    def test_open_windows_deterministic_across_instances(self):
+        def windows(seed):
+            clock = FakeClock()
+            breaker = CircuitBreaker(threshold=1, open_s=1.0, seed=seed,
+                                     key="origin", clock=clock)
+            spans = []
+            for _ in range(4):
+                breaker.record_failure()
+                spans.append(breaker._open_for)
+                clock.advance(breaker._open_for + 0.01)
+                assert breaker.allow()
+            return spans
+
+        assert windows(9) == windows(9)
+        assert windows(9) != windows(10)
+        assert all(1.0 <= span < 2.0 for span in windows(9))
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestClientIntegration:
+    def test_repeated_503s_trip_breaker_without_wire_contact(self):
+        async def scenario():
+            handler = lambda req: Response(status=503, body=b"no")
+            async with AsyncHttpServer(handler) as server:
+                async with AsyncHttpClient(breaker_threshold=2,
+                                           max_retries=0,
+                                           honor_retry_after=False) as client:
+                    for _ in range(2):
+                        result = await client.get(server.base_url + "/x")
+                        assert result.response.status == 503
+                    served_before = server.requests_served
+                    with pytest.raises(CircuitOpen):
+                        await client.get(server.base_url + "/x")
+                    return (served_before, server.requests_served,
+                            client.circuit_open_rejections)
+
+        before, after, rejections = run(scenario())
+        assert before == after == 2  # the refused request never arrived
+        assert rejections == 1
+
+    def test_breaker_recovers_after_open_window(self):
+        async def scenario():
+            failures = 2
+
+            def handler(req):
+                nonlocal failures
+                if failures > 0:
+                    failures -= 1
+                    return Response(status=503, body=b"no")
+                return Response(body=b"ok")
+
+            clock = FakeClock()
+            async with AsyncHttpServer(handler) as server:
+                async with AsyncHttpClient(breaker_threshold=2,
+                                           breaker_open_s=1.0,
+                                           breaker_clock=clock,
+                                           max_retries=0,
+                                           honor_retry_after=False) as client:
+                    for _ in range(2):
+                        await client.get(server.base_url + "/x")
+                    with pytest.raises(CircuitOpen):
+                        await client.get(server.base_url + "/x")
+                    clock.advance(2.1)  # open window elapses
+                    probe = await client.get(server.base_url + "/x")
+                    assert probe.response.status == 200
+                    again = await client.get(server.base_url + "/x")
+                    assert again.response.status == 200
+
+        run(scenario())
+
+    def test_breaker_disabled_with_none_threshold(self):
+        async def scenario():
+            handler = lambda req: Response(status=503, body=b"no")
+            async with AsyncHttpServer(handler) as server:
+                async with AsyncHttpClient(breaker_threshold=None,
+                                           max_retries=0,
+                                           honor_retry_after=False) as client:
+                    for _ in range(20):
+                        result = await client.get(server.base_url + "/x")
+                        assert result.response.status == 503
+                    assert client.breaker_for(server.base_url) is None
+
+        run(scenario())
+
+
+class TestRetryAfterHonoured:
+    def test_hinted_503_retried_after_sleeping_the_hint(self):
+        async def scenario():
+            calls = 0
+
+            def handler(req):
+                nonlocal calls
+                calls += 1
+                if calls == 1:
+                    return Response(status=503, body=b"wait",
+                                    headers={"Retry-After": "0"})
+                return Response(body=b"ok")
+
+            async with AsyncHttpServer(handler) as server:
+                async with AsyncHttpClient(max_retries=1) as client:
+                    result = await client.get(server.base_url + "/x")
+                    assert result.response.status == 200
+                    assert result.attempts == 2
+                    assert client.retries_after_hint == 1
+
+        run(scenario())
+
+    def test_hint_ignored_when_budget_exhausted(self):
+        async def scenario():
+            handler = lambda req: Response(status=503, body=b"no",
+                                           headers={"Retry-After": "0"})
+            async with AsyncHttpServer(handler) as server:
+                async with AsyncHttpClient(max_retries=0,
+                                           breaker_threshold=None) as client:
+                    result = await client.get(server.base_url + "/x")
+                    # the 503 is the answer, not an exception
+                    assert result.response.status == 503
+                    assert client.retries_after_hint == 0
+
+        run(scenario())
+
+    def test_hint_disabled_returns_503_immediately(self):
+        async def scenario():
+            handler = lambda req: Response(status=503, body=b"no",
+                                           headers={"Retry-After": "0"})
+            async with AsyncHttpServer(handler) as server:
+                async with AsyncHttpClient(max_retries=3,
+                                           breaker_threshold=None,
+                                           honor_retry_after=False) as client:
+                    result = await client.get(server.base_url + "/x")
+                    assert result.response.status == 503
+                    assert result.attempts == 1
+
+        run(scenario())
+
+    def test_unparseable_and_date_hints_ignored(self):
+        client = AsyncHttpClient()
+        assert client._retry_after_s(Response(
+            headers={"Retry-After": "Fri, 01 Jan 2027 00:00:00 GMT"})) \
+            is None
+        assert client._retry_after_s(Response(
+            headers={"Retry-After": "-3"})) is None
+        assert client._retry_after_s(Response()) is None
+
+    def test_hint_capped(self):
+        client = AsyncHttpClient(retry_after_cap_s=5.0)
+        hint = client._retry_after_s(Response(
+            headers={"Retry-After": "3600"}))
+        assert hint == 5.0
+
+    def test_end_to_end_shed_then_admitted(self):
+        """A request shed at the inflight high-water mark is retried on
+        the server's own hint and succeeds once a slot frees up."""
+        async def scenario():
+            release = asyncio.Event()
+
+            async def handler(request):
+                await release.wait()
+                return Response(body=b"ok")
+
+            server = AsyncHttpServer(handler, max_inflight=1,
+                                     retry_after_s=1.0)
+            await server.start()
+            try:
+                async with AsyncHttpClient(max_retries=2) as hog, \
+                        AsyncHttpClient(max_retries=2) as client:
+                    hogging = asyncio.ensure_future(
+                        hog.get(server.base_url + "/slot"))
+                    while server.inflight == 0:
+                        await asyncio.sleep(0.01)
+                    shed_then_ok = asyncio.ensure_future(
+                        client.get(server.base_url + "/shed"))
+                    while server.shed_503 == 0:
+                        await asyncio.sleep(0.01)
+                    release.set()  # free the slot before the retry lands
+                    result = await shed_then_ok
+                    await hogging
+                    assert result.response.status == 200
+                    assert result.attempts == 2
+                    assert client.retries_after_hint == 1
+            finally:
+                await server.stop(drain_s=1.0)
+
+        run(scenario())

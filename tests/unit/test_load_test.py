@@ -1,0 +1,114 @@
+"""The sustained-load harness, in-process mode (no worker processes).
+
+Fast, deterministic exercises of the chaos-harness plumbing: overload
+accounting, fault presets, metrics emission, and the manifest-stamped
+payloads.  The real multi-process runs live in the ``loadtest`` lane
+(``benchmarks/test_bench_loadtest.py``).
+"""
+
+import pytest
+
+from repro.experiments.load_test import (FAULT_PRESETS, format_load_test,
+                                         load_test_payload, run_load_test,
+                                         scaling_bench_payload)
+from repro.obs.manifest import validate_manifest
+from repro.obs.metrics import MetricsRegistry
+
+
+def quick_run(**overrides):
+    defaults = dict(inprocess=True, clients=8, duration_s=0.6,
+                    warmup_s=0.15, latency_s=0.02, max_inflight=4,
+                    seed=1, retry_after_s=0.5, drain_s=1.0)
+    defaults.update(overrides)
+    return run_load_test(**defaults)
+
+
+class TestInprocessRun:
+    def test_overload_accounting_is_exact(self):
+        result = quick_run()
+        assert result.ok > 0
+        assert result.errors == 0
+        # server-side: every offered request is exactly served or shed
+        offered = (result.served_total + result.shed_503
+                   + result.shed_connections)
+        assert result.served_total > 0
+        assert result.shed_503 > 0  # 8 clients vs 4 slots must shed
+        assert offered == result.served_total + result.shed_503
+        assert 0.0 < result.shed_rate < 1.0
+        # the swarm stays under the admission ceiling (K / latency)
+        ceiling = result.max_inflight / result.latency_s
+        assert result.sustained_rps <= ceiling * 1.1
+        assert result.drain_s >= 0.0
+        assert result.hard_cancelled == 0
+
+    def test_retry_after_hints_consumed(self):
+        result = quick_run()
+        assert result.retries_after_hint > 0  # shed clients slept hints
+
+    def test_series_buckets_cover_the_window(self):
+        result = quick_run(interval_s=0.2)
+        assert result.series  # at least one bucket
+        assert all(b["sent"] >= b["ok"] for b in result.series)
+        assert sum(b["ok"] for b in result.series) == result.ok
+
+    def test_metrics_emitted_into_registry(self):
+        registry = MetricsRegistry()
+        result = quick_run(metrics=registry)
+        snapshot = registry.snapshot()
+        assert snapshot["load.ok"] == result.ok
+        assert snapshot["load.sustained_rps"] == result.sustained_rps
+        # fleet-side instruments merged in next to the load.* ones
+        assert snapshot["http.shed_503"] == result.shed_503
+        assert result.metrics_snapshot == snapshot
+
+    def test_fault_preset_injects(self):
+        result = quick_run(preset="lossy_wifi", clients=4)
+        assert result.faults_injected > 0
+        assert result.preset == "lossy_wifi"
+        # per-attempt decisions replay exactly (the injected *count*
+        # varies with wall-clock pacing, the decisions never do)
+        plan_a = FAULT_PRESETS["lossy_wifi"](seed=1)
+        plan_b = FAULT_PRESETS["lossy_wifi"](seed=1)
+        decisions_a = [plan_a.decide(f"client0/u{i}", i)
+                       for i in range(50)]
+        decisions_b = [plan_b.decide(f"client0/u{i}", i)
+                       for i in range(50)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            quick_run(preset="solar_flare")
+        assert set(FAULT_PRESETS) == {"flaky_5g", "lossy_wifi",
+                                      "captive_portal"}
+
+    def test_inprocess_requires_single_shard(self):
+        with pytest.raises(ValueError, match="one shard"):
+            run_load_test(inprocess=True, shards=2)
+
+
+class TestArtifacts:
+    def test_payload_manifest_validates(self):
+        result = quick_run()
+        payload = load_test_payload(result)
+        assert payload["bench"] == "load_test"
+        assert validate_manifest(payload["manifest"]) == []
+        assert payload["client"]["ok"] == result.ok
+        assert payload["shed"]["shed_503"] == result.shed_503
+
+    def test_scaling_payload_shape(self):
+        # two cheap in-process "shard counts" fake the sweep shape; the
+        # real 1-vs-4 run is the loadtest lane's job
+        from repro.experiments.load_test import ScalingResult
+        runs = {1: quick_run(), 4: quick_run(clients=16)}
+        scaling = ScalingResult(runs=runs, seed=1, elapsed_s=1.0)
+        payload = scaling_bench_payload(scaling)
+        assert payload["bench"] == "serving_tier"
+        assert set(payload["sustained_rps"]) == {"shards_1", "shards_4",
+                                                 "scaling_x"}
+        assert validate_manifest(payload["manifest"]) == []
+
+    def test_format_is_human_readable(self):
+        text = format_load_test(quick_run())
+        assert "sustained 200 rps" in text
+        assert "shed rate" in text
