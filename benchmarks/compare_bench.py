@@ -55,6 +55,8 @@ BENCH_KEYS: dict[str, tuple[str, ...]] = {
                 "simcore.visits_per_s"),
     "serving_tier": ("sustained_rps.shards_1", "sustained_rps.shards_4",
                      "sustained_rps.scaling_x"),
+    "analytic_sweep": ("analytic_sweep.estimates_per_s_vectorized",
+                       "analytic_sweep.estimates_per_s_fallback"),
 }
 
 #: fallback key set for payloads without a recognized ``"bench"`` field

@@ -5,6 +5,8 @@ writing Python::
 
     python -m repro figure1
     python -m repro figure3 --sites 6 --throughputs 8,60 --latencies 10,40
+    python -m repro sweep --validate
+    python -m repro sweep --bench --out benchmarks/results/analytic_sweep.txt
     python -m repro motivation
     python -m repro crosspage
     python -m repro bench --repeats 300
@@ -65,6 +67,49 @@ def build_parser() -> argparse.ArgumentParser:
                       help="realistic content churn instead of clones")
     fig3.add_argument("--parallel", action="store_true",
                       help="fan out over a process pool")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="full-grid analytic PLT sweep (vectorized closed form); "
+             "--validate replays a seeded subgrid through the DES, "
+             "--bench writes the analytic_sweep BENCH artifact")
+    sweep.add_argument("--sites", type=int, default=None,
+                       help="corpus subsample size (default: full corpus)")
+    sweep.add_argument("--throughputs", type=_float_list,
+                       default=(8.0, 16.0, 30.0, 60.0),
+                       help="Mbit/s list (default 8,16,30,60)")
+    sweep.add_argument("--latencies", type=_float_list,
+                       default=(10.0, 20.0, 40.0, 80.0, 100.0),
+                       help="RTT ms list (default 10,20,40,80,100)")
+    sweep.add_argument("--delays", default="1min,1h,6h,1d,1w",
+                       help="revisit delays (default 1min,1h,6h,1d,1w)")
+    sweep.add_argument("--backend", default="auto",
+                       choices=("auto", "numpy", "python"),
+                       help="force the engine backend (default auto)")
+    sweep.add_argument("--out", default=None,
+                       help="also write the grid report to this file")
+    sweep.add_argument("--validate", action="store_true",
+                       help="re-run a seeded sampled subgrid through the "
+                            "DES and gate on rank correlation")
+    sweep.add_argument("--validate-sites", type=int, default=4,
+                       help="subgrid size for --validate (default 4)")
+    sweep.add_argument("--min-rho", type=float, default=0.85,
+                       help="rank-correlation floor for --validate "
+                            "(default 0.85)")
+    sweep.add_argument("--seed", type=int, default=2024,
+                       help="workload seed for --bench/--validate")
+    sweep.add_argument("--bench", action="store_true",
+                       help="measure visit-estimates/s on both backends "
+                            "and write the BENCH artifact instead of "
+                            "sweeping")
+    sweep.add_argument("--bench-out", default=None,
+                       help="with --bench: artifact path (default "
+                            "benchmarks/results/BENCH_PR8.json)")
+    sweep.add_argument("--rounds", type=int, default=5,
+                       help="with --bench: best-of rounds (default 5)")
+    sweep.add_argument("--min-estimates", type=float, default=None,
+                       help="with --bench: exit non-zero when the "
+                            "measured estimates/s falls below this")
 
     sub.add_parser("motivation", help="the §2.2 workload statistics")
     sub.add_parser("crosspage", help="first visits to inner pages")
@@ -255,6 +300,78 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
              warm_p99_ms=round(warm.get("p99", 0.0), 1),
              cache_hit_ratio=round(fleet["cache_hit_ratio"], 3),
              warm_retries=fleet["warm_retries"])
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments.sweep import run_sweep, validate_sweep
+    from .netsim.clock import parse_duration
+
+    if args.bench:
+        return _cmd_sweep_bench(args)
+    try:
+        delays = tuple(parse_duration(part)
+                       for part in args.delays.split(","))
+        result = run_sweep(sites=args.sites,
+                           throughputs_mbps=args.throughputs,
+                           latencies_ms=args.latencies,
+                           delays_s=delays,
+                           backend=args.backend)
+    except (ValueError, RuntimeError) as exc:
+        log.error("sweep-invalid", detail=str(exc))
+        return 2
+    text = result.format()
+    print(text)
+    log.info("sweep-done", estimates=result.estimates,
+             backend=result.backend,
+             rate=f"{result.estimates_per_s:,.0f}/s")
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        log.info("wrote-artifact", path=path)
+    if args.validate:
+        validation = validate_sweep(sites=args.validate_sites,
+                                    min_rho=args.min_rho,
+                                    backend=args.backend)
+        print()
+        print(validation.format())
+        if not validation.passed:
+            log.error("sweep-validation-failed",
+                      rho=f"{validation.rho:.3f}",
+                      required=f"{args.min_rho:g}")
+            return 1
+    return 0
+
+
+def _cmd_sweep_bench(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .experiments.sweep import (analytic_bench_payload,
+                                    format_analytic_bench,
+                                    run_analytic_bench)
+    sites = args.sites if args.sites is not None else 40
+    result = run_analytic_bench(sites=sites, seed=args.seed,
+                                rounds=args.rounds)
+    print(format_analytic_bench(result))
+    path = pathlib.Path(args.bench_out
+                        or "benchmarks/results/BENCH_PR8.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(analytic_bench_payload(result), indent=2)
+                    + "\n")
+    log.info("wrote-artifact", path=path)
+    if args.min_estimates is not None:
+        measured = (result.vectorized_per_s
+                    if result.vectorized_per_s is not None
+                    else result.fallback_per_s)
+        if measured < args.min_estimates:
+            log.error("bench-throughput-below-threshold",
+                      rate=f"{measured:,.0f}/s",
+                      required=f"{args.min_estimates:,.0f}/s")
+            return 1
     return 0
 
 
@@ -601,6 +718,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure1()
     if args.command == "figure3":
         return _cmd_figure3(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "motivation":
         return _cmd_motivation()
     if args.command == "crosspage":

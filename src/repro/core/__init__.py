@@ -13,6 +13,8 @@ __all__ = [
     "CachingMode", "ModeSetup", "build_mode",
     "Catalyst", "VisitOutcome", "run_visit_sequence",
     "AnalyticModel", "estimate_plt", "estimate_reduction",
+    "VectorAnalyticModel", "CompiledSite", "compile_site",
+    "batch_estimate_plt", "numpy_available",
 ]
 
 _LAZY = {
@@ -25,6 +27,11 @@ _LAZY = {
     "AnalyticModel": "analysis",
     "estimate_plt": "analysis",
     "estimate_reduction": "analysis",
+    "VectorAnalyticModel": "analysis_vec",
+    "CompiledSite": "analysis_vec",
+    "compile_site": "analysis_vec",
+    "batch_estimate_plt": "analysis_vec",
+    "numpy_available": "analysis_vec",
 }
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..browser.engine import BrowserConfig
 from ..html.parser import ResourceKind
@@ -31,6 +32,19 @@ __all__ = ["AnalyticModel", "estimate_plt", "estimate_reduction"]
 
 _HEADER_BYTES = 350.0
 _REQUEST_RTT = 1.0
+
+
+def _change_probability(period_s: float, delta_s: float) -> float:
+    """P(content changed within ``delta_s``) for a churn period.
+
+    Same exponential model as :meth:`ResourceChurn.change_probability`,
+    computed straight from the period already stored on the spec — the
+    churn params are fixed at site-generation time, so there is no need
+    to build a churn object (RNG state and all) per resource per call.
+    """
+    if math.isinf(period_s):
+        return 0.0
+    return 1.0 - math.exp(-delta_s / period_s)
 
 
 @dataclass
@@ -56,7 +70,7 @@ class AnalyticModel:
                             delay_s: float) -> float:
         """Expected acquisition time of one resource on a warm visit."""
         p_changed = (1.0 if spec.dynamic
-                     else spec.make_churn().change_probability(delay_s))
+                     else _change_probability(spec.change_period_s, delay_s))
         full = self._full_fetch_s(spec.size_bytes)
         reval = self._revalidation_s()
 
@@ -114,7 +128,7 @@ class AnalyticModel:
         if not cold and mode is not CachingMode.NO_CACHE:
             # base HTML is no-cache: warm visits revalidate; the HTML body
             # itself usually changed (fast churn), so charge a weighted mix
-            p_html = page.make_html_churn().change_probability(delay_s)
+            p_html = _change_probability(page.html_change_period_s, delay_s)
             html = (self.conditions.rtt_s + self.config.html_server_think_s
                     + p_html * self._transfer_s(page.html_size_bytes))
         parse = self.config.parse_time(page.html_size_bytes)
@@ -145,18 +159,25 @@ class AnalyticModel:
 
 def estimate_plt(site: SiteSpec, mode: CachingMode, delay_s: float,
                  conditions: NetworkConditions,
-                 config: BrowserConfig = BrowserConfig(),
+                 config: Optional[BrowserConfig] = None,
                  cold: bool = False) -> float:
-    """Module-level convenience wrapper."""
-    return AnalyticModel(conditions, config).estimate_plt(
-        site, mode, delay_s, cold=cold)
+    """Module-level convenience wrapper.
+
+    ``config=None`` means "a fresh default per call" — a shared
+    module-level default instance would leak mutations (the config holds
+    mutable sub-models) between unrelated callers.
+    """
+    model = AnalyticModel(conditions,
+                          config if config is not None else BrowserConfig())
+    return model.estimate_plt(site, mode, delay_s, cold=cold)
 
 
 def estimate_reduction(site: SiteSpec, delay_s: float,
                        conditions: NetworkConditions,
-                       config: BrowserConfig = BrowserConfig()) -> float:
+                       config: Optional[BrowserConfig] = None) -> float:
     """Expected fractional PLT reduction of catalyst vs standard."""
-    model = AnalyticModel(conditions, config)
+    model = AnalyticModel(conditions,
+                          config if config is not None else BrowserConfig())
     standard = model.estimate_plt(site, CachingMode.STANDARD, delay_s)
     catalyst = model.estimate_plt(site, CachingMode.CATALYST, delay_s)
     if standard <= 0:

@@ -47,6 +47,8 @@ _SECTIONS: tuple[tuple[str, str], ...] = (
     ("ablation_http2", "Ablation: HTTP/2 transport"),
     ("ablation_push_cancel", "Ablation: push cancellation"),
     ("analytic_vs_des", "Analytic model vs simulator"),
+    ("analytic_sweep", "Analytic sweep — full grid (vectorized)"),
+    ("sweep_validation", "Analytic sweep — DES validation"),
 )
 
 _STYLE = """
@@ -69,6 +71,8 @@ _BENCH_KEYS: dict[str, tuple[str, ...]] = {
     "server_hot_path": ("throughput_rps.cached_warm",),
     "simcore": ("simcore.events_per_s", "simcore.transfers_per_s",
                 "simcore.visits_per_s"),
+    "analytic_sweep": ("analytic_sweep.estimates_per_s_vectorized",
+                       "analytic_sweep.estimates_per_s_fallback"),
 }
 
 

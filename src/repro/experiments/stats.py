@@ -14,7 +14,41 @@ from dataclasses import dataclass
 from typing import Sequence
 
 __all__ = ["Summary", "summarize", "mean", "median", "percentile",
-           "stdev", "bootstrap_ci"]
+           "stdev", "bootstrap_ci", "spearman"]
+
+
+def spearman(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation of two paired sequences.
+
+    Ranks are assigned by sort order (ties broken by position — the
+    sequences here are continuous measurements, so exact ties are rare
+    and the simplification is harmless).  Degenerate inputs (constant
+    sequences, n < 2) return 1.0 so callers gating on a floor do not
+    crash on trivial grids.
+
+    >>> spearman([1.0, 2.0, 3.0], [10.0, 20.0, 30.0])
+    1.0
+    >>> spearman([1.0, 2.0, 3.0], [30.0, 20.0, 10.0])
+    -1.0
+    """
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+
+    def ranks(values: Sequence[float]) -> list[float]:
+        order = sorted(range(len(values)), key=values.__getitem__)
+        rank = [0.0] * len(values)
+        for position, index in enumerate(order):
+            rank[index] = float(position)
+        return rank
+
+    n = len(a)
+    if n < 2:
+        return 1.0
+    ra, rb = ranks(a), ranks(b)
+    centre = (n - 1) / 2.0
+    cov = sum((x - centre) * (y - centre) for x, y in zip(ra, rb))
+    var = sum((x - centre) ** 2 for x in ra)
+    return cov / var if var else 1.0
 
 
 def mean(values: Sequence[float]) -> float:

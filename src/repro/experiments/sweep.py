@@ -1,0 +1,406 @@
+"""Full-grid analytic sweep (the ``repro sweep`` command, BENCH_PR8).
+
+Everything Figure 3 does, minus the simulator: price the whole
+``(throughput x latency x delay x site)`` space with the vectorized
+closed-form model (:mod:`repro.core.analysis_vec`) instead of replaying
+page loads through the DES.  The DES does ~10^2 visits/s; the vector
+engine does ~10^6 visit-estimates/s, which turns "a cell of Figure 3"
+into "the entire figure, every delay, the full corpus" at interactive
+latency — the substrate the population-scale traffic engine sweeps
+over.
+
+The analytic model is only trustworthy *because* it is continuously
+validated against the simulator: :func:`validate_sweep` re-runs a
+seeded sampled subgrid through ``measure_pair`` and gates on the
+Spearman rank correlation between analytic and simulated warm PLTs —
+the same ablation the bench suite runs, but automated per sweep
+(``repro sweep --validate``).
+
+Three artifacts come out:
+
+- a Figure-3-style reduction grid (catalyst vs standard, mean over
+  sites and delays) plus a revisit-delay series at the headline
+  condition,
+- an optional validation report (rank correlation on the subgrid),
+- a manifest-stamped ``analytic_sweep`` bench payload for the
+  ``BENCH_*.json`` trajectory, with visit-estimates/s floors
+  (>= 10^6/s vectorized, >= 10^4/s pure-Python fallback).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.analysis_vec import (VectorAnalyticModel, compile_site,
+                                 numpy_available)
+from ..core.modes import CachingMode
+from ..netsim.clock import format_duration
+from ..netsim.conditions import (FIGURE3_LATENCIES_MS,
+                                 FIGURE3_THROUGHPUTS_MBPS)
+from ..netsim.link import NetworkConditions
+from ..obs.manifest import build_manifest, stamp
+from ..workload.corpus import Corpus, make_corpus
+from .figure3 import HEADLINE_CONDITION, PAPER_REVISIT_DELAYS_S
+from .report import format_grid, format_pct, format_table
+from .stats import spearman
+
+__all__ = ["SweepResult", "run_sweep", "ValidationResult",
+           "validate_sweep", "AnalyticBenchResult", "run_analytic_bench",
+           "analytic_bench_payload", "VECTORIZED_FLOOR_PER_S",
+           "FALLBACK_FLOOR_PER_S"]
+
+#: visit-estimates/s floors the BENCH_PR8 lane asserts (issue 8)
+VECTORIZED_FLOOR_PER_S = 1_000_000.0
+FALLBACK_FLOOR_PER_S = 10_000.0
+
+_MODES = (CachingMode.STANDARD, CachingMode.CATALYST)
+
+
+@dataclass
+class SweepResult:
+    """The full analytic grid, reduced to the Figure 3 shape."""
+
+    throughputs_mbps: tuple[float, ...]
+    latencies_ms: tuple[float, ...]
+    delays_s: tuple[float, ...]
+    sites: int
+    backend: str
+    #: mean catalyst-vs-standard reduction per (throughput, latency),
+    #: averaged over sites and delays — rows follow throughputs_mbps
+    reduction_grid: list[list[float]]
+    #: reduction per delay at the headline condition (60 Mbps / 40 ms,
+    #: or the nearest grid cell), averaged over sites
+    delay_series: list[tuple[float, float]]
+    #: total visit estimates priced (sites x conditions x modes x delays)
+    estimates: int
+    elapsed_s: float
+
+    @property
+    def estimates_per_s(self) -> float:
+        return self.estimates / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def overall_mean_reduction(self) -> float:
+        cells = [value for row in self.reduction_grid for value in row]
+        return sum(cells) / len(cells) if cells else 0.0
+
+    def cell(self, mbps: float, rtt_ms: float) -> float:
+        ti = self.throughputs_mbps.index(mbps)
+        li = self.latencies_ms.index(rtt_ms)
+        return self.reduction_grid[ti][li]
+
+    def format(self) -> str:
+        grid = format_grid(
+            row_labels=[f"{t:g} Mbps" for t in self.throughputs_mbps],
+            col_labels=[f"{l:g} ms" for l in self.latencies_ms],
+            values=[[format_pct(v) for v in row]
+                    for row in self.reduction_grid],
+            corner="PLT reduction")
+        series = format_table(
+            ["revisit delay", "PLT reduction @" + self._headline_label()],
+            [[format_duration(delay), format_pct(value)]
+             for delay, value in self.delay_series])
+        return (grid + "\n"
+                + f"overall mean: {format_pct(self.overall_mean_reduction)}"
+                + f"  (analytic, {self.sites} sites, "
+                + f"{len(self.delays_s)} delays, {self.backend} backend, "
+                + f"{self.estimates:,} estimates "
+                + f"in {self.elapsed_s:.2f}s)\n\n" + series)
+
+    def _headline_label(self) -> str:
+        mbps, rtt = _headline_cell(self.throughputs_mbps,
+                                   self.latencies_ms)
+        return f"{mbps:g}Mbps/{rtt:g}ms"
+
+
+def _headline_cell(throughputs: Sequence[float],
+                   latencies: Sequence[float]) -> tuple[float, float]:
+    """The grid cell nearest the paper's 60 Mbps / 40 ms headline."""
+    mbps = min(throughputs,
+               key=lambda t: abs(t - HEADLINE_CONDITION.downlink_mbps))
+    rtt = min(latencies,
+              key=lambda l: abs(l - HEADLINE_CONDITION.rtt_ms))
+    return mbps, rtt
+
+
+def run_sweep(corpus: Optional[Corpus] = None,
+              throughputs_mbps: Sequence[float] = FIGURE3_THROUGHPUTS_MBPS,
+              latencies_ms: Sequence[float] = FIGURE3_LATENCIES_MS,
+              delays_s: Sequence[float] = PAPER_REVISIT_DELAYS_S,
+              sites: Optional[int] = None,
+              backend: str = "auto",
+              config=None) -> SweepResult:
+    """Price the full grid analytically.
+
+    Mirrors :func:`~repro.experiments.figure3.run_figure3`'s sampling
+    knobs (``sites`` subsamples with the same seed) so analytic and
+    simulated grids are comparable site-for-site.  Churn enters the
+    closed form through the generated change periods, so no
+    frozen/churn toggle exists here — the model *is* the expectation
+    over churn.
+    """
+    if corpus is None:
+        corpus = make_corpus()
+    if sites is not None and sites < len(corpus):
+        corpus = corpus.sample(sites, seed=7)
+    throughputs = tuple(float(t) for t in throughputs_mbps)
+    latencies = tuple(float(l) for l in latencies_ms)
+    delays = tuple(float(d) for d in delays_s)
+    conditions_list = [NetworkConditions.of(mbps, rtt)
+                       for mbps in throughputs for rtt in latencies]
+    model = VectorAnalyticModel(config=config, backend=backend)
+    site_list = list(corpus)
+    started = time.perf_counter()
+    plts = model.sweep(site_list, _MODES, delays, conditions_list)
+    elapsed = time.perf_counter() - started
+
+    n_sites = len(site_list)
+    n_lat = len(latencies)
+
+    def mean_reduction(ci: int, di_filter=None) -> float:
+        """Mean (standard - catalyst)/standard over sites (x delays)."""
+        total, count = 0.0, 0
+        for si in range(n_sites):
+            for di in range(len(delays)):
+                if di_filter is not None and di != di_filter:
+                    continue
+                standard = float(plts[si][ci][0][di])
+                catalyst = float(plts[si][ci][1][di])
+                if standard > 0:
+                    total += (standard - catalyst) / standard
+                    count += 1
+        return total / count if count else 0.0
+
+    reduction_grid = [
+        [mean_reduction(ti * n_lat + li) for li in range(n_lat)]
+        for ti in range(len(throughputs))]
+    head_mbps, head_rtt = _headline_cell(throughputs, latencies)
+    head_ci = (throughputs.index(head_mbps) * n_lat
+               + latencies.index(head_rtt))
+    delay_series = [(delay, mean_reduction(head_ci, di_filter=di))
+                    for di, delay in enumerate(delays)]
+    estimates = n_sites * len(conditions_list) * len(_MODES) * len(delays)
+    return SweepResult(
+        throughputs_mbps=throughputs, latencies_ms=latencies,
+        delays_s=delays, sites=n_sites, backend=model.backend,
+        reduction_grid=reduction_grid, delay_series=delay_series,
+        estimates=estimates, elapsed_s=elapsed)
+
+
+# ---------------------------------------------------------------------------
+# Validation: analytic vs DES on a seeded subgrid
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ValidationResult:
+    """Analytic-vs-simulated agreement on a sampled subgrid."""
+
+    rho: float
+    min_rho: float
+    rows: list[tuple[str, str, str, float, float, float]] = \
+        field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.rho > self.min_rho
+
+    def format(self) -> str:
+        table = format_table(
+            ["site", "condition", "mode", "delay", "analytic ms",
+             "simulated ms"],
+            [[origin, cond, mode, format_duration(delay),
+              f"{analytic * 1000:.0f}", f"{simulated * 1000:.0f}"]
+             for origin, cond, mode, delay, analytic, simulated
+             in self.rows[:24]])
+        verdict = "PASS" if self.passed else "FAIL"
+        return (table
+                + f"\n\nSpearman rank correlation (n={len(self.rows)}): "
+                + f"{self.rho:.3f}  (floor {self.min_rho:.2f}) "
+                + f"[{verdict}]  ({self.elapsed_s:.1f}s of DES)")
+
+
+def validate_sweep(corpus: Optional[Corpus] = None,
+                   sites: int = 4,
+                   seed: int = 41,
+                   delays_s: Sequence[float] = (3600.0, 86400.0),
+                   conditions_list: Optional[
+                       Sequence[NetworkConditions]] = None,
+                   min_rho: float = 0.85,
+                   backend: str = "auto") -> ValidationResult:
+    """Re-run a seeded subgrid through the DES and rank-correlate.
+
+    The subgrid is sampled deterministically (``corpus.sample(sites,
+    seed)``), so a validation failure is reproducible by rerunning the
+    same command.  Gate: Spearman rho of (analytic, simulated) warm PLT
+    across all (site, condition, mode, delay) rows must exceed
+    ``min_rho`` — the same 0.85 floor the ablation bench uses.
+    """
+    from .harness import measure_pair  # deferred: pulls in the DES stack
+
+    if corpus is None:
+        corpus = make_corpus()
+    site_list = list(corpus.sample(min(sites, len(corpus)), seed=seed))
+    if conditions_list is None:
+        conditions_list = [NetworkConditions.of(mbps, rtt)
+                           for mbps in (8.0, 60.0) for rtt in (10.0, 100.0)]
+    delays = tuple(float(d) for d in delays_s)
+    model = VectorAnalyticModel(backend=backend)
+
+    started = time.perf_counter()
+    rows = []
+    for site in site_list:
+        analytic = model.batch_plt(compile_site(site), _MODES, delays,
+                                   conditions_list)
+        for ci, conditions in enumerate(conditions_list):
+            for mi, mode in enumerate(_MODES):
+                for di, delay in enumerate(delays):
+                    simulated_ms = measure_pair(
+                        site, mode, conditions, delay).warm_plt_ms
+                    rows.append((site.origin, conditions.describe(),
+                                 mode.value, delay,
+                                 float(analytic[ci][mi][di]),
+                                 simulated_ms / 1000.0))
+    elapsed = time.perf_counter() - started
+    rho = spearman([row[4] for row in rows], [row[5] for row in rows])
+    return ValidationResult(rho=rho, min_rho=min_rho, rows=rows,
+                            elapsed_s=elapsed)
+
+
+# ---------------------------------------------------------------------------
+# Bench lane: visit-estimates/s (the BENCH_PR8 artifact)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AnalyticBenchResult:
+    """Throughput of both backends over the same compiled workload."""
+
+    sites: int
+    seed: int
+    conditions: int
+    modes: int
+    delays: int
+    #: estimates/s, best of N rounds; None when numpy is unavailable
+    vectorized_per_s: Optional[float]
+    fallback_per_s: float
+    #: sites actually priced per fallback round (subsampled for time)
+    fallback_sites: int
+    rounds: int
+    elapsed_s: float
+
+    @property
+    def estimates_per_site(self) -> int:
+        return self.conditions * self.modes * self.delays
+
+    @property
+    def meets_floors(self) -> bool:
+        vec_ok = (self.vectorized_per_s is None
+                  or self.vectorized_per_s >= VECTORIZED_FLOOR_PER_S)
+        return vec_ok and self.fallback_per_s >= FALLBACK_FLOOR_PER_S
+
+
+def run_analytic_bench(sites: int = 40, seed: int = 2024,
+                       rounds: int = 5) -> AnalyticBenchResult:
+    """Measure both backends on a Figure-3-scale batched grid.
+
+    Workload: ``sites`` corpus sites x 20 conditions x 2 modes x 25
+    delays (a delay-dense Figure 3).  Best-of-``rounds`` wall clock, so
+    the number measures the engine rather than scheduler noise — same
+    convention as the simcore lane.  The pure-Python fallback prices a
+    deterministic site subset (it is ~30x slower; the rate is per
+    estimate, so the subset does not bias it).
+    """
+    corpus = make_corpus(size=sites, seed=seed)
+    compiled = [compile_site(site) for site in corpus]
+    delays = [30.0 + 60.0 * i for i in range(25)]
+    conditions_list = [NetworkConditions.of(mbps, rtt)
+                       for mbps in FIGURE3_THROUGHPUTS_MBPS
+                       for rtt in FIGURE3_LATENCIES_MS]
+    per_site = len(conditions_list) * len(_MODES) * len(delays)
+    started = time.perf_counter()
+
+    def best_rate(model: VectorAnalyticModel, batch) -> float:
+        model.batch_plt(batch[0], _MODES, delays, conditions_list)  # warm-up
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for comp in batch:
+                model.batch_plt(comp, _MODES, delays, conditions_list)
+            best = min(best, time.perf_counter() - t0)
+        return per_site * len(batch) / best
+
+    vectorized = None
+    if numpy_available():
+        vectorized = best_rate(VectorAnalyticModel(backend="numpy"),
+                               compiled)
+    fallback_batch = compiled[:max(1, len(compiled) // 10)]
+    fallback = best_rate(VectorAnalyticModel(backend="python"),
+                         fallback_batch)
+    return AnalyticBenchResult(
+        sites=len(compiled), seed=seed, conditions=len(conditions_list),
+        modes=len(_MODES), delays=len(delays),
+        vectorized_per_s=vectorized, fallback_per_s=fallback,
+        fallback_sites=len(fallback_batch), rounds=rounds,
+        elapsed_s=time.perf_counter() - started)
+
+
+def format_analytic_bench(result: AnalyticBenchResult) -> str:
+    rows = []
+    if result.vectorized_per_s is not None:
+        rows.append(["vectorized (numpy)",
+                     f"{result.vectorized_per_s:,.0f}",
+                     f"{VECTORIZED_FLOOR_PER_S:,.0f}",
+                     f"{result.sites}"])
+    rows.append(["fallback (pure python)",
+                 f"{result.fallback_per_s:,.0f}",
+                 f"{FALLBACK_FLOOR_PER_S:,.0f}",
+                 f"{result.fallback_sites}"])
+    table = format_table(
+        ["backend", "visit-estimates/s", "floor", "sites"], rows)
+    verdict = "floors met" if result.meets_floors else "BELOW FLOOR"
+    return (table + f"\n{result.estimates_per_site:,} estimates/site "
+            f"(cond x mode x delay), best of {result.rounds} rounds "
+            f"-> {verdict}")
+
+
+def analytic_bench_payload(result: AnalyticBenchResult) -> dict:
+    """Machine-readable ``analytic_sweep`` record for the trajectory.
+
+    The grid shape and workload seed are the config identity; rounds
+    are sampling effort.  The backend is *not* identity: a no-numpy
+    artifact is still the same experiment (its vectorized key is simply
+    absent, which the gate reports as "not comparable" without failing).
+    """
+    sweep_metrics = {
+        "estimates_per_s_fallback": round(result.fallback_per_s, 1),
+    }
+    if result.vectorized_per_s is not None:
+        sweep_metrics["estimates_per_s_vectorized"] = round(
+            result.vectorized_per_s, 1)
+    payload = {
+        "bench": "analytic_sweep",
+        "schema_version": 1,
+        "params": {
+            "sites": result.sites,
+            "conditions": result.conditions,
+            "modes": result.modes,
+            "delays": result.delays,
+            "fallback_sites": result.fallback_sites,
+        },
+        "analytic_sweep": sweep_metrics,
+        "floors": {
+            "estimates_per_s_vectorized": VECTORIZED_FLOOR_PER_S,
+            "estimates_per_s_fallback": FALLBACK_FLOOR_PER_S,
+        },
+        "meets_floors": result.meets_floors,
+    }
+    return stamp(payload, build_manifest(
+        config={"bench": "analytic_sweep", "sites": result.sites,
+                "seed": result.seed, "conditions": result.conditions,
+                "modes": result.modes, "delays": result.delays},
+        sampling={"rounds": result.rounds},
+        seeds=[result.seed],
+        wall_time_s=result.elapsed_s or None,
+    ))

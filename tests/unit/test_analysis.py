@@ -1,13 +1,19 @@
 """Unit tests for the closed-form PLT model."""
 
+import math
+
 import pytest
 
+from repro.browser.engine import BrowserConfig
 from repro.core.analysis import AnalyticModel, estimate_plt, estimate_reduction
 from repro.core.modes import CachingMode
 from repro.experiments.figure1 import build_figure1_site
+from repro.html.parser import ResourceKind
 from repro.netsim.clock import DAY, HOUR
 from repro.netsim.link import NetworkConditions
-from repro.workload.sitegen import generate_site
+from repro.workload.headers_model import HeaderPolicy
+from repro.workload.sitegen import (PageSpec, ResourceSpec, SiteSpec,
+                                    generate_site)
 
 COND = NetworkConditions.of(60, 40)
 
@@ -15,6 +21,28 @@ COND = NetworkConditions.of(60, 40)
 @pytest.fixture(scope="module")
 def site():
     return generate_site("https://an.example", seed=71)
+
+
+def make_page_site(n_resources: int, policy_mode: str = "max-age",
+                   ttl_s: float = 1e9,
+                   period_s: float = math.inf) -> SiteSpec:
+    """A hand-built one-page site with ``n_resources`` HTML-level images."""
+    resources = {}
+    refs = []
+    for i in range(n_resources):
+        url = f"/img{i}.png"
+        resources[url] = ResourceSpec(
+            url=url, kind=ResourceKind.IMAGE, size_bytes=10_000 + i,
+            policy=HeaderPolicy(mode=policy_mode, ttl_s=ttl_s),
+            change_period_s=period_s, content_seed=i,
+            discovered_via="html",
+            fixed_change_times=() if math.isinf(period_s) else None)
+        refs.append(url)
+    page = PageSpec(url="/index.html", html_size_bytes=20_000,
+                    html_change_period_s=DAY, html_content_seed=9,
+                    html_refs=tuple(refs), resources=resources)
+    return SiteSpec(origin="https://hand.example", seed=0,
+                    pages={"/index.html": page})
 
 
 class TestEstimatePlt:
@@ -53,6 +81,102 @@ class TestEstimateReduction:
         low = estimate_reduction(site, DAY, NetworkConditions.of(60, 10))
         high = estimate_reduction(site, DAY, NetworkConditions.of(60, 100))
         assert high > low
+
+
+class TestEdgeCases:
+    def test_cold_ignores_mode(self, site):
+        """Cold visits price full fetches regardless of caching mode."""
+        plts = {mode: estimate_plt(site, mode, HOUR, COND, cold=True)
+                for mode in (CachingMode.NO_CACHE, CachingMode.STANDARD,
+                             CachingMode.CATALYST)}
+        assert len(set(plts.values())) == 1
+
+    def test_cold_equals_no_cache_warm_html_aside(self):
+        """With fully-cacheable resources, cold == NO_CACHE warm up to
+        the HTML churn weighting."""
+        page_site = make_page_site(4)
+        model = AnalyticModel(COND)
+        cold = model.estimate_plt(page_site, CachingMode.STANDARD, HOUR,
+                                  cold=True)
+        no_cache = model.estimate_plt(page_site, CachingMode.NO_CACHE,
+                                      HOUR)
+        assert cold == pytest.approx(no_cache)
+
+    def test_empty_page_is_navigation_only(self):
+        """html_refs == (): PLT is setup + HTML + parse, no levels."""
+        empty = make_page_site(0)
+        model = AnalyticModel(COND)
+        plt = model.estimate_plt(empty, CachingMode.STANDARD, HOUR)
+        page = empty.index
+        p_html = 1.0 - math.exp(-HOUR / page.html_change_period_s)
+        expected = (model.config.connection_policy.setup_rtts * COND.rtt_s
+                    + COND.rtt_s + model.config.html_server_think_s
+                    + p_html * model._transfer_s(page.html_size_bytes)
+                    + model.config.parse_time(page.html_size_bytes))
+        assert plt == pytest.approx(expected)
+
+    def test_no_store_page_prices_full_fetches(self):
+        no_store = make_page_site(3, policy_mode="no-store")
+        model = AnalyticModel(COND)
+        for url in no_store.index.html_refs:
+            spec = no_store.index.resources[url]
+            cost = model.expected_resource_s(spec, CachingMode.STANDARD,
+                                             HOUR)
+            assert cost == pytest.approx(
+                model._full_fetch_s(spec.size_bytes))
+
+    def test_no_cache_policy_page_prices_revalidations(self):
+        no_cache = make_page_site(3, policy_mode="no-cache")
+        model = AnalyticModel(COND)
+        for url in no_cache.index.html_refs:
+            spec = no_cache.index.resources[url]
+            cost = model.expected_resource_s(spec, CachingMode.STANDARD,
+                                             HOUR)
+            # immutable content: pure revalidation, never a body
+            assert cost == pytest.approx(model._revalidation_s())
+
+    def test_wave_boundary_at_exactly_k(self):
+        """n == connections_per_origin: one wave, level time = max cost."""
+        model = AnalyticModel(COND)
+        k = model.config.connections_per_origin
+        boundary = make_page_site(k, policy_mode="no-store")
+        costs = [model._full_fetch_s(boundary.index.resources[url].size_bytes)
+                 for url in boundary.index.html_refs]
+        assert model._level_s(costs) == pytest.approx(max(costs))
+        # one more resource tips it into a second wave
+        extra = make_page_site(k + 1, policy_mode="no-store")
+        costs_extra = [
+            model._full_fetch_s(extra.index.resources[url].size_bytes)
+            for url in extra.index.html_refs]
+        assert model._level_s(costs_extra) == pytest.approx(
+            max(costs_extra) + min(costs_extra))
+
+
+class TestConfigDefaultIsolation:
+    def test_default_config_is_per_call(self, site):
+        """Regression: the module-level helpers used one shared
+        ``BrowserConfig()`` default evaluated at import — any state on
+        that instance bled between unrelated calls.  The default must be
+        ``None`` (fresh config per call)."""
+        import inspect
+        for helper in (estimate_plt, estimate_reduction):
+            default = inspect.signature(helper).parameters["config"].default
+            assert default is None
+
+    def test_passed_config_never_leaks_into_default_calls(self, site):
+        from repro.browser.js import ScriptModel
+        from repro.netsim.tcp import ConnectionPolicy
+        baseline = estimate_plt(site, CachingMode.STANDARD, HOUR, COND)
+        tweaked = BrowserConfig(
+            script_model=ScriptModel(exec_s_per_byte=1.0, max_exec_s=30.0),
+            connection_policy=ConnectionPolicy(tls_rtts=50))
+        with_tweak = estimate_plt(site, CachingMode.STANDARD, HOUR, COND,
+                                  config=tweaked)
+        assert with_tweak > baseline
+        after = estimate_plt(site, CachingMode.STANDARD, HOUR, COND)
+        assert after == baseline
+        assert estimate_reduction(site, HOUR, COND) == pytest.approx(
+            estimate_reduction(site, HOUR, COND, config=BrowserConfig()))
 
 
 class TestAgainstSimulator:

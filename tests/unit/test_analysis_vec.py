@@ -1,0 +1,226 @@
+"""Unit tests for the vectorized analytic sweep engine."""
+
+import math
+
+import pytest
+
+from repro.browser.engine import BrowserConfig
+from repro.core.analysis import AnalyticModel
+from repro.core.analysis_vec import (VectorAnalyticModel, batch_estimate_plt,
+                                     compile_site, numpy_available)
+from repro.core.modes import CachingMode
+from repro.html.parser import ResourceKind
+from repro.netsim.clock import DAY, HOUR, MINUTE, WEEK
+from repro.netsim.link import NetworkConditions
+from repro.workload.headers_model import HeaderPolicy
+from repro.workload.sitegen import (PageSpec, ResourceSpec, SiteSpec,
+                                    generate_site)
+
+pytestmark = pytest.mark.analytic
+
+COND = NetworkConditions.of(60, 40)
+CONDITIONS = [NetworkConditions.of(mbps, rtt)
+              for mbps in (8.0, 60.0) for rtt in (10.0, 100.0)]
+MODES = (CachingMode.NO_CACHE, CachingMode.STANDARD, CachingMode.CATALYST,
+         CachingMode.CATALYST_SESSIONS)
+DELAYS = (0.0, MINUTE, HOUR, DAY, WEEK)
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(scope="module")
+def site():
+    return generate_site("https://vec.example", seed=71)
+
+
+def single_page_site(specs: dict[str, ResourceSpec],
+                     refs: tuple[str, ...]) -> SiteSpec:
+    page = PageSpec(url="/index.html", html_size_bytes=15_000,
+                    html_change_period_s=6 * HOUR, html_content_seed=3,
+                    html_refs=refs, resources=specs)
+    return SiteSpec(origin="https://one.example", seed=0,
+                    pages={"/index.html": page})
+
+
+def resource(url: str, *, size: int = 8_000, mode: str = "max-age",
+             ttl: float = 1e9, period: float = math.inf,
+             via: str = "html", dynamic: bool = False,
+             kind: ResourceKind = ResourceKind.IMAGE,
+             children: tuple[str, ...] = ()) -> ResourceSpec:
+    return ResourceSpec(
+        url=url, kind=kind, size_bytes=size,
+        policy=HeaderPolicy(mode=mode, ttl_s=ttl),
+        change_period_s=period, content_seed=1, discovered_via=via,
+        children=children, dynamic=dynamic,
+        fixed_change_times=() if math.isinf(period) else None)
+
+
+def assert_matches_scalar(site, backend, modes=MODES, delays=DELAYS,
+                          conditions=CONDITIONS, cold=False, rel=1e-9):
+    model = VectorAnalyticModel(backend=backend)
+    batch = model.batch_plt(compile_site(site), modes, delays, conditions,
+                            cold=cold)
+    for ci, cond in enumerate(conditions):
+        scalar_model = AnalyticModel(cond)
+        for mi, mode in enumerate(modes):
+            for di, delay in enumerate(delays):
+                expected = scalar_model.estimate_plt(site, mode, delay,
+                                                     cold=cold)
+                assert float(batch[ci][mi][di]) == pytest.approx(
+                    expected, rel=rel), (backend, cond, mode, delay)
+
+
+class TestCompileSite:
+    def test_level_contiguous_layout(self, site):
+        compiled = compile_site(site)
+        end1, end2, end3 = compiled.level_ends
+        assert 0 < end1 <= end2 <= end3 == compiled.n_slots
+        page = site.index
+        assert end1 == len(page.html_refs)
+        assert compiled.html_size == page.html_size_bytes
+
+    def test_compile_is_memoized(self, site):
+        assert compile_site(site) is compile_site(site)
+
+    def test_script_sizes_are_html_level_scripts_only(self, site):
+        compiled = compile_site(site)
+        page = site.index
+        expected = sorted(page.resources[url].size_bytes
+                          for url in page.html_refs
+                          if page.resources[url].kind
+                          is ResourceKind.SCRIPT)
+        assert sorted(compiled.script_sizes) == expected
+
+    def test_negative_size_rejected(self):
+        bad = single_page_site({"/r.png": resource("/r.png", size=-1)},
+                               ("/r.png",))
+        with pytest.raises(ValueError, match="negative resource size"):
+            compile_site(bad)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEquivalence:
+    def test_generated_site_full_grid(self, site, backend):
+        assert_matches_scalar(site, backend)
+
+    def test_cold_visits(self, site, backend):
+        assert_matches_scalar(site, backend, cold=True,
+                              delays=(HOUR, DAY))
+
+    def test_empty_page(self, backend):
+        empty = single_page_site({}, ())
+        assert_matches_scalar(empty, backend)
+
+    def test_wave_boundary_at_exactly_k(self, backend):
+        k = BrowserConfig().connections_per_origin
+        specs = {f"/r{i}.png": resource(f"/r{i}.png", mode="no-store",
+                                        size=5_000 + 997 * i)
+                 for i in range(k)}
+        assert_matches_scalar(single_page_site(specs, tuple(specs)),
+                              backend)
+        specs_over = {f"/r{i}.png": resource(f"/r{i}.png", mode="no-store",
+                                             size=5_000 + 997 * i)
+                      for i in range(k + 1)}
+        assert_matches_scalar(single_page_site(specs_over,
+                                               tuple(specs_over)),
+                              backend)
+
+    def test_policy_branches(self, backend):
+        specs = {
+            "/store.bin": resource("/store.bin", mode="no-store"),
+            "/reval.bin": resource("/reval.bin", mode="no-cache",
+                                   period=DAY),
+            "/none.bin": resource("/none.bin", mode="none", period=HOUR),
+            "/fresh.bin": resource("/fresh.bin", ttl=10 * WEEK),
+            "/expired.bin": resource("/expired.bin", ttl=MINUTE,
+                                     period=DAY),
+            "/dyn.bin": resource("/dyn.bin", mode="no-store",
+                                 dynamic=True),
+            "/js.bin": resource("/js.bin", mode="no-cache", via="js",
+                                period=DAY),
+        }
+        assert_matches_scalar(single_page_site(specs, tuple(specs)),
+                              backend)
+
+    def test_three_levels_with_scripts(self, backend):
+        specs = {
+            "/app.js": resource("/app.js", kind=ResourceKind.SCRIPT,
+                                size=120_000, mode="no-cache",
+                                children=("/chunk.js",)),
+            "/chunk.js": resource("/chunk.js", kind=ResourceKind.SCRIPT,
+                                  via="js", mode="no-cache",
+                                  children=("/lazy.png",)),
+            "/lazy.png": resource("/lazy.png", via="js", period=DAY),
+            "/style.css": resource("/style.css",
+                                   kind=ResourceKind.STYLESHEET,
+                                   children=("/bg.png",)),
+            "/bg.png": resource("/bg.png", via="css"),
+        }
+        assert_matches_scalar(single_page_site(specs,
+                                               ("/app.js", "/style.css")),
+                              backend)
+
+    def test_module_level_helper(self, site, backend):
+        batch = batch_estimate_plt(site, (CachingMode.STANDARD,), (DAY,),
+                                   [COND], backend=backend)
+        expected = AnalyticModel(COND).estimate_plt(
+            site, CachingMode.STANDARD, DAY)
+        assert float(batch[0][0][0]) == pytest.approx(expected, rel=1e-9)
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+class TestBackendAgreement:
+    def test_numpy_and_python_agree_tightly(self, site):
+        fast = VectorAnalyticModel(backend="numpy").batch_plt(
+            compile_site(site), MODES, DELAYS, CONDITIONS)
+        slow = VectorAnalyticModel(backend="python").batch_plt(
+            compile_site(site), MODES, DELAYS, CONDITIONS)
+        for ci in range(len(CONDITIONS)):
+            for mi in range(len(MODES)):
+                for di in range(len(DELAYS)):
+                    assert float(fast[ci][mi][di]) == pytest.approx(
+                        slow[ci][mi][di], rel=1e-12)
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            VectorAnalyticModel(backend="fortran")
+
+    def test_numpy_backend_without_numpy_raises(self, monkeypatch):
+        from repro.core import analysis_vec
+        monkeypatch.setattr(analysis_vec, "_np", None)
+        with pytest.raises(RuntimeError, match="numpy backend requested"):
+            VectorAnalyticModel(backend="numpy")
+        assert VectorAnalyticModel(backend="auto").backend == "python"
+
+    @pytest.mark.parametrize("delay", [-1.0, math.inf, math.nan])
+    def test_bad_delays_rejected(self, site, delay):
+        model = VectorAnalyticModel(backend=BACKENDS[0])
+        with pytest.raises(ValueError, match="delays must be finite"):
+            model.batch_plt(compile_site(site), (CachingMode.STANDARD,),
+                            (delay,), [COND])
+
+    def test_negative_config_cost_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            VectorAnalyticModel(config=BrowserConfig(server_think_s=-0.1))
+
+
+class TestSweepShape:
+    def test_sweep_stacks_sites(self, site):
+        other = generate_site("https://vec2.example", seed=72)
+        model = VectorAnalyticModel(backend=BACKENDS[0])
+        out = model.sweep([site, other], MODES, DELAYS, CONDITIONS)
+        assert len(out) == 2
+        assert len(out[0]) == len(CONDITIONS)
+        assert len(out[0][0]) == len(MODES)
+        assert len(out[0][0][0]) == len(DELAYS)
+
+    def test_accepts_raw_site_spec(self, site):
+        model = VectorAnalyticModel(backend=BACKENDS[0])
+        direct = model.batch_plt(site, (CachingMode.STANDARD,), (DAY,),
+                                 [COND])
+        precompiled = model.batch_plt(compile_site(site),
+                                      (CachingMode.STANDARD,), (DAY,),
+                                      [COND])
+        assert float(direct[0][0][0]) == float(precompiled[0][0][0])

@@ -5,6 +5,16 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def _restore_log_level():
+    """``main(["--quiet", ...])`` sets the process-wide log level;
+    don't let that leak into other tests' stderr assertions."""
+    saved = obs_log._level
+    yield
+    obs_log._level = saved
 
 
 class TestParser:
@@ -43,6 +53,18 @@ class TestParser:
     def test_quiet_is_global(self):
         args = build_parser().parse_args(["--quiet", "figure1"])
         assert args.quiet is True
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.sites is None
+        assert args.backend == "auto"
+        assert args.delays == "1min,1h,6h,1d,1w"
+        assert args.throughputs == (8.0, 16.0, 30.0, 60.0)
+        assert not args.validate and not args.bench
+
+    def test_sweep_backend_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--backend", "fortran"])
 
 
 class TestCommands:
@@ -114,3 +136,35 @@ class TestCommands:
         out = tmp_path / "BENCH_PR3.json"
         assert main(["bench", "--sites", "1", "--repeats", "2",
                      "--out", str(out), "--min-speedup", "1e9"]) == 1
+
+    def test_sweep_runs_and_writes_grid(self, capsys, tmp_path):
+        out = tmp_path / "sweep.txt"
+        assert main(["--quiet", "sweep", "--sites", "4",
+                     "--throughputs", "8,60", "--latencies", "10,100",
+                     "--delays", "1h,1d", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "PLT reduction" in stdout
+        assert "revisit delay" in stdout
+        assert "PLT reduction" in out.read_text()
+
+    def test_sweep_python_backend_matches_auto(self, capsys):
+        assert main(["--quiet", "sweep", "--sites", "2",
+                     "--throughputs", "8", "--latencies", "40",
+                     "--delays", "1d", "--backend", "python"]) == 0
+        assert "python backend" in capsys.readouterr().out
+
+    def test_sweep_bad_delay_is_handled(self, capsys):
+        assert main(["--quiet", "sweep", "--delays", "notaduration"]) == 2
+
+    def test_sweep_bench_writes_artifact_and_gates(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_PR8.json"
+        assert main(["--quiet", "sweep", "--bench", "--sites", "4",
+                     "--rounds", "1", "--bench-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["bench"] == "analytic_sweep"
+        assert payload["analytic_sweep"]["estimates_per_s_fallback"] > 0
+        assert "manifest" in payload
+        # an absurd floor must trip the gate without crashing
+        assert main(["--quiet", "sweep", "--bench", "--sites", "4",
+                     "--rounds", "1", "--bench-out", str(out),
+                     "--min-estimates", "1e15"]) == 1

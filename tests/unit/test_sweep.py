@@ -1,0 +1,128 @@
+"""Unit tests for the full-grid analytic sweep experiment."""
+
+import json
+
+import pytest
+
+from repro.core.analysis import estimate_plt
+from repro.core.modes import CachingMode
+from repro.netsim.clock import DAY, HOUR
+from repro.netsim.link import NetworkConditions
+from repro.obs.manifest import comparable, validate_manifest
+from repro.workload.corpus import make_corpus
+from repro.experiments.sweep import (analytic_bench_payload,
+                                     format_analytic_bench,
+                                     run_analytic_bench, run_sweep,
+                                     validate_sweep)
+
+pytestmark = pytest.mark.analytic
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep(sites=6, throughputs_mbps=(8.0, 60.0),
+                     latencies_ms=(10.0, 40.0, 100.0),
+                     delays_s=(HOUR, DAY))
+
+
+class TestRunSweep:
+    def test_grid_shape(self, small_sweep):
+        assert len(small_sweep.reduction_grid) == 2
+        assert all(len(row) == 3 for row in small_sweep.reduction_grid)
+        assert small_sweep.sites == 6
+        assert small_sweep.estimates == 6 * 6 * 2 * 2
+
+    def test_reductions_in_unit_interval(self, small_sweep):
+        for row in small_sweep.reduction_grid:
+            for value in row:
+                assert 0.0 < value < 1.0
+
+    def test_latency_story_at_high_throughput(self, small_sweep):
+        """At 60 Mbps the win grows with RTT — the paper's Figure 3."""
+        top_row = small_sweep.reduction_grid[-1]
+        assert top_row == sorted(top_row)
+
+    def test_matches_scalar_reduction_for_one_cell(self, small_sweep):
+        """Spot-check the aggregation against the scalar helpers."""
+        corpus = make_corpus().sample(6, seed=7)
+        cond = NetworkConditions.of(60.0, 40.0)
+        total = 0.0
+        count = 0
+        for site in corpus:
+            for delay in (HOUR, DAY):
+                standard = estimate_plt(site, CachingMode.STANDARD,
+                                        delay, cond)
+                catalyst = estimate_plt(site, CachingMode.CATALYST,
+                                        delay, cond)
+                total += (standard - catalyst) / standard
+                count += 1
+        assert small_sweep.cell(60.0, 40.0) == pytest.approx(
+            total / count, rel=1e-9)
+
+    def test_delay_series_covers_all_delays(self, small_sweep):
+        assert [delay for delay, _ in small_sweep.delay_series] \
+            == [HOUR, DAY]
+
+    def test_format_mentions_headline_and_backend(self, small_sweep):
+        text = small_sweep.format()
+        assert "60Mbps/40ms" in text
+        assert small_sweep.backend in text
+        assert "overall mean" in text
+
+
+class TestValidateSweep:
+    def test_seeded_subgrid_is_reproducible_and_passes(self):
+        conditions = [NetworkConditions.of(8.0, 10.0),
+                      NetworkConditions.of(60.0, 100.0)]
+        first = validate_sweep(sites=2, delays_s=(DAY,),
+                               conditions_list=conditions)
+        again = validate_sweep(sites=2, delays_s=(DAY,),
+                               conditions_list=conditions)
+        assert first.passed
+        assert first.rho == pytest.approx(again.rho)
+        assert [row[:4] for row in first.rows] \
+            == [row[:4] for row in again.rows]
+        assert "Spearman rank correlation" in first.format()
+
+    def test_min_rho_gate(self):
+        conditions = [NetworkConditions.of(8.0, 10.0),
+                      NetworkConditions.of(60.0, 100.0)]
+        strict = validate_sweep(sites=2, delays_s=(DAY,),
+                                conditions_list=conditions,
+                                min_rho=1.0)
+        assert not strict.passed
+        assert "FAIL" in strict.format()
+
+
+class TestAnalyticBench:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return run_analytic_bench(sites=6, rounds=2)
+
+    def test_rates_positive(self, bench):
+        assert bench.fallback_per_s > 0
+        assert bench.estimates_per_site == 20 * 2 * 25
+
+    def test_payload_has_valid_manifest(self, bench):
+        payload = analytic_bench_payload(bench)
+        assert payload["bench"] == "analytic_sweep"
+        assert validate_manifest(payload["manifest"]) == []
+        assert json.dumps(payload)  # serializable as committed artifact
+
+    def test_payloads_with_same_workload_are_comparable(self, bench):
+        a = analytic_bench_payload(bench)
+        b = analytic_bench_payload(run_analytic_bench(sites=6, rounds=1))
+        same, _ = comparable(a["manifest"], b["manifest"])
+        assert same
+
+    def test_different_workloads_refused(self, bench):
+        a = analytic_bench_payload(bench)
+        b = analytic_bench_payload(run_analytic_bench(sites=4, rounds=1))
+        same, reason = comparable(a["manifest"], b["manifest"])
+        assert not same
+        assert "config" in reason
+
+    def test_format_lists_floors(self, bench):
+        text = format_analytic_bench(bench)
+        assert "visit-estimates/s" in text
+        assert "fallback (pure python)" in text
