@@ -265,6 +265,32 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--min-scaling", type=float, default=None,
                       help="with --scaling: exit non-zero when the "
                            "N-shard speedup falls below this factor")
+    load.add_argument("--trace-out", default=None,
+                      help="trace the run (W3C context through every "
+                           "worker) and write one merged Perfetto "
+                           "trace JSON here")
+    load.add_argument("--live", action="store_true",
+                      help="print a per-interval rps/shed ticker to "
+                           "stderr while the swarm runs")
+    load.add_argument("--timeseries-out", default=None,
+                      help="stream per-interval registry deltas to "
+                           "this JSONL file")
+    load.add_argument("--telemetry-interval", type=float, default=None,
+                      help="telemetry sampling interval seconds "
+                           "(default: the tally interval, 0.25)")
+    load.add_argument("--slo", action="store_true",
+                      help="evaluate the stock SLO policy over the "
+                           "run's time series; exit non-zero on breach")
+    load.add_argument("--slo-p99-ms", type=float, default=250.0,
+                      help="with --slo: p99 http.request_ms objective "
+                           "(default 250)")
+    load.add_argument("--slo-max-shed", type=float, default=0.5,
+                      help="with --slo: max shed rate objective "
+                           "(default 0.5 — shedding is expected under "
+                           "overload)")
+    load.add_argument("--slo-max-errors", type=float, default=0.05,
+                      help="with --slo: max 5xx error ratio objective "
+                           "(default 0.05)")
     return parser
 
 
@@ -692,6 +718,12 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
                       required=f"{args.min_scaling:g}x")
             return 1
         return 0
+    objectives = None
+    if args.slo:
+        from .obs.slo import default_loadtest_policy
+        objectives = default_loadtest_policy(
+            p99_ms=args.slo_p99_ms, max_shed_rate=args.slo_max_shed,
+            max_error_ratio=args.slo_max_errors)
     result = run_load_test(
         shards=args.shards, clients=args.clients,
         duration_s=args.duration, warmup_s=args.warmup, seed=args.seed,
@@ -699,14 +731,30 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         max_inflight=args.inflight_cap,
         max_connections=args.max_connections,
         preset=None if args.preset == "none" else args.preset,
-        inprocess=args.shards == 1)
+        inprocess=args.shards == 1,
+        trace=args.trace_out is not None,
+        telemetry_interval_s=args.telemetry_interval,
+        timeseries_path=args.timeseries_out,
+        slo=objectives, live=args.live)
     print(format_load_test(result))
+    if args.trace_out:
+        from .experiments.tracing import fleet_chrome_trace_json
+        path = pathlib.Path(args.trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(fleet_chrome_trace_json(result.spans, indent=2))
+        log.info("wrote-trace", path=path, spans=len(result.spans))
+    if args.timeseries_out:
+        log.info("wrote-timeseries", path=args.timeseries_out,
+                 intervals=len(result.timeseries))
     if args.out:
         path = pathlib.Path(args.out)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(load_test_payload(result), indent=2)
                         + "\n")
         log.info("wrote-artifact", path=path)
+    if result.slo_report is not None and not result.slo_report.passed:
+        log.error("slo-breach")
+        return 1
     return 0 if result.errors == 0 else 1
 
 

@@ -38,6 +38,8 @@ result *and* in the metrics registry, next to the fleet's merged
 from __future__ import annotations
 
 import asyncio
+import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
@@ -49,9 +51,14 @@ from ..http.fleet import FleetConfig, ServerFleet, build_app
 from ..http.messages import Request
 from ..netsim.faults import (FaultKind, FaultPlan, captive_portal,
                              flaky_5g, lossy_wifi)
+from ..obs.export import span_to_dict
 from ..obs.log import get_logger
 from ..obs.manifest import build_manifest, stamp
 from ..obs.metrics import MetricsRegistry
+from ..obs.slo import Objective, SloReport
+from ..obs.slo import evaluate as evaluate_slo
+from ..obs.timeseries import TimeSeriesRecorder, diff_dumps
+from ..obs.trace import Tracer
 from .report import format_table
 
 __all__ = ["LoadTestResult", "ScalingResult", "run_load_test",
@@ -107,6 +114,13 @@ class LoadTestResult:
     series: list = field(default_factory=list)
     metrics_snapshot: dict = field(default_factory=dict)
     elapsed_s: float = 0.0
+    #: pid-stamped span dicts (driver clients + fleet workers) when the
+    #: run was traced; feed straight into ``obs.export.to_chrome_trace``
+    spans: list = field(default_factory=list)
+    #: per-interval registry snapshots from the telemetry recorder
+    timeseries: list = field(default_factory=list)
+    #: :class:`~repro.obs.slo.SloReport` when objectives were evaluated
+    slo_report: Optional[SloReport] = None
 
     @property
     def sustained_rps(self) -> float:
@@ -151,8 +165,19 @@ class _Tallies:
         bucket[column] += 1
 
     def series(self) -> list[dict]:
-        return [{"t_s": round(index * self.interval_s, 3), **bucket}
-                for index, bucket in sorted(self.bins.items())]
+        """Zero-filled interval rows from 0 to the last active bucket.
+
+        A stalled interval (nothing completed — e.g. every client stuck
+        in a STALL fault) must appear as a row of zeros, not vanish:
+        downstream rate math (``ok / interval_s`` per row) and the
+        timeline plot both assume a gapless grid.
+        """
+        if not self.bins:
+            return []
+        empty = {"sent": 0, "ok": 0, "shed": 0}
+        return [{"t_s": round(index * self.interval_s, 3),
+                 **self.bins.get(index, empty)}
+                for index in range(max(self.bins) + 1)]
 
 
 async def _apply_fault(plan: Optional[FaultPlan], url: str, attempt: int,
@@ -258,23 +283,47 @@ def run_load_test(*, shards: int = 1, clients: int = 32,
                   interval_s: float = 0.25,
                   metrics: Optional[MetricsRegistry] = None,
                   inprocess: bool = False,
-                  time_scale: float = 1.0) -> LoadTestResult:
+                  time_scale: float = 1.0,
+                  trace: bool = False,
+                  telemetry_interval_s: Optional[float] = None,
+                  timeseries_path: Optional[str] = None,
+                  slo: Optional[Sequence[Objective]] = None,
+                  live: bool = False) -> LoadTestResult:
     """One sustained-load run against a (possibly sharded) origin.
 
     ``inprocess=True`` serves shard 1 inside the driving event loop —
     no worker processes, for fast deterministic unit tests; otherwise a
     :class:`ServerFleet` of ``shards`` worker processes is spawned.
+
+    Observability knobs (all off by default, zero overhead when off):
+    ``trace`` runs driver clients and origin under real tracers with
+    W3C trace-context propagation, landing pid-stamped span dicts in
+    ``result.spans``; ``telemetry_interval_s``/``timeseries_path``
+    stream per-interval registry deltas into a
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder` (and JSONL on
+    disk); ``slo`` evaluates objectives over that time series into
+    ``result.slo_report``; ``live`` prints a per-interval ticker to
+    stderr while the swarm runs.
     """
     if inprocess and shards != 1:
         raise ValueError("inprocess mode supports exactly one shard")
     plan, preset_name = _resolve_plan(preset, seed)
     registry = metrics if metrics is not None else MetricsRegistry()
+    sample_interval_s = telemetry_interval_s or interval_s
+    recorder = None
+    if slo or timeseries_path is not None \
+            or telemetry_interval_s is not None:
+        recorder = TimeSeriesRecorder(interval_s=sample_interval_s,
+                                      path=timeseries_path)
+    tracer = Tracer() if trace else None
     config = FleetConfig(
         shards=shards, seed=seed, app=app, latency_s=latency_s,
         time_scale=time_scale, max_inflight=max_inflight,
         max_connections=max_connections,
         max_requests_per_connection=max_requests_per_connection,
-        retry_after_s=retry_after_s)
+        retry_after_s=retry_after_s, trace=trace,
+        telemetry_interval_s=(sample_interval_s
+                              if recorder is not None else None))
     if paths is None:
         paths = ["/index.html"] if app == "catalyst" else ["/"]
     result = LoadTestResult(
@@ -282,25 +331,35 @@ def run_load_test(*, shards: int = 1, clients: int = 32,
         warmup_s=warmup_s, seed=seed, app=app, latency_s=latency_s,
         max_inflight=max_inflight, preset=preset_name)
     started = time.perf_counter()
-    if inprocess:
-        asyncio.run(_run_inprocess(config, paths, result, plan,
-                                   clients, duration_s, warmup_s,
-                                   honor_retry_after, max_retries,
-                                   timeout_s, interval_s, seed, drain_s,
-                                   registry))
-    else:
-        _run_against_fleet(config, paths, result, plan, clients,
-                           duration_s, warmup_s, honor_retry_after,
-                           max_retries, timeout_s, interval_s, seed,
-                           drain_s, registry)
+    try:
+        if inprocess:
+            asyncio.run(_run_inprocess(
+                config, paths, result, plan, clients, duration_s,
+                warmup_s, honor_retry_after, max_retries, timeout_s,
+                interval_s, seed, drain_s, registry, tracer=tracer,
+                recorder=recorder, live=live))
+        else:
+            _run_against_fleet(
+                config, paths, result, plan, clients, duration_s,
+                warmup_s, honor_retry_after, max_retries, timeout_s,
+                interval_s, seed, drain_s, registry, tracer=tracer,
+                recorder=recorder, live=live)
+    finally:
+        if recorder is not None:
+            recorder.close()
     result.elapsed_s = time.perf_counter() - started
+    if recorder is not None:
+        result.timeseries = recorder.interval_snapshots()
+    if slo:
+        result.slo_report = evaluate_slo(list(slo), recorder)
     _emit_metrics(registry, result, interval_s)
     result.metrics_snapshot = registry.snapshot()
     return result
 
 
 def _client_kwargs(honor_retry_after: bool, max_retries: int,
-                   timeout_s: float, seed: int, index: int) -> dict:
+                   timeout_s: float, seed: int, index: int,
+                   tracer=None) -> dict:
     return {
         "connections_per_origin": 1,
         "timeout_s": timeout_s,
@@ -312,7 +371,30 @@ def _client_kwargs(honor_retry_after: bool, max_retries: int,
         # load test into a self-DoS of the measurement
         "breaker_threshold": 50,
         "breaker_open_s": 0.2,
+        # one shared driver tracer: every client's http.request spans
+        # (and the traceparent headers they inject) land in one ring
+        "tracer": tracer,
     }
+
+
+async def _live_ticker(tallies: _Tallies, interval_s: float,
+                       stop_at: float) -> None:
+    """Print one per-interval line to stderr while the swarm runs."""
+    loop = asyncio.get_running_loop()
+    last = {"sent": 0, "ok": 0, "shed": 0, "errors": 0}
+    tick = 0
+    while loop.time() < stop_at:
+        await asyncio.sleep(min(interval_s, stop_at - loop.time()))
+        tick += 1
+        current = {"sent": tallies.sent, "ok": tallies.ok,
+                   "shed": tallies.shed, "errors": tallies.errors}
+        delta = {key: current[key] - last[key] for key in current}
+        last = current
+        print(f"[live] t={tick * interval_s:7.2f}s  "
+              f"rps={delta['ok'] / interval_s:8.1f}  "
+              f"sent={delta['sent']:6d}  ok={delta['ok']:6d}  "
+              f"shed={delta['shed']:5d}  errors={delta['errors']:5d}",
+              file=sys.stderr, flush=True)
 
 
 async def _drive(base_url: str, paths: Sequence[str],
@@ -320,19 +402,31 @@ async def _drive(base_url: str, paths: Sequence[str],
                  clients: int, duration_s: float, warmup_s: float,
                  honor_retry_after: bool, max_retries: int,
                  timeout_s: float, interval_s: float, seed: int,
-                 registry: MetricsRegistry) -> _Tallies:
+                 registry: MetricsRegistry, tracer=None,
+                 live: bool = False) -> _Tallies:
     loop = asyncio.get_running_loop()
     tallies = _Tallies(interval_s)
     latency_hist = registry.histogram("load.latency_ms")
     t0 = loop.time()
+    stop_at = t0 + warmup_s + duration_s
+    ticker = None
+    if live:
+        ticker = asyncio.ensure_future(
+            _live_ticker(tallies, interval_s, stop_at))
     swarm = [
-        _client_loop(i, base_url, paths, t0 + warmup_s + duration_s,
+        _client_loop(i, base_url, paths, stop_at,
                      t0 + warmup_s, plan,
                      _client_kwargs(honor_retry_after, max_retries,
-                                    timeout_s, seed, i),
+                                    timeout_s, seed, i, tracer=tracer),
                      latency_hist, tallies)
         for i in range(clients)]
     finished = await asyncio.gather(*swarm)
+    if ticker is not None:
+        ticker.cancel()
+        try:
+            await ticker
+        except asyncio.CancelledError:
+            pass
     result.sent = tallies.sent
     result.ok = tallies.ok
     result.client_shed = tallies.shed
@@ -351,13 +445,14 @@ async def _drive(base_url: str, paths: Sequence[str],
 def _run_against_fleet(config: FleetConfig, paths, result, plan, clients,
                        duration_s, warmup_s, honor_retry_after,
                        max_retries, timeout_s, interval_s, seed,
-                       drain_s, registry: MetricsRegistry) -> None:
+                       drain_s, registry: MetricsRegistry, tracer=None,
+                       recorder=None, live=False) -> None:
     fleet = ServerFleet(config).start()
     try:
         asyncio.run(_drive(fleet.base_url, paths, result, plan, clients,
                            duration_s, warmup_s, honor_retry_after,
                            max_retries, timeout_s, interval_s, seed,
-                           registry))
+                           registry, tracer=tracer, live=live))
         stats = fleet.stats()
         totals = stats["totals"]
         result.served_total = totals["requests_served"]
@@ -365,41 +460,107 @@ def _run_against_fleet(config: FleetConfig, paths, result, plan, clients,
         result.shed_connections = totals["shed_connections"]
         result.timeouts_408 = totals["timeouts_408"]
         registry.merge(fleet.merged_metrics().dump())
+        if tracer is not None:
+            # driver-side client spans + every worker's server spans,
+            # all pid-stamped so export IDs never alias across processes
+            result.spans = (
+                [span_to_dict(span, pid=os.getpid())
+                 for span in tracer.spans()]
+                + fleet.collect_spans())
     finally:
         reports = fleet.stop(drain_s=drain_s)
         if reports:
             result.drain_s = max(r.get("drain_s", 0.0) for r in reports)
             result.hard_cancelled = sum(r.get("hard_cancelled", 0)
                                         for r in reports)
+        if recorder is not None:
+            # workers flush a final delta before their stopped reply,
+            # so draining *after* stop() captures the whole run
+            for message in fleet.drain_telemetry():
+                recorder.record(message["delta"], message["t_s"],
+                                source=message.get("pid"))
+
+
+async def _sample_registry(metrics: MetricsRegistry, recorder,
+                           interval_s: float) -> None:
+    """In-process stand-in for the fleet telemetry loop.
+
+    Diffs the server registry on the same cadence a worker would and
+    feeds the recorder directly; flushes one final delta on cancel so
+    the last partial interval reconciles exactly.
+    """
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    previous: dict = {}
+
+    def flush() -> dict:
+        nonlocal previous
+        current = metrics.dump()
+        delta = diff_dumps(current, previous)
+        previous = current
+        return delta
+
+    try:
+        while True:
+            await asyncio.sleep(interval_s)
+            delta = flush()
+            if delta:
+                recorder.record(delta, loop.time() - t0,
+                                source="inprocess")
+    except asyncio.CancelledError:
+        delta = flush()
+        if delta:
+            recorder.record(delta, loop.time() - t0, source="inprocess")
+        raise
 
 
 async def _run_inprocess(config: FleetConfig, paths, result, plan,
                          clients, duration_s, warmup_s,
                          honor_retry_after, max_retries, timeout_s,
                          interval_s, seed, drain_s,
-                         registry: MetricsRegistry) -> None:
+                         registry: MetricsRegistry, tracer=None,
+                         recorder=None, live=False) -> None:
     handler, stats_source = build_app(config)
+    server_metrics = MetricsRegistry()
+    # one process, one tracer: client and server spans share an ID
+    # space, so traceparent round-trips resolve to real local parents
     server = AsyncHttpServer(
         handler, latency_s=config.latency_s,
         max_inflight=config.max_inflight,
         max_connections=config.max_connections,
         max_requests_per_connection=config.max_requests_per_connection,
         retry_after_s=config.retry_after_s, shed_seed=config.seed,
-        metrics=MetricsRegistry(), stats_source=stats_source)
+        metrics=server_metrics, stats_source=stats_source,
+        tracer=tracer)
     await server.start()
+    sampler = None
+    if recorder is not None:
+        sampler = asyncio.ensure_future(_sample_registry(
+            server_metrics, recorder,
+            config.telemetry_interval_s or interval_s))
     try:
         await _drive(server.base_url, paths, result, plan, clients,
                      duration_s, warmup_s, honor_retry_after,
-                     max_retries, timeout_s, interval_s, seed, registry)
+                     max_retries, timeout_s, interval_s, seed, registry,
+                     tracer=tracer, live=live)
         result.served_total = server.requests_served
         result.shed_503 = server.shed_503
         result.shed_connections = server.shed_connections
         result.timeouts_408 = server.timeouts_408
-        registry.merge(server.metrics.dump())
     finally:
         report = await server.stop(drain_s=drain_s)
         result.drain_s = report["drain_s"]
         result.hard_cancelled = report["hard_cancelled"]
+        if sampler is not None:
+            sampler.cancel()
+            try:
+                await sampler
+            except asyncio.CancelledError:
+                pass
+        registry.merge(server_metrics.dump())
+        if tracer is not None:
+            result.spans = [span_to_dict(span, pid=os.getpid())
+                            for span in tracer.spans()]
 
 
 def _emit_metrics(registry: MetricsRegistry, result: LoadTestResult,
@@ -448,7 +609,12 @@ def format_load_test(result: LoadTestResult) -> str:
         ["drain", f"{result.drain_s * 1e3:.0f} ms, "
                   f"{result.hard_cancelled} hard-cancelled"],
     ]
-    return format_table(["load test", "value"], rows)
+    if result.spans:
+        rows.append(["trace spans", str(len(result.spans))])
+    table = format_table(["load test", "value"], rows)
+    if result.slo_report is not None:
+        table += "\n\n" + result.slo_report.format()
+    return table
 
 
 def load_test_payload(result: LoadTestResult) -> dict:
@@ -481,6 +647,12 @@ def load_test_payload(result: LoadTestResult) -> dict:
                    "faults_injected": result.faults_injected},
         "series": result.series,
     }
+    if result.timeseries:
+        payload["timeseries"] = result.timeseries
+    if result.slo_report is not None:
+        payload["slo"] = result.slo_report.payload()
+    if result.spans:
+        payload["trace"] = {"spans": len(result.spans)}
     return stamp(payload, build_manifest(
         config={"bench": "load_test", "shards": result.shards,
                 "clients": result.clients, "app": result.app,

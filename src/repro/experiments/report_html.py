@@ -138,6 +138,60 @@ def _bench_trajectory_text(results_dir: pathlib.Path) -> Optional[str]:
          "workers", "wall"], table_rows)
 
 
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float]) -> str:
+    top = max(values) if values else 0.0
+    if top <= 0:
+        return " " * len(values)
+    scale = len(_SPARK_BLOCKS) - 1
+    return "".join(_SPARK_BLOCKS[round(value / top * scale)]
+                   for value in values)
+
+
+def _slo_timeline_text(results_dir: pathlib.Path) -> Optional[str]:
+    """SLO verdicts + per-interval timelines from load-test artifacts.
+
+    Scans every ``*.json`` whose payload says ``"bench": "load_test"``
+    (the ``repro loadtest --out`` shape).  Renders the objective table
+    when the run carried an SLO report, and an ok/shed sparkline over
+    the zero-filled interval series either way.
+    """
+    blocks = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict) \
+                or payload.get("bench") != "load_test":
+            continue
+        lines = [path.name]
+        series = payload.get("series") or []
+        if series:
+            ok = [float(row.get("ok", 0)) for row in series]
+            shed = [float(row.get("shed", 0)) for row in series]
+            lines.append(f"  ok   per interval |{_sparkline(ok)}| "
+                         f"peak {max(ok):,.0f}")
+            lines.append(f"  shed per interval |{_sparkline(shed)}| "
+                         f"peak {max(shed):,.0f}")
+        slo = payload.get("slo")
+        if isinstance(slo, dict):
+            verdict = "PASS" if slo.get("passed") else "BREACH"
+            lines.append(f"  SLO: {verdict}")
+            for objective in slo.get("objectives", []):
+                status = "BREACH" if objective.get("breached") else "ok"
+                worst = (objective.get("worst") or {}).get("burn_rate")
+                burn = (f", worst burn {worst:.2f}x"
+                        if isinstance(worst, (int, float)) else "")
+                lines.append(f"    [{status:6s}] "
+                             f"{objective.get('name', '?')}{burn}")
+        if len(lines) > 1:
+            blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) if blocks else None
+
+
 def build_report(results_dir: pathlib.Path,
                  title: str = "CacheCatalyst reproduction — results") -> str:
     """Render every ``*.txt`` artifact in ``results_dir`` into HTML."""
@@ -161,6 +215,13 @@ def build_report(results_dir: pathlib.Path,
                      "<code>benchmarks/compare_bench.py</code>; provenance "
                      "from each artifact's run manifest</p>")
         parts.append(f"<pre>{html.escape(trajectory.rstrip())}</pre>")
+    slo_timeline = _slo_timeline_text(results_dir)
+    if slo_timeline is not None:
+        parts.append("<h2>Load-test SLOs &amp; timelines</h2>")
+        parts.append("<p class='meta'>from <code>repro loadtest --slo "
+                     "--out ...</code> artifacts: burn-rate verdicts and "
+                     "per-interval ok/shed sparklines</p>")
+        parts.append(f"<pre>{html.escape(slo_timeline.rstrip())}</pre>")
     listed = set()
     for stem, heading in _SECTIONS:
         text = artifacts.get(stem)

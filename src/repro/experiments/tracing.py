@@ -22,7 +22,33 @@ from ..obs import (Tracer, enrich_har, format_self_times, to_chrome_trace,
                    to_chrome_trace_json, to_collapsed, to_jsonl)
 from ..workload.sitegen import generate_site
 
-__all__ = ["TraceCapture", "capture_visit_trace"]
+__all__ = ["TraceCapture", "capture_visit_trace", "fleet_chrome_trace",
+           "fleet_chrome_trace_json"]
+
+
+def fleet_chrome_trace(spans: Sequence[dict]) -> dict:
+    """One Perfetto-loadable trace from merged pid-stamped span records.
+
+    ``spans`` is what a traced load test leaves in
+    ``LoadTestResult.spans``: driver-client and fleet-worker records
+    (:func:`repro.obs.export.span_to_dict` shape) concatenated in
+    arbitrary arrival order.  Sorting by start time keeps the emitted
+    event stream stable across runs of the same capture, which makes
+    the artifact diffable; the pid namespacing inside
+    :func:`to_chrome_trace` keeps per-worker span IDs from aliasing so
+    a client ``http.request`` can parent a ``server.request`` in
+    another process.
+    """
+    ordered = sorted(spans, key=lambda s: (s.get("start_s", 0.0),
+                                           s.get("pid", 0),
+                                           s.get("span_id", 0)))
+    return to_chrome_trace(ordered)
+
+
+def fleet_chrome_trace_json(spans: Sequence[dict],
+                            indent: Optional[int] = None) -> str:
+    import json
+    return json.dumps(fleet_chrome_trace(spans), indent=indent)
 
 
 @dataclass

@@ -34,6 +34,8 @@ from urllib.parse import urlsplit
 
 from ..netsim.faults import backoff_delay, deterministic_draw
 from ..obs.trace import NULL_TRACER
+from ..obs.tracecontext import (TRACEPARENT_HEADER, TRACESTATE_HEADER,
+                                format_traceparent, format_tracestate)
 from .errors import (CircuitOpen, ConnectionClosed, HttpError,
                      RequestTimeout)
 from .headers import Headers
@@ -279,7 +281,10 @@ class AsyncHttpClient:
                     f"circuit open for {host}:{port} "
                     f"({breaker.failures} consecutive failures)")
             try:
-                result = await self._request_once(request)
+                result = await self._request_once(
+                    request,
+                    trace_headers=self._trace_headers(rspan, attempt)
+                    if rspan is not None else None)
             except _RETRYABLE as exc:
                 if breaker is not None:
                     breaker.record_failure()
@@ -344,7 +349,23 @@ class AsyncHttpClient:
             return None
         return min(seconds, self.retry_after_cap_s)
 
-    async def _request_once(self, request: Request) -> FetchResult:
+    def _trace_headers(self, rspan, attempt: int) -> dict:
+        """W3C trace-context headers for one wire attempt.
+
+        Rebuilt per attempt so ``tracestate`` carries the retry ordinal:
+        a server sees ``repro=attempt:2`` and knows this is the same
+        logical request (same ``traceparent`` parent-id) on its third
+        try.
+        """
+        return {
+            TRACEPARENT_HEADER: format_traceparent(
+                rspan.trace_id, self.tracer.pid, rspan.span_id),
+            TRACESTATE_HEADER: format_tracestate(attempt),
+        }
+
+    async def _request_once(self, request: Request,
+                            trace_headers: Optional[dict] = None
+                            ) -> FetchResult:
         host, port, origin_form = self._split(request.url)
         key = (host, port)
         semaphore = self._limits.setdefault(
@@ -353,6 +374,9 @@ class AsyncHttpClient:
         wire_request.url = origin_form
         wire_request.headers.setdefault(
             "Host", host if port == 80 else f"{host}:{port}")
+        if trace_headers:
+            for name, value in trace_headers.items():
+                wire_request.headers.set(name, value)
         async with semaphore:
             start = time.monotonic()
             conn, reused = await self._acquire(key)

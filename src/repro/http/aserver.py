@@ -50,14 +50,17 @@ from typing import Awaitable, Callable, Optional, Union
 
 from ..netsim.faults import deterministic_draw
 from ..obs.log import get_logger
+from ..obs.promtext import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..obs.promtext import to_prometheus_text
 from ..obs.trace import NULL_TRACER
+from ..obs.tracecontext import extract_context
 from .errors import HttpError, ProtocolError
 from .headers import Headers
 from .messages import Request, Response
 from .wire import (read_request_start, read_request_tail,
                    serialize_response)
 
-__all__ = ["AsyncHttpServer", "Handler", "STATS_PATH"]
+__all__ = ["AsyncHttpServer", "Handler", "STATS_PATH", "METRICS_PATH"]
 
 logger = get_logger("http.aserver")
 
@@ -65,6 +68,9 @@ Handler = Callable[[Request], Union[Response, Awaitable[Response]]]
 
 #: built-in debug endpoint exposing counters, tracer state, and metrics
 STATS_PATH = "/__repro/stats"
+
+#: Prometheus text-format exposition of the metrics registry
+METRICS_PATH = "/__repro/metrics"
 
 
 class _Connection:
@@ -318,9 +324,11 @@ class AsyncHttpServer:
                 return
             shed = False
             if request.method == "GET" and request.path == STATS_PATH:
-                # The ops endpoint answers even under overload —
+                # The ops endpoints answer even under overload —
                 # an unobservable saturated server cannot be debugged.
                 response = self._serve_stats(request)
+            elif request.method == "GET" and request.path == METRICS_PATH:
+                response = self._serve_metrics()
             elif self.max_inflight is not None \
                     and self.inflight >= self.max_inflight:
                 # Request-level load shedding at the high-water mark:
@@ -384,10 +392,20 @@ class AsyncHttpServer:
 
     async def _dispatch(self, request: Request) -> Response:
         tracer = self.tracer
-        rspan = tracer.begin(
-            "server.request", "http",
-            args={"method": request.method, "path": request.path}) \
-            if tracer.enabled else None
+        rspan = None
+        if tracer.enabled:
+            args = {"method": request.method, "path": request.path}
+            remote_parent = None
+            context = extract_context(request.headers)
+            if context is not None:
+                # Parent this span under the client's request span in
+                # its process: the merged fleet export draws the edge.
+                remote_parent = context.parent_ref
+                args["remote_trace_id"] = context.trace_id
+                if context.attempt is not None:
+                    args["client_attempt"] = context.attempt
+            rspan = tracer.begin("server.request", "http", args=args,
+                                 remote_parent=remote_parent)
         metrics = self.metrics
         started = time.perf_counter() if metrics is not None else 0.0
         try:
@@ -410,7 +428,14 @@ class AsyncHttpServer:
             self._observe(metrics, started, result.status)
             return result
         if rspan is not None:
-            rspan.set("status", result.status).end()
+            rspan.set("status", result.status)
+            cache_status = result.headers.get("Cache-Status")
+            if cache_status is not None:
+                # surface the origin's cache verdict (hit/miss/which
+                # hot-path cache) on the span, the way "Hidden Web
+                # Caches Discovery" has to infer it from the outside
+                rspan.set("cache_status", cache_status)
+            rspan.end()
         self._observe(metrics, started, result.status)
         return result
 
@@ -469,6 +494,21 @@ class AsyncHttpServer:
         return Response(status=200, body=body, headers=Headers({
             "Content-Type": "application/json",
             "Cache-Control": "no-store"}))
+
+    def _serve_metrics(self) -> Response:
+        """``GET /__repro/metrics``: Prometheus text exposition.
+
+        Serves whatever registry is wired in (empty exposition without
+        one — a scraper sees a healthy target with no series, not an
+        error).  Answered ahead of load shedding, like the stats
+        endpoint: the scrape must survive the overload it is measuring.
+        """
+        text = to_prometheus_text(self.metrics) \
+            if self.metrics is not None else ""
+        return Response(status=200, body=text.encode(),
+                        headers=Headers({
+                            "Content-Type": PROM_CONTENT_TYPE,
+                            "Cache-Control": "no-store"}))
 
     @staticmethod
     def _keep_alive(request: Request) -> bool:

@@ -34,11 +34,15 @@ import multiprocessing
 import os
 import signal
 import socket
+import time
+from collections import deque
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..obs.export import span_to_dict
 from ..obs.log import get_logger
 from ..obs.metrics import MetricsRegistry
+from ..obs.timeseries import diff_dumps
 
 __all__ = ["FleetConfig", "ServerFleet", "build_app", "reuseport_socket",
            "HAVE_REUSEPORT"]
@@ -95,6 +99,13 @@ class FleetConfig:
     retry_after_s: float = 1.0
     backlog: int = 100
     median_resources: int = 15
+    #: give each worker a wall-clock Tracer; spans are collected over
+    #: the control pipe ("spans" command) as portable pid-stamped dicts
+    trace: bool = False
+    #: stream periodic MetricsRegistry *delta* dumps over the control
+    #: pipe every this many seconds (None = off).  The parent's
+    #: TimeSeriesRecorder buckets them into the live time series.
+    telemetry_interval_s: Optional[float] = None
 
 
 def build_app(config: FleetConfig):
@@ -118,7 +129,7 @@ def build_app(config: FleetConfig):
         # Imported lazily: repro.server imports repro.http, so a
         # module-level import here would be circular.
         from ..server.adapter import as_async_handler
-        from ..server.catalyst import CatalystServer
+        from ..server.catalyst import CatalystConfig, CatalystServer
         from ..server.site import OriginSite
         from ..workload.sitegen import generate_site
         site = OriginSite(
@@ -126,13 +137,17 @@ def build_app(config: FleetConfig):
                           seed=config.seed,
                           median_resources=config.median_resources),
             materialize_fully=True)
-        catalyst = CatalystServer(site)
+        # The serving tier exposes cache verdicts (Cache-Status) — the
+        # DES paths keep it off to preserve byte-identity invariants.
+        catalyst = CatalystServer(site,
+                                  CatalystConfig(emit_cache_status=True))
         return (as_async_handler(catalyst, time_scale=config.time_scale),
                 catalyst.stats)
     raise ValueError(f"unknown fleet app {config.app!r}")
 
 
-def _worker_server(config: FleetConfig, metrics: MetricsRegistry):
+def _worker_server(config: FleetConfig, metrics: MetricsRegistry,
+                   tracer=None):
     """The hardened per-shard server (not yet started)."""
     from .aserver import AsyncHttpServer
     handler, stats_source = build_app(config)
@@ -145,7 +160,7 @@ def _worker_server(config: FleetConfig, metrics: MetricsRegistry):
         max_requests_per_connection=config.max_requests_per_connection,
         retry_after_s=config.retry_after_s,
         shed_seed=config.seed, backlog=config.backlog,
-        metrics=metrics, stats_source=stats_source)
+        tracer=tracer, metrics=metrics, stats_source=stats_source)
 
 
 def _worker_stats(server, metrics: MetricsRegistry) -> dict:
@@ -158,10 +173,44 @@ def _worker_stats(server, metrics: MetricsRegistry) -> dict:
     }
 
 
+def _send_telemetry_delta(conn, metrics: MetricsRegistry,
+                          started: float, state: dict) -> None:
+    """Diff the registry against the last shipped dump and send it."""
+    current = metrics.dump()
+    delta = diff_dumps(current, state["previous"])
+    state["previous"] = current
+    if delta:
+        _try_send(conn, {"telemetry": True, "pid": os.getpid(),
+                         "t_s": time.monotonic() - started,
+                         "delta": delta})
+
+
+async def _telemetry_loop(conn, metrics: MetricsRegistry,
+                          interval_s: float, started: float,
+                          state: dict) -> None:
+    """Periodically ship this worker's registry *delta* to the parent.
+
+    Messages are tagged ``telemetry: True`` so the parent can divert
+    them out of the request/response command protocol.  ``t_s`` is
+    seconds since the worker became ready — all workers start together,
+    so the parent's interval bucketing lines worker streams up.
+    ``state["previous"]`` is shared with the stop path, which flushes
+    one final delta after the drain so the last partial interval (and
+    anything served during the drain itself) still reconciles.
+    """
+    while True:
+        await asyncio.sleep(interval_s)
+        _send_telemetry_delta(conn, metrics, started, state)
+
+
 async def _worker_serve(conn, config: FleetConfig) -> None:
     loop = asyncio.get_running_loop()
     metrics = MetricsRegistry()
-    server = _worker_server(config, metrics)
+    tracer = None
+    if config.trace:
+        from ..obs.trace import Tracer
+        tracer = Tracer()
+    server = _worker_server(config, metrics, tracer=tracer)
     sock = reuseport_socket(config.host, config.port)
     await server.start(sock=sock)
 
@@ -174,6 +223,28 @@ async def _worker_serve(conn, config: FleetConfig) -> None:
     readable = asyncio.Event()
     loop.add_reader(conn.fileno(), readable.set)
     conn.send({"ready": True, "pid": os.getpid(), "port": server.port})
+    telemetry_task = None
+    telemetry_state = {"previous": {}}
+    telemetry_started = time.monotonic()
+
+    async def _finish_telemetry() -> None:
+        """Stop the ticker and ship the final (post-drain) delta."""
+        nonlocal telemetry_task
+        if telemetry_task is None:
+            return
+        telemetry_task.cancel()
+        try:
+            await telemetry_task
+        except asyncio.CancelledError:
+            pass
+        telemetry_task = None
+        _send_telemetry_delta(conn, metrics, telemetry_started,
+                              telemetry_state)
+
+    if config.telemetry_interval_s is not None:
+        telemetry_task = asyncio.ensure_future(_telemetry_loop(
+            conn, metrics, config.telemetry_interval_s,
+            telemetry_started, telemetry_state))
     try:
         while True:
             read_wait = asyncio.ensure_future(readable.wait())
@@ -185,6 +256,7 @@ async def _worker_serve(conn, config: FleetConfig) -> None:
             if stop_requested.is_set():
                 # Signal-initiated drain (Ctrl-C / supervisor TERM).
                 report = await server.stop(drain_s=_SIGNAL_DRAIN_S)
+                await _finish_telemetry()
                 _try_send(conn, {"stopped": True, "pid": os.getpid(),
                                  **report})
                 return
@@ -194,15 +266,30 @@ async def _worker_serve(conn, config: FleetConfig) -> None:
                 command = message.get("cmd")
                 if command == "stats":
                     _try_send(conn, _worker_stats(server, metrics))
+                elif command == "spans":
+                    records = [] if tracer is None else \
+                        [span_to_dict(span, pid=os.getpid())
+                         for span in tracer.spans()]
+                    if tracer is not None and message.get("clear"):
+                        tracer.clear()
+                    _try_send(conn, {"pid": os.getpid(),
+                                     "spans": records})
                 elif command == "stop":
                     report = await server.stop(
                         drain_s=message.get("drain_s", 0.0))
+                    await _finish_telemetry()
                     _try_send(conn, {"stopped": True, "pid": os.getpid(),
                                      **report})
                     return
                 else:
                     _try_send(conn, {"error": f"unknown cmd {command!r}"})
     finally:
+        if telemetry_task is not None:
+            telemetry_task.cancel()
+            try:
+                await telemetry_task
+            except asyncio.CancelledError:
+                pass
         loop.remove_reader(conn.fileno())
         if server._server is not None:
             await server.stop()
@@ -226,13 +313,15 @@ def _worker_main(conn, config: FleetConfig) -> None:
 
 
 class _Worker:
-    __slots__ = ("process", "conn", "pid", "port")
+    __slots__ = ("process", "conn", "pid", "port", "pending")
 
     def __init__(self, process, conn):
         self.process = process
         self.conn = conn
         self.pid: Optional[int] = None
         self.port: Optional[int] = None
+        #: non-telemetry messages read while scanning for telemetry
+        self.pending: deque = deque()
 
 
 class ServerFleet:
@@ -263,6 +352,9 @@ class ServerFleet:
         self._workers: list[_Worker] = []
         #: drain used when __exit__ stops the fleet
         self.drain_s = 1.0
+        #: telemetry messages diverted out of the command protocol,
+        #: consumed by :meth:`drain_telemetry`
+        self._telemetry: list[dict] = []
 
     @property
     def base_url(self) -> str:
@@ -342,14 +434,73 @@ class ServerFleet:
         for worker in self._workers:
             worker.conn.send({"cmd": "stats"})
         for worker in self._workers:
-            if not worker.conn.poll(timeout_s):
-                raise RuntimeError(
-                    f"fleet worker pid={worker.pid} did not answer "
-                    f"stats within {timeout_s}s")
-            stats = worker.conn.recv()
+            stats = self._recv_response(worker, timeout_s, "stats")
             self._last_worker_stats.append(stats)
             merged.merge(stats["metrics"])
         return merged
+
+    def _recv_response(self, worker: _Worker, timeout_s: float,
+                       what: str) -> dict:
+        """The next *command response* from ``worker``.
+
+        Telemetry messages interleave freely with command responses on
+        the same pipe; anything tagged ``telemetry`` is diverted into
+        the buffer :meth:`drain_telemetry` serves instead of being
+        mistaken for the answer.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            if worker.pending:
+                return worker.pending.popleft()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not worker.conn.poll(remaining):
+                raise RuntimeError(
+                    f"fleet worker pid={worker.pid} did not answer "
+                    f"{what} within {timeout_s}s")
+            message = worker.conn.recv()
+            if message.get("telemetry"):
+                self._telemetry.append(message)
+                continue
+            return message
+
+    def drain_telemetry(self) -> list[dict]:
+        """All telemetry messages received so far (consumes them).
+
+        Sweeps every worker pipe without blocking, then empties the
+        diverted-message buffer.  Each message is
+        ``{"telemetry": True, "pid", "t_s", "delta"}`` — feed
+        ``(delta, t_s, pid)`` straight into a
+        :class:`~repro.obs.timeseries.TimeSeriesRecorder`.
+        """
+        for worker in self._workers:
+            try:
+                while worker.conn.poll(0):
+                    message = worker.conn.recv()
+                    if message.get("telemetry"):
+                        self._telemetry.append(message)
+                    else:
+                        worker.pending.append(message)
+            except (EOFError, OSError):
+                continue
+        drained, self._telemetry = self._telemetry, []
+        return drained
+
+    def collect_spans(self, timeout_s: float = 10.0,
+                      clear: bool = True) -> list[dict]:
+        """Every worker's finished spans as portable pid-stamped dicts.
+
+        The records merge directly with driver-side spans into one
+        :func:`~repro.obs.export.to_chrome_trace` call — pid
+        namespacing keeps worker span IDs from aliasing.  Workers not
+        started with ``trace=True`` contribute nothing.
+        """
+        spans: list[dict] = []
+        for worker in self._workers:
+            worker.conn.send({"cmd": "spans", "clear": clear})
+        for worker in self._workers:
+            answer = self._recv_response(worker, timeout_s, "spans")
+            spans.extend(answer.get("spans", []))
+        return spans
 
     def stop(self, drain_s: Optional[float] = None,
              reap_timeout_s: float = 10.0) -> list[dict]:
@@ -366,9 +517,9 @@ class ServerFleet:
         deadline = drain + reap_timeout_s
         for worker in self._workers:
             try:
-                if worker.conn.poll(deadline):
-                    reports.append(worker.conn.recv())
-            except (EOFError, OSError):
+                reports.append(
+                    self._recv_response(worker, deadline, "stop"))
+            except (EOFError, OSError, RuntimeError):
                 pass
         self._reap(terminate=False, timeout_s=reap_timeout_s)
         logger.info("fleet-stopped", reports=len(reports))

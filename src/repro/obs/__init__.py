@@ -29,12 +29,28 @@ Fleet-scale additions:
   ``BENCH_*.json`` artifact; the bench-compare gate validates them and
   refuses cross-config comparisons.
 
+Cross-process telemetry (the distributed-tracing PR):
+
+- **Trace context** (:mod:`repro.obs.tracecontext`): W3C
+  ``traceparent``/``tracestate`` encode/parse, carrying (pid, span-id)
+  identities across the asyncio client/fleet boundary so one Perfetto
+  trace shows a client retry parenting the worker that served it.
+- **Time series** (:mod:`repro.obs.timeseries`): interval-bucketed
+  recorder fed by periodic registry *delta* dumps streamed off fleet
+  workers — JSONL on disk, sketch-backed per-interval percentiles.
+- **Exposition** (:mod:`repro.obs.promtext`): Prometheus text-format
+  rendering of any registry (``/__repro/metrics``), plus the minimal
+  parser CI uses to validate it.
+- **SLOs** (:mod:`repro.obs.slo`): declarative objectives (latency
+  percentiles, shed/error ratios) evaluated over the time series with
+  sliding burn-rate windows; drives ``repro loadtest --slo``.
+
 Plus :mod:`repro.obs.log`, the structured stderr logger behind the CLI's
 ``--quiet`` and ``REPRO_LOG_LEVEL``.
 """
 
-from .export import enrich_har, to_chrome_trace, to_chrome_trace_json, \
-    to_jsonl
+from .export import (enrich_har, namespaced_span_id, span_to_dict,
+                     to_chrome_trace, to_chrome_trace_json, to_jsonl)
 from .log import Logger, get_logger, set_level
 from .manifest import (build_manifest, comparable, stamp,
                        validate_manifest)
@@ -42,9 +58,15 @@ from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       registry)
 from .profile import (collapsed_stacks, format_self_times, self_times,
                       to_collapsed)
+from .promtext import (parse_prometheus_text, to_prometheus_text)
 from .sketch import LogHistogram
+from .slo import Objective, SloReport, default_loadtest_policy
+from .slo import evaluate as evaluate_slo
+from .timeseries import TimeSeriesRecorder, diff_dumps
 from .trace import (DEFAULT_MAX_SPANS, NULL_SPAN, NULL_TRACER, NullTracer,
                     Span, Tracer)
+from .tracecontext import (TraceContext, extract_context, inject_context,
+                           parse_traceparent)
 
 __all__ = [
     "Tracer", "Span", "NullTracer", "NULL_TRACER", "NULL_SPAN",
@@ -54,5 +76,11 @@ __all__ = [
     "self_times", "collapsed_stacks", "to_collapsed", "format_self_times",
     "build_manifest", "stamp", "validate_manifest", "comparable",
     "to_chrome_trace", "to_chrome_trace_json", "to_jsonl", "enrich_har",
+    "span_to_dict", "namespaced_span_id",
+    "TraceContext", "parse_traceparent", "inject_context",
+    "extract_context",
+    "TimeSeriesRecorder", "diff_dumps",
+    "to_prometheus_text", "parse_prometheus_text",
+    "Objective", "SloReport", "evaluate_slo", "default_loadtest_policy",
     "Logger", "get_logger", "set_level",
 ]

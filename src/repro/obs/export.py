@@ -21,12 +21,13 @@ output is always monotonically consistent.
 from __future__ import annotations
 
 import json
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from .trace import Span, Tracer
 
 __all__ = ["to_chrome_trace", "to_chrome_trace_json", "to_jsonl",
-           "enrich_har", "LAYER_LANES"]
+           "enrich_har", "span_to_dict", "namespaced_span_id",
+           "LAYER_LANES"]
 
 #: category -> (tid, lane label); unknown categories land on lane 0
 LAYER_LANES = {
@@ -41,10 +42,57 @@ LAYER_LANES = {
 _PID = 1
 
 
-def _spans_of(source: Union[Tracer, Iterable[Span]]) -> list[Span]:
+def span_to_dict(span: Span, pid: Optional[int] = None) -> dict:
+    """A :class:`Span` as a portable (pickle/JSON-safe) record.
+
+    This is the shape fleet workers ship over the control pipe: plain
+    data, stamped with the worker's ``pid`` so the merged export can
+    namespace span IDs (every worker's ring counts from 1).
+    """
+    end_s = span.end_s if span.end_s is not None else span.start_s
+    record = {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "category": span.category,
+        "start_s": span.start_s,
+        "end_s": end_s,
+        "args": dict(span.args),
+    }
+    if pid is not None:
+        record["pid"] = pid
+    remote = getattr(span, "remote_parent", None)
+    if remote is not None:
+        record["remote_parent"] = [int(remote[0]), int(remote[1])]
+    return record
+
+
+def namespaced_span_id(pid: int, span_id: int) -> int:
+    """Globally unique span ID for a (process, local-ID) pair.
+
+    Worker rings restart their counters at 1, so a merged fleet trace
+    would alias span 7 of worker A with span 7 of worker B; shifting the
+    pid into the high bits keeps IDs unique and still decodable.
+    """
+    return (int(pid) << 32) | (int(span_id) & 0xFFFFFFFF)
+
+
+def _spans_of(source: Union[Tracer, Iterable]) -> list[dict]:
+    """Normalize Tracer / Span iterable / dict iterable to records.
+
+    Plain :class:`Span` sources carry no ``pid`` and export exactly as
+    before (single synthetic process 1, raw IDs); records produced by
+    :func:`span_to_dict` with a pid get namespaced IDs and real
+    per-process lanes.
+    """
     if isinstance(source, Tracer):
-        return source.spans()
-    return list(source)
+        source = source.spans()
+    records = []
+    for span in source:
+        records.append(span if isinstance(span, dict)
+                       else span_to_dict(span))
+    return records
 
 
 def _lane(category: str) -> int:
@@ -52,33 +100,77 @@ def _lane(category: str) -> int:
     return entry[0] if entry is not None else 0
 
 
-def to_chrome_trace(source: Union[Tracer, Iterable[Span]]) -> dict:
+def _export_ids(record: dict) -> tuple[int, int, Optional[int]]:
+    """(chrome pid, span id, parent id) for one record.
+
+    Records without a pid keep the legacy single-process export — raw
+    IDs under synthetic pid 1.  Records with a pid are namespaced, and
+    a ``remote_parent`` (a span in another process) wins over the
+    local ``parent_id``: that is the causal edge the trace context
+    carried across the wire.
+    """
+    pid = record.get("pid")
+    remote = record.get("remote_parent")
+    if pid is None:
+        parent = record.get("parent_id")
+        if parent is None and remote is not None:
+            parent = remote[1]
+        return _PID, record["span_id"], parent
+    span_id = namespaced_span_id(pid, record["span_id"])
+    if remote is not None:
+        parent = namespaced_span_id(remote[0], remote[1])
+    elif record.get("parent_id") is not None:
+        parent = namespaced_span_id(pid, record["parent_id"])
+    else:
+        parent = None
+    return pid, span_id, parent
+
+
+def to_chrome_trace(source: Union[Tracer, Iterable]) -> dict:
     """Spans -> a Trace Event Format dict (Perfetto-loadable).
+
+    Accepts a :class:`Tracer`, an iterable of :class:`Span`, or an
+    iterable of :func:`span_to_dict` records (the fleet-merge path,
+    possibly spanning several processes).
 
     >>> tracer = Tracer(clock=lambda: 0.0, trace_id="t1")
     >>> tracer.add_span("x", "browser", 0.0, 0.5) and None
     >>> to_chrome_trace(tracer)["traceEvents"][-1]["ph"]
     'X'
     """
+    records = _spans_of(source)
+    pids = sorted({record["pid"] for record in records
+                   if record.get("pid") is not None})
+    legacy = any(record.get("pid") is None for record in records) \
+        or not pids
     events: list[dict] = []
-    for tid, label in sorted(set(LAYER_LANES.values())):
-        events.append({
-            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
-            "args": {"name": label},
-        })
-    for span in _spans_of(source):
-        ts = max(0, round(span.start_s * 1e6))
-        end_s = span.end_s if span.end_s is not None else span.start_s
+    lane_pids = ([_PID] if legacy else []) + pids
+    for pid in lane_pids:
+        if pid != _PID or not legacy:
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"pid {pid}"},
+            })
+        for tid, label in sorted(set(LAYER_LANES.values())):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": label},
+            })
+    for record in records:
+        ts = max(0, round(record["start_s"] * 1e6))
+        end_s = record["end_s"] if record.get("end_s") is not None \
+            else record["start_s"]
         dur = max(0, round(end_s * 1e6) - ts)
-        args = {"trace_id": span.trace_id, "span_id": span.span_id}
-        if span.parent_id is not None:
-            args["parent_id"] = span.parent_id
-        args.update(span.args)
+        pid, span_id, parent_id = _export_ids(record)
+        args = {"trace_id": record["trace_id"], "span_id": span_id}
+        if parent_id is not None:
+            args["parent_id"] = parent_id
+        args.update(record.get("args") or {})
         event = {
-            "name": span.name,
-            "cat": span.category or "misc",
-            "pid": _PID,
-            "tid": _lane(span.category),
+            "name": record["name"],
+            "cat": record["category"] or "misc",
+            "pid": pid,
+            "tid": _lane(record["category"]),
             "ts": ts,
             "args": args,
         }
@@ -97,22 +189,28 @@ def to_chrome_trace_json(source: Union[Tracer, Iterable[Span]],
     return json.dumps(to_chrome_trace(source), indent=indent)
 
 
-def to_jsonl(source: Union[Tracer, Iterable[Span]]) -> str:
+def to_jsonl(source: Union[Tracer, Iterable]) -> str:
     """One JSON object per span, oldest first (structured event log)."""
     lines = []
-    for span in _spans_of(source):
-        end_s = span.end_s if span.end_s is not None else span.start_s
-        lines.append(json.dumps({
-            "trace_id": span.trace_id,
-            "span_id": span.span_id,
-            "parent_id": span.parent_id,
-            "name": span.name,
-            "category": span.category,
-            "start_s": span.start_s,
+    for record in _spans_of(source):
+        end_s = record["end_s"] if record.get("end_s") is not None \
+            else record["start_s"]
+        line = {
+            "trace_id": record["trace_id"],
+            "span_id": record["span_id"],
+            "parent_id": record.get("parent_id"),
+            "name": record["name"],
+            "category": record["category"],
+            "start_s": record["start_s"],
             "end_s": end_s,
-            "duration_s": max(0.0, end_s - span.start_s),
-            "args": span.args,
-        }, sort_keys=True))
+            "duration_s": max(0.0, end_s - record["start_s"]),
+            "args": record.get("args") or {},
+        }
+        if record.get("pid") is not None:
+            line["pid"] = record["pid"]
+        if record.get("remote_parent") is not None:
+            line["remote_parent"] = list(record["remote_parent"])
+        lines.append(json.dumps(line, sort_keys=True))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -126,13 +224,13 @@ def enrich_har(har: dict, source: Union[Tracer, Iterable[Span]],
     """
     spans = _spans_of(source)
     if trace_id is None:
-        trace_id = next((span.trace_id for span in spans), "")
+        trace_id = next((span["trace_id"] for span in spans), "")
     # Prefer the browser-side fetch span (the one a HAR entry *is*);
     # fall back to any span carrying the URL when none exists.
-    fetch_spans = [s for s in spans if s.name == "browser.fetch"]
-    by_url: dict[str, list[Span]] = {}
+    fetch_spans = [s for s in spans if s["name"] == "browser.fetch"]
+    by_url: dict[str, list[dict]] = {}
     for span in (fetch_spans or spans):
-        url = span.args.get("url")
+        url = (span.get("args") or {}).get("url")
         if url:
             by_url.setdefault(url, []).append(span)
     for entry in har.get("log", {}).get("entries", []):
@@ -141,8 +239,8 @@ def enrich_har(har: dict, source: Union[Tracer, Iterable[Span]],
         if candidates:
             entry["_spanId"] = min(
                 candidates,
-                key=lambda span: abs(span.start_s
-                                     - _entry_start_s(entry))).span_id
+                key=lambda span: abs(span["start_s"]
+                                     - _entry_start_s(entry)))["span_id"]
     har.setdefault("log", {})["_traceId"] = trace_id
     return har
 

@@ -169,12 +169,27 @@ class Histogram:
             state = other.dump()
         else:
             state = dict(other)
-        self.count += int(state["count"])
-        self.total += float(state["total"])
-        self._sketch.merge(state["sketch"])
+        # Extract and validate *everything* before mutating anything:
+        # a dump from an incompatible schema version must fail loudly
+        # and leave this histogram exactly as it was, not half-merged.
+        try:
+            count = int(state["count"])
+            total = float(state["total"])
+            samples = list(state["samples"])
+            sketch_state = state["sketch"]
+        except KeyError as exc:
+            raise ValueError(
+                f"histogram {self.name!r}: merge state missing {exc} "
+                f"(incompatible dump schema)") from None
+        # sketch geometry mismatches raise inside merge() before the
+        # sketch itself mutates, so ordering it first keeps the whole
+        # merge atomic
+        self._sketch.merge(sketch_state)
+        self.count += count
+        self.total += total
         room = self.max_samples - len(self._samples)
         if room > 0:
-            self._samples.extend(state["samples"][:room])
+            self._samples.extend(samples[:room])
 
     def snapshot(self) -> dict:
         """Stats shape; p50/p90/p99 always present (0.0 when empty)."""
@@ -285,9 +300,21 @@ class MetricsRegistry:
                                                 DEFAULT_HISTOGRAM_SAMPLES))
                 instrument.merge(state)
             elif kind is Counter:
-                self.counter(name).merge(state["value"])
+                try:
+                    value = state["value"]
+                except KeyError:
+                    raise ValueError(f"metric {name!r}: counter state has "
+                                     "no 'value' (incompatible dump "
+                                     "schema)") from None
+                self.counter(name).merge(value)
             else:
-                self.gauge(name).merge(state["value"])
+                try:
+                    value = state["value"]
+                except KeyError:
+                    raise ValueError(f"metric {name!r}: gauge state has "
+                                     "no 'value' (incompatible dump "
+                                     "schema)") from None
+                self.gauge(name).merge(value)
         return self
 
     def get(self, name: str) -> Optional[Instrument]:

@@ -1,0 +1,209 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+Renders the registry in the Prometheus text format, version 0.0.4
+(https://prometheus.io/docs/instrumenting/exposition_formats/) so a
+stock Prometheus — or anything speaking its scrape protocol — can point
+at the serving tier's ``/__repro/metrics`` endpoint with zero adapters:
+
+- counters become ``<ns>_<name>_total`` with ``# TYPE ... counter``,
+- gauges become ``<ns>_<name>`` with ``# TYPE ... gauge``,
+- histograms are exposed as **summaries**: ``{quantile="0.5|0.9|0.99"}``
+  series straight off the two-tier histogram's exact-ring/sketch
+  percentiles, plus the ``_count`` / ``_sum`` pair.  A summary (not a
+  Prometheus histogram) because the sketch's log buckets do not map to
+  the fixed ``le`` buckets the histogram type requires, and quantiles
+  are what the SLO layer gates on anyway.
+
+Metric names are sanitized to the exposition alphabet
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): the registry's dotted names
+(``http.request_ms``) become underscore-joined, namespaced series
+(``repro_http_request_ms``).  Values use ``repr``-style shortest float
+formatting, with ``+Inf``/``-Inf``/``NaN`` spelled the way the format
+demands.
+
+:func:`parse_prometheus_text` is the matching minimal parser — enough
+to validate an exposition end-to-end in CI without a Prometheus binary,
+and to let tests assert "the scraped totals equal the merged registry
+dump" as numbers instead of strings.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["to_prometheus_text", "parse_prometheus_text", "scrape_value",
+           "sanitize_metric_name", "CONTENT_TYPE", "DEFAULT_NAMESPACE",
+           "SUMMARY_QUANTILES"]
+
+#: the scrape Content-Type Prometheus expects for this format
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: prefix applied to every exposed series
+DEFAULT_NAMESPACE = "repro"
+
+#: quantiles exposed per histogram (matches the stats endpoint's set)
+SUMMARY_QUANTILES = (0.5, 0.9, 0.99)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_metric_name(name: str, namespace: str = DEFAULT_NAMESPACE
+                         ) -> str:
+    """Dotted registry name -> legal, namespaced exposition name."""
+    flat = _INVALID_CHARS.sub("_", name)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if not flat or not (flat[0].isalpha() or flat[0] in "_:"):
+        flat = f"_{flat}"
+    return flat
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer() and abs(value) < 1e15:
+            return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def to_prometheus_text(source: Union[MetricsRegistry, Mapping[str, Mapping]],
+                       namespace: str = DEFAULT_NAMESPACE) -> str:
+    """Render a registry (or a :meth:`MetricsRegistry.dump`) as 0.0.4 text.
+
+    Accepting dumps too means the fleet parent can expose *merged*
+    worker telemetry without reconstructing live instruments first.
+    """
+    if not isinstance(source, MetricsRegistry):
+        source = MetricsRegistry().merge(source)
+    lines: list[str] = []
+    for instrument in sorted(source, key=lambda i: i.name):
+        exposed = sanitize_metric_name(instrument.name, namespace)
+        help_text = _escape_help(f"repro metric {instrument.name}")
+        if isinstance(instrument, Counter):
+            lines.append(f"# HELP {exposed}_total {help_text}")
+            lines.append(f"# TYPE {exposed}_total counter")
+            lines.append(f"{exposed}_total "
+                         f"{_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# HELP {exposed} {help_text}")
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# HELP {exposed} {help_text}")
+            lines.append(f"# TYPE {exposed} summary")
+            for q in SUMMARY_QUANTILES:
+                estimate = instrument.percentile(q * 100.0)
+                lines.append(f'{exposed}{{quantile="{_format_value(q)}"}} '
+                             f"{_format_value(estimate)}")
+            lines.append(f"{exposed}_sum "
+                         f"{_format_value(instrument.total)}")
+            lines.append(f"{exposed}_count {instrument.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_number(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Minimal 0.0.4 parser for CI validation and round-trip tests.
+
+    Returns ``{series_name: {"type": str|None, "samples":
+    [{"labels": {...}, "value": float}, ...]}}`` where ``series_name``
+    is the literal sample name (``repro_http_requests_total`` — the
+    ``_total``/``_sum``/``_count`` suffixes are attributed to their
+    ``# TYPE`` family).  Raises ``ValueError`` on any malformed line,
+    which is exactly what the CI format gate wants.
+    """
+    families: dict[str, str] = {}
+    series: dict[str, dict] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                if parts[2] in families:
+                    raise ValueError(
+                        f"line {lineno}: duplicate TYPE for {parts[2]}")
+                if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "summary", "histogram",
+                        "untyped"):
+                    raise ValueError(f"line {lineno}: bad TYPE line: {raw}")
+                families[parts[2]] = parts[3]
+            continue  # HELP and other comments: content not validated
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {raw}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for lmatch in _LABEL_RE.finditer(label_text):
+                labels[lmatch.group(1)] = (
+                    lmatch.group(2).replace('\\"', '"')
+                    .replace("\\n", "\n").replace("\\\\", "\\"))
+                consumed += 1
+            if not consumed:
+                raise ValueError(f"line {lineno}: malformed labels: {raw}")
+        try:
+            value = _parse_number(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed value: {raw}") from None
+        family = _family_for(name, families)
+        entry = series.setdefault(name, {"type": family, "samples": []})
+        entry["samples"].append({"labels": labels, "value": value})
+    return series
+
+
+def _family_for(name: str, families: Mapping[str, str]) -> Optional[str]:
+    if name in families:
+        return families[name]
+    for suffix in ("_total", "_sum", "_count", "_bucket"):
+        if name.endswith(suffix) and name[:-len(suffix)] in families:
+            return families[name[:-len(suffix)]]
+    # counter families are declared as "<name>_total" in our exposition
+    if name.endswith("_total") and name in families:
+        return families[name]
+    return None
+
+
+def scrape_value(parsed: Mapping[str, Mapping], name: str,
+                 **labels: str) -> Optional[float]:
+    """Convenience: the value of one series/label-set, or None."""
+    entry = parsed.get(name)
+    if entry is None:
+        return None
+    for sample in entry["samples"]:
+        if sample["labels"] == labels:
+            return sample["value"]
+    return None

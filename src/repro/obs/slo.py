@@ -1,0 +1,284 @@
+"""Declarative SLOs evaluated over the telemetry time series.
+
+An :class:`Objective` states a promise about the serving tier —
+"p99 ``http.request_ms`` stays under 250 ms", "at most 5 % of requests
+are shed", "the 5xx ratio stays under 1 %" — and :func:`evaluate`
+checks it against a :class:`~repro.obs.timeseries.TimeSeriesRecorder`
+the way a production burn-rate alert would: over **sliding windows** of
+consecutive intervals, not a single end-of-run aggregate.  A run whose
+p99 was fine on average but pinned at 10x the objective for four
+straight seconds *breaches*; a single noisy interval inside an
+otherwise healthy window does not page.
+
+Two objective kinds cover the load-test gate:
+
+- ``latency``: merge the named histogram over each window and compare
+  the chosen percentile against ``threshold``.  Burn rate is
+  ``measured / threshold`` — "how many times over the objective the
+  window ran".
+- ``ratio``: ``bad / (bad + good)`` counters summed over each window,
+  compared against ``max_ratio``; burn rate ``measured / max_ratio``.
+  Windows with no traffic are skipped (no evidence is not a breach).
+
+An objective trips when **any** window's burn rate exceeds
+``burn_limit`` (default 1.0 — at the objective).  ``repro loadtest
+--slo`` turns the report's verdict into the exit code, which is what
+lets CI gate on "the fleet held its latency objective under chaos".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Union
+
+from .metrics import Histogram, MetricsRegistry
+from .timeseries import TimeSeriesRecorder
+
+__all__ = ["Objective", "WindowVerdict", "ObjectiveResult", "SloReport",
+           "evaluate", "default_loadtest_policy"]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative service-level objective."""
+
+    name: str
+    #: "latency" (histogram percentile vs threshold) or "ratio"
+    #: (bad/(bad+good) counters vs max_ratio)
+    kind: str
+    #: latency: histogram metric name (e.g. "http.request_ms")
+    metric: str = ""
+    #: latency: which percentile to gate (0-100)
+    percentile: float = 99.0
+    #: latency: objective value, same unit as the metric
+    threshold: float = 0.0
+    #: ratio: numerator counter (events that consume error budget)
+    bad: str = ""
+    #: ratio: the "healthy" counter; denominator is bad + good
+    good: str = ""
+    #: ratio: objective value in [0, 1]
+    max_ratio: float = 0.0
+    #: sliding-window width, in recorder intervals
+    window_intervals: int = 4
+    #: trip when any window burns faster than this multiple of the
+    #: objective (1.0 = at the objective)
+    burn_limit: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "ratio"):
+            raise ValueError(f"objective {self.name!r}: unknown kind "
+                             f"{self.kind!r}")
+        if self.window_intervals < 1:
+            raise ValueError(f"objective {self.name!r}: window must be "
+                             f">= 1 interval")
+        if self.kind == "latency" and (not self.metric
+                                       or self.threshold <= 0):
+            raise ValueError(f"objective {self.name!r}: latency kind "
+                             f"needs metric and threshold > 0")
+        if self.kind == "ratio" and (not self.bad or not self.good
+                                     or not 0.0 < self.max_ratio <= 1.0):
+            raise ValueError(f"objective {self.name!r}: ratio kind needs "
+                             f"bad, good, and max_ratio in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WindowVerdict:
+    """One sliding window's measurement against an objective."""
+
+    start_index: int
+    end_index: int          #: inclusive
+    measured: float         #: window percentile, or window ratio
+    burn_rate: float        #: measured / objective
+    breached: bool
+
+
+@dataclass
+class ObjectiveResult:
+    """An objective's verdict over the whole run."""
+
+    objective: Objective
+    windows: list[WindowVerdict] = field(default_factory=list)
+
+    @property
+    def breached(self) -> bool:
+        return any(window.breached for window in self.windows)
+
+    @property
+    def worst(self) -> Optional[WindowVerdict]:
+        if not self.windows:
+            return None
+        return max(self.windows, key=lambda w: w.burn_rate)
+
+
+@dataclass
+class SloReport:
+    """Every objective's result; ``passed`` drives the exit code."""
+
+    results: list[ObjectiveResult] = field(default_factory=list)
+    interval_s: float = 1.0
+
+    @property
+    def passed(self) -> bool:
+        return not any(result.breached for result in self.results)
+
+    def format(self) -> str:
+        lines = ["SLO verdict: " + ("PASS" if self.passed else "BREACH")]
+        for result in self.results:
+            objective = result.objective
+            worst = result.worst
+            status = "BREACH" if result.breached else "ok"
+            if objective.kind == "latency":
+                target = (f"p{objective.percentile:g} {objective.metric} "
+                          f"<= {objective.threshold:g}")
+            else:
+                target = (f"{objective.bad}/({objective.bad}+"
+                          f"{objective.good}) <= {objective.max_ratio:g}")
+            if worst is None:
+                lines.append(f"  [{status:6s}] {objective.name}: {target} "
+                             f"— no eligible windows")
+                continue
+            window_s = objective.window_intervals * self.interval_s
+            lines.append(
+                f"  [{status:6s}] {objective.name}: {target} — worst "
+                f"{window_s:g}s window [{worst.start_index}"
+                f"..{worst.end_index}] measured {worst.measured:.4g} "
+                f"(burn {worst.burn_rate:.2f}x, limit "
+                f"{objective.burn_limit:g}x)")
+        return "\n".join(lines)
+
+    def payload(self) -> dict:
+        """JSON-safe shape for artifacts and the HTML report."""
+        out = {"passed": self.passed, "interval_s": self.interval_s,
+               "objectives": []}
+        for result in self.results:
+            objective = result.objective
+            worst = result.worst
+            entry = {"name": objective.name, "kind": objective.kind,
+                     "breached": result.breached,
+                     "window_intervals": objective.window_intervals,
+                     "burn_limit": objective.burn_limit,
+                     "windows": len(result.windows)}
+            if objective.kind == "latency":
+                entry.update(metric=objective.metric,
+                             percentile=objective.percentile,
+                             threshold=objective.threshold)
+            else:
+                entry.update(bad=objective.bad, good=objective.good,
+                             max_ratio=objective.max_ratio)
+            if worst is not None:
+                entry["worst"] = {"start": worst.start_index,
+                                  "end": worst.end_index,
+                                  "measured": worst.measured,
+                                  "burn_rate": worst.burn_rate}
+            out["objectives"].append(entry)
+        return out
+
+
+def _counter_value(bucket: MetricsRegistry, name: str) -> float:
+    instrument = bucket.get(name)
+    if instrument is None:
+        return 0.0
+    return float(instrument.snapshot())
+
+
+def _evaluate_latency(objective: Objective,
+                      intervals: Sequence[tuple[int, MetricsRegistry]]
+                      ) -> ObjectiveResult:
+    result = ObjectiveResult(objective=objective)
+    width = objective.window_intervals
+    for start in range(0, max(0, len(intervals) - width + 1)):
+        window = intervals[start:start + width]
+        pooled = Histogram(objective.metric)
+        for _, bucket in window:
+            instrument = bucket.get(objective.metric)
+            if isinstance(instrument, Histogram) and instrument.count:
+                pooled.merge(instrument)
+        if pooled.count == 0:
+            continue  # no traffic in this window: no evidence
+        measured = pooled.percentile(objective.percentile)
+        burn = measured / objective.threshold
+        result.windows.append(WindowVerdict(
+            start_index=window[0][0], end_index=window[-1][0],
+            measured=measured, burn_rate=burn,
+            breached=burn > objective.burn_limit))
+    return result
+
+
+def _evaluate_ratio(objective: Objective,
+                    intervals: Sequence[tuple[int, MetricsRegistry]]
+                    ) -> ObjectiveResult:
+    result = ObjectiveResult(objective=objective)
+    width = objective.window_intervals
+    for start in range(0, max(0, len(intervals) - width + 1)):
+        window = intervals[start:start + width]
+        bad = sum(_counter_value(bucket, objective.bad)
+                  for _, bucket in window)
+        good = sum(_counter_value(bucket, objective.good)
+                   for _, bucket in window)
+        denominator = bad + good
+        if denominator <= 0:
+            continue
+        measured = bad / denominator
+        burn = measured / objective.max_ratio
+        result.windows.append(WindowVerdict(
+            start_index=window[0][0], end_index=window[-1][0],
+            measured=measured, burn_rate=burn,
+            breached=burn > objective.burn_limit))
+    return result
+
+
+def evaluate(objectives: Sequence[Objective],
+             recorder: Union[TimeSeriesRecorder,
+                             Sequence[tuple[int, MetricsRegistry]]]
+             ) -> SloReport:
+    """Check every objective against the recorded time series.
+
+    Short runs still get a verdict: when fewer intervals exist than an
+    objective's window, the whole series is evaluated as one window.
+    """
+    if isinstance(recorder, TimeSeriesRecorder):
+        intervals = recorder.intervals()
+        interval_s = recorder.interval_s
+    else:
+        intervals = list(recorder)
+        interval_s = 1.0
+    report = SloReport(interval_s=interval_s)
+    for objective in objectives:
+        width = min(objective.window_intervals,
+                    max(1, len(intervals)))
+        clamped = objective if width == objective.window_intervals \
+            else replace(objective, window_intervals=width)
+        if objective.kind == "latency":
+            result = _evaluate_latency(clamped, intervals)
+        else:
+            result = _evaluate_ratio(clamped, intervals)
+        result.objective = objective
+        report.results.append(result)
+    return report
+
+
+def default_loadtest_policy(p99_ms: float = 250.0,
+                            max_shed_rate: float = 0.5,
+                            max_error_ratio: float = 0.05,
+                            window_intervals: int = 4
+                            ) -> list[Objective]:
+    """The stock ``repro loadtest --slo`` policy.
+
+    Shedding is *expected* under chaos presets (admission control doing
+    its job), so the default shed objective is loose; the latency and
+    error objectives are the meaningful gates.  All three are
+    overridable from the CLI.
+    """
+    return [
+        Objective(name="latency-p99", kind="latency",
+                  metric="http.request_ms", percentile=99.0,
+                  threshold=p99_ms, window_intervals=window_intervals),
+        Objective(name="shed-rate", kind="ratio",
+                  bad="http.shed_503", good="http.requests",
+                  max_ratio=max_shed_rate,
+                  window_intervals=window_intervals),
+        Objective(name="error-ratio", kind="ratio",
+                  bad="http.status.5xx", good="http.status.2xx",
+                  max_ratio=max_error_ratio,
+                  window_intervals=window_intervals),
+    ]

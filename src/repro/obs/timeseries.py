@@ -1,0 +1,248 @@
+"""Interval-bucketed telemetry: registry deltas over time.
+
+The fleet's metrics story before this module was post-hoc: each worker's
+:class:`MetricsRegistry` merged into one aggregate *after* the run, so a
+load test could tell you its overall p99 but not that the p99 was fine
+for 28 seconds and catastrophic for 2.  This module adds the time axis.
+
+Workers periodically :func:`diff_dumps` their registry against the
+previous dump and ship only the **delta** — counter increments,
+histogram increments (count/sum plus a bucket-wise sketch difference so
+per-interval percentiles stay sketch-accurate), gauge spot values —
+over the existing fleet control pipe.  The parent feeds deltas into a
+:class:`TimeSeriesRecorder`, which buckets them onto a fixed interval
+grid (merging same-interval deltas from different workers through the
+ordinary ``MetricsRegistry.merge`` path: counters add, gauges sum
+across workers — per-worker inflight sums to fleet inflight), streams
+every record to JSONL on disk, and serves zero-filled interval series
+to the SLO evaluator and the ``--live`` ticker.
+
+Because deltas merge through the same machinery as full dumps, the sum
+of all interval buckets reconciles with the final merged registry:
+exactly for counters and histogram count/sum, within sketch error for
+percentiles (interval sketch differences can lose per-bucket precision
+only if a sketch collapsed mid-run, which the 2048-bucket cap makes
+vanishingly rare for latency-scale data).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Mapping, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = ["diff_dumps", "diff_sketch_states", "TimeSeriesRecorder",
+           "read_timeseries_jsonl"]
+
+
+def diff_sketch_states(current: Mapping, previous: Optional[Mapping]
+                       ) -> dict:
+    """Bucket-wise difference of two :meth:`LogHistogram.to_dict` states.
+
+    The result is itself a valid sketch state describing only the
+    samples observed between the two dumps.  ``min``/``max`` carry the
+    *current* all-time bounds (bounds cannot be subtracted); estimates
+    clamp to them, which only widens the admissible range, so interval
+    percentiles keep the sketch's error bound.
+    """
+    if previous is None:
+        return dict(current)
+    count = int(current["count"]) - int(previous["count"])
+    zero_count = int(current["zero_count"]) - int(previous["zero_count"])
+    total = float(current["total"]) - float(previous["total"])
+    prev_buckets = previous["buckets"]
+    buckets = {}
+    for index, n in current["buckets"].items():
+        delta = int(n) - int(prev_buckets.get(index, 0))
+        if delta > 0:
+            buckets[index] = delta
+        # delta < 0 only after a mid-run collapse shuffled counts
+        # between buckets; clamping keeps the state well-formed (the
+        # exact count field above is authoritative for ranks)
+    state = {"relative_error": current["relative_error"],
+             "min_trackable": current["min_trackable"],
+             "count": max(count, 0),
+             "zero_count": max(zero_count, 0),
+             "total": total,
+             "min": current["min"], "max": current["max"],
+             "buckets": buckets}
+    if current.get("max_buckets") is not None:
+        state["max_buckets"] = current["max_buckets"]
+    return state
+
+
+def _diff_histogram(state: Mapping, previous: Optional[Mapping]) -> dict:
+    if previous is None:
+        return dict(state)
+    delta = {"kind": "histogram",
+             "count": int(state["count"]) - int(previous["count"]),
+             "total": float(state["total"]) - float(previous["total"]),
+             # raw rings cannot be diffed (overwrites are invisible);
+             # interval percentiles come from the sketch delta instead
+             "samples": [],
+             "sketch": diff_sketch_states(state["sketch"],
+                                          previous["sketch"])}
+    if state.get("max_samples") is not None:
+        delta["max_samples"] = state["max_samples"]
+    return delta
+
+
+def diff_dumps(current: Mapping[str, Mapping],
+               previous: Mapping[str, Mapping]) -> dict:
+    """The delta between two :meth:`MetricsRegistry.dump` snapshots.
+
+    Counters carry their increment (omitted when zero), histograms
+    their count/sum/sketch increments (omitted when no new samples),
+    gauges their current spot value (always present once nonzero —
+    a gauge is a level, not a flow).  The result is a valid dump:
+    feeding every delta through ``MetricsRegistry.merge`` reconstructs
+    the counters and histogram count/sum exactly.
+    """
+    delta: dict = {}
+    for name, state in current.items():
+        kind = state.get("kind")
+        prev = previous.get(name)
+        if kind == "counter":
+            increment = state["value"] - (prev["value"] if prev else 0)
+            if increment:
+                delta[name] = {"kind": "counter", "value": increment}
+        elif kind == "gauge":
+            delta[name] = {"kind": "gauge", "value": state["value"]}
+        elif kind == "histogram":
+            if prev is not None and state["count"] == prev["count"]:
+                continue
+            delta[name] = _diff_histogram(state, prev)
+    return delta
+
+
+class TimeSeriesRecorder:
+    """Interval-bucketed sink for telemetry deltas.
+
+    ``record(delta, t_s, source)`` merges the delta into the bucket for
+    ``int(t_s / interval_s)`` and appends one JSONL line to ``path``
+    (when given) so the raw stream survives the process.  Buckets are
+    plain :class:`MetricsRegistry` instances — every question you can
+    ask the final registry you can ask per interval.
+    """
+
+    def __init__(self, interval_s: float = 1.0,
+                 path: Optional[str] = None):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.interval_s = interval_s
+        self.path = path
+        self._buckets: dict[int, MetricsRegistry] = {}
+        self._sources: set = set()
+        self._file: Optional[IO[str]] = None
+        if path is not None:
+            self._file = open(path, "w", encoding="utf-8")
+
+    # -- recording -----------------------------------------------------------
+    def record(self, delta: Mapping[str, Mapping], t_s: float,
+               source: Optional[object] = None) -> int:
+        """Merge one delta; returns the interval index it landed in."""
+        index = max(0, int(t_s / self.interval_s))
+        bucket = self._buckets.setdefault(index, MetricsRegistry())
+        bucket.merge(delta)
+        if source is not None:
+            self._sources.add(source)
+        if self._file is not None:
+            json.dump({"interval": index, "t_s": round(t_s, 6),
+                       "source": source, "delta": delta}, self._file,
+                      separators=(",", ":"))
+            self._file.write("\n")
+            self._file.flush()
+        return index
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "TimeSeriesRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def sources(self) -> set:
+        """Distinct telemetry sources seen (worker pids, usually)."""
+        return set(self._sources)
+
+    def intervals(self) -> list[tuple[int, MetricsRegistry]]:
+        """Zero-filled ``(index, bucket)`` pairs from 0 to the last index.
+
+        Empty intervals appear as empty registries — a stall gap is a
+        row of zeros, not a hole (the same fix `_Tallies.series()` got).
+        """
+        if not self._buckets:
+            return []
+        last = max(self._buckets)
+        return [(index, self._buckets.get(index, MetricsRegistry()))
+                for index in range(0, last + 1)]
+
+    def totals(self) -> MetricsRegistry:
+        """All intervals folded together.
+
+        Counters and histograms merge through the normal path (so they
+        reconcile with the final live registry); gauges take their
+        value from the *latest* interval mentioning them — summing a
+        level across time would be meaningless.
+        """
+        merged = MetricsRegistry()
+        latest_gauges: dict[str, float] = {}
+        for _, bucket in sorted(self._buckets.items()):
+            dump = bucket.dump()
+            flows = {name: state for name, state in dump.items()
+                     if state.get("kind") != "gauge"}
+            merged.merge(flows)
+            for name, state in dump.items():
+                if state.get("kind") == "gauge":
+                    latest_gauges[name] = state["value"]
+        for name, value in latest_gauges.items():
+            merged.gauge(name).set(value)
+        return merged
+
+    def series(self, metric: str, field: str = "count") -> list[float]:
+        """One numeric series over the zero-filled interval grid.
+
+        ``field`` is a key of the instrument's ``snapshot()`` for
+        histograms (``count``, ``mean``, ``p99``, ...); counters and
+        gauges ignore it and yield their value.
+        """
+        values: list[float] = []
+        for _, bucket in self.intervals():
+            instrument = bucket.get(metric)
+            if instrument is None:
+                values.append(0.0)
+                continue
+            snap = instrument.snapshot()
+            if isinstance(snap, dict):
+                values.append(float(snap.get(field, 0.0)))
+            else:
+                values.append(float(snap))
+        return values
+
+    def interval_snapshots(self) -> list[dict]:
+        """JSON-safe per-interval snapshots (report/timeline fodder)."""
+        return [{"t_s": round(index * self.interval_s, 6),
+                 "metrics": bucket.snapshot()}
+                for index, bucket in self.intervals()]
+
+
+def read_timeseries_jsonl(path: str, interval_s: float = 1.0
+                          ) -> TimeSeriesRecorder:
+    """Rebuild a recorder from its on-disk JSONL stream."""
+    recorder = TimeSeriesRecorder(interval_s=interval_s)
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            recorder.record(record["delta"], record["t_s"],
+                            source=record.get("source"))
+    return recorder

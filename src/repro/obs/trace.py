@@ -37,6 +37,7 @@ asyncio layers.
 from __future__ import annotations
 
 import itertools
+import os
 import time
 import uuid
 from collections import deque
@@ -53,16 +54,20 @@ DEFAULT_MAX_SPANS = 65_536
 class Span:
     """One timed operation: name, category, [start, end), tree links."""
 
-    __slots__ = ("trace_id", "span_id", "parent_id", "name", "category",
-                 "start_s", "end_s", "args", "_tracer")
+    __slots__ = ("trace_id", "span_id", "parent_id", "remote_parent",
+                 "name", "category", "start_s", "end_s", "args", "_tracer")
 
     def __init__(self, tracer: "Tracer", trace_id: str, span_id: int,
                  parent_id: Optional[int], name: str, category: str,
-                 start_s: float, args: Optional[dict] = None):
+                 start_s: float, args: Optional[dict] = None,
+                 remote_parent: Optional[tuple] = None):
         self._tracer = tracer
         self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
+        #: cross-process parent as ``(pid, span_id)`` — set when a W3C
+        #: trace context arrived over the wire (see obs/tracecontext.py)
+        self.remote_parent = remote_parent
         self.name = name
         self.category = category
         self.start_s = start_s
@@ -121,6 +126,7 @@ class _NullSpan:
     trace_id = ""
     span_id = 0
     parent_id = None
+    remote_parent = None
     name = ""
     category = ""
     start_s = 0.0
@@ -171,6 +177,9 @@ class Tracer:
                  trace_id: Optional[str] = None):
         self.clock: Callable[[], float] = clock or time.monotonic
         self.trace_id = trace_id or uuid.uuid4().hex[:16]
+        #: the process this tracer records in — span IDs are only unique
+        #: per tracer, so cross-process exports namespace by (pid, id)
+        self.pid = os.getpid()
         self._ids = itertools.count(1)
         self._finished: deque[Span] = deque(maxlen=max_spans)
         #: spans begun this run, finished or not (drops with the ring)
@@ -186,13 +195,20 @@ class Tracer:
     def begin(self, name: str, category: str = "",
               parent: Optional[Span] = None,
               args: Optional[dict] = None,
-              at: Optional[float] = None) -> Span:
-        """Open a span at ``at`` (default: now on the tracer's clock)."""
+              at: Optional[float] = None,
+              remote_parent: Optional[tuple] = None) -> Span:
+        """Open a span at ``at`` (default: now on the tracer's clock).
+
+        ``remote_parent`` is a ``(pid, span_id)`` pair naming a parent
+        span in *another process* (decoded from a ``traceparent``
+        header); it takes precedence over ``parent`` in exports.
+        """
         self.spans_started += 1
         parent_id = parent.span_id if parent is not None and parent else None
         return Span(self, self.trace_id, next(self._ids), parent_id,
                     name, category,
-                    self.clock() if at is None else at, args)
+                    self.clock() if at is None else at, args,
+                    remote_parent=remote_parent)
 
     def instant(self, name: str, category: str = "",
                 parent: Optional[Span] = None,
@@ -273,6 +289,7 @@ class NullTracer:
 
     enabled = False
     trace_id = ""
+    pid = 0
     current_parent = None
     spans_started = 0
 
@@ -280,7 +297,7 @@ class NullTracer:
         return self
 
     def begin(self, name: str, category: str = "", parent=None,
-              args=None, at=None) -> _NullSpan:
+              args=None, at=None, remote_parent=None) -> _NullSpan:
         return NULL_SPAN
 
     def instant(self, name: str, category: str = "", parent=None,

@@ -1,0 +1,182 @@
+"""W3C Trace Context for the cross-process serving path.
+
+The DES stack keeps causality by threading :class:`~repro.obs.trace.Span`
+objects through function calls; the real-socket stack cannot — the
+client's ``http.request`` span lives in the load-driver process while the
+``server.request`` span that answers it lives in a fleet worker.  The
+bridge is the standard one: a ``traceparent`` header (W3C Trace Context,
+https://www.w3.org/TR/trace-context/) carried on the wire request.
+
+Encoding choices, pinned here so client, server and exporter agree:
+
+- **trace-id** (32 hex): the tracer's ``trace_id`` is 16 hex chars
+  (``uuid4().hex[:16]``), left-padded with zeros.  Anything that is not
+  1–32 hex chars (tests use ids like ``"t1"``) is hashed (SHA-256, first
+  32 hex) so the header is always spec-valid.
+- **parent-id** (16 hex): ``{pid:08x}{span_id:08x}`` — the *pid-
+  namespaced* span identity.  This is exactly the namespacing the trace
+  exporter applies to merged fleet traces, so a decoded remote parent
+  links to the client span with no translation table.
+- **tracestate**: one ``repro=attempt:N`` member carries the client's
+  retry ordinal, so a server can see "this is the same logical request,
+  third try" — retries stay causally attached to one request span.
+
+Parsing is strict where the spec is strict (field lengths, hex alphabet,
+all-zero ids are invalid, version ``ff`` is invalid) and lenient where
+it demands leniency (unknown future versions parse their known prefix;
+an unparseable header is treated as absent, never an error — a trace
+header must not be able to take a request down).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["TraceContext", "TRACEPARENT_HEADER", "TRACESTATE_HEADER",
+           "canonical_trace_id", "encode_parent_id", "decode_parent_id",
+           "format_traceparent", "format_tracestate", "parse_traceparent",
+           "parse_attempt", "inject_context", "extract_context"]
+
+#: the two headers this module owns (lowercase, per the spec)
+TRACEPARENT_HEADER = "traceparent"
+TRACESTATE_HEADER = "tracestate"
+
+#: the only version we emit
+_VERSION = "00"
+
+#: sampled flag — we only propagate contexts we are actually recording
+_FLAGS_SAMPLED = "01"
+
+_HEX_RE = re.compile(r"^[0-9a-f]+$")
+
+_ATTEMPT_RE = re.compile(r"(?:^|[,\s])repro=attempt:(\d+)(?:;|,|$)")
+
+
+def _is_hex(text: str) -> bool:
+    return bool(_HEX_RE.match(text))
+
+
+def canonical_trace_id(raw: str) -> str:
+    """``raw`` as a spec-valid 32-hex trace-id.
+
+    Hex inputs (any case, up to 32 chars) are lowercased and left-padded;
+    everything else is hashed, so arbitrary test ids still produce a
+    valid, deterministic header.  Never all-zero.
+    """
+    text = (raw or "").lower()
+    if text and len(text) <= 32 and _is_hex(text):
+        padded = text.rjust(32, "0")
+    else:
+        padded = hashlib.sha256(text.encode()).hexdigest()[:32]
+    if padded == "0" * 32:
+        # all-zero is the spec's "invalid" sentinel; nudge the last bit
+        padded = "0" * 31 + "1"
+    return padded
+
+
+def encode_parent_id(pid: int, span_id: int) -> str:
+    """``(pid, span_id)`` -> 16-hex parent-id (the pid-namespaced span)."""
+    return f"{pid & 0xFFFFFFFF:08x}{span_id & 0xFFFFFFFF:08x}"
+
+
+def decode_parent_id(text: str) -> tuple[int, int]:
+    """16-hex parent-id -> ``(pid, span_id)``."""
+    return int(text[:8], 16), int(text[8:], 16)
+
+
+def format_traceparent(trace_id: str, pid: int, span_id: int,
+                       sampled: bool = True) -> str:
+    """One spec-valid ``traceparent`` value for a local span."""
+    flags = _FLAGS_SAMPLED if sampled else "00"
+    return (f"{_VERSION}-{canonical_trace_id(trace_id)}-"
+            f"{encode_parent_id(pid, span_id)}-{flags}")
+
+
+def format_tracestate(attempt: int) -> str:
+    """The ``tracestate`` member carrying the retry ordinal."""
+    return f"repro=attempt:{attempt}"
+
+
+def parse_attempt(tracestate: Optional[str]) -> Optional[int]:
+    """The ``repro=attempt:N`` ordinal, or None when absent/foreign."""
+    if not tracestate:
+        return None
+    match = _ATTEMPT_RE.search(tracestate)
+    return int(match.group(1)) if match else None
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A parsed remote trace context."""
+
+    trace_id: str           #: 32 lowercase hex
+    parent_id: str          #: 16 lowercase hex
+    sampled: bool = True
+    #: retry ordinal from ``tracestate`` (``repro=attempt:N``), if any
+    attempt: Optional[int] = None
+
+    @property
+    def parent_ref(self) -> tuple[int, int]:
+        """The remote parent as ``(pid, span_id)``."""
+        return decode_parent_id(self.parent_id)
+
+    def to_header(self) -> str:
+        flags = _FLAGS_SAMPLED if self.sampled else "00"
+        return f"{_VERSION}-{self.trace_id}-{self.parent_id}-{flags}"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` value; None for absent or invalid.
+
+    Strict on structure (field lengths, lowercase hex, all-zero ids,
+    version ``ff``); tolerant of future versions carrying extra
+    dash-separated fields, per the spec's forward-compat rule.
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id, flags = parts[:4]
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if version == _VERSION and len(parts) != 4:
+        return None  # version 00 has exactly four fields
+    if len(trace_id) != 32 or not _is_hex(trace_id) \
+            or trace_id == "0" * 32:
+        return None
+    if len(parent_id) != 16 or not _is_hex(parent_id) \
+            or parent_id == "0" * 16:
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    return TraceContext(trace_id=trace_id, parent_id=parent_id,
+                        sampled=bool(int(flags, 16) & 0x01))
+
+
+def inject_context(headers, trace_id: str, pid: int, span_id: int,
+                   attempt: int = 0) -> None:
+    """Stamp ``traceparent`` + ``tracestate`` onto a Headers object.
+
+    ``set`` (not ``add``): a retried attempt replaces the previous
+    attempt's context instead of accumulating duplicates.
+    """
+    headers.set(TRACEPARENT_HEADER,
+                format_traceparent(trace_id, pid, span_id))
+    headers.set(TRACESTATE_HEADER, format_tracestate(attempt))
+
+
+def extract_context(headers) -> Optional[TraceContext]:
+    """Parse the remote context off a Headers object (None when absent)."""
+    context = parse_traceparent(headers.get(TRACEPARENT_HEADER))
+    if context is None:
+        return None
+    attempt = parse_attempt(headers.get(TRACESTATE_HEADER))
+    if attempt is None:
+        return context
+    return TraceContext(trace_id=context.trace_id,
+                        parent_id=context.parent_id,
+                        sampled=context.sampled, attempt=attempt)

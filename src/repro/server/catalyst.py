@@ -123,6 +123,14 @@ class CatalystConfig:
     #: entry cap per hot-path cache (FIFO eviction; bounds a long-lived
     #: server under heavy version churn)
     max_cache_entries: int = 4096
+    #: emit an RFC 9211-style ``Cache-Status`` response header on page
+    #: responses naming each hot-path cache's verdict (``repro-render;
+    #: hit`` / ``fwd=miss``, ``repro-map; hit`` / ``fwd=miss;
+    #: detail=build``, plus ``repro-origin; hit; detail=revalidated`` on
+    #: 304s).  Default off: the header changes response bytes, and the
+    #: DES paths pin cached-vs-uncached byte identity — the asyncio
+    #: serving tier (fleet / ``repro serve``) turns it on.
+    emit_cache_status: bool = False
 
 
 class CatalystServer:
@@ -241,11 +249,13 @@ class CatalystServer:
         caching = self.config.hot_path_cache
         doc_version: Optional[int] = \
             self.site.version_of(path, at_time) if caching else None
+        render_verdict = "bypass" if not caching else "miss"
         full = None
         if caching and doc_version is not None:
             entry = self._render_cache.get((path, doc_version))
             if entry is not None:
                 self.perf.render_hits += 1
+                render_verdict = "hit"
                 full = entry.response_at(at_time)
                 self.site.note_request(path)
         if full is None:
@@ -259,6 +269,7 @@ class CatalystServer:
                 self._render_cache[(path, doc_version)] = _RenderEntry(
                     body=full.body, headers=full.headers.copy())
                 self._trim(self._render_cache)
+        map_hits_before = self.perf.map_hits
         try:
             body = full.body
             config = self._build_config_for_html(
@@ -282,8 +293,13 @@ class CatalystServer:
             self.map_build_failures += 1
             logger.warning("X-Etag-Config construction failed for %s; "
                            "serving page without map", path, exc_info=True)
-            return self.static.finalize(request, full, at_time)
+            response = self.static.finalize(request, full, at_time)
+            self._stamp_cache_status(response, render_verdict, "error")
+            return response
+        map_verdict = "hit" if self.perf.map_hits > map_hits_before \
+            else "miss"
         response = self.static.finalize(request, full, at_time)
+        self._stamp_cache_status(response, render_verdict, map_verdict)
         if self.config.use_map_digest:
             client_digest = request.headers.get(ETAG_CONFIG_DIGEST_HEADER)
             digest = config.digest()
@@ -298,6 +314,35 @@ class CatalystServer:
             self.config_bytes_emitted += config.header_size()
         self.config_entry_counts.append(len(config))
         return response
+
+    def _stamp_cache_status(self, response: Response, render: str,
+                            etag_map: str) -> None:
+        """RFC 9211-style ``Cache-Status`` naming each hot-path verdict.
+
+        One list member per cache, most-internal first: ``repro-render``
+        (the injected-body render cache), ``repro-map`` (the ETag-map
+        cache), and — when the conditional path answered 304 —
+        ``repro-origin; hit; detail=revalidated``.  Gated on
+        ``emit_cache_status`` so DES byte-identity invariants hold.
+        """
+        if not self.config.emit_cache_status:
+            return
+        members = []
+        for cache, verdict in (("repro-render", render),
+                               ("repro-map", etag_map)):
+            if verdict == "hit":
+                members.append(f"{cache}; hit")
+            elif verdict == "bypass":
+                members.append(f"{cache}; fwd=bypass")
+            elif verdict == "error":
+                members.append(f"{cache}; fwd=miss; detail=error")
+            else:
+                members.append(f"{cache}; fwd=miss"
+                               + ("; detail=build"
+                                  if cache == "repro-map" else ""))
+        if response.status == 304:
+            members.append("repro-origin; hit; detail=revalidated")
+        response.headers.set("Cache-Status", ", ".join(members))
 
     def _serve_sw(self) -> Response:
         body = SERVICE_WORKER_JS.encode()

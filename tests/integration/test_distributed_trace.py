@@ -1,0 +1,211 @@
+"""Cross-process distributed tracing + telemetry, end to end.
+
+The PR-9 acceptance path: a traced load test must produce ONE
+Perfetto-valid trace in which a client ``http.request`` span (driver
+process) parents the ``server.request`` span that answered it (fleet
+worker process) — verified on trace/parent IDs across real pids — and
+tracing must not change a single served byte.  Plus the Prometheus
+endpoint: scraped counter totals must equal the registry dump.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.http.aclient import AsyncHttpClient
+from repro.http.aserver import METRICS_PATH, AsyncHttpServer
+from repro.http.fleet import HAVE_REUSEPORT
+from repro.http.messages import Response
+from repro.obs.export import to_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (parse_prometheus_text, scrape_value)
+from repro.obs.trace import Tracer
+
+needs_reuseport = pytest.mark.skipif(
+    not HAVE_REUSEPORT, reason="platform lacks SO_REUSEPORT")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMetricsEndpoint:
+    def test_scrape_totals_equal_registry_dump(self):
+        metrics = MetricsRegistry()
+
+        async def scenario():
+            async with AsyncHttpServer(
+                    lambda req: Response(body=b"ok"),
+                    metrics=metrics) as server:
+                async with AsyncHttpClient() as client:
+                    for _ in range(7):
+                        await client.get(server.base_url + "/page")
+                    scraped = await client.get(
+                        server.base_url + METRICS_PATH)
+                    return scraped.response
+
+        response = run(scenario())
+        assert response.status == 200
+        assert "version=0.0.4" in response.headers.get("Content-Type")
+        parsed = parse_prometheus_text(response.body.decode())
+        dump = metrics.dump()
+        # scrape observed at least the 7 page requests; the exposition
+        # request itself may add one more by the time of the dump, so
+        # compare the scrape against what the registry said it had
+        scraped_total = scrape_value(parsed, "repro_http_requests_total")
+        assert scraped_total >= 7
+        assert dump["http.requests"]["value"] >= scraped_total
+        assert scrape_value(parsed, "repro_http_request_ms_count") \
+            == scraped_total
+
+    def test_endpoint_without_registry_is_empty_but_alive(self):
+        async def scenario():
+            async with AsyncHttpServer(
+                    lambda req: Response(body=b"ok")) as server:
+                async with AsyncHttpClient() as client:
+                    return (await client.get(
+                        server.base_url + METRICS_PATH)).response
+
+        response = run(scenario())
+        assert response.status == 200
+        assert parse_prometheus_text(response.body.decode()) == {}
+
+
+class TestTracePropagation:
+    def test_server_span_parents_under_client_span(self):
+        client_tracer = Tracer()
+        server_tracer = Tracer()
+
+        async def scenario():
+            async with AsyncHttpServer(
+                    lambda req: Response(body=b"ok"),
+                    tracer=server_tracer) as server:
+                async with AsyncHttpClient(
+                        tracer=client_tracer) as client:
+                    await client.get(server.base_url + "/x")
+
+        run(scenario())
+        cspan, = client_tracer.spans_named("http.request")
+        sspan, = server_tracer.spans_named("server.request")
+        assert sspan.remote_parent \
+            == (client_tracer.pid, cspan.span_id)
+        assert sspan.args["remote_trace_id"] is not None
+        assert sspan.args["client_attempt"] == 0
+
+    def test_retry_reinjects_context_with_attempt_ordinal(self):
+        client_tracer = Tracer()
+        server_tracer = Tracer()
+        calls = {"n": 0}
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first attempt dies")
+            return Response(body=b"ok")
+
+        async def scenario():
+            async with AsyncHttpServer(
+                    flaky, tracer=server_tracer) as server:
+                async with AsyncHttpClient(
+                        tracer=client_tracer, max_retries=2,
+                        backoff_base_s=0.01,
+                        breaker_threshold=None) as client:
+                    result = await client.get(server.base_url + "/x")
+                    assert result.response.status == 500
+                    result = await client.get(server.base_url + "/x")
+                    assert result.response.status == 200
+
+        run(scenario())
+        attempts = [span.args["client_attempt"]
+                    for span in server_tracer.spans_named(
+                        "server.request")]
+        assert 0 in attempts
+        # every server span names a real client request span as parent
+        client_ids = {(client_tracer.pid, span.span_id)
+                      for span in client_tracer.spans_named(
+                          "http.request")}
+        for span in server_tracer.spans_named("server.request"):
+            assert span.remote_parent in client_ids
+
+    def test_untraced_request_carries_no_context_headers(self):
+        seen = {}
+
+        def handler(request):
+            seen["traceparent"] = request.headers.get("traceparent")
+            return Response(body=b"ok")
+
+        async def scenario():
+            async with AsyncHttpServer(handler) as server:
+                async with AsyncHttpClient() as client:
+                    await client.get(server.base_url + "/x")
+
+        run(scenario())
+        assert seen["traceparent"] is None
+
+
+@needs_reuseport
+class TestFleetCrossProcessTrace:
+    """Seconds-scale: real worker processes, real sockets."""
+
+    def run_load(self, trace: bool):
+        from repro.experiments.load_test import run_load_test
+        return run_load_test(shards=2, clients=6, duration_s=0.8,
+                             warmup_s=0.2, seed=5, trace=trace,
+                             max_inflight=8)
+
+    def test_client_span_parents_worker_span_across_pids(self):
+        result = self.run_load(trace=True)
+        client = {(s["pid"], s["span_id"]): s for s in result.spans
+                  if s["name"] == "http.request"}
+        server = [s for s in result.spans
+                  if s["name"] == "server.request"]
+        assert client and server
+        driver_pids = {pid for pid, _ in client}
+        linked = [s for s in server
+                  if tuple(s.get("remote_parent") or ()) in client]
+        assert linked, "no worker span linked back to a driver span"
+        cross = [s for s in linked if s["pid"] not in driver_pids]
+        assert cross, "no link crossed a process boundary"
+        # parent/trace ids agree across the pid boundary
+        sample = cross[0]
+        parent = client[tuple(sample["remote_parent"])]
+        assert sample["args"]["remote_trace_id"] \
+            == parent["trace_id"].rjust(32, "0")
+
+    def test_merged_trace_is_perfetto_valid_with_per_pid_lanes(self):
+        result = self.run_load(trace=True)
+        trace = to_chrome_trace(result.spans)
+        json.dumps(trace)  # serializable
+        events = trace["traceEvents"]
+        span_events = [e for e in events if e["ph"] in ("X", "i")]
+        assert span_events
+        for event in events:
+            assert set(event) >= {"name", "ph", "pid", "tid"}
+        ids = [e["args"]["span_id"] for e in span_events]
+        assert len(ids) == len(set(ids)), "span IDs alias across pids"
+        assert len({e["pid"] for e in span_events}) >= 2
+
+    def test_tracing_does_not_change_served_bytes(self):
+        """Paired runs, same seed: the traced fleet serves exactly the
+        bytes the untraced fleet serves (headers modulo none — the
+        static app emits no date-varying headers)."""
+        from repro.http.fleet import FleetConfig, ServerFleet
+
+        async def fetch_all(base_url):
+            async with AsyncHttpClient() as client:
+                pages = {}
+                for path in ("/", "/a", "/b"):
+                    result = await client.get(base_url + path)
+                    pages[path] = (result.response.status,
+                                   sorted(result.response.headers.items()),
+                                   result.response.body)
+                return pages
+
+        def serve_once(trace):
+            config = FleetConfig(shards=2, seed=5, app="static",
+                                 trace=trace)
+            with ServerFleet(config) as fleet:
+                return run(fetch_all(fleet.base_url))
+
+        assert serve_once(trace=False) == serve_once(trace=True)

@@ -201,3 +201,57 @@ class TestOverheadAccounting:
         assert server.config_bytes_emitted > 0
         assert server.config_entry_counts and \
             server.config_entry_counts[0] > 0
+
+
+class TestCacheStatus:
+    """The RFC 9211-style ``Cache-Status`` response header (PR 9)."""
+
+    def enabled(self, site, **overrides):
+        config = CatalystConfig(emit_cache_status=True, **overrides)
+        return CatalystServer(site, config)
+
+    def test_absent_by_default(self, server):
+        resp = server.handle(Request(url="/index.html"), at_time=0.0)
+        assert resp.headers.get("Cache-Status") is None
+
+    def test_miss_then_hit_across_two_requests(self, site):
+        server = self.enabled(site)
+        first = server.handle(Request(url="/index.html"), at_time=0.0)
+        status = first.headers.get("Cache-Status")
+        assert "repro-render; fwd=miss" in status
+        second = server.handle(Request(url="/index.html"), at_time=1.0)
+        status = second.headers.get("Cache-Status")
+        assert "repro-render; hit" in status
+        assert "repro-map; hit" in status
+
+    def test_first_map_build_labelled(self, site):
+        server = self.enabled(site)
+        resp = server.handle(Request(url="/index.html"), at_time=0.0)
+        assert "repro-map; fwd=miss; detail=build" \
+            in resp.headers.get("Cache-Status")
+
+    def test_bypass_when_hot_path_cache_disabled(self, site):
+        server = self.enabled(site, hot_path_cache=False)
+        resp = server.handle(Request(url="/index.html"), at_time=0.0)
+        assert "repro-render; fwd=bypass" \
+            in resp.headers.get("Cache-Status")
+
+    def test_revalidation_304_adds_origin_member(self, site):
+        server = self.enabled(site)
+        first = server.handle(Request(url="/index.html"), at_time=0.0)
+        etag = first.headers.get("ETag")
+        assert etag is not None
+        request = Request(url="/index.html",
+                          headers={"If-None-Match": etag})
+        revalidated = server.handle(request, at_time=1.0)
+        assert revalidated.status == 304
+        assert "repro-origin; hit; detail=revalidated" \
+            in revalidated.headers.get("Cache-Status")
+
+    def test_byte_identity_when_disabled(self, site):
+        """The default-off gate: enabling tracing/fleet must not change
+        what a plain DES-path server emits."""
+        plain = CatalystServer(site)
+        resp = plain.handle(Request(url="/index.html"), at_time=0.0)
+        assert all(name.lower() != "cache-status"
+                   for name, _ in resp.headers.items())

@@ -112,3 +112,103 @@ class TestArtifacts:
         text = format_load_test(quick_run())
         assert "sustained 200 rps" in text
         assert "shed rate" in text
+
+
+class TestSeriesZeroFill:
+    """Regression: a stalled interval must be a row of zeros, not a
+    hole — downstream rate math assumes a gapless grid."""
+
+    def test_gap_bins_zero_filled(self):
+        from repro.experiments.load_test import _Tallies
+        tallies = _Tallies(interval_s=0.25)
+        tallies.record(0.1, "ok")     # bucket 0
+        tallies.record(0.9, "sent")   # bucket 3; 1 and 2 stay empty
+        series = tallies.series()
+        assert [row["t_s"] for row in series] == [0.0, 0.25, 0.5, 0.75]
+        assert series[1] == {"t_s": 0.25, "sent": 0, "ok": 0, "shed": 0}
+        assert series[2]["ok"] == 0
+        assert series[3]["sent"] == 1
+
+    def test_empty_tallies_yield_empty_series(self):
+        from repro.experiments.load_test import _Tallies
+        assert _Tallies(interval_s=0.25).series() == []
+
+    def test_stalled_preset_run_has_gapless_series(self):
+        from repro.netsim.faults import FaultPlan
+        # every attempt stalls: completions bunch up late, early
+        # intervals can be empty — they must still appear as rows
+        plan = FaultPlan(stall_rate=1.0, stall_s=0.2, seed=3)
+        result = quick_run(preset=plan, clients=4, duration_s=0.8,
+                           interval_s=0.1)
+        times = [row["t_s"] for row in result.series]
+        expected = [round(i * 0.1, 3) for i in range(len(times))]
+        assert times == expected  # consecutive grid, no holes
+
+
+class TestObservabilityPlumbing:
+    def test_untraced_run_collects_nothing(self):
+        result = quick_run()
+        assert result.spans == []
+        assert result.timeseries == []
+        assert result.slo_report is None
+
+    def test_traced_inprocess_run_links_client_and_server_spans(self):
+        result = quick_run(trace=True)
+        client = [s for s in result.spans if s["name"] == "http.request"]
+        server = [s for s in result.spans
+                  if s["name"] == "server.request"]
+        assert client and server
+        client_ids = {(s["pid"], s["span_id"]) for s in client}
+        linked = [s for s in server if s.get("remote_parent")]
+        assert linked, "no server span carried a remote parent"
+        for span in linked:
+            assert tuple(span["remote_parent"]) in client_ids
+
+    def test_retry_ordinal_reaches_server_span(self):
+        # 8 clients vs 4 slots shed; honored Retry-After hints mean
+        # some served requests are retries (attempt >= 1)
+        result = quick_run(trace=True)
+        attempts = [s["args"].get("client_attempt", 0)
+                    for s in result.spans
+                    if s["name"] == "server.request"]
+        assert any(attempt >= 1 for attempt in attempts)
+
+    def test_timeseries_reconciles_with_registry(self):
+        registry = MetricsRegistry()
+        result = quick_run(metrics=registry, telemetry_interval_s=0.2)
+        assert result.timeseries
+        total_requests = sum(
+            row["metrics"].get("http.requests", 0)
+            for row in result.timeseries)
+        assert total_requests == registry.counter("http.requests").value
+
+    def test_slo_clean_run_passes(self):
+        from repro.obs.slo import default_loadtest_policy
+        result = quick_run(slo=default_loadtest_policy())
+        assert result.slo_report is not None
+        assert result.slo_report.passed
+
+    def test_slo_seeded_breach_fails(self):
+        from repro.obs.slo import Objective
+        impossible = Objective(name="latency-p99", kind="latency",
+                               metric="http.request_ms",
+                               threshold=1e-6, window_intervals=2)
+        result = quick_run(slo=[impossible])
+        assert result.slo_report is not None
+        assert not result.slo_report.passed
+        assert "BREACH" in result.slo_report.format()
+        assert "BREACH" in format_load_test(result)
+
+    def test_payload_carries_slo_and_timeseries(self, tmp_path):
+        from repro.obs.slo import default_loadtest_policy
+        path = str(tmp_path / "ts.jsonl")
+        result = quick_run(slo=default_loadtest_policy(),
+                           timeseries_path=path, trace=True)
+        payload = load_test_payload(result)
+        validate_manifest(payload["manifest"])
+        assert payload["slo"]["passed"] is True
+        assert payload["timeseries"]
+        assert payload["trace"]["spans"] == len(result.spans)
+        import json
+        lines = [json.loads(line) for line in open(path)]
+        assert lines and all("delta" in line for line in lines)

@@ -119,3 +119,112 @@ class TestEnrichHar:
                        args={"url": "/index.html"}, at=0.0)
         har = enrich_har(self.har(), tracer)
         assert har["log"]["entries"][0]["_spanId"] == fetch.span_id
+
+
+# -- cross-process (pid-stamped) records ----------------------------------
+
+
+def worker_records(pid: int, n: int = 2) -> list:
+    """What one traced fleet worker ships: span_to_dict records whose
+    local IDs start from 1 (every worker ring counts from 1)."""
+    from repro.obs.export import span_to_dict
+    tracer = Tracer(clock=FakeClock(), trace_id=f"w{pid}")
+    parent = tracer.add_span("server.request", "http", 0.0, 0.5)
+    for i in range(n - 1):
+        tracer.add_span("server.handler", "server", 0.1, 0.2,
+                        parent=parent)
+    return [span_to_dict(span, pid=pid) for span in tracer.spans()]
+
+
+class TestSpanToDict:
+    def test_record_shape(self):
+        from repro.obs.export import span_to_dict
+        tracer = Tracer(clock=FakeClock(), trace_id="t")
+        span = tracer.add_span("x", "http", 0.0, 1.0, args={"k": "v"})
+        record = span_to_dict(span, pid=42)
+        assert record["pid"] == 42
+        assert record["span_id"] == span.span_id
+        assert record["args"] == {"k": "v"}
+        assert record["end_s"] == 1.0
+
+    def test_remote_parent_carried(self):
+        tracer = Tracer(clock=FakeClock(), trace_id="t")
+        span = tracer.begin("server.request", "http",
+                            remote_parent=(99, 7))
+        span.end(at=1.0)
+        from repro.obs.export import span_to_dict
+        record = span_to_dict(span, pid=1)
+        assert record["remote_parent"] == [99, 7]
+
+    def test_pickle_and_json_safe(self):
+        import pickle
+        record = worker_records(10)[0]
+        assert pickle.loads(pickle.dumps(record)) == record
+        assert json.loads(json.dumps(record)) == record
+
+
+class TestNamespacedIds:
+    def test_same_local_id_does_not_alias_across_pids(self):
+        from repro.obs.export import namespaced_span_id
+        assert namespaced_span_id(100, 7) != namespaced_span_id(200, 7)
+
+    def test_two_worker_merge_keeps_ids_unique(self):
+        """The regression this PR fixes: both workers' rings count from
+        1, so an un-namespaced merge would alias every span pair."""
+        merged = worker_records(100) + worker_records(200)
+        trace = to_chrome_trace(merged)
+        span_events = [e for e in trace["traceEvents"]
+                       if e["ph"] in ("X", "i")]
+        ids = [e["args"]["span_id"] for e in span_events]
+        assert len(ids) == len(set(ids)) == 4
+        assert {e["pid"] for e in span_events} == {100, 200}
+
+    def test_local_parent_namespaced_into_same_pid(self):
+        records = worker_records(31)
+        trace = to_chrome_trace(records)
+        child = next(e for e in trace["traceEvents"]
+                     if e["name"] == "server.handler")
+        parent = next(e for e in trace["traceEvents"]
+                      if e["name"] == "server.request")
+        assert child["args"]["parent_id"] == parent["args"]["span_id"]
+
+    def test_remote_parent_wins_and_crosses_pids(self):
+        from repro.obs.export import namespaced_span_id, span_to_dict
+        client = Tracer(clock=FakeClock(), trace_id="t")
+        cspan = client.add_span("http.request", "http", 0.0, 1.0)
+        server = Tracer(clock=FakeClock(), trace_id="t")
+        sspan = server.begin("server.request", "http",
+                             remote_parent=(1000, cspan.span_id))
+        sspan.end(at=0.8)
+        merged = [span_to_dict(cspan, pid=1000),
+                  span_to_dict(sspan, pid=2000)]
+        trace = to_chrome_trace(merged)
+        sevent = next(e for e in trace["traceEvents"]
+                      if e["name"] == "server.request")
+        cevent = next(e for e in trace["traceEvents"]
+                      if e["name"] == "http.request")
+        assert sevent["args"]["parent_id"] == cevent["args"]["span_id"]
+        assert sevent["args"]["parent_id"] \
+            == namespaced_span_id(1000, cspan.span_id)
+
+    def test_per_pid_process_metadata_emitted(self):
+        trace = to_chrome_trace(worker_records(55))
+        names = [e for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert any(e["pid"] == 55 and e["args"]["name"] == "pid 55"
+                   for e in names)
+
+    def test_legacy_span_export_unchanged_by_pid_support(self):
+        tracer = sample_tracer()
+        trace = to_chrome_trace(tracer)
+        assert all(e["pid"] == 1 for e in trace["traceEvents"])
+        assert not any(e["name"] == "process_name"
+                       for e in trace["traceEvents"])
+
+    def test_jsonl_carries_pid_and_remote_parent(self):
+        records = worker_records(77)
+        records[0]["remote_parent"] = [1, 5]
+        lines = [json.loads(line)
+                 for line in to_jsonl(records).splitlines()]
+        assert lines[0]["pid"] == 77
+        assert lines[0]["remote_parent"] == [1, 5]

@@ -157,3 +157,83 @@ class TestRegistry:
 
     def test_default_registry_is_shared(self):
         assert registry() is registry()
+
+
+class TestMergeEdgeCases:
+    """The worker-dump merge path under awkward inputs (PR 9)."""
+
+    def test_gauge_merge_sums_across_shards(self):
+        # fleet semantics: per-worker inflight gauges sum to fleet
+        # inflight — a merge is a fan-in of disjoint shards, not a
+        # later reading of the same gauge
+        merged = MetricsRegistry()
+        for inflight in (3, 5, 4):
+            worker = MetricsRegistry()
+            worker.gauge("http.inflight").set(inflight)
+            merged.merge(worker.dump())
+        assert merged.gauge("http.inflight").value == 12
+
+    def test_histogram_merge_when_source_ring_wrapped(self):
+        source = Histogram("lat", max_samples=4)
+        for value in range(10):          # wraps the 4-slot ring
+            source.observe(float(value))
+        sink = Histogram("lat", max_samples=4)
+        sink.observe(100.0)
+        sink.merge(source.dump())
+        # count/total are exact even though raw samples were dropped
+        assert sink.count == 11
+        assert sink.total == pytest.approx(100.0 + sum(range(10)))
+        assert len(sink.samples) <= 4    # ring cap respected
+        # percentiles fall back to the merged sketch, not the ring
+        assert sink.percentile(99) >= 9.0
+
+    def test_histogram_merge_respects_sink_ring_room(self):
+        sink = Histogram("lat", max_samples=3)
+        sink.observe(1.0)
+        source = Histogram("lat", max_samples=8)
+        for value in (2.0, 3.0, 4.0, 5.0):
+            source.observe(value)
+        sink.merge(source.dump())
+        assert len(sink.samples) == 3
+        assert sink.count == 5
+
+    def test_old_schema_histogram_dump_fails_loudly(self):
+        sink = Histogram("lat")
+        sink.observe(1.0)
+        legacy = {"kind": "histogram", "count": 5, "total": 15.0,
+                  "samples": [1.0] * 5}   # pre-sketch schema: no sketch
+        with pytest.raises(ValueError, match="incompatible dump schema"):
+            sink.merge(legacy)
+
+    def test_failed_merge_does_not_corrupt_sink(self):
+        sink = Histogram("lat")
+        sink.observe(1.0)
+        before = sink.dump()
+        with pytest.raises(ValueError):
+            sink.merge({"kind": "histogram", "count": 5, "total": 15.0,
+                        "samples": []})  # missing sketch
+        assert sink.dump() == before     # validate-then-mutate held
+
+    def test_registry_merge_rejects_valueless_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(1)
+        with pytest.raises(ValueError, match="incompatible dump schema"):
+            registry.merge({"n": {"kind": "counter"}})
+        assert registry.counter("n").value == 1
+
+    def test_registry_merge_rejects_valueless_gauge(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="incompatible dump schema"):
+            registry.merge({"g": {"kind": "gauge"}})
+
+    def test_sketch_geometry_mismatch_rejected_before_mutation(self):
+        from repro.obs.sketch import LogHistogram
+        sink = Histogram("lat")
+        sink.observe(1.0)
+        before = sink.dump()
+        foreign = {"kind": "histogram", "count": 1, "total": 2.0,
+                   "max_samples": 512, "samples": [2.0],
+                   "sketch": LogHistogram(relative_error=0.10).to_dict()}
+        with pytest.raises(ValueError):
+            sink.merge(foreign)
+        assert sink.dump() == before

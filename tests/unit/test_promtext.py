@@ -1,0 +1,101 @@
+"""Prometheus text exposition: rendering, parsing, round-trips."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (CONTENT_TYPE, parse_prometheus_text,
+                                sanitize_metric_name, scrape_value,
+                                to_prometheus_text)
+
+
+def sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("http.requests").inc(42)
+    registry.gauge("http.inflight").set(3)
+    hist = registry.histogram("http.request_ms")
+    for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+        hist.observe(value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores_with_namespace(self):
+        assert sanitize_metric_name("http.request_ms") \
+            == "repro_http_request_ms"
+
+    def test_leading_digit_guarded(self):
+        name = sanitize_metric_name("5xx.count", namespace="")
+        assert not name[0].isdigit()
+
+
+class TestRender:
+    def test_counter_rendered_with_total_suffix(self):
+        text = to_prometheus_text(sample_registry())
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_http_requests_total 42" in text
+
+    def test_gauge_rendered(self):
+        text = to_prometheus_text(sample_registry())
+        assert "# TYPE repro_http_inflight gauge" in text
+        assert "repro_http_inflight 3" in text
+
+    def test_histogram_rendered_as_summary(self):
+        text = to_prometheus_text(sample_registry())
+        assert "# TYPE repro_http_request_ms summary" in text
+        assert 'quantile="0.99"' in text
+        assert "repro_http_request_ms_count 5" in text
+        assert "repro_http_request_ms_sum 110" in text
+
+    def test_accepts_dump_as_well_as_registry(self):
+        registry = sample_registry()
+        assert to_prometheus_text(registry.dump()) \
+            == to_prometheus_text(registry)
+
+    def test_content_type_is_prom_text_004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_ends_with_newline(self):
+        assert to_prometheus_text(sample_registry()).endswith("\n")
+
+
+class TestParse:
+    def test_round_trip_counter_and_gauge(self):
+        parsed = parse_prometheus_text(
+            to_prometheus_text(sample_registry()))
+        assert scrape_value(parsed, "repro_http_requests_total") == 42
+        assert scrape_value(parsed, "repro_http_inflight") == 3
+
+    def test_round_trip_summary(self):
+        parsed = parse_prometheus_text(
+            to_prometheus_text(sample_registry()))
+        assert scrape_value(parsed, "repro_http_request_ms_count") == 5
+        p99 = scrape_value(parsed, "repro_http_request_ms",
+                           quantile="0.99")
+        assert p99 == pytest.approx(100.0, rel=0.05)
+
+    def test_types_recorded(self):
+        parsed = parse_prometheus_text(
+            to_prometheus_text(sample_registry()))
+        assert parsed["repro_http_requests_total"]["type"] == "counter"
+        assert parsed["repro_http_request_ms"]["type"] == "summary"
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is not prometheus\n")
+
+    def test_duplicate_type_raises(self):
+        text = ("# TYPE a counter\n" "a 1\n" "# TYPE a counter\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text(text)
+
+    def test_empty_registry_parses_to_nothing(self):
+        assert parse_prometheus_text(
+            to_prometheus_text(MetricsRegistry())) == {}
+
+    def test_special_values_survive(self):
+        registry = MetricsRegistry()
+        registry.gauge("weird").set(math.inf)
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert scrape_value(parsed, "repro_weird") == math.inf

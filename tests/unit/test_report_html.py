@@ -60,3 +60,41 @@ class TestWriteReport:
         out = write_report(results_dir, tmp_path / "r.html",
                            title="My Run")
         assert "<title>My Run</title>" in out.read_text()
+
+
+class TestSloTimelineSection:
+    def loadtest_artifact(self, tmp_path, passed=True):
+        import json
+        payload = {
+            "bench": "load_test",
+            "series": [{"t_s": 0.0, "sent": 10, "ok": 10, "shed": 0},
+                       {"t_s": 0.25, "sent": 0, "ok": 0, "shed": 0},
+                       {"t_s": 0.5, "sent": 8, "ok": 4, "shed": 4}],
+            "slo": {"passed": passed, "interval_s": 0.25, "objectives": [
+                {"name": "latency-p99", "kind": "latency",
+                 "breached": not passed,
+                 "worst": {"start": 0, "end": 2, "measured": 500.0,
+                           "burn_rate": 2.0}}]},
+        }
+        (tmp_path / "loadtest_run.json").write_text(json.dumps(payload))
+        return tmp_path
+
+    def test_section_renders_verdict_and_sparkline(self, tmp_path):
+        html_text = build_report(self.loadtest_artifact(tmp_path))
+        assert "Load-test SLOs" in html_text
+        assert "SLO: PASS" in html_text
+        assert "ok   per interval" in html_text
+        assert "latency-p99" in html_text
+
+    def test_breach_surfaces_burn_rate(self, tmp_path):
+        html_text = build_report(
+            self.loadtest_artifact(tmp_path, passed=False))
+        assert "SLO: BREACH" in html_text
+        assert "worst burn 2.00x" in html_text
+
+    def test_no_loadtest_artifacts_no_section(self, results_dir):
+        assert "Load-test SLOs" not in build_report(results_dir)
+
+    def test_foreign_json_ignored(self, tmp_path):
+        (tmp_path / "BENCH_other.json").write_text("{\"bench\": \"simcore\"}")
+        assert "Load-test SLOs" not in build_report(tmp_path)

@@ -1,0 +1,161 @@
+"""Declarative SLOs with sliding burn-rate windows."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (Objective, default_loadtest_policy, evaluate)
+from repro.obs.timeseries import TimeSeriesRecorder
+
+
+def latency_objective(threshold=100.0, window=2, burn_limit=1.0):
+    return Objective(name="p99-lat", kind="latency",
+                     metric="http.request_ms", percentile=99.0,
+                     threshold=threshold, window_intervals=window,
+                     burn_limit=burn_limit)
+
+
+def ratio_objective(max_ratio=0.1, window=2):
+    return Objective(name="errors", kind="ratio", bad="http.status.5xx",
+                     good="http.status.2xx", max_ratio=max_ratio,
+                     window_intervals=window)
+
+
+def interval(latencies=(), bad=0, good=0) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    hist = registry.histogram("http.request_ms")
+    for value in latencies:
+        hist.observe(value)
+    if bad:
+        registry.counter("http.status.5xx").inc(bad)
+    if good:
+        registry.counter("http.status.2xx").inc(good)
+    return registry
+
+
+def series(*registries):
+    return list(enumerate(registries))
+
+
+class TestObjectiveValidation:
+    def test_latency_needs_metric_and_threshold(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="latency", metric="m", threshold=0)
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="latency", threshold=5.0)
+
+    def test_ratio_needs_bad_good_and_max_ratio(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="ratio", bad="b", good="g",
+                      max_ratio=0.0)
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="ratio", max_ratio=0.5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", kind="availability")
+
+
+class TestLatencyEvaluation:
+    def test_healthy_run_passes(self):
+        report = evaluate([latency_objective(threshold=100.0)],
+                          series(interval([10.0] * 50),
+                                 interval([12.0] * 50),
+                                 interval([11.0] * 50)))
+        assert report.passed
+        assert not report.results[0].breached
+
+    def test_sustained_breach_fails(self):
+        report = evaluate([latency_objective(threshold=100.0)],
+                          series(interval([500.0] * 50),
+                                 interval([500.0] * 50),
+                                 interval([500.0] * 50)))
+        assert not report.passed
+        worst = report.results[0].worst
+        assert worst.breached
+        assert worst.burn_rate > 1.0
+
+    def test_single_bad_interval_inside_ok_window_tolerated(self):
+        # window pools the histograms: one bad interval out of many
+        # good ones only breaches if it drags the pooled p99 over
+        report = evaluate(
+            [latency_objective(threshold=100.0, window=2)],
+            series(interval([10.0] * 1000),
+                   interval([10.0] * 999 + [120.0]),
+                   interval([10.0] * 1000)))
+        assert report.passed
+
+    def test_zero_traffic_windows_skipped(self):
+        report = evaluate([latency_objective()],
+                          series(interval(), interval(), interval()))
+        assert report.passed
+        assert report.results[0].windows == []
+
+    def test_short_run_clamps_window(self):
+        report = evaluate([latency_objective(window=10)],
+                          series(interval([500.0] * 10)))
+        assert not report.passed  # one clamped window still evaluates
+
+
+class TestRatioEvaluation:
+    def test_clean_ratio_passes(self):
+        report = evaluate([ratio_objective(max_ratio=0.1)],
+                          series(interval(good=100),
+                                 interval(good=100, bad=5)))
+        assert report.passed
+
+    def test_burning_ratio_fails(self):
+        report = evaluate([ratio_objective(max_ratio=0.1)],
+                          series(interval(good=50, bad=50),
+                                 interval(good=50, bad=50)))
+        assert not report.passed
+        assert report.results[0].worst.measured == pytest.approx(0.5)
+
+    def test_burn_rate_is_measured_over_target(self):
+        report = evaluate([ratio_objective(max_ratio=0.1, window=1)],
+                          series(interval(good=80, bad=20)))
+        assert report.results[0].worst.burn_rate == pytest.approx(2.0)
+
+
+class TestReportShapes:
+    def run_report(self):
+        return evaluate([latency_objective(threshold=50.0),
+                         ratio_objective()],
+                        series(interval([500.0] * 20, good=100)))
+
+    def test_format_mentions_breach_and_names(self):
+        text = self.run_report().format()
+        assert "BREACH" in text
+        assert "p99-lat" in text
+        assert "errors" in text
+
+    def test_payload_json_safe(self):
+        import json
+        payload = self.run_report().payload()
+        json.dumps(payload)
+        assert payload["passed"] is False
+        assert {o["name"] for o in payload["objectives"]} \
+            == {"p99-lat", "errors"}
+
+    def test_recorder_input_equivalent_to_intervals(self):
+        recorder = TimeSeriesRecorder(interval_s=1.0)
+        source = interval([500.0] * 20)
+        recorder.record(source.dump(), 0.5)
+        via_recorder = evaluate([latency_objective(window=1)], recorder)
+        via_list = evaluate([latency_objective(window=1)],
+                            series(interval([500.0] * 20)))
+        assert via_recorder.passed == via_list.passed is False
+
+
+class TestDefaultPolicy:
+    def test_policy_has_three_objectives(self):
+        policy = default_loadtest_policy()
+        assert {o.name for o in policy} \
+            == {"latency-p99", "shed-rate", "error-ratio"}
+
+    def test_policy_overrides_propagate(self):
+        policy = default_loadtest_policy(p99_ms=10.0, max_shed_rate=0.2,
+                                         max_error_ratio=0.01)
+        by_name = {o.name: o for o in policy}
+        assert by_name["latency-p99"].threshold == 10.0
+        assert by_name["shed-rate"].max_ratio == 0.2
+        assert by_name["error-ratio"].max_ratio == 0.01

@@ -1,0 +1,112 @@
+"""W3C trace-context: encode/parse round-trips and strictness."""
+
+import pytest
+
+from repro.http.messages import Headers
+from repro.obs.tracecontext import (TraceContext, canonical_trace_id,
+                                    decode_parent_id, encode_parent_id,
+                                    extract_context, format_traceparent,
+                                    format_tracestate, inject_context,
+                                    parse_attempt, parse_traceparent)
+
+
+class TestCanonicalTraceId:
+    def test_short_hex_left_pads_to_32(self):
+        assert canonical_trace_id("abc123") == "0" * 26 + "abc123"
+
+    def test_already_canonical_passes_through(self):
+        raw = "0123456789abcdef" * 2
+        assert canonical_trace_id(raw) == raw
+
+    def test_uppercase_hex_lowered(self):
+        assert canonical_trace_id("ABC") == "0" * 29 + "abc"
+
+    def test_non_hex_hashes_deterministically(self):
+        one = canonical_trace_id("visit-7")
+        two = canonical_trace_id("visit-7")
+        other = canonical_trace_id("visit-8")
+        assert one == two
+        assert one != other
+        assert len(one) == 32
+        int(one, 16)  # must be valid hex
+
+    def test_never_all_zero(self):
+        assert canonical_trace_id("0") != "0" * 32
+        assert canonical_trace_id("") != "0" * 32
+
+
+class TestParentId:
+    def test_round_trip(self):
+        encoded = encode_parent_id(4242, 7)
+        assert encoded == "0000109200000007"
+        assert decode_parent_id(encoded) == (4242, 7)
+
+    def test_wraps_into_32_bits(self):
+        pid, span = decode_parent_id(encode_parent_id(2**33 + 5, 2**40 + 9))
+        assert pid == 5
+        assert span == 9
+
+
+class TestTraceparent:
+    def test_format_and_parse_round_trip(self):
+        header = format_traceparent("cafe", 10, 3)
+        context = parse_traceparent(header)
+        assert context is not None
+        assert context.trace_id == canonical_trace_id("cafe")
+        assert context.parent_ref == (10, 3)
+        assert context.sampled is True
+
+    def test_unsampled_flag(self):
+        header = format_traceparent("cafe", 1, 1, sampled=False)
+        assert header.endswith("-00")
+        assert parse_traceparent(header).sampled is False
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "00-abc-def-01",                                   # short fields
+        "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",         # version ff
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",         # zero trace
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",         # zero parent
+        "00-" + "g" * 32 + "-" + "b" * 16 + "-01",         # non-hex
+        "00-" + "a" * 32 + "-" + "b" * 16 + "-01-extra",   # v00 extras
+        "zz-" + "a" * 32 + "-" + "b" * 16 + "-01",         # bad version
+    ])
+    def test_malformed_rejected(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_future_version_with_extra_fields_accepted(self):
+        header = "42-" + "a" * 32 + "-" + "b" * 16 + "-01-future-stuff"
+        context = parse_traceparent(header)
+        assert context is not None
+        assert context.trace_id == "a" * 32
+
+
+class TestTracestate:
+    def test_attempt_round_trip(self):
+        assert parse_attempt(format_tracestate(3)) == 3
+
+    def test_attempt_absent(self):
+        assert parse_attempt(None) is None
+        assert parse_attempt("other=1") is None
+
+    def test_attempt_among_other_members(self):
+        assert parse_attempt("other=x,repro=attempt:2,more=y") == 2
+
+
+class TestHeaderInjection:
+    def test_inject_then_extract(self):
+        headers = Headers()
+        inject_context(headers, "trace9", 77, 12, attempt=1)
+        context = extract_context(headers)
+        assert context is not None
+        assert context.parent_ref == (77, 12)
+        assert context.attempt == 1
+        assert context.trace_id == canonical_trace_id("trace9")
+
+    def test_extract_without_headers_is_none(self):
+        assert extract_context(Headers()) is None
+
+    def test_to_header_round_trip(self):
+        context = TraceContext(trace_id="f" * 32, parent_id="1" * 16,
+                               sampled=True, attempt=None)
+        assert parse_traceparent(context.to_header()) == context
