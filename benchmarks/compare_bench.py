@@ -57,6 +57,10 @@ BENCH_KEYS: dict[str, tuple[str, ...]] = {
                      "sustained_rps.scaling_x"),
     "analytic_sweep": ("analytic_sweep.estimates_per_s_vectorized",
                        "analytic_sweep.estimates_per_s_fallback"),
+    "population_fleet": (
+        "population_fleet.analytic_visits_per_s_vectorized",
+        "population_fleet.analytic_visits_per_s_fallback",
+        "population_fleet.des_visits_per_s"),
 }
 
 #: fallback key set for payloads without a recognized ``"bench"`` field

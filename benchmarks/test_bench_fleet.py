@@ -1,0 +1,76 @@
+"""Population-fleet bench lane (``pytest -m fleet benchmarks/``).
+
+Like the analytic and loadtest lanes this deliberately avoids the
+``benchmark`` fixture: the fleet CI job installs plain pytest (+
+hypothesis) and runs once with and once without numpy.  Floors here are
+CI-derated versions of the committed ``BENCH_PR10.json`` numbers;
+``compare_bench`` gates the real trajectory.
+"""
+
+import pytest
+
+from repro.core.analysis_vec import numpy_available
+from repro.experiments.fleet import (FLEET_POPULATION_FLOOR,
+                                     default_population,
+                                     fleet_bench_payload,
+                                     run_fleet_analytic, run_fleet_bench,
+                                     run_fleet_des)
+from repro.obs.manifest import validate_manifest
+from repro.workload.corpus import make_corpus
+
+pytestmark = pytest.mark.fleet
+
+#: shared-CI-box derated floors (the artifact records the real rates)
+VECTORIZED_CI_FLOOR_PER_S = 1_000_000.0
+FALLBACK_CI_FLOOR_PER_S = 100_000.0
+DES_CI_FLOOR_PER_S = 0.5
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_corpus()
+
+
+def test_analytic_prices_million_visit_population(corpus, save_result):
+    """The tentpole claim: a 10⁶-visit population prices closed-form in
+    seconds on either backend, at fleet-realistic Zipf/cohort shape."""
+    spec = default_population()          # 20k users, 1M measured visits
+    assert spec.n_measured >= FLEET_POPULATION_FLOOR
+    result = run_fleet_analytic(spec, corpus)
+    save_result("population_fleet", result.format())
+    floor = (VECTORIZED_CI_FLOOR_PER_S if result.backend == "numpy"
+             else FALLBACK_CI_FLOOR_PER_S)
+    assert result.visits_per_s >= floor, (
+        f"{result.backend} backend priced {result.visits_per_s:,.0f} "
+        f"visits/s, floor {floor:,.0f}")
+    # pricing must be visit-weighted, not degenerate
+    by_mode = {m.mode: m for m in result.fleet}
+    assert by_mode["catalyst"].mean_ms < by_mode["standard"].mean_ms
+    assert by_mode["catalyst"].hit_ratio > by_mode["standard"].hit_ratio
+
+
+def test_des_sampled_replay_clears_floor(corpus):
+    spec = default_population(users=2_000, measured=100_000)
+    result = run_fleet_des(spec, corpus, sample=6, max_workers=0)
+    assert result.visits == 6
+    assert result.visits_per_s >= DES_CI_FLOOR_PER_S
+
+
+def test_fleet_bench_payload_and_floors(save_result):
+    """``repro fleet --bench`` semantics end to end on the bench
+    population: floors met, manifest valid, backend-conditional key."""
+    result = run_fleet_bench(rounds=1, des_sample=3)
+    payload = fleet_bench_payload(result)
+    save_result("population_fleet_bench", result.format())
+    assert payload["bench"] == "population_fleet"
+    assert validate_manifest(payload["manifest"]) == []
+    assert payload["manifest"]["config"]["users"] == 1_000_000
+    assert result.population_visits >= FLEET_POPULATION_FLOOR
+    assert result.meets_floors, result.format()
+    metrics = payload["population_fleet"]
+    if numpy_available():
+        assert "analytic_visits_per_s_vectorized" in metrics
+    else:
+        assert "analytic_visits_per_s_vectorized" not in metrics
+    assert metrics["analytic_visits_per_s_fallback"] \
+        >= FALLBACK_CI_FLOOR_PER_S

@@ -25,6 +25,7 @@ up in PLT; see DESIGN.md.)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..browser.engine import BrowserConfig, BrowserSession
 from ..browser.metrics import FetchEvent, FetchSource, PageLoadResult
@@ -53,14 +54,17 @@ class RdrProxy:
                                             html_server_think_s=0.020))
 
     def load(self, sim: Simulator, client_link: Link, page_url: str,
-             client_config: BrowserConfig = BrowserConfig()):
+             client_config: Optional[BrowserConfig] = None):
         """DES process: one RDR-proxied page load; returns PageLoadResult.
 
         Timeline: client request travels to the proxy (one client RTT +
         connection setup), the proxy resolves and fetches the entire page
         against the origin, the bundle streams down the client link, and
-        the client parses/executes locally.
+        the client parses/executes locally.  ``client_config=None``
+        means a fresh default per call.
         """
+        if client_config is None:
+            client_config = BrowserConfig()
         start = sim.now
         server = StaticServer(self.site)
 

@@ -115,8 +115,11 @@ class BrowserSession:
     (connections, in-flight bookkeeping) is per-visit.
     """
 
-    def __init__(self, config: BrowserConfig = BrowserConfig()):
-        self.config = config
+    def __init__(self, config: Optional[BrowserConfig] = None):
+        # config=None means "a fresh default per call" — a shared
+        # BrowserConfig() default evaluated once at def time would alias
+        # one instance across every session ever constructed.
+        self.config = config if config is not None else BrowserConfig()
         self.http_cache = BrowserCache()
         self.sw = ServiceWorkerHost()
         self.visits = 0

@@ -111,6 +111,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --bench: exit non-zero when the "
                             "measured estimates/s falls below this")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="population-scale fleet pricing: Zipf popularity, cohort "
+             "conditions, revisit mixtures; --validate gates the "
+             "analytic backend against a sampled DES replay, --bench "
+             "writes the population_fleet BENCH artifact")
+    fleet.add_argument("--users", type=int, default=20_000,
+                       help="population size (default 20000)")
+    fleet.add_argument("--visits", type=int, default=1_000_000,
+                       help="measured visits to price (default 1000000)")
+    fleet.add_argument("--warmup", type=int, default=None,
+                       help="warmup visits (default visits/4)")
+    fleet.add_argument("--alpha", type=float, default=0.8,
+                       help="Zipf popularity exponent (default 0.8)")
+    fleet.add_argument("--rate", type=float, default=12.0,
+                       help="visits per user per day (default 12)")
+    fleet.add_argument("--bins", type=int, default=24,
+                       help="delay-mixture quantization bins (default 24)")
+    fleet.add_argument("--backend", default="auto",
+                       choices=("auto", "numpy", "python"),
+                       help="analytic backend (default auto)")
+    fleet.add_argument("--seed", type=int, default=2024,
+                       help="population seed (default 2024)")
+    fleet.add_argument("--out", default=None,
+                       help="also write the machine-readable fleet "
+                            "payload (JSON) to this file")
+    fleet.add_argument("--des", action="store_true",
+                       help="also replay a sampled schedule through the "
+                            "DES and report per-cohort percentiles")
+    fleet.add_argument("--sample", type=int, default=24,
+                       help="schedule sample size for --des/--validate "
+                            "(default 24)")
+    fleet.add_argument("--workers", type=int, default=None,
+                       help="DES worker processes (0 = serial)")
+    fleet.add_argument("--validate", action="store_true",
+                       help="gate the analytic backend on Spearman rank "
+                            "agreement with a sampled DES replay")
+    fleet.add_argument("--min-rho", type=float, default=0.85,
+                       help="rank-correlation floor for --validate "
+                            "(default 0.85)")
+    fleet.add_argument("--bench", action="store_true",
+                       help="measure both backends on the million-user "
+                            "bench population and write the BENCH "
+                            "artifact instead of running")
+    fleet.add_argument("--bench-out", default=None,
+                       help="with --bench: artifact path (default "
+                            "benchmarks/results/BENCH_PR10.json)")
+    fleet.add_argument("--rounds", type=int, default=3,
+                       help="with --bench: best-of rounds (default 3)")
+
     sub.add_parser("motivation", help="the §2.2 workload statistics")
     sub.add_parser("crosspage", help="first visits to inner pages")
     sub.add_parser("serverload",
@@ -398,6 +448,80 @@ def _cmd_sweep_bench(args: argparse.Namespace) -> int:
                       rate=f"{measured:,.0f}/s",
                       required=f"{args.min_estimates:,.0f}/s")
             return 1
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .experiments.fleet import (default_population, fleet_payload,
+                                    run_fleet_analytic, run_fleet_des,
+                                    validate_fleet)
+    from .workload.corpus import make_corpus
+
+    if args.bench:
+        return _cmd_fleet_bench(args)
+    try:
+        spec = default_population(users=args.users, measured=args.visits,
+                                  warmup=args.warmup, alpha=args.alpha,
+                                  rate_per_user_day=args.rate,
+                                  seed=args.seed)
+        corpus = make_corpus()
+        result = run_fleet_analytic(spec, corpus, bins=args.bins,
+                                    backend=args.backend)
+    except (ValueError, RuntimeError) as exc:
+        log.error("fleet-invalid", detail=str(exc))
+        return 2
+    print(result.format())
+    log.info("fleet-done", visits=result.population_visits,
+             backend=result.backend,
+             rate=f"{result.visits_per_s:,.0f}/s")
+    des = None
+    if args.des:
+        des = run_fleet_des(spec, corpus, sample=args.sample,
+                            max_workers=args.workers)
+        print()
+        print(des.format())
+    validation = None
+    if args.validate:
+        validation = validate_fleet(spec, corpus, sample=args.sample,
+                                    min_rho=args.min_rho,
+                                    backend=args.backend)
+        print()
+        print(validation.format())
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            fleet_payload(result, des, validation), indent=2) + "\n")
+        log.info("wrote-artifact", path=path)
+    if validation is not None and not validation.passed:
+        log.error("fleet-validation-failed",
+                  rho=f"{validation.rho:.3f}",
+                  required=f"{args.min_rho:g}")
+        return 1
+    return 0
+
+
+def _cmd_fleet_bench(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from .experiments.fleet import fleet_bench_payload, run_fleet_bench
+
+    result = run_fleet_bench(bins=args.bins, rounds=args.rounds,
+                             des_sample=args.sample, seed=args.seed)
+    print(result.format())
+    path = pathlib.Path(args.bench_out
+                        or "benchmarks/results/BENCH_PR10.json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(fleet_bench_payload(result), indent=2)
+                    + "\n")
+    log.info("wrote-artifact", path=path)
+    if not result.meets_floors:
+        log.error("fleet-bench-below-floors")
+        return 1
     return 0
 
 
@@ -768,6 +892,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure3(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "motivation":
         return _cmd_motivation()
     if args.command == "crosspage":

@@ -54,7 +54,7 @@ from .analysis import _HEADER_BYTES
 from .modes import CachingMode
 
 __all__ = ["CompiledSite", "compile_site", "VectorAnalyticModel",
-           "batch_estimate_plt", "numpy_available"]
+           "VisitEstimates", "batch_estimate_plt", "numpy_available"]
 
 try:  # numpy is an optional extra (repro[fast]); everything must run without
     import numpy as _np
@@ -210,6 +210,28 @@ def _compile_page(origin: str, page_url: str, page: PageSpec) -> CompiledSite:
     )
 
 
+@dataclass
+class VisitEstimates:
+    """Joint per-visit estimates for one compiled site.
+
+    ``plt`` is ``[conditions][modes][delays]`` exactly as
+    :meth:`VectorAnalyticModel.batch_plt` returns it (NumPy array on
+    the fast path, nested lists on the fallback).  ``requests`` and
+    ``bytes_down`` are ``[modes][delays]`` nested lists: expected
+    origin requests and response bytes per visit.  They are
+    condition-independent because they fall out of the same
+    ``(A, B, G)`` coefficients that price the PLT — ``B`` sums to the
+    expected origin round trips and ``G`` to the expected bytes on the
+    wire, so demand costs nothing extra to batch.
+    """
+
+    plt: object
+    requests: list
+    bytes_down: list
+    #: resource acquisitions per visit (subresource slots + the HTML)
+    acquisitions: int
+
+
 class VectorAnalyticModel:
     """Expected-PLT pricing for whole grids of analytic cells.
 
@@ -263,6 +285,57 @@ class VectorAnalyticModel:
         return self._site_python(compiled, mode_classes, delays,
                                  rtts, invbws, cold)
 
+    def batch_visit(self, compiled: "CompiledSite | SiteSpec",
+                    modes: Sequence[CachingMode],
+                    delays_s: Sequence[float],
+                    conditions_list: Sequence[NetworkConditions],
+                    cold: bool = False) -> VisitEstimates:
+        """PLT *and* origin demand for every cell, in one coefficient pass.
+
+        The population engine needs expected origin requests and bytes
+        alongside the PLT; both are already sitting in the ``(A, B, G)``
+        coefficients (``B`` = expected origin round trips per slot,
+        ``G`` = expected bytes), so this prices the whole
+        ``(mode, delay)`` demand plane for free on top of
+        :meth:`batch_plt`.  The HTML document contributes one request
+        per visit (fetch or revalidation) plus its churn-weighted
+        transfer.
+        """
+        if isinstance(compiled, SiteSpec):
+            compiled = compile_site(compiled)
+        delays = [float(d) for d in delays_s]
+        if any(not math.isfinite(d) or d < 0 for d in delays):
+            raise ValueError(f"delays must be finite and >= 0: {delays}")
+        mode_classes = [_mode_class(mode) for mode in modes]
+        rtts = [cond.rtt_s for cond in conditions_list]
+        invbws = [8.0 / cond.downlink_bps for cond in conditions_list]
+        html_full_bytes = compiled.html_size + _HEADER_BYTES
+        if self.backend == "numpy":
+            coeffs = self._coeff_numpy(compiled, mode_classes, delays, cold)
+            plt = self._site_numpy(compiled, mode_classes, delays,
+                                   rtts, invbws, cold, coeffs=coeffs)
+            _, coeff_b, coeff_g = coeffs
+            p_html = self._p_html_numpy(compiled, delays)          # [D]
+            requests = coeff_b.sum(axis=-1) + 1.0                  # [M,D]
+            html_bytes = _np.empty((len(mode_classes), len(delays)))
+            for mi, mc in enumerate(mode_classes):
+                if cold or mc == _MC_NO_CACHE:
+                    html_bytes[mi, :] = html_full_bytes
+                else:
+                    html_bytes[mi, :] = p_html * html_full_bytes
+            bytes_down = coeff_g.sum(axis=-1) + html_bytes
+            return VisitEstimates(plt=plt, requests=requests.tolist(),
+                                  bytes_down=bytes_down.tolist(),
+                                  acquisitions=compiled.n_slots + 1)
+        requests = [[0.0] * len(delays) for _ in mode_classes]
+        bytes_down = [[0.0] * len(delays) for _ in mode_classes]
+        plt = self._site_python(compiled, mode_classes, delays,
+                                rtts, invbws, cold,
+                                demand=(requests, bytes_down))
+        return VisitEstimates(plt=plt, requests=requests,
+                              bytes_down=bytes_down,
+                              acquisitions=compiled.n_slots + 1)
+
     def _exec_s(self, comp: CompiledSite) -> float:
         exec_s = self._exec_s_cache.get(comp.script_sizes)
         if exec_s is None:
@@ -293,20 +366,17 @@ class VectorAnalyticModel:
         return per_site
 
     # -- numpy fast path ----------------------------------------------------
-    def _site_numpy(self, comp: CompiledSite, mode_classes, delays,
-                    rtts, invbws, cold):
+    def _coeff_numpy(self, comp: CompiledSite, mode_classes, delays, cold):
+        """Per-slot ``(A, B, G)`` coefficient stacks, each ``[M, D, n]``."""
         np = _np
         cfg = self.config
         pack = comp.numpy_pack()
         n = comp.n_slots
-        C, M, D = len(rtts), len(mode_classes), len(delays)
+        D = len(delays)
         think = cfg.server_think_s
         sw = cfg.sw_lookup_s
         lookup = cfg.cache_lookup_s
-        k = cfg.connections_per_origin
 
-        rtt = np.asarray(rtts, dtype=np.float64)
-        invbw = np.asarray(invbws, dtype=np.float64)
         delay = np.asarray(delays, dtype=np.float64)
 
         size_h = pack["size"] + _HEADER_BYTES                      # [n]
@@ -350,9 +420,28 @@ class VectorAnalyticModel:
                 a_rows.append(sa)
                 b_rows.append(sb)
                 g_rows.append(sg)
-        coeff_a = np.stack(a_rows)                                 # [M,D,n]
-        coeff_b = np.stack(b_rows)
-        coeff_g = np.stack(g_rows)
+        return np.stack(a_rows), np.stack(b_rows), np.stack(g_rows)
+
+    def _p_html_numpy(self, comp: CompiledSite, delays):
+        np = _np
+        delay = np.asarray(delays, dtype=np.float64)
+        return (np.zeros(len(delays)) if math.isinf(comp.html_period)
+                else 1.0 - np.exp(-delay / comp.html_period))       # [D]
+
+    def _site_numpy(self, comp: CompiledSite, mode_classes, delays,
+                    rtts, invbws, cold, coeffs=None):
+        np = _np
+        cfg = self.config
+        n = comp.n_slots
+        C, M, D = len(rtts), len(mode_classes), len(delays)
+        k = cfg.connections_per_origin
+
+        rtt = np.asarray(rtts, dtype=np.float64)
+        invbw = np.asarray(invbws, dtype=np.float64)
+
+        if coeffs is None:
+            coeffs = self._coeff_numpy(comp, mode_classes, delays, cold)
+        coeff_a, coeff_b, coeff_g = coeffs                         # [M,D,n]
 
         # cost[C,M,D,n] = A + B*rtt + G*invbw: two fused passes + add.
         cost = np.empty((C, M, D, n))
@@ -383,8 +472,7 @@ class VectorAnalyticModel:
         # Navigation terms: setup RTTs, base HTML, parse, script exec.
         setup = cfg.connection_policy.setup_rtts * rtt             # [C]
         html_transfer = (comp.html_size + _HEADER_BYTES) * invbw   # [C]
-        p_html = (np.zeros(D) if math.isinf(comp.html_period)
-                  else 1.0 - np.exp(-delay / comp.html_period))    # [D]
+        p_html = self._p_html_numpy(comp, delays)                  # [D]
         html_full = rtt + cfg.html_server_think_s + html_transfer  # [C]
         html_warm = (rtt[:, None] + cfg.html_server_think_s
                      + p_html[None, :] * html_transfer[:, None])   # [C,D]
@@ -434,7 +522,7 @@ class VectorAnalyticModel:
         return coeffs
 
     def _site_python(self, comp: CompiledSite, mode_classes, delays,
-                     rtts, invbws, cold):
+                     rtts, invbws, cold, demand=None):
         cfg = self.config
         k = cfg.connections_per_origin
         levels = comp.level_slices()
@@ -454,6 +542,15 @@ class VectorAnalyticModel:
                     p_html = 0.0
                 else:
                     p_html = 1.0 - math.exp(-delay / comp.html_period)
+                if demand is not None:
+                    # same coefficients, summed instead of wave-priced:
+                    # B -> expected origin requests, G -> expected bytes
+                    # (+ the HTML document's request and transfer)
+                    requests, bytes_down = demand
+                    requests[mi][di] = 1.0 + sum(b for _, b, _ in coeffs)
+                    bytes_down[mi][di] = (
+                        p_html * (html_transfer_bits / 8.0)
+                        + sum(g for _, _, g in coeffs))
                 for ci in range(C):
                     rtt, invbw = rtts[ci], invbws[ci]
                     plt = (setup_rtts * rtt + parse + exec_s

@@ -69,13 +69,16 @@ class ModeSetup:
 
 
 def build_mode(mode: CachingMode, site_spec: SiteSpec,
-               base_config: BrowserConfig = BrowserConfig(),
+               base_config: Optional[BrowserConfig] = None,
                materialize_fully: bool = False) -> ModeSetup:
     """Instantiate server + browser session for ``mode`` over ``site_spec``.
 
-    ``base_config`` carries the shared cost model; the mode toggles only
-    the feature switches so comparisons never mix cost assumptions.
+    ``base_config`` carries the shared cost model (``None`` means a
+    fresh default per call); the mode toggles only the feature switches
+    so comparisons never mix cost assumptions.
     """
+    if base_config is None:
+        base_config = BrowserConfig()
     site = OriginSite(site_spec, materialize_fully=materialize_fully)
 
     if mode is CachingMode.NO_CACHE:

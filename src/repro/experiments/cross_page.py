@@ -12,6 +12,7 @@ this page has never been loaded.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..browser.engine import BrowserConfig
 from ..core.modes import CachingMode, build_mode
@@ -54,9 +55,14 @@ def run_cross_page(site: SiteSpec | None = None,
                    modes: tuple[CachingMode, ...] = (
                        CachingMode.NO_CACHE, CachingMode.STANDARD,
                        CachingMode.CATALYST),
-                   base_config: BrowserConfig = BrowserConfig()
+                   base_config: Optional[BrowserConfig] = None
                    ) -> list[CrossPageResult]:
-    """Homepage at t=0, then each inner page 30 s apart, per mode."""
+    """Homepage at t=0, then each inner page 30 s apart, per mode.
+
+    ``base_config=None`` means a fresh default per call.
+    """
+    if base_config is None:
+        base_config = BrowserConfig()
     if site is None:
         site = make_multipage_site()
     inner_urls = [url for url in site.pages if url != "/index.html"]

@@ -19,6 +19,7 @@ The three panels:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..browser.engine import BrowserConfig
 from ..browser.metrics import PageLoadResult
@@ -93,9 +94,14 @@ class Figure1Panels:
 
 
 def run_figure1(conditions: NetworkConditions = NetworkConditions.of(60, 40),
-                base_config: BrowserConfig = BrowserConfig()
+                base_config: Optional[BrowserConfig] = None
                 ) -> Figure1Panels:
-    """Simulate all three panels; deterministic."""
+    """Simulate all three panels; deterministic.
+
+    ``base_config=None`` means a fresh default per call.
+    """
+    if base_config is None:
+        base_config = BrowserConfig()
     site = build_figure1_site()
     times = [0.0, FIGURE1_REVISIT_DELAY_S]
 

@@ -107,7 +107,7 @@ def run_figure3(corpus: Optional[Corpus] = None,
                 latencies_ms: Sequence[float] = FIGURE3_LATENCIES_MS,
                 delays_s: Sequence[float] = PAPER_REVISIT_DELAYS_S,
                 sites: Optional[int] = None,
-                base_config: BrowserConfig = BrowserConfig(),
+                base_config: Optional[BrowserConfig] = None,
                 content_churn: bool = False,
                 parallel: bool = False,
                 progress=None, metrics=None) -> Figure3Result:
@@ -123,6 +123,8 @@ def run_figure3(corpus: Optional[Corpus] = None,
     (changed resources must be fetched in every mode, shrinking — but not
     erasing — the advantage).
     """
+    if base_config is None:
+        base_config = BrowserConfig()
     if corpus is None:
         corpus = make_corpus()
     if sites is not None and sites < len(corpus):

@@ -44,9 +44,14 @@ def run_first_render(corpus: Optional[Corpus] = None,
                          NetworkConditions.of(60, 100)),
                      delay_s: float = DAY,
                      sites: int = 6,
-                     base_config: BrowserConfig = BrowserConfig()
+                     base_config: Optional[BrowserConfig] = None
                      ) -> list[FirstRenderResult]:
-    """Warm-visit PLT vs first-render reduction, catalyst vs standard."""
+    """Warm-visit PLT vs first-render reduction, catalyst vs standard.
+
+    ``base_config=None`` means a fresh default per call.
+    """
+    if base_config is None:
+        base_config = BrowserConfig()
     if corpus is None:
         corpus = make_corpus()
     subset = corpus.sample(sites, seed=13).frozen()

@@ -1,0 +1,745 @@
+"""Population-scale fleet pricing: what a whole user base experiences.
+
+The paper's Figure 3 is one user on a delay grid.  A deployment verdict
+needs the fleet view: over a seeded population — Zipf site popularity,
+per-cohort network conditions and revisit-delay mixtures, Poisson
+arrivals (:mod:`repro.workload.population`) — what PLT distribution and
+origin load does each caching mode actually produce?
+
+Two interchangeable backends answer it:
+
+* **Analytic** (:func:`run_fleet_analytic`): the population never
+  materializes.  Each cohort's revisit-delay mixture quantizes into
+  weighted grid points (:func:`~repro.workload.population.
+  delay_mixture`), the closed-form model prices every ``(site, mode,
+  delay-bin)`` cell *plus* its origin demand in one coefficient pass
+  (:meth:`~repro.core.analysis_vec.VectorAnalyticModel.batch_visit`),
+  and the Poisson-thinning cold share adds the first-visit cells.
+  Fleet aggregates are weighted reductions over a few thousand cells
+  standing in for millions of visits — a 10⁶-visit population prices
+  in well under a second on numpy, seconds on the pure-Python leg.
+* **Sampled DES** (:func:`run_fleet_des`): a deterministic sample of
+  real schedule entries replays through the simulator, sharded by
+  user cohort across the warm-worker pool.  Workers stream per-cohort
+  histogram *sketches* back through ``MetricsRegistry.merge()`` —
+  never per-visit rows — so parent memory is O(cohorts · modes), not
+  O(visits), and a parallel run merges exactly (below the sketch cap)
+  with the serial one.
+
+:func:`validate_fleet` ties the two together with the same Spearman-ρ
+gate the sweep validation uses; :func:`run_fleet_bench` stamps the
+throughput floors into ``BENCH_PR10.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..browser.engine import BrowserConfig
+from ..core.analysis_vec import (VectorAnalyticModel, compile_site,
+                                 numpy_available)
+from ..core.catalyst import run_visit_sequence
+from ..core.modes import CachingMode, build_mode
+from ..netsim.link import NetworkConditions
+from ..obs.log import get_logger
+from ..obs.manifest import build_manifest, stamp
+from ..obs.metrics import DEFAULT_HISTOGRAM_SAMPLES, MetricsRegistry
+from ..workload.corpus import CORPUS_SIZE, Corpus, make_corpus
+from ..workload.population import (CohortSpec, PopulationSpec, Visit,
+                                   cold_fraction, delay_mixture,
+                                   sample_visits, zipf_weights)
+from .parallel import _chunksize, _warm_worker
+from .report import format_pct, format_table
+from .stats import spearman, weighted_percentiles
+
+__all__ = ["FLEET_MODES", "DEFAULT_FLEET_COHORTS", "default_population",
+           "ModeStats", "CohortFleet", "FleetResult", "run_fleet_analytic",
+           "FleetDesResult", "run_fleet_des",
+           "FleetValidation", "validate_fleet",
+           "FleetBenchResult", "run_fleet_bench",
+           "fleet_payload", "fleet_bench_payload",
+           "FLEET_POPULATION_FLOOR", "FLEET_VECTORIZED_FLOOR_PER_S",
+           "FLEET_FALLBACK_FLOOR_PER_S", "FLEET_DES_FLOOR_PER_S"]
+
+log = get_logger("experiments.fleet")
+
+FLEET_MODES = (CachingMode.STANDARD, CachingMode.CATALYST)
+
+#: Cohorts grounded on the Figure-3 condition grid: a fast-urban
+#: majority at the paper's headline condition, a mid tier, and the
+#: constrained tail where Catalyst matters most.
+DEFAULT_FLEET_COHORTS = (
+    CohortSpec("urban-fast", 0.45,
+               NetworkConditions.of(60, 40, label="60Mbps/40ms")),
+    CohortSpec("suburban-mid", 0.35,
+               NetworkConditions.of(30, 20, label="30Mbps/20ms")),
+    CohortSpec("constrained", 0.20,
+               NetworkConditions.of(8, 100, label="8Mbps/100ms")),
+)
+
+#: Bench floors, recorded in the artifact and gated in CI.
+FLEET_POPULATION_FLOOR = 1_000_000          # analytic visits priced per run
+FLEET_VECTORIZED_FLOOR_PER_S = 1_000_000.0  # numpy backend
+FLEET_FALLBACK_FLOOR_PER_S = 100_000.0      # pure-Python backend
+FLEET_DES_FLOOR_PER_S = 2.0                 # sampled simulator visits
+
+
+def default_population(users: int = 20_000,
+                       measured: int = 1_000_000,
+                       warmup: Optional[int] = None,
+                       sites: int = CORPUS_SIZE,
+                       alpha: float = 0.8,
+                       rate_per_user_day: float = 12.0,
+                       seed: int = 2024,
+                       cohorts: Sequence[CohortSpec] = DEFAULT_FLEET_COHORTS
+                       ) -> PopulationSpec:
+    """The standard fleet workload: icarus-style warmup + measured split.
+
+    Defaults give ~60 visits per user over a ~5-day horizon — deep
+    enough that popular sites are warm for most users while the
+    popularity tail stays cold, which is the regime where fleet hit
+    ratios are decided.
+    """
+    if warmup is None:
+        warmup = measured // 4
+    return PopulationSpec(n_users=users, n_sites=sites,
+                          cohorts=tuple(cohorts), n_warmup=warmup,
+                          n_measured=measured, alpha=alpha,
+                          rate_per_user_day=rate_per_user_day, seed=seed)
+
+
+# -- analytic backend -------------------------------------------------------
+@dataclass(frozen=True)
+class ModeStats:
+    """Fleet aggregates for one caching mode over one visit population."""
+
+    mode: str
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    #: expected origin requests per second over the measured window
+    origin_rps: float
+    #: expected origin egress over the measured window
+    origin_mbps: float
+    #: resource acquisitions served without an origin request
+    hit_ratio: float
+
+
+@dataclass(frozen=True)
+class CohortFleet:
+    name: str
+    label: str
+    share: float
+    #: expected measured visits
+    visits: float
+    #: share of measured visits that are first-ever (cold) loads
+    cold_share: float
+    modes: tuple[ModeStats, ...]
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Analytic fleet pricing: per-cohort and fleet-wide aggregates."""
+
+    users: int
+    population_visits: int
+    alpha: float
+    sites: int
+    bins: int
+    backend: str
+    cohorts: tuple[CohortFleet, ...]
+    fleet: tuple[ModeStats, ...]
+    elapsed_s: float
+
+    @property
+    def visits_per_s(self) -> float:
+        return self.population_visits / self.elapsed_s \
+            if self.elapsed_s > 0 else float("inf")
+
+    def reduction(self, baseline: str = "standard",
+                  target: str = "catalyst") -> float:
+        """Fleet-wide mean-PLT reduction of ``target`` vs ``baseline``."""
+        by_mode = {stats.mode: stats for stats in self.fleet}
+        base = by_mode[baseline].mean_ms
+        return (base - by_mode[target].mean_ms) / base if base > 0 else 0.0
+
+    def format(self) -> str:
+        header = ["cohort", "share", "visits", "cold", "mode",
+                  "mean ms", "p50", "p90", "p99", "origin req/s", "hit"]
+        rows = []
+
+        def mode_rows(name, share, visits, cold, stats_list):
+            for index, stats in enumerate(stats_list):
+                rows.append([
+                    name if index == 0 else "",
+                    format_pct(share) if index == 0 else "",
+                    f"{visits:,.0f}" if index == 0 else "",
+                    format_pct(cold) if index == 0 else "",
+                    stats.mode,
+                    f"{stats.mean_ms:,.0f}", f"{stats.p50_ms:,.0f}",
+                    f"{stats.p90_ms:,.0f}", f"{stats.p99_ms:,.0f}",
+                    f"{stats.origin_rps:,.1f}",
+                    format_pct(stats.hit_ratio),
+                ])
+
+        for cohort in self.cohorts:
+            mode_rows(f"{cohort.name} ({cohort.label})", cohort.share,
+                      cohort.visits, cohort.cold_share, cohort.modes)
+        total_cold = sum(c.visits * c.cold_share for c in self.cohorts) \
+            / max(sum(c.visits for c in self.cohorts), 1e-12)
+        mode_rows("fleet", 1.0, float(self.population_visits),
+                  total_cold, self.fleet)
+        lines = [
+            f"population: {self.users:,} users · "
+            f"{self.population_visits:,} measured visits · "
+            f"zipf alpha={self.alpha:g} over {self.sites} sites · "
+            f"{len(self.cohorts)} cohorts · {self.bins} delay bins",
+            format_table(header, rows),
+            f"fleet mean-PLT reduction (catalyst vs standard): "
+            f"{format_pct(self.reduction())}",
+            f"priced {self.population_visits:,} visits in "
+            f"{self.elapsed_s:.2f}s "
+            f"({self.visits_per_s:,.0f} visits/s, {self.backend} backend)",
+        ]
+        return "\n".join(lines)
+
+
+def _weighted_mode_stats(mode: str, values, weights, requests, bytes_down,
+                         acquisitions, window_s) -> ModeStats:
+    total_w = sum(weights)
+    p50, p90, p99 = weighted_percentiles(values, weights, (50, 90, 99))
+    mean_ms = sum(v * w for v, w in zip(values, weights)) / total_w
+    return ModeStats(
+        mode=mode,
+        mean_ms=mean_ms, p50_ms=p50, p90_ms=p90, p99_ms=p99,
+        origin_rps=requests / window_s,
+        origin_mbps=bytes_down * 8.0 / window_s / 1e6,
+        hit_ratio=1.0 - requests / acquisitions if acquisitions > 0 else 0.0,
+    )
+
+
+def run_fleet_analytic(spec: PopulationSpec,
+                       corpus: Optional[Corpus] = None,
+                       bins: int = 24,
+                       backend: str = "auto",
+                       modes: Sequence[CachingMode] = FLEET_MODES,
+                       config: Optional[BrowserConfig] = None
+                       ) -> FleetResult:
+    """Price the whole population closed-form; never builds the schedule.
+
+    Per cohort, the expected measured visits factor as
+    ``visits · zipf(site) · [cold | (1 - cold) · mixture(delay-bin)]``;
+    each factor's cells come out of one vectorized
+    :meth:`~repro.core.analysis_vec.VectorAnalyticModel.batch_visit`
+    call per site, and every fleet aggregate is a weighted reduction
+    over those cells.
+    """
+    if corpus is None:
+        corpus = make_corpus()
+    sites = list(corpus)
+    if len(sites) != spec.n_sites:
+        raise ValueError(f"spec prices {spec.n_sites} popularity ranks "
+                         f"but the corpus has {len(sites)} sites")
+    start = time.perf_counter()
+    model = VectorAnalyticModel(config=config, backend=backend)
+    compiled = [compile_site(site) for site in sites]
+    popularity = zipf_weights(spec.n_sites, spec.alpha)
+    warmup_share = spec.warmup_share
+    per_user = spec.visits_per_user
+    cold = [cold_fraction(per_user * p, warmup_share) for p in popularity]
+    window_s = spec.measured_window_s
+    mode_names = [mode.value for mode in modes]
+
+    fleet_values = {m: [] for m in mode_names}
+    fleet_weights = {m: [] for m in mode_names}
+    fleet_requests = {m: 0.0 for m in mode_names}
+    fleet_bytes = {m: 0.0 for m in mode_names}
+    fleet_acquisitions = 0.0
+    cohort_results = []
+    for ci, cohort in enumerate(spec.cohorts):
+        mixture = delay_mixture(cohort.revisit_model, bins)
+        cohort_visits = spec.n_measured * spec.cohort_shares[ci]
+        values = {m: [] for m in mode_names}
+        weights = {m: [] for m in mode_names}
+        requests = {m: 0.0 for m in mode_names}
+        bytes_down = {m: 0.0 for m in mode_names}
+        acquisitions = 0.0
+        conditions = [cohort.conditions]
+        for si, comp in enumerate(compiled):
+            warm = model.batch_visit(comp, modes, mixture.delays_s,
+                                     conditions)
+            first = model.batch_visit(comp, modes, (0.0,), conditions,
+                                      cold=True)
+            warm_plt = warm.plt[0] if model.backend == "python" \
+                else warm.plt[0].tolist()
+            cold_plt = first.plt[0] if model.backend == "python" \
+                else first.plt[0].tolist()
+            site_visits = cohort_visits * popularity[si]
+            cold_visits = site_visits * cold[si]
+            warm_visits = site_visits - cold_visits
+            acquisitions += site_visits * warm.acquisitions
+            for mi, mode_name in enumerate(mode_names):
+                vals, wts = values[mode_name], weights[mode_name]
+                for di, bin_weight in enumerate(mixture.weights):
+                    cell = warm_visits * bin_weight
+                    vals.append(warm_plt[mi][di] * 1000.0)
+                    wts.append(cell)
+                    requests[mode_name] += cell * warm.requests[mi][di]
+                    bytes_down[mode_name] += cell * warm.bytes_down[mi][di]
+                vals.append(cold_plt[mi][0] * 1000.0)
+                wts.append(cold_visits)
+                requests[mode_name] += cold_visits * first.requests[mi][0]
+                bytes_down[mode_name] += cold_visits * first.bytes_down[mi][0]
+        cohort_cold = sum(p * c for p, c in zip(popularity, cold))
+        cohort_modes = tuple(
+            _weighted_mode_stats(m, values[m], weights[m], requests[m],
+                                 bytes_down[m], acquisitions, window_s)
+            for m in mode_names)
+        cohort_results.append(CohortFleet(
+            name=cohort.name, label=cohort.conditions.describe(),
+            share=spec.cohort_shares[ci], visits=cohort_visits,
+            cold_share=cohort_cold, modes=cohort_modes))
+        for m in mode_names:
+            fleet_values[m].extend(values[m])
+            fleet_weights[m].extend(weights[m])
+            fleet_requests[m] += requests[m]
+            fleet_bytes[m] += bytes_down[m]
+        fleet_acquisitions += acquisitions
+    fleet_modes = tuple(
+        _weighted_mode_stats(m, fleet_values[m], fleet_weights[m],
+                             fleet_requests[m], fleet_bytes[m],
+                             fleet_acquisitions, window_s)
+        for m in mode_names)
+    return FleetResult(
+        users=spec.n_users, population_visits=spec.n_measured,
+        alpha=spec.alpha, sites=spec.n_sites, bins=bins,
+        backend=model.backend, cohorts=tuple(cohort_results),
+        fleet=fleet_modes, elapsed_s=time.perf_counter() - start)
+
+
+# -- sampled DES backend ----------------------------------------------------
+def _fleet_chunk(task: tuple) -> tuple:
+    """One cohort-sharded batch of sampled visits, run in a worker.
+
+    Returns ``(metrics_dump, visits, pid, wall_s)`` — the dump carries
+    per-cohort PLT sketches and demand counters, never per-visit rows,
+    which is what keeps fleet memory O(cohorts) end to end.
+    """
+    cohort_name, mbps, rtt_ms, label, pairs, mode_values, config, \
+        max_samples = task
+    start = time.perf_counter()
+    conditions = NetworkConditions.of(mbps, rtt_ms, label=label)
+    if config is None:
+        config = BrowserConfig()
+    shard = MetricsRegistry()
+    prefix = f"fleet.cohort.{cohort_name}"
+    for site_spec, delay_s in pairs:
+        shard.counter(f"{prefix}.visits").inc()
+        if delay_s is None:
+            shard.counter(f"{prefix}.cold_visits").inc()
+        for mode_value in mode_values:
+            mode = CachingMode(mode_value)
+            setup = build_mode(mode, site_spec, config)
+            times = [0.0] if delay_s is None else [0.0, delay_s]
+            outcome = run_visit_sequence(setup, conditions, times)[-1]
+            result = outcome.result
+            shard.histogram(f"{prefix}.plt_ms.{mode_value}",
+                            max_samples=max_samples).observe(result.plt_ms)
+            shard.counter(f"{prefix}.requests.{mode_value}").inc(
+                result.request_count)
+            shard.counter(f"{prefix}.bytes_down.{mode_value}").inc(
+                result.bytes_down)
+    return shard.dump(), len(pairs), os.getpid(), \
+        time.perf_counter() - start
+
+
+@dataclass
+class FleetDesResult:
+    """Sampled-DES fleet aggregates, merged from worker sketches."""
+
+    visits: int
+    workers: int
+    #: cohort name -> mode -> {count, mean_ms, p50_ms, p90_ms, p99_ms}
+    cohorts: dict
+    elapsed_s: float
+    metrics: MetricsRegistry = field(repr=False)
+
+    @property
+    def visits_per_s(self) -> float:
+        return self.visits / self.elapsed_s if self.elapsed_s > 0 \
+            else float("inf")
+
+    def format(self) -> str:
+        header = ["cohort", "mode", "visits", "cold", "mean ms", "p50",
+                  "p90", "p99"]
+        rows = []
+        for name, modes in self.cohorts.items():
+            for index, (mode, snap) in enumerate(modes.items()):
+                rows.append([
+                    name if index == 0 else "",
+                    mode,
+                    f"{snap['visits']}" if index == 0 else "",
+                    f"{snap['cold_visits']}" if index == 0 else "",
+                    f"{snap['mean_ms']:,.0f}", f"{snap['p50_ms']:,.0f}",
+                    f"{snap['p90_ms']:,.0f}", f"{snap['p99_ms']:,.0f}"])
+        return "\n".join([
+            f"sampled DES fleet: {self.visits} visits, "
+            f"{self.workers} worker(s), {self.elapsed_s:.1f}s "
+            f"({self.visits_per_s:.1f} visits/s)",
+            format_table(header, rows)])
+
+
+def run_fleet_des(spec: PopulationSpec,
+                  corpus: Optional[Corpus] = None,
+                  sample: int = 96,
+                  modes: Sequence[CachingMode] = FLEET_MODES,
+                  max_workers: Optional[int] = None,
+                  config: Optional[BrowserConfig] = None,
+                  metrics: Optional[MetricsRegistry] = None,
+                  histogram_samples: int = DEFAULT_HISTOGRAM_SAMPLES
+                  ) -> FleetDesResult:
+    """Replay a deterministic schedule sample through the simulator.
+
+    Visits shard by ``(cohort, user)`` through the warm-worker pool;
+    each worker returns a metrics dump (PLT histograms + demand
+    counters per cohort and mode) that merges into ``metrics``.
+    ``max_workers=0`` runs serially in-process — same chunking, same
+    merge order, so the serial and parallel registries agree exactly
+    while the pooled sample count stays under ``histogram_samples``.
+    """
+    if corpus is None:
+        corpus = make_corpus()
+    sites = list(corpus)
+    if len(sites) != spec.n_sites:
+        raise ValueError(f"spec prices {spec.n_sites} popularity ranks "
+                         f"but the corpus has {len(sites)} sites")
+    start = time.perf_counter()
+    visits = sample_visits(spec, sample, per_cohort=True)
+    groups: dict[tuple[int, int], list[Visit]] = {}
+    for visit in visits:
+        groups.setdefault((visit.cohort, visit.user), []).append(visit)
+    mode_values = [mode.value for mode in modes]
+    tasks = []
+    for (cohort_index, _user), group in groups.items():
+        cohort = spec.cohorts[cohort_index]
+        pairs = [(sites[v.site], v.delay_s) for v in group]
+        tasks.append((cohort.name, cohort.conditions.downlink_mbps,
+                      cohort.conditions.rtt_ms,
+                      cohort.conditions.describe(), pairs, mode_values,
+                      config, histogram_samples))
+    registry = metrics if metrics is not None else MetricsRegistry()
+    if max_workers == 0 or len(tasks) <= 1:
+        workers = 1
+        outputs = [_fleet_chunk(task) for task in tasks]
+    else:
+        workers = max_workers or min(len(tasks), os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_warm_worker) as pool:
+            outputs = list(pool.map(
+                _fleet_chunk, tasks,
+                chunksize=_chunksize(len(tasks), workers)))
+    total = 0
+    for dump, n_visits, pid, wall_s in outputs:
+        registry.merge(dump)
+        total += n_visits
+        log.debug("fleet-chunk-done", pid=pid, visits=n_visits,
+                  chunk_s=round(wall_s, 3))
+    registry.gauge("fleet.des.workers").set(workers)
+    snapshot: dict = {}
+    for cohort in spec.cohorts:
+        prefix = f"fleet.cohort.{cohort.name}"
+        visits_counter = registry.get(f"{prefix}.visits")
+        cold_counter = registry.get(f"{prefix}.cold_visits")
+        per_mode = {}
+        for mode_value in mode_values:
+            hist = registry.get(f"{prefix}.plt_ms.{mode_value}")
+            if hist is None:
+                continue
+            per_mode[mode_value] = {
+                "visits": visits_counter.value if visits_counter else 0,
+                "cold_visits": cold_counter.value if cold_counter else 0,
+                "count": hist.count,
+                "mean_ms": hist.mean(),
+                "p50_ms": hist.percentile(50),
+                "p90_ms": hist.percentile(90),
+                "p99_ms": hist.percentile(99),
+            }
+        if per_mode:
+            snapshot[cohort.name] = per_mode
+    return FleetDesResult(visits=total, workers=workers,
+                          cohorts=snapshot,
+                          elapsed_s=time.perf_counter() - start,
+                          metrics=registry)
+
+
+# -- DES-vs-analytic validation --------------------------------------------
+@dataclass(frozen=True)
+class FleetValidation:
+    """Rank agreement between the two backends on a schedule sample."""
+
+    rho: float
+    min_rho: float
+    rows: int
+    elapsed_s: float
+
+    @property
+    def passed(self) -> bool:
+        return self.rho >= self.min_rho
+
+    def format(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        return (f"fleet validation: Spearman rho={self.rho:.3f} over "
+                f"{self.rows} sampled (visit, mode) cells "
+                f"(gate >= {self.min_rho:.2f}) -> {verdict} "
+                f"[{self.elapsed_s:.1f}s]")
+
+
+def validate_fleet(spec: PopulationSpec,
+                   corpus: Optional[Corpus] = None,
+                   sample: int = 24,
+                   min_rho: float = 0.85,
+                   backend: str = "auto",
+                   modes: Sequence[CachingMode] = FLEET_MODES,
+                   config: Optional[BrowserConfig] = None
+                   ) -> FleetValidation:
+    """Price a seeded cohort sample both ways; gate on Spearman ρ.
+
+    Same contract as ``sweep --validate``: the analytic backend must
+    *rank* sampled fleet visits like the simulator does, cold loads
+    included.
+    """
+    if corpus is None:
+        corpus = make_corpus()
+    sites = list(corpus)
+    if len(sites) != spec.n_sites:
+        raise ValueError(f"spec prices {spec.n_sites} popularity ranks "
+                         f"but the corpus has {len(sites)} sites")
+    start = time.perf_counter()
+    model = VectorAnalyticModel(config=config, backend=backend)
+    visits = sample_visits(spec, sample, per_cohort=True)
+    analytic_ms: list[float] = []
+    des_ms: list[float] = []
+    for visit in visits:
+        cohort = spec.cohorts[visit.cohort]
+        site = sites[visit.site]
+        comp = compile_site(site)
+        cold = visit.delay_s is None
+        delay_s = 0.0 if cold else visit.delay_s
+        plt = model.batch_plt(comp, modes, (delay_s,),
+                              [cohort.conditions], cold=cold)
+        for mi, mode in enumerate(modes):
+            analytic_ms.append(float(plt[0][mi][0]) * 1000.0)
+            setup = build_mode(mode, site,
+                               config if config is not None
+                               else BrowserConfig())
+            times = [0.0] if cold else [0.0, delay_s]
+            outcome = run_visit_sequence(setup, cohort.conditions,
+                                         times)[-1]
+            des_ms.append(outcome.result.plt_ms)
+    rho = spearman(analytic_ms, des_ms)
+    return FleetValidation(rho=rho, min_rho=min_rho,
+                           rows=len(analytic_ms),
+                           elapsed_s=time.perf_counter() - start)
+
+
+# -- bench ------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetBenchResult:
+    """Throughput of both backends on the bench population."""
+
+    users: int
+    population_visits: int
+    sites: int
+    cohorts: int
+    bins: int
+    seed: int
+    rounds: int
+    des_sample: int
+    #: absent when numpy is not importable (fallback-only leg)
+    vectorized_visits_per_s: Optional[float]
+    fallback_visits_per_s: float
+    des_visits: int
+    des_visits_per_s: float
+    elapsed_s: float
+
+    @property
+    def meets_floors(self) -> bool:
+        if self.population_visits < FLEET_POPULATION_FLOOR:
+            return False
+        if self.vectorized_visits_per_s is not None \
+                and self.vectorized_visits_per_s \
+                < FLEET_VECTORIZED_FLOOR_PER_S:
+            return False
+        return (self.fallback_visits_per_s >= FLEET_FALLBACK_FLOOR_PER_S
+                and self.des_visits_per_s >= FLEET_DES_FLOOR_PER_S)
+
+    def format(self) -> str:
+        vec = (f"{self.vectorized_visits_per_s:,.0f}/s "
+               f"(floor {FLEET_VECTORIZED_FLOOR_PER_S:,.0f})"
+               if self.vectorized_visits_per_s is not None
+               else "n/a (numpy not installed)")
+        lines = [
+            f"population fleet bench: {self.users:,} users, "
+            f"{self.population_visits:,} measured visits "
+            f"(floor {FLEET_POPULATION_FLOOR:,}), {self.sites} sites, "
+            f"{self.cohorts} cohorts, {self.bins} delay bins",
+            f"  analytic vectorized : {vec}",
+            f"  analytic fallback   : {self.fallback_visits_per_s:,.0f}/s "
+            f"(floor {FLEET_FALLBACK_FLOOR_PER_S:,.0f})",
+            f"  sampled DES         : {self.des_visits_per_s:,.1f} "
+            f"visits/s over {self.des_visits} visits "
+            f"(floor {FLEET_DES_FLOOR_PER_S:g})",
+            f"  floors {'met' if self.meets_floors else 'MISSED'}; "
+            f"total wall {self.elapsed_s:.1f}s",
+        ]
+        return "\n".join(lines)
+
+
+def run_fleet_bench(users: int = 1_000_000,
+                    measured: int = 50_000_000,
+                    warmup: Optional[int] = None,
+                    bins: int = 24,
+                    rounds: int = 3,
+                    des_sample: int = 24,
+                    seed: int = 2024,
+                    corpus: Optional[Corpus] = None,
+                    config: Optional[BrowserConfig] = None
+                    ) -> FleetBenchResult:
+    """Throughput floors for the population engine, best-of-``rounds``.
+
+    The analytic backends price the *same* million-user spec (cost is
+    per grid cell, not per visit — that asymmetry is the whole point);
+    the fallback leg runs one round because it is ~50× slower, and the
+    DES leg times a small serial schedule sample.
+    """
+    spec = default_population(users=users, measured=measured,
+                              warmup=warmup, seed=seed)
+    if corpus is None:
+        corpus = make_corpus()
+    start = time.perf_counter()
+    vectorized = None
+    if numpy_available():
+        best = min(
+            run_fleet_analytic(spec, corpus, bins=bins,
+                               backend="numpy").elapsed_s
+            for _ in range(max(1, rounds)))
+        vectorized = spec.n_measured / best
+    fallback_result = run_fleet_analytic(spec, corpus, bins=bins,
+                                         backend="python")
+    fallback = spec.n_measured / fallback_result.elapsed_s
+    des = run_fleet_des(spec, corpus, sample=des_sample, max_workers=0,
+                        config=config)
+    return FleetBenchResult(
+        users=users, population_visits=spec.n_measured,
+        sites=spec.n_sites, cohorts=len(spec.cohorts), bins=bins,
+        seed=seed, rounds=rounds, des_sample=des_sample,
+        vectorized_visits_per_s=vectorized,
+        fallback_visits_per_s=fallback,
+        des_visits=des.visits, des_visits_per_s=des.visits_per_s,
+        elapsed_s=time.perf_counter() - start)
+
+
+# -- artifact payloads ------------------------------------------------------
+def fleet_payload(result: FleetResult,
+                  des: Optional[FleetDesResult] = None,
+                  validation: Optional[FleetValidation] = None) -> dict:
+    """Machine-readable fleet-run record (``repro fleet --out``).
+
+    ``report_html`` renders the per-cohort PLT-percentile section from
+    exactly this shape.
+    """
+    def mode_dict(stats: ModeStats) -> dict:
+        return {"mode": stats.mode,
+                "mean_ms": round(stats.mean_ms, 2),
+                "p50_ms": round(stats.p50_ms, 2),
+                "p90_ms": round(stats.p90_ms, 2),
+                "p99_ms": round(stats.p99_ms, 2),
+                "origin_rps": round(stats.origin_rps, 2),
+                "origin_mbps": round(stats.origin_mbps, 4),
+                "hit_ratio": round(stats.hit_ratio, 4)}
+
+    payload = {
+        "bench": "population_fleet_run",
+        "schema_version": 1,
+        "users": result.users,
+        "population_visits": result.population_visits,
+        "alpha": result.alpha,
+        "sites": result.sites,
+        "bins": result.bins,
+        "backend": result.backend,
+        "elapsed_s": round(result.elapsed_s, 3),
+        "visits_per_s": round(result.visits_per_s, 1),
+        "cohorts": [{
+            "name": cohort.name, "label": cohort.label,
+            "share": round(cohort.share, 4),
+            "visits": round(cohort.visits, 1),
+            "cold_share": round(cohort.cold_share, 4),
+            "modes": [mode_dict(stats) for stats in cohort.modes],
+        } for cohort in result.cohorts],
+        "fleet": [mode_dict(stats) for stats in result.fleet],
+    }
+    if des is not None:
+        payload["des"] = {"visits": des.visits, "workers": des.workers,
+                          "visits_per_s": round(des.visits_per_s, 2),
+                          "cohorts": des.cohorts}
+    if validation is not None:
+        payload["validation"] = {"rho": round(validation.rho, 4),
+                                 "min_rho": validation.min_rho,
+                                 "rows": validation.rows,
+                                 "passed": validation.passed}
+    return payload
+
+
+def fleet_bench_payload(result: FleetBenchResult) -> dict:
+    """Manifest-stamped ``population_fleet`` record for the trajectory.
+
+    Population shape and seed are the config identity; rounds are
+    sampling effort.  The backend is *not* identity (PR-8 precedent):
+    a no-numpy artifact is the same experiment with the vectorized key
+    absent.
+    """
+    metrics = {
+        "population_visits": result.population_visits,
+        "analytic_visits_per_s_fallback": round(
+            result.fallback_visits_per_s, 1),
+        "des_visits_per_s": round(result.des_visits_per_s, 2),
+    }
+    if result.vectorized_visits_per_s is not None:
+        metrics["analytic_visits_per_s_vectorized"] = round(
+            result.vectorized_visits_per_s, 1)
+    payload = {
+        "bench": "population_fleet",
+        "schema_version": 1,
+        "params": {
+            "users": result.users,
+            "population_visits": result.population_visits,
+            "sites": result.sites,
+            "cohorts": result.cohorts,
+            "bins": result.bins,
+            "des_sample": result.des_sample,
+        },
+        "population_fleet": metrics,
+        "floors": {
+            "population_visits": FLEET_POPULATION_FLOOR,
+            "analytic_visits_per_s_vectorized":
+                FLEET_VECTORIZED_FLOOR_PER_S,
+            "analytic_visits_per_s_fallback": FLEET_FALLBACK_FLOOR_PER_S,
+            "des_visits_per_s": FLEET_DES_FLOOR_PER_S,
+        },
+        "meets_floors": result.meets_floors,
+    }
+    return stamp(payload, build_manifest(
+        config={"bench": "population_fleet", "users": result.users,
+                "population_visits": result.population_visits,
+                "sites": result.sites, "cohorts": result.cohorts,
+                "bins": result.bins, "seed": result.seed,
+                "des_sample": result.des_sample},
+        sampling={"rounds": result.rounds},
+        seeds=[result.seed],
+        wall_time_s=result.elapsed_s or None,
+    ))

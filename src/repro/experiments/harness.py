@@ -84,14 +84,17 @@ def _stale_hits(result: PageLoadResult, site_spec: SiteSpec,
 
 def measure_pair(site_spec: SiteSpec, mode: CachingMode,
                  conditions: NetworkConditions, delay_s: float,
-                 base_config: BrowserConfig = BrowserConfig(),
+                 base_config: Optional[BrowserConfig] = None,
                  audit_staleness: bool = False,
                  tracer=None) -> PairMeasurement:
     """Run one cold+warm pair and summarize it.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records both visits'
     spans — one trace covering cold and warm, on the sim clock.
+    ``base_config=None`` means a fresh default per call.
     """
+    if base_config is None:
+        base_config = BrowserConfig()
     setup = build_mode(mode, site_spec, base_config)
     outcomes = run_visit_sequence(setup, conditions, [0.0, delay_s],
                                   tracer=tracer)
@@ -239,7 +242,7 @@ def run_grid(sites: Corpus | Sequence[SiteSpec],
              modes: Iterable[CachingMode],
              conditions_list: Iterable[NetworkConditions],
              delays_s: Iterable[float],
-             base_config: BrowserConfig = BrowserConfig(),
+             base_config: Optional[BrowserConfig] = None,
              audit_staleness: bool = False,
              progress: Optional[Callable[[str], None]] = None,
              tracer=None, metrics=None) -> GridResult:
@@ -250,7 +253,10 @@ def run_grid(sites: Corpus | Sequence[SiteSpec],
     A ``metrics`` registry (:class:`repro.obs.MetricsRegistry`) receives
     the ``fleet.*`` series after the sweep — post-hoc, so measurements
     are byte-identical with or without it.
+    ``base_config=None`` means a fresh default per call.
     """
+    if base_config is None:
+        base_config = BrowserConfig()
     measurements: list[PairMeasurement] = []
     site_list = list(sites)
     for conditions in conditions_list:

@@ -95,7 +95,7 @@ def run_grid_parallel(sites: Corpus | Sequence[SiteSpec],
                       modes: Iterable[CachingMode],
                       conditions_list: Iterable[NetworkConditions],
                       delays_s: Iterable[float],
-                      base_config: BrowserConfig = BrowserConfig(),
+                      base_config: Optional[BrowserConfig] = None,
                       audit_staleness: bool = False,
                       max_workers: Optional[int] = None,
                       metrics: Optional[MetricsRegistry] = None
@@ -106,7 +106,10 @@ def run_grid_parallel(sites: Corpus | Sequence[SiteSpec],
     wall time differs.  With ``metrics``, worker-shard registries merge
     into it as chunks finish (plus per-worker heartbeat gauges:
     ``fleet.workers``, ``fleet.worker.<pid>.pairs``).
+    ``base_config=None`` means a fresh default per call.
     """
+    if base_config is None:
+        base_config = BrowserConfig()
     site_list = list(sites)
     conditions = list(conditions_list)
     mode_list = list(modes)

@@ -49,6 +49,8 @@ _SECTIONS: tuple[tuple[str, str], ...] = (
     ("analytic_vs_des", "Analytic model vs simulator"),
     ("analytic_sweep", "Analytic sweep — full grid (vectorized)"),
     ("sweep_validation", "Analytic sweep — DES validation"),
+    ("population_fleet", "Population fleet — analytic pricing"),
+    ("population_fleet_bench", "Population fleet — bench floors"),
 )
 
 _STYLE = """
@@ -73,6 +75,10 @@ _BENCH_KEYS: dict[str, tuple[str, ...]] = {
                 "simcore.visits_per_s"),
     "analytic_sweep": ("analytic_sweep.estimates_per_s_vectorized",
                        "analytic_sweep.estimates_per_s_fallback"),
+    "population_fleet": (
+        "population_fleet.analytic_visits_per_s_vectorized",
+        "population_fleet.analytic_visits_per_s_fallback",
+        "population_fleet.des_visits_per_s"),
 }
 
 
@@ -192,6 +198,62 @@ def _slo_timeline_text(results_dir: pathlib.Path) -> Optional[str]:
     return "\n\n".join(blocks) if blocks else None
 
 
+def _fleet_cohorts_text(results_dir: pathlib.Path) -> Optional[str]:
+    """Per-cohort PLT percentiles from population-fleet run payloads.
+
+    Scans every ``*.json`` whose payload says ``"bench":
+    "population_fleet_run"`` (the ``repro fleet --out`` shape) and
+    renders each cohort's per-mode p50/p90/p99 plus origin load, with
+    the DES cross-check and validation verdict when the run carried
+    them.
+    """
+    from .report import format_pct, format_table
+    blocks = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict) \
+                or payload.get("bench") != "population_fleet_run":
+            continue
+        lines = [f"{path.name}: {payload.get('users', '?'):,} users, "
+                 f"{payload.get('population_visits', '?'):,} visits, "
+                 f"{payload.get('backend', '?')} backend"]
+        rows = []
+        cohorts = payload.get("cohorts") or []
+        for cohort in cohorts + [{"name": "fleet", "label": "",
+                                  "modes": payload.get("fleet") or []}]:
+            for index, mode in enumerate(cohort.get("modes", [])):
+                rows.append([
+                    cohort.get("name", "?") if index == 0 else "",
+                    mode.get("mode", "?"),
+                    f"{mode.get('p50_ms', 0):,.0f}",
+                    f"{mode.get('p90_ms', 0):,.0f}",
+                    f"{mode.get('p99_ms', 0):,.0f}",
+                    f"{mode.get('origin_rps', 0):,.1f}",
+                    format_pct(mode.get("hit_ratio", 0.0)),
+                ])
+        if rows:
+            lines.append(format_table(
+                ["cohort", "mode", "p50 ms", "p90 ms", "p99 ms",
+                 "origin req/s", "hit"], rows))
+        des = payload.get("des")
+        if isinstance(des, dict):
+            lines.append(f"  DES cross-check: {des.get('visits', 0)} "
+                         f"sampled visits, "
+                         f"{des.get('workers', '?')} worker(s)")
+        validation = payload.get("validation")
+        if isinstance(validation, dict):
+            verdict = "PASS" if validation.get("passed") else "FAIL"
+            lines.append(f"  validation: Spearman rho="
+                         f"{validation.get('rho', 0):.3f} "
+                         f"(gate >= {validation.get('min_rho', 0):g}) "
+                         f"-> {verdict}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) if blocks else None
+
+
 def build_report(results_dir: pathlib.Path,
                  title: str = "CacheCatalyst reproduction — results") -> str:
     """Render every ``*.txt`` artifact in ``results_dir`` into HTML."""
@@ -222,6 +284,15 @@ def build_report(results_dir: pathlib.Path,
                      "--out ...</code> artifacts: burn-rate verdicts and "
                      "per-interval ok/shed sparklines</p>")
         parts.append(f"<pre>{html.escape(slo_timeline.rstrip())}</pre>")
+    fleet_cohorts = _fleet_cohorts_text(results_dir)
+    if fleet_cohorts is not None:
+        parts.append("<h2>Population fleet — per-cohort PLT "
+                     "percentiles</h2>")
+        parts.append("<p class='meta'>from <code>repro fleet --out ..."
+                     "</code> payloads: per-cohort p50/p90/p99 by mode, "
+                     "origin load, DES cross-check and the analytic-vs-"
+                     "DES validation verdict</p>")
+        parts.append(f"<pre>{html.escape(fleet_cohorts.rstrip())}</pre>")
     listed = set()
     for stem, heading in _SECTIONS:
         text = artifacts.get(stem)

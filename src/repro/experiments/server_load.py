@@ -68,9 +68,14 @@ def run_server_load(corpus: Optional[Corpus] = None,
                         60, 40),
                     visit_times_s: Sequence[float] = DEFAULT_VISIT_TIMES,
                     sites: int = 5,
-                    base_config: BrowserConfig = BrowserConfig()
+                    base_config: Optional[BrowserConfig] = None
                     ) -> list[ServerLoadResult]:
-    """Count origin-side work per mode over the schedule."""
+    """Count origin-side work per mode over the schedule.
+
+    ``base_config=None`` means a fresh default per call.
+    """
+    if base_config is None:
+        base_config = BrowserConfig()
     if corpus is None:
         corpus = make_corpus()
     subset = corpus.sample(sites, seed=21).frozen()

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 __all__ = ["Summary", "summarize", "mean", "median", "percentile",
-           "stdev", "bootstrap_ci", "spearman"]
+           "stdev", "bootstrap_ci", "spearman", "weighted_percentiles"]
 
 
 def spearman(a: Sequence[float], b: Sequence[float]) -> float:
@@ -97,6 +97,51 @@ def percentile(values: Sequence[float], q: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     fraction = position - low
     return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def weighted_percentiles(values: Sequence[float],
+                         weights: Sequence[float],
+                         qs: Sequence[float]) -> list[float]:
+    """Nearest-rank percentiles of a *weighted* sample.
+
+    The population engine prices a fleet as a few thousand analytic
+    cells, each standing in for millions of visits; percentiles over
+    those cells must weight by expected visit count, not cell count.
+    Returns the smallest value whose cumulative weight reaches
+    ``q/100`` of the total (exact for the step CDF a weighted discrete
+    sample defines).
+
+    >>> weighted_percentiles([1.0, 2.0, 3.0], [1.0, 1.0, 98.0], [50, 99])
+    [3.0, 3.0]
+    >>> weighted_percentiles([1.0, 2.0], [3.0, 1.0], [50])
+    [1.0]
+    """
+    if len(values) != len(weights):
+        raise ValueError(f"length mismatch: {len(values)} values vs "
+                         f"{len(weights)} weights")
+    if not values:
+        raise ValueError("weighted percentile of empty sequence")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be nonnegative")
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("weights must not sum to zero")
+    pairs = sorted(zip(values, weights))
+    out = []
+    for q in qs:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        target = total * q / 100.0
+        acc = 0.0
+        result = pairs[-1][0]
+        for value, weight in pairs:
+            acc += weight
+            # tolerate float round-off at exact cumulative boundaries
+            if acc >= target - 1e-9 * total:
+                result = value
+                break
+        out.append(result)
+    return out
 
 
 def stdev(values: Sequence[float]) -> float:

@@ -8,6 +8,10 @@ from .churn import ChurnModel, ResourceChurn, DEFAULT_CHANGE_PERIODS
 from .corpus import CORPUS_SIZE, Corpus, make_corpus
 from .har_import import HarImportError, site_from_har
 from .headers_model import DeveloperModel, HeaderPolicy, TTL_MENU
+from .population import (CohortSpec, DelayMixture, PopulationSpec, Visit,
+                         cold_fraction, delay_mixture, iter_visits,
+                         sample_visits, user_stream, user_visits,
+                         zipf_weights)
 from .revisits import DEFAULT_REVISIT_MODEL, RevisitModel
 from .resources import (DEFAULT_SIZES, DEFAULT_TYPE_MIX, SizeModel, TypeMix,
                         draw_kind, draw_resource_count, draw_size)
@@ -27,6 +31,9 @@ __all__ = [
     "DeveloperModel", "HeaderPolicy", "TTL_MENU",
     "site_from_har", "HarImportError",
     "RevisitModel", "DEFAULT_REVISIT_MODEL",
+    "PopulationSpec", "CohortSpec", "Visit", "DelayMixture",
+    "zipf_weights", "user_stream", "user_visits", "iter_visits",
+    "sample_visits", "delay_mixture", "cold_fraction",
     "CorpusShape", "measure_corpus_shape",
     "SizeModel", "TypeMix", "DEFAULT_SIZES", "DEFAULT_TYPE_MIX",
     "draw_kind", "draw_resource_count", "draw_size",

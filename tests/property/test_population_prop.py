@@ -1,0 +1,156 @@
+"""Property tests for the population-scale workload engine.
+
+The fleet experiment's credibility rests on three statistical claims
+about :mod:`repro.workload.population` — Zipf popularity really follows
+the analytic pmf, Poisson arrivals really hit their mean, and the
+schedule is byte-identical however it is sharded — plus the exactness
+of the delay-mixture quantization.  Each claim gets a direct check at
+population scale (10⁵ visits where the claim is about frequencies).
+"""
+
+import math
+import pickle
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.link import NetworkConditions
+from repro.workload.population import (CohortSpec, PopulationSpec,
+                                       delay_mixture, iter_visits,
+                                       sample_visits, user_stream,
+                                       user_visits, zipf_weights)
+from repro.workload.revisits import DEFAULT_REVISIT_MODEL
+
+pytestmark = pytest.mark.fleet
+
+CONDITIONS = NetworkConditions.of(60, 40, label="60Mbps/40ms")
+
+
+def make_spec(users=400, sites=50, measured=80_000, warmup=20_000,
+              alpha=0.8, seed=2024, cohorts=None):
+    if cohorts is None:
+        cohorts = (CohortSpec("a", 0.6, CONDITIONS),
+                   CohortSpec("b", 0.4, CONDITIONS))
+    return PopulationSpec(n_users=users, n_sites=sites, cohorts=cohorts,
+                          n_warmup=warmup, n_measured=measured,
+                          alpha=alpha, seed=seed)
+
+
+# -- Zipf popularity --------------------------------------------------------
+def test_zipf_rank_frequency_matches_pmf_at_1e5():
+    """Empirical site frequencies over ~10⁵ draws track the Zipf pmf."""
+    spec = make_spec()
+    weights = zipf_weights(spec.n_sites, spec.alpha)
+    counts = [0] * spec.n_sites
+    total = 0
+    for visit in iter_visits(spec):
+        counts[visit.site] += 1
+        total += 1
+    assert total > 90_000          # Poisson totals hover around 10⁵
+    l1 = sum(abs(counts[i] / total - weights[i])
+             for i in range(spec.n_sites))
+    assert l1 < 0.05, f"L1(empirical, pmf) = {l1:.4f}"
+    # the head of the ranking must come out in pmf order
+    head = sorted(range(5), key=lambda i: -counts[i])
+    assert head == [0, 1, 2, 3, 4]
+
+
+@given(st.integers(min_value=1, max_value=200),
+       st.sampled_from([0.0, 0.4, 0.8, 1.2]))
+def test_zipf_weights_are_a_distribution(n_sites, alpha):
+    weights = zipf_weights(n_sites, alpha)
+    assert len(weights) == n_sites
+    assert abs(sum(weights) - 1.0) < 1e-9
+    assert all(w > 0 for w in weights)
+    # non-increasing in rank; uniform exactly when alpha == 0
+    assert all(a >= b - 1e-15 for a, b in zip(weights, weights[1:]))
+    if alpha == 0.0:
+        assert max(weights) - min(weights) < 1e-12
+
+
+# -- Poisson arrivals -------------------------------------------------------
+def test_arrival_count_matches_poisson_mean():
+    """Total visits over the population sit within 5σ of n_visits."""
+    spec = make_spec()
+    total = sum(len(user_visits(spec, u)) for u in range(spec.n_users))
+    mean = spec.n_visits
+    assert abs(total - mean) < 5 * math.sqrt(mean), (total, mean)
+
+
+def test_arrival_times_sorted_and_in_horizon():
+    spec = make_spec(users=50, measured=8_000, warmup=2_000)
+    for user in range(spec.n_users):
+        visits = user_visits(spec, user)
+        times = [v.at_s for v in visits]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= spec.horizon_s for t in times)
+        for v in visits:
+            assert v.measured == (v.at_s >= spec.warmup_s)
+
+
+# -- schedule determinism ---------------------------------------------------
+def test_schedule_byte_identical_across_runs():
+    spec = make_spec(users=80, measured=8_000, warmup=2_000)
+    a = pickle.dumps(list(iter_visits(spec)))
+    b = pickle.dumps(list(iter_visits(make_spec(users=80, measured=8_000,
+                                                warmup=2_000))))
+    assert a == b
+
+
+def test_schedule_independent_of_shard_order():
+    """Reassembling per-user shards in any order gives the same bytes —
+    the property that makes parallel DES runs reproducible."""
+    spec = make_spec(users=60, measured=6_000, warmup=1_500)
+    canonical = list(iter_visits(spec))
+    order = list(range(spec.n_users))
+    random.Random(7).shuffle(order)
+    shards = {u: user_visits(spec, u) for u in order}
+    reassembled = [v for u in range(spec.n_users) for v in shards[u]]
+    assert pickle.dumps(reassembled) == pickle.dumps(canonical)
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_user_stream_is_pure(user_id):
+    spec = make_spec(users=501, measured=10_000, warmup=0)
+    a = user_stream(spec, user_id)
+    b = user_stream(spec, user_id)
+    assert [a.random() for _ in range(8)] == [b.random() for _ in range(8)]
+
+
+def test_sample_visits_deterministic_and_cohort_covering():
+    spec = make_spec()
+    a = sample_visits(spec, 24, per_cohort=True)
+    b = sample_visits(spec, 24, per_cohort=True)
+    assert pickle.dumps(a) == pickle.dumps(b)
+    cohorts_hit = {v.cohort for v in a}
+    assert cohorts_hit == set(range(len(spec.cohorts)))
+    assert all(v.measured for v in a)
+
+
+# -- delay-mixture quantization --------------------------------------------
+@given(st.integers(min_value=2, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_delay_mixture_is_a_distribution(bins):
+    mixture = delay_mixture(DEFAULT_REVISIT_MODEL, bins)
+    assert len(mixture.delays_s) == len(mixture.weights)
+    assert abs(sum(mixture.weights) - 1.0) < 1e-9
+    assert all(w >= 0 for w in mixture.weights)
+    assert list(mixture.delays_s) == sorted(mixture.delays_s)
+    assert mixture.delays_s[0] >= DEFAULT_REVISIT_MODEL.min_delay_s
+    assert mixture.delays_s[-1] <= DEFAULT_REVISIT_MODEL.max_delay_s
+
+
+def test_revisit_cdf_matches_empirical_draws():
+    """The closed-form CDF (which prices every analytic delay bin) agrees
+    with 20k actual sampler draws at every probe point."""
+    model = DEFAULT_REVISIT_MODEL
+    rng = random.Random(11)
+    draws = sorted(model.draw(rng) for _ in range(20_000))
+    probes = [60.0, 600.0, 3600.0, 6 * 3600.0, 86400.0, 7 * 86400.0]
+    for x in probes:
+        import bisect
+        empirical = bisect.bisect_right(draws, x) / len(draws)
+        assert abs(empirical - model.cdf(x)) < 0.02, (x, empirical,
+                                                      model.cdf(x))

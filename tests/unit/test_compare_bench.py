@@ -57,6 +57,22 @@ class TestCompare:
         assert ok
         assert any("not comparable" in m for m in messages)
 
+    def test_population_fleet_keys_gated(self):
+        def fleet_payload(vectorized, fallback, des):
+            return {"bench": "population_fleet",
+                    "population_fleet": {
+                        "analytic_visits_per_s_vectorized": vectorized,
+                        "analytic_visits_per_s_fallback": fallback,
+                        "des_visits_per_s": des}}
+        ok, _ = compare_bench.compare(fleet_payload(3e8, 4e7, 7.0),
+                                      fleet_payload(2.9e8, 3.9e7, 6.8))
+        assert ok
+        ok, messages = compare_bench.compare(fleet_payload(3e8, 4e7, 7.0),
+                                             fleet_payload(1e8, 4e7, 7.0))
+        assert not ok
+        assert any("vectorized" in m and "REGRESSION" in m
+                   for m in messages)
+
 
 class TestFindBenches:
     def test_orders_by_pr_number(self, tmp_path):

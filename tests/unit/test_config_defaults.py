@@ -1,0 +1,91 @@
+"""No entry point may hold a shared mutable ``BrowserConfig`` default.
+
+``def f(config=BrowserConfig())`` evaluates the default ONCE at import
+time, so every caller that omits the argument shares — and can mutate —
+one instance.  Every entry point instead takes ``Optional[BrowserConfig]
+= None`` and constructs a fresh default per call.  This regression test
+sweeps *every* public callable in the package for instance defaults, so
+a new entry point can't quietly reintroduce the bug, and pins the
+per-call-freshness behaviour at the places users actually hit.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+from repro.browser.engine import BrowserConfig, BrowserSession
+from repro.core.modes import CachingMode, build_mode
+from repro.workload.sitegen import generate_site
+
+
+def iter_package_callables():
+    """Yield (qualified name, callable) for every function and class
+    defined anywhere under the ``repro`` package."""
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        module = importlib.import_module(info.name)
+        for attr_name, obj in vars(module).items():
+            if attr_name.startswith("_"):
+                continue
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if getattr(obj, "__module__", "").startswith("repro"):
+                    yield f"{info.name}.{attr_name}", obj
+
+
+def signature_defaults(obj):
+    try:
+        if inspect.isclass(obj):
+            sig = inspect.signature(obj.__init__)
+        else:
+            sig = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return
+    for param in sig.parameters.values():
+        if param.default is not inspect.Parameter.empty:
+            yield param.name, param.default
+
+
+def test_no_callable_has_browser_config_instance_default():
+    offenders = []
+    for name, obj in iter_package_callables():
+        for param_name, default in signature_defaults(obj):
+            if isinstance(default, BrowserConfig):
+                offenders.append(f"{name}({param_name}=...)")
+    assert not offenders, (
+        "shared mutable BrowserConfig defaults found: "
+        + ", ".join(sorted(set(offenders))))
+
+
+def test_browser_session_default_configs_are_distinct():
+    a, b = BrowserSession(), BrowserSession()
+    assert a.config is not b.config
+    assert a.config == b.config
+
+
+def test_build_mode_default_configs_are_distinct():
+    site = generate_site("https://defaults.example", seed=3)
+    setups = [build_mode(CachingMode.STANDARD, site) for _ in range(2)]
+    configs = [setup.session.config for setup in setups]
+    assert configs[0] is not configs[1]
+
+
+def test_explicit_config_is_used_verbatim():
+    config = BrowserConfig()
+    session = BrowserSession(config)
+    assert session.config is config
+
+
+def test_entry_points_accept_none_config():
+    """The high-traffic entry points run with config omitted (each
+    constructing a fresh default) — the call pattern the sweep, the
+    harness and the CLI all rely on."""
+    from repro.experiments.harness import measure_pair
+    from repro.netsim.link import NetworkConditions
+
+    site = generate_site("https://defaults2.example", seed=4)
+    conditions = NetworkConditions.of(60, 40, label="60Mbps/40ms")
+    m = measure_pair(site, CachingMode.STANDARD, conditions, 60.0)
+    assert m.cold_plt_ms > 0

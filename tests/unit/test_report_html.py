@@ -98,3 +98,44 @@ class TestSloTimelineSection:
     def test_foreign_json_ignored(self, tmp_path):
         (tmp_path / "BENCH_other.json").write_text("{\"bench\": \"simcore\"}")
         assert "Load-test SLOs" not in build_report(tmp_path)
+
+
+class TestFleetCohortSection:
+    def fleet_artifact(self, tmp_path, passed=True):
+        import json
+        mode = {"mode": "catalyst", "mean_ms": 900.0, "p50_ms": 700.0,
+                "p90_ms": 1800.0, "p99_ms": 2600.0, "origin_rps": 8.5,
+                "origin_mbps": 1.2, "hit_ratio": 0.42}
+        payload = {
+            "bench": "population_fleet_run",
+            "users": 20_000, "population_visits": 1_000_000,
+            "backend": "numpy",
+            "cohorts": [{"name": "urban-fast", "label": "60Mbps/40ms",
+                         "share": 0.45, "visits": 450_000.0,
+                         "cold_share": 0.5, "modes": [mode]}],
+            "fleet": [mode],
+            "des": {"visits": 24, "workers": 4, "visits_per_s": 7.0,
+                    "cohorts": {}},
+            "validation": {"rho": 0.94, "min_rho": 0.85, "rows": 48,
+                           "passed": passed},
+        }
+        (tmp_path / "fleet_run.json").write_text(json.dumps(payload))
+        return tmp_path
+
+    def test_section_renders_cohort_percentiles(self, tmp_path):
+        html_text = build_report(self.fleet_artifact(tmp_path))
+        assert "Population fleet — per-cohort PLT percentiles" in html_text
+        assert "urban-fast" in html_text
+        assert "p99 ms" in html_text
+        assert "rho=0.940" in html_text
+        assert "PASS" in html_text
+        assert "DES cross-check: 24" in html_text
+
+    def test_failed_validation_surfaces(self, tmp_path):
+        html_text = build_report(self.fleet_artifact(tmp_path,
+                                                     passed=False))
+        assert "FAIL" in html_text
+
+    def test_no_fleet_artifacts_no_section(self, results_dir):
+        assert "Population fleet — per-cohort" \
+            not in build_report(results_dir)

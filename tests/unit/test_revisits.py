@@ -60,3 +60,37 @@ class TestUserWeighted:
         a = run_user_weighted(sites=2, revisits_per_site=2, seed=5)
         b = run_user_weighted(sites=2, revisits_per_site=2, seed=5)
         assert a.reductions == b.reductions
+
+    def test_cdf_matches_draw_distribution(self):
+        """RevisitModel.cdf is the closed form the fleet's delay bins
+        price with — it must agree with the sampler."""
+        rng = random.Random(9)
+        draws = sorted(DEFAULT_REVISIT_MODEL.draw(rng)
+                       for _ in range(5000))
+        for x in (10 * MINUTE, HOUR, 6 * HOUR, DAY):
+            empirical = sum(1 for d in draws if d <= x) / len(draws)
+            assert abs(empirical - DEFAULT_REVISIT_MODEL.cdf(x)) < 0.03
+
+    def test_cdf_clamps_and_monotone(self):
+        model = DEFAULT_REVISIT_MODEL
+        assert model.cdf(model.min_delay_s / 2) == 0.0
+        assert model.cdf(model.max_delay_s) == 1.0
+        probes = [model.min_delay_s * (1.5 ** k) for k in range(30)]
+        values = [model.cdf(x) for x in probes]
+        assert values == sorted(values)
+
+    def test_is_single_cohort_population_view(self, result):
+        """The measured (site, delay) pairs are exactly the population
+        sampler's first warm entries for the one-cohort spec — the
+        experiment is a view, not a second workload generator."""
+        from repro.experiments.user_weighted import user_weighted_spec
+        from repro.netsim.link import NetworkConditions
+        from repro.workload.population import sample_visits
+
+        spec = user_weighted_spec(
+            NetworkConditions.of(60, 40, label="60Mbps/40ms"),
+            sites=3, revisits_per_site=2)
+        visits = sample_visits(spec, 6, measured_only=False,
+                               warm_only=True)
+        assert [v.delay_s for v in visits] == result.delays_s
+        assert all(v.delay_s is not None for v in visits)
